@@ -1,0 +1,36 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full experiments examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# The paper's full grid: 3 sequences x 3 architecture variants.
+bench-full:
+	REPRO_BENCH_SEQUENCES=3 REPRO_BENCH_ARCHS=3 REPRO_BENCH_FULL_H263=1 \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/paper_example.py
+	$(PYTHON) examples/throughput_analysis.py
+	$(PYTHON) examples/multimedia_system.py
+	$(PYTHON) examples/design_space_exploration.py --apps 10
+	$(PYTHON) examples/trace_and_buffers.py
+	$(PYTHON) examples/csdf_analysis.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

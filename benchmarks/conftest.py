@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the paper table/figure it regenerates (visible
+with ``pytest benchmarks/ --benchmark-only -s`` or in captured output on
+failure).  Scale knobs come from environment variables so the default
+run finishes on a laptop in minutes while the full paper grid stays one
+command away:
+
+* ``REPRO_BENCH_SEQUENCES`` — random sequences per set (paper: 3, default 1)
+* ``REPRO_BENCH_ARCHS``     — architecture variants (paper: 3, default 1)
+* ``REPRO_BENCH_APPS``      — applications generated per sequence (default 40)
+* ``REPRO_BENCH_FULL_H263`` — set to 1 to run the multimedia system at
+  the paper's 2376 macroblocks instead of the scaled 99
+"""
+
+import os
+
+import pytest
+
+SEQUENCES = int(os.environ.get("REPRO_BENCH_SEQUENCES", "1"))
+ARCH_VARIANTS = int(os.environ.get("REPRO_BENCH_ARCHS", "1"))
+APPS_PER_SEQUENCE = int(os.environ.get("REPRO_BENCH_APPS", "40"))
+FULL_H263 = os.environ.get("REPRO_BENCH_FULL_H263", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return {
+        "sequences": SEQUENCES,
+        "arch_variants": ARCH_VARIANTS,
+        "apps": APPS_PER_SEQUENCE,
+        "full_h263": FULL_H263,
+    }

@@ -1,0 +1,92 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+The paper bakes three optimisations into the strategy without isolating
+them; these benches quantify each on the mixed benchmark set:
+
+* the reverse-order rebinding pass of Section 9.1 (``optimise_binding``),
+* the per-tile slice refinement of Section 9.3 (``refine_slices``),
+* the 10% early-stop band of the slice binary search (``relaxation``).
+
+Reported per variant: applications bound, total throughput checks (the
+dominant cost: ~90% of the §10.3 run-time is slice allocation) and
+total allocated time-wheel units.
+"""
+
+import pytest
+
+from repro.arch.presets import benchmark_architectures
+from repro.core.flow import allocate_until_failure
+from repro.core.strategy import ResourceAllocator
+from repro.core.tile_cost import CostWeights
+from repro.generate.benchmark import generate_benchmark_set
+
+from _util import format_table
+
+VARIANTS = {
+    "full strategy": dict(),
+    "no rebinding pass": dict(optimise_binding=False),
+    "no slice refinement": dict(refine_slices=False),
+    "no 10% relaxation": dict(relaxation=0.0),
+    "wide 50% relaxation": dict(relaxation=0.5),
+}
+
+
+def run_variants(apps):
+    architecture_template = benchmark_architectures()[1]
+    results = {}
+    for label, overrides in VARIANTS.items():
+        allocator = ResourceAllocator(
+            weights=CostWeights(0, 1, 2), **overrides
+        )
+        architecture = architecture_template.copy()
+        sequence = generate_benchmark_set(
+            "mixed", apps, architecture.processor_types(), seed=1
+        )
+        results[label] = allocate_until_failure(
+            architecture, sequence, allocator=allocator
+        )
+    return results
+
+
+def test_strategy_ablations(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        run_variants, args=(bench_scale["apps"],), rounds=1, iterations=1
+    )
+
+    rows = []
+    for label, result in results.items():
+        rows.append(
+            [
+                label,
+                result.applications_bound,
+                result.total_throughput_checks,
+                result.resource_usage["timewheel"],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["variant", "apps bound", "thr checks", "wheel used"],
+            rows,
+            title="Ablations on the mixed set (cost weights 0,1,2)",
+        )
+    )
+
+    full = results["full strategy"]
+    # refinement only ever shrinks slices: disabling it cannot bind more
+    # applications and cannot use less wheel per application
+    no_refine = results["no slice refinement"]
+    assert no_refine.applications_bound <= full.applications_bound
+    # skipping refinement saves throughput checks per application
+    if no_refine.applications_bound == full.applications_bound:
+        assert (
+            no_refine.total_throughput_checks <= full.total_throughput_checks
+        )
+    # a wider relaxation band never increases the check count on the
+    # same allocations; with equal apps bound it should not cost more
+    wide = results["wide 50% relaxation"]
+    exact = results["no 10% relaxation"]
+    if wide.applications_bound == exact.applications_bound:
+        assert wide.total_throughput_checks <= exact.total_throughput_checks
+    # every variant still produces a working flow
+    assert all(r.applications_bound >= 1 for r in results.values())

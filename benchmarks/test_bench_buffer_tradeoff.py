@@ -1,0 +1,73 @@
+"""Buffer/throughput trade-off benchmark (the paper's ref [21]).
+
+The allocation strategy consumes the buffer capacities declared in
+``Theta``; the companion DAC'06 work explores how small they can get.
+This bench maps the paper's running example, then (i) sweeps a global
+buffer scale to draw the trade-off curve and (ii) runs the per-channel
+minimisation, reporting the memory saved while the mapped application
+keeps its throughput guarantee.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.core.strategy import ResourceAllocator
+from repro.extensions.buffer_sizing import (
+    buffer_throughput_tradeoff,
+    minimise_buffers,
+)
+
+from _util import format_table
+
+
+def test_buffer_throughput_tradeoff(benchmark):
+    application = paper_example_application(Fraction(1, 60))
+    architecture = paper_example_architecture()
+    allocation = ResourceAllocator().allocate(application, architecture)
+
+    def run():
+        curve = buffer_throughput_tradeoff(
+            application,
+            architecture,
+            allocation.binding,
+            allocation.scheduling,
+        )
+        sizing = minimise_buffers(
+            application,
+            architecture,
+            allocation.binding,
+            allocation.scheduling,
+        )
+        return curve, sizing
+
+    curve, sizing = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["total buffer tokens", "constrained throughput"],
+            [[tokens, str(rate)] for tokens, rate in curve],
+            title="ref [21] — storage/throughput trade-off (mapped example)",
+        )
+    )
+    print(
+        f"per-channel minimisation: {sizing.memory_saved} bits saved, "
+        f"throughput {sizing.achieved_throughput} "
+        f">= {application.throughput_constraint} "
+        f"({sizing.throughput_checks} checks)"
+    )
+
+    # the curve is monotone: more buffer tokens never reduce throughput
+    ordered = sorted(curve)
+    rates = [rate for _, rate in ordered]
+    assert all(a <= b for a, b in zip(rates, rates[1:]))
+    # starving the buffers kills the throughput entirely
+    assert rates[0] == 0
+    # the minimisation preserves the guarantee and saves something
+    assert sizing.achieved_throughput >= application.throughput_constraint
+    assert sizing.memory_saved >= 0

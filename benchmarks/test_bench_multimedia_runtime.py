@@ -1,0 +1,132 @@
+"""Section 10.3 + Section 1 reproduction: the multimedia system and the
+run-time argument for working directly on SDFGs.
+
+* ``test_h263_throughput_check_runtimes`` regenerates the Section 1
+  comparison: one throughput check on the H.263 decoder, directly on
+  the SDFG (paper: part of a <3 minute trajectory) versus on the HSDFG
+  via maximum cycle ratio (paper: 21 minutes).  We assert the direct
+  path wins by a large factor and that the HSDFG has exactly 4754
+  actors.
+
+* ``test_multimedia_system_allocation`` runs the 3x H.263 + MP3 system
+  on the 2x2 mesh with cost weights (2, 0, 1), reporting run-time,
+  throughput checks (paper: 34 checks, ~8 minutes, 90% in slice
+  allocation) and final utilisation.  Scaled to 99 macroblocks by
+  default (REPRO_BENCH_FULL_H263=1 for the paper's 2376).
+"""
+
+import pytest
+
+from repro.arch.presets import multimedia_architecture
+from repro.arch.tile import ProcessorType
+from repro.baselines.hsdf_path import timed_throughput_comparison
+from repro.core.flow import allocate_until_failure
+from repro.core.strategy import ResourceAllocator
+from repro.core.tile_cost import CostWeights
+from repro.generate.multimedia import h263_decoder, mp3_decoder
+from repro.sdf.repetition import iteration_length
+
+from _util import format_table
+
+
+def test_h263_throughput_check_runtimes(benchmark):
+    application = h263_decoder()  # full 2376 macroblocks
+    assert iteration_length(application.graph) == 4754
+
+    comparison = benchmark.pedantic(
+        timed_throughput_comparison,
+        args=(application.graph,),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["path", "actors", "seconds", "rate"],
+            [
+                [
+                    "direct SDFG",
+                    comparison.sdf_actors,
+                    f"{comparison.direct_seconds:.3f}",
+                    str(comparison.direct_rate),
+                ],
+                [
+                    "HSDF + MCR",
+                    comparison.hsdf_actors,
+                    f"{comparison.hsdf_seconds:.3f}",
+                    str(comparison.hsdf_rate),
+                ],
+            ],
+            title=(
+                "Section 1 — one throughput check on H.263 "
+                f"(speedup {comparison.speedup:.0f}x; paper: 21 min vs "
+                "part of a 3-min trajectory)"
+            ),
+        )
+    )
+    assert comparison.hsdf_actors == 4754
+    assert comparison.direct_rate == comparison.hsdf_rate
+    # the paper's qualitative claim: direct analysis is dramatically
+    # faster; we require at least an order of magnitude
+    assert comparison.speedup > 10
+
+
+def test_multimedia_system_allocation(benchmark, bench_scale):
+    macroblocks = 2376 if bench_scale["full_h263"] else 99
+    generic = ProcessorType("generic")
+    accelerator = ProcessorType("accelerator")
+
+    def run():
+        architecture = multimedia_architecture()
+        applications = [
+            h263_decoder(
+                f"h263-{index}",
+                macroblocks=macroblocks,
+                generic=generic,
+                accelerator=accelerator,
+            )
+            for index in range(3)
+        ]
+        applications.append(
+            mp3_decoder(generic=generic, accelerator=accelerator)
+        )
+        return allocate_until_failure(
+            architecture,
+            applications,
+            allocator=ResourceAllocator(weights=CostWeights(2, 0, 1)),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            allocation.application.name,
+            len(allocation.binding.used_tiles()),
+            allocation.throughput_checks,
+            str(allocation.achieved_throughput),
+        ]
+        for allocation in result.allocations
+    ]
+    print()
+    print(
+        format_table(
+            ["application", "tiles", "thr checks", "guaranteed rate"],
+            rows,
+            title=(
+                "Section 10.3 — multimedia system "
+                f"({macroblocks} macroblocks; paper: 34 checks total)"
+            ),
+        )
+    )
+    print(
+        "total throughput checks:",
+        result.total_throughput_checks,
+        " utilisation:",
+        {k: round(v, 2) for k, v in result.utilisation().items()},
+    )
+
+    # all four applications must be bound with their guarantees
+    assert result.applications_bound == 4
+    assert all(a.satisfied for a in result.allocations)
+    # the strategy stays in the tens of checks, like the paper's 34
+    assert result.total_throughput_checks < 200

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the three throughput engines.
+
+These give pytest-benchmark real timing distributions (the table
+benches are single-shot by necessity) and track the engines' costs:
+
+* self-timed state-space exploration on a multirate graph,
+* constrained exploration with TDMA gating,
+* the HSDF + maximum-cycle-ratio baseline on the same graph.
+"""
+
+import pytest
+
+from repro.appmodel.binding import SchedulingFunction
+from repro.appmodel.binding_aware import build_binding_aware_graph
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+    paper_example_binding,
+)
+from repro.baselines.hsdf_path import hsdf_throughput_check
+from repro.core.scheduling import build_static_order_schedules
+from repro.generate.multimedia import h263_decoder
+from repro.throughput.constrained import constrained_throughput
+from repro.throughput.state_space import throughput
+
+
+@pytest.fixture(scope="module")
+def h263_graph():
+    return h263_decoder(macroblocks=297).graph  # quarter-size H.263
+
+
+def test_bench_state_space_multirate(benchmark, h263_graph):
+    result = benchmark(lambda: throughput(h263_graph))
+    assert result.iteration_rate > 0
+
+
+def test_bench_hsdf_baseline_howard(benchmark, h263_graph):
+    rate = benchmark(lambda: hsdf_throughput_check(h263_graph, method="howard"))
+    assert rate == throughput(h263_graph).iteration_rate
+
+
+def test_bench_hsdf_baseline_lawler(benchmark, h263_graph):
+    rate = benchmark(
+        lambda: hsdf_throughput_check(h263_graph, method="numeric")
+    )
+    assert rate == throughput(h263_graph).iteration_rate
+
+
+def test_bench_constrained_engine(benchmark):
+    application = paper_example_application()
+    architecture = paper_example_architecture()
+    binding = paper_example_binding()
+    bag = build_binding_aware_graph(
+        application, architecture, binding, slices={"t1": 5, "t2": 5}
+    )
+    schedules = build_static_order_schedules(bag)
+    scheduling = SchedulingFunction()
+    for tile, schedule in schedules.items():
+        scheduling.set_schedule(tile, schedule)
+        scheduling.set_slice(tile, 5)
+    constraints = bag.tile_constraints(scheduling)
+
+    result = benchmark(
+        lambda: constrained_throughput(bag.graph, constraints)
+    )
+    assert result.of("a3") > 0
+
+
+def test_bench_binding_aware_construction(benchmark):
+    application = paper_example_application()
+    architecture = paper_example_architecture()
+    binding = paper_example_binding()
+
+    bag = benchmark(
+        lambda: build_binding_aware_graph(application, architecture, binding)
+    )
+    assert len(bag.graph) == 5

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Design-space exploration: how cost weights steer multi-app allocation.
+
+A miniature of the paper's Section 10.2 experiment: generate one
+sequence per benchmark set, then allocate it on a 3x3 heterogeneous
+mesh under the five cost-weight settings of Table 4 and report how many
+applications fit and what limited further allocation.
+
+Run:  python examples/design_space_exploration.py [--apps N]
+"""
+
+import sys
+
+from repro import CostWeights, allocate_until_failure, benchmark_architectures
+from repro.generate.benchmark import generate_benchmark_set
+
+WEIGHTS = [
+    CostWeights(1, 0, 0),
+    CostWeights(0, 1, 0),
+    CostWeights(0, 0, 1),
+    CostWeights(1, 1, 1),
+    CostWeights(0, 1, 2),
+]
+SETS = ["processing", "memory", "communication", "mixed"]
+
+
+def main() -> None:
+    count = 40
+    if "--apps" in sys.argv:
+        count = int(sys.argv[sys.argv.index("--apps") + 1])
+
+    template = benchmark_architectures()[1]
+    sequences = {
+        set_name: generate_benchmark_set(
+            set_name, count, template.processor_types(), seed=1
+        )
+        for set_name in SETS
+    }
+
+    print(f"{'weights':12s}" + "".join(f"{s:>15s}" for s in SETS))
+    best = {s: (None, -1) for s in SETS}
+    for weights in WEIGHTS:
+        row = f"{str(weights):12s}"
+        for set_name in SETS:
+            architecture = template.copy()
+            result = allocate_until_failure(
+                architecture, sequences[set_name], weights=weights
+            )
+            row += f"{result.applications_bound:>15d}"
+            if result.applications_bound > best[set_name][1]:
+                best[set_name] = (weights, result.applications_bound)
+        print(row)
+
+    print("\nbest weights per set:")
+    for set_name, (weights, bound) in best.items():
+        print(f"  {set_name:14s} {weights} ({bound} applications)")
+    print(
+        "\nThe paper's finding: communication weight matters most "
+        "(synchronisation drives slice sizes), memory is a strong "
+        "secondary objective; (0,1,2) wins on the mixed set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""repro: SDFG multiprocessor resource allocation with throughput guarantees.
+
+A faithful, pure-Python reproduction of
+
+    S. Stuijk, T. Basten, M.C.W. Geilen, H. Corporaal,
+    "Multiprocessor Resource Allocation for Throughput-Constrained
+    Synchronous Dataflow Graphs", DAC 2007
+
+including every substrate it builds on: the SDFG model and its
+classical analyses, self-timed and schedule/TDMA-constrained
+state-space throughput computation, the tile-based MP-SoC architecture
+model, the application model with resource requirements, random
+benchmark generation, and HSDF-based baselines.
+
+Quickstart::
+
+    from repro import (
+        SDFGraph, ApplicationGraph, ResourceAllocator, CostWeights,
+        mesh_architecture, ProcessorType,
+    )
+
+    proc = ProcessorType("dsp")
+    graph = SDFGraph("app")
+    graph.add_actor("src"); graph.add_actor("sink")
+    graph.add_channel("d", "src", "sink", 2, 1)
+    app = ApplicationGraph(graph, throughput_constraint=0, output_actor="sink")
+    app.set_actor_requirements("src", (proc, 5, 100))
+    app.set_actor_requirements("sink", (proc, 3, 100))
+    app.set_channel_requirements("d", token_size=32, bandwidth=64)
+    platform = mesh_architecture(2, 2, [proc])
+    allocation = ResourceAllocator(weights=CostWeights(0, 1, 2)).allocate(
+        app, platform
+    )
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.sdf import (
+    Actor,
+    Channel,
+    SDFGraph,
+    repetition_vector,
+    is_consistent,
+    is_deadlock_free,
+    sdf_to_hsdf,
+    validate_graph,
+)
+from repro.throughput import (
+    throughput,
+    constrained_throughput,
+    reference_throughput,
+    TileConstraints,
+)
+from repro.throughput.constrained import StaticOrderSchedule
+from repro.arch import (
+    ArchitectureGraph,
+    Connection,
+    ProcessorType,
+    Tile,
+    mesh_architecture,
+    benchmark_architectures,
+    multimedia_architecture,
+)
+from repro.appmodel import (
+    ActorRequirements,
+    Allocation,
+    ApplicationGraph,
+    Binding,
+    ChannelRequirements,
+    SchedulingFunction,
+    build_binding_aware_graph,
+)
+from repro.core import (
+    AllocationError,
+    CostWeights,
+    FlowResult,
+    ResourceAllocator,
+    allocate_until_failure,
+    bind_application,
+)
+from repro.generate import (
+    generate_benchmark_set,
+    h263_decoder,
+    mp3_decoder,
+    random_sdfg,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Actor",
+    "Channel",
+    "SDFGraph",
+    "repetition_vector",
+    "is_consistent",
+    "is_deadlock_free",
+    "sdf_to_hsdf",
+    "validate_graph",
+    "throughput",
+    "constrained_throughput",
+    "reference_throughput",
+    "TileConstraints",
+    "StaticOrderSchedule",
+    "ArchitectureGraph",
+    "Connection",
+    "ProcessorType",
+    "Tile",
+    "mesh_architecture",
+    "benchmark_architectures",
+    "multimedia_architecture",
+    "ActorRequirements",
+    "Allocation",
+    "ApplicationGraph",
+    "Binding",
+    "ChannelRequirements",
+    "SchedulingFunction",
+    "build_binding_aware_graph",
+    "AllocationError",
+    "CostWeights",
+    "FlowResult",
+    "ResourceAllocator",
+    "allocate_until_failure",
+    "bind_application",
+    "generate_benchmark_set",
+    "h263_decoder",
+    "mp3_decoder",
+    "random_sdfg",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Application model (paper Section 6) and binding-aware graphs (§8.1).
+
+An :class:`~repro.appmodel.application.ApplicationGraph` couples an SDFG
+with its resource requirements — the paper's functions ``Gamma`` (per
+actor and processor type: execution time and memory) and ``Theta`` (per
+channel: token size, buffer requirements, bandwidth) — and a throughput
+constraint ``lambda`` on a designated output actor.
+
+:mod:`repro.appmodel.binding_aware` turns an application plus a binding
+into the binding-aware SDFG whose self-timed execution conservatively
+models the mapped system (self-edges, buffer back-edges, connection
+actors *c* and TDMA-alignment actors *s*).
+"""
+
+from repro.appmodel.application import (
+    ActorRequirements,
+    ApplicationGraph,
+    ChannelRequirements,
+)
+from repro.appmodel.binding import Binding, SchedulingFunction, Allocation
+from repro.appmodel.binding_aware import (
+    BindingAwareGraph,
+    build_binding_aware_graph,
+    InfeasibleBindingError,
+)
+from repro.appmodel.example import paper_example_application, paper_example_architecture
+from repro.appmodel.serialization import (
+    application_to_dict,
+    application_from_dict,
+    application_to_json,
+    application_from_json,
+)
+
+__all__ = [
+    "ActorRequirements",
+    "ApplicationGraph",
+    "ChannelRequirements",
+    "Binding",
+    "SchedulingFunction",
+    "Allocation",
+    "BindingAwareGraph",
+    "build_binding_aware_graph",
+    "InfeasibleBindingError",
+    "paper_example_application",
+    "paper_example_architecture",
+    "application_to_dict",
+    "application_from_dict",
+    "application_to_json",
+    "application_from_json",
+]

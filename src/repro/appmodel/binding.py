@@ -1,0 +1,102 @@
+"""Binding and scheduling functions, and the combined allocation result.
+
+These are the paper's Definitions 6 and 7: the binding function maps
+every actor of the application to a tile; the scheduling function maps
+every used tile to a TDMA slice size and a static-order schedule.  An
+:class:`Allocation` bundles both with the resource reservation that a
+successful run of the strategy commits to the architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.arch.resources import ResourceReservation
+from repro.throughput.constrained import StaticOrderSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.appmodel.application import ApplicationGraph
+
+
+@dataclass
+class Binding:
+    """The binding function ``B : A -> T`` (actor name -> tile name)."""
+
+    assignment: Dict[str, str] = field(default_factory=dict)
+
+    def bind(self, actor: str, tile: str) -> None:
+        self.assignment[actor] = tile
+
+    def unbind(self, actor: str) -> None:
+        self.assignment.pop(actor, None)
+
+    def tile_of(self, actor: str) -> str:
+        return self.assignment[actor]
+
+    def is_bound(self, actor: str) -> bool:
+        return actor in self.assignment
+
+    def actors_on(self, tile: str) -> List[str]:
+        """The paper's ``A_t`` (insertion order)."""
+        return [a for a, t in self.assignment.items() if t == tile]
+
+    def used_tiles(self) -> List[str]:
+        """Tiles with at least one bound actor (first-use order)."""
+        seen: Dict[str, None] = {}
+        for tile in self.assignment.values():
+            seen.setdefault(tile)
+        return list(seen)
+
+    def copy(self) -> "Binding":
+        return Binding(dict(self.assignment))
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+
+@dataclass
+class SchedulingFunction:
+    """The scheduling function ``S : T -> (omega, static order)``."""
+
+    slices: Dict[str, int] = field(default_factory=dict)
+    schedules: Dict[str, StaticOrderSchedule] = field(default_factory=dict)
+
+    def set_slice(self, tile: str, size: int) -> None:
+        self.slices[tile] = size
+
+    def set_schedule(self, tile: str, schedule: StaticOrderSchedule) -> None:
+        self.schedules[tile] = schedule
+
+    def slice_of(self, tile: str) -> int:
+        return self.slices[tile]
+
+    def schedule_of(self, tile: str) -> StaticOrderSchedule:
+        return self.schedules[tile]
+
+    def copy(self) -> "SchedulingFunction":
+        return SchedulingFunction(dict(self.slices), dict(self.schedules))
+
+
+@dataclass
+class Allocation:
+    """A complete, validated resource allocation for one application.
+
+    ``achieved_throughput`` is the constrained steady-state rate of the
+    application's output actor; ``throughput_checks`` counts how many
+    state-space explorations the strategy ran to find the allocation
+    (reported in the paper's §10: 16.1 on average, 8 for H.263).
+    """
+
+    application: "ApplicationGraph"
+    binding: Binding
+    scheduling: SchedulingFunction
+    reservation: ResourceReservation
+    achieved_throughput: Fraction
+    throughput_checks: int = 0
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the throughput constraint is met."""
+        return self.achieved_throughput >= self.application.throughput_constraint

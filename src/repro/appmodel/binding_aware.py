@@ -1,0 +1,355 @@
+"""Binding-aware SDFG construction (paper Section 8.1).
+
+Given an application graph, an architecture graph and a binding, the
+binding-aware SDFG models every binding decision so that its self-timed
+execution conservatively predicts the mapped system's timing:
+
+* every bound actor gets the execution time of its tile's processor
+  type and a self-edge with one initial token (a processor runs one
+  instance of an actor at a time);
+* a channel bound inside a tile keeps its edge and gains a reverse edge
+  with ``alpha_tile - Tok(d)`` initial tokens, limiting its storage to
+  the declared buffer;
+* a channel crossing tiles is replaced by the path
+  ``a -(p,1)-> c -(1,1)-> s -(1,q)-> b`` where the *connection actor*
+  ``c`` (execution time ``L + ceil(sz/beta)``, self-edge) sends tokens
+  sequentially over the connection and the *alignment actor* ``s``
+  (execution time ``w_dst - omega_dst``) makes the analysis conservative
+  with respect to the unknown relative TDMA wheel positions.  Reverse
+  edges ``c -> a`` (``alpha_src`` tokens) and ``b -> c``
+  (``alpha_dst - Tok(d)`` tokens) bound the source and destination
+  buffers; the channel's initial tokens start in the destination buffer.
+
+The slice sizes ``omega`` only affect the alignment actors, so the same
+:class:`BindingAwareGraph` is re-used across the slice-allocation binary
+search via :meth:`BindingAwareGraph.update_slices`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.appmodel.application import ApplicationGraph
+from repro.appmodel.binding import Binding, SchedulingFunction
+from repro.arch.architecture import ArchitectureGraph
+from repro.sdf.graph import SDFGraph
+from repro.throughput.constrained import StaticOrderSchedule, TileConstraints
+
+
+class InfeasibleBindingError(ValueError):
+    """Raised when a binding cannot be modelled (unsupported processor,
+    missing connection, buffer smaller than the initial tokens, ...)."""
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // denominator)
+
+
+@dataclass(frozen=True)
+class ConnectionStage:
+    """One dataflow actor of a connection model's pipeline.
+
+    ``sequential`` adds a self-edge with one token (tokens traverse the
+    stage one at a time, like the paper's actor *c*).
+    """
+
+    suffix: str
+    execution_time: int
+    sequential: bool = True
+
+
+class ConnectionModel:
+    """Turns a tile-crossing channel into a pipeline of actors (§8.1).
+
+    The paper models a connection with a single actor *c* of execution
+    time ``L + ceil(sz/beta)`` and notes it "can be replaced with a more
+    detailed model if available" (e.g. the NoC model of its ref [14]).
+    Subclasses override :meth:`stages`; the returned actors are chained
+    single-rate between the producer and the TDMA-alignment actor *s*.
+    """
+
+    def stages(self, connection, requirements) -> List[ConnectionStage]:
+        raise NotImplementedError
+
+
+class SimpleConnectionModel(ConnectionModel):
+    """The paper's default: one sequential actor of time ``L + ceil(sz/beta)``."""
+
+    def stages(self, connection, requirements) -> List[ConnectionStage]:
+        return [
+            ConnectionStage(
+                suffix="",
+                execution_time=connection.latency
+                + _ceil_div(requirements.token_size, requirements.bandwidth),
+                sequential=True,
+            )
+        ]
+
+
+@dataclass
+class BindingAwareGraph:
+    """A binding-aware SDFG plus the bookkeeping to keep it in sync."""
+
+    graph: SDFGraph
+    application: ApplicationGraph
+    binding: Binding
+    architecture: ArchitectureGraph
+    #: application channel name -> connection actor name (cross-tile only)
+    connection_actors: Dict[str, str] = field(default_factory=dict)
+    #: application channel name -> alignment actor name (cross-tile only)
+    sync_actors: Dict[str, str] = field(default_factory=dict)
+    #: alignment actor name -> destination tile name
+    _sync_tile: Dict[str, str] = field(default_factory=dict)
+    #: current slice assumption per tile
+    slices: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cross_channels(self) -> List[str]:
+        """Application channels bound across tiles."""
+        return list(self.connection_actors)
+
+    def update_slices(self, slices: Dict[str, int]) -> None:
+        """Re-target the alignment actors to new slice sizes.
+
+        ``Y(s) = w_dst - omega_dst``; nothing else in the graph depends
+        on the slice allocation, which is what makes the binary search
+        of §9.3 cheap.
+        """
+        self.slices.update(slices)
+        for sync_actor, tile_name in self._sync_tile.items():
+            tile = self.architecture.tile(tile_name)
+            omega = self.slices[tile_name]
+            if not 0 <= omega <= tile.wheel:
+                raise ValueError(
+                    f"slice {omega} outside wheel of tile {tile_name!r}"
+                )
+            self.graph.actor(sync_actor).execution_time = tile.wheel - omega
+
+    def tile_constraints(
+        self, scheduling: SchedulingFunction
+    ) -> List[TileConstraints]:
+        """Constraints for the §8.2 engine from a scheduling function.
+
+        Also synchronises the alignment actors with the scheduling
+        function's slices.
+        """
+        self.update_slices(dict(scheduling.slices))
+        constraints = []
+        for tile_name in self.binding.used_tiles():
+            tile = self.architecture.tile(tile_name)
+            constraints.append(
+                TileConstraints(
+                    name=tile_name,
+                    wheel=tile.wheel,
+                    slice_size=scheduling.slice_of(tile_name),
+                    schedule=scheduling.schedule_of(tile_name),
+                )
+            )
+        return constraints
+
+    def default_tile_constraints(self) -> List[TileConstraints]:
+        """Constraints using current slices and round-robin-free schedules.
+
+        Used before static-order schedules exist: every tile gets the
+        trivial schedule enumerating its actors in binding order,
+        repeated according to the repetition vector.  Mostly useful for
+        diagnostics; the strategy builds real schedules in §9.2.
+        """
+        gamma = self.application.gamma
+        constraints = []
+        for tile_name in self.binding.used_tiles():
+            tile = self.architecture.tile(tile_name)
+            entries = []
+            for actor in self.binding.actors_on(tile_name):
+                entries.extend([actor] * gamma[actor])
+            constraints.append(
+                TileConstraints(
+                    name=tile_name,
+                    wheel=tile.wheel,
+                    slice_size=self.slices[tile_name],
+                    schedule=StaticOrderSchedule(periodic=tuple(entries)),
+                )
+            )
+        return constraints
+
+
+def build_binding_aware_graph(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+    slices: Optional[Dict[str, int]] = None,
+    connection_model: Optional[ConnectionModel] = None,
+) -> BindingAwareGraph:
+    """Construct the binding-aware SDFG for ``binding``.
+
+    ``slices`` fixes the TDMA slice assumed per used tile; the default
+    is 50% of the remaining wheel (the assumption of §9.2's scheduler).
+    ``connection_model`` replaces the paper's single-actor connection
+    model (see :class:`ConnectionModel`); the default is
+    :class:`SimpleConnectionModel`.  Raises
+    :class:`InfeasibleBindingError` for structurally impossible
+    bindings.
+    """
+    model = connection_model or SimpleConnectionModel()
+    app_graph = application.graph
+    for actor in app_graph.actor_names:
+        if not binding.is_bound(actor):
+            raise InfeasibleBindingError(f"actor {actor!r} is not bound")
+        tile_name = binding.tile_of(actor)
+        if not architecture.has_tile(tile_name):
+            raise InfeasibleBindingError(f"unknown tile {tile_name!r}")
+        tile = architecture.tile(tile_name)
+        if not application.requirements(actor).supports(tile.processor_type):
+            raise InfeasibleBindingError(
+                f"actor {actor!r} cannot run on processor type "
+                f"{tile.processor_type.name!r} of tile {tile_name!r}"
+            )
+
+    if slices is None:
+        slices = {}
+        for tile_name in binding.used_tiles():
+            tile = architecture.tile(tile_name)
+            slices[tile_name] = max(tile.wheel_remaining // 2, 1)
+
+    graph = SDFGraph(f"{application.name}-bound")
+    result = BindingAwareGraph(
+        graph=graph,
+        application=application,
+        binding=binding,
+        architecture=architecture,
+        slices=dict(slices),
+    )
+
+    for actor in app_graph.actors:
+        tile = architecture.tile(binding.tile_of(actor.name))
+        execution_time = application.requirements(actor.name).execution_time(
+            tile.processor_type
+        )
+        graph.add_actor(actor.name, execution_time)
+        graph.add_channel(f"self:{actor.name}", actor.name, actor.name, 1, 1, 1)
+
+    for channel in app_graph.channels:
+        requirements = application.channel(channel.name)
+        src_tile = binding.tile_of(channel.src)
+        dst_tile = binding.tile_of(channel.dst)
+        if channel.is_self_loop or src_tile == dst_tile:
+            if requirements.buffer_tile < channel.tokens:
+                raise InfeasibleBindingError(
+                    f"channel {channel.name!r}: alpha_tile "
+                    f"({requirements.buffer_tile}) smaller than its "
+                    f"initial tokens ({channel.tokens})"
+                )
+            graph.add_channel(
+                channel.name,
+                channel.src,
+                channel.dst,
+                channel.production,
+                channel.consumption,
+                channel.tokens,
+            )
+            if not channel.is_self_loop:
+                graph.add_channel(
+                    f"buf:{channel.name}",
+                    channel.dst,
+                    channel.src,
+                    channel.consumption,
+                    channel.production,
+                    requirements.buffer_tile - channel.tokens,
+                )
+            continue
+
+        # -- channel crosses tiles -------------------------------------
+        if not requirements.crossable:
+            raise InfeasibleBindingError(
+                f"channel {channel.name!r} has no bandwidth requirement "
+                f"(beta = 0) and cannot be bound across tiles "
+                f"({src_tile!r} -> {dst_tile!r})"
+            )
+        connection = architecture.connection(src_tile, dst_tile)
+        if connection is None:
+            raise InfeasibleBindingError(
+                f"no connection from tile {src_tile!r} to {dst_tile!r} "
+                f"for channel {channel.name!r}"
+            )
+        if requirements.buffer_dst < channel.tokens:
+            raise InfeasibleBindingError(
+                f"channel {channel.name!r}: alpha_dst "
+                f"({requirements.buffer_dst}) smaller than its initial "
+                f"tokens ({channel.tokens})"
+            )
+        stages = model.stages(connection, requirements)
+        if not stages:
+            raise InfeasibleBindingError(
+                f"connection model produced no stages for {channel.name!r}"
+            )
+        stage_names = []
+        for index, stage in enumerate(stages):
+            if stage.execution_time < 0:
+                raise InfeasibleBindingError(
+                    f"connection model stage {stage.suffix!r} of "
+                    f"{channel.name!r} has negative execution time"
+                )
+            name = (
+                f"con:{channel.name}"
+                if index == 0
+                else f"con{index}{stage.suffix and '-' + stage.suffix}:"
+                f"{channel.name}"
+            )
+            graph.add_actor(name, stage.execution_time)
+            if stage.sequential:
+                graph.add_channel(f"self:{name}", name, name, 1, 1, 1)
+            stage_names.append(name)
+        sync_actor = f"syn:{channel.name}"
+        dst_wheel = architecture.tile(dst_tile).wheel
+        graph.add_actor(sync_actor, dst_wheel - slices[dst_tile])
+
+        graph.add_channel(
+            f"src:{channel.name}",
+            channel.src,
+            stage_names[0],
+            channel.production,
+            1,
+            0,
+        )
+        for index in range(len(stage_names) - 1):
+            graph.add_channel(
+                f"hop{index}:{channel.name}",
+                stage_names[index],
+                stage_names[index + 1],
+                1,
+                1,
+                0,
+            )
+        graph.add_channel(
+            f"lat:{channel.name}", stage_names[-1], sync_actor, 1, 1, 0
+        )
+        graph.add_channel(
+            f"dst:{channel.name}",
+            sync_actor,
+            channel.dst,
+            1,
+            channel.consumption,
+            channel.tokens,
+        )
+        graph.add_channel(
+            f"buf_src:{channel.name}",
+            stage_names[0],
+            channel.src,
+            1,
+            channel.production,
+            requirements.buffer_src,
+        )
+        graph.add_channel(
+            f"buf_dst:{channel.name}",
+            channel.dst,
+            stage_names[0],
+            channel.consumption,
+            1,
+            requirements.buffer_dst - channel.tokens,
+        )
+        result.connection_actors[channel.name] = stage_names[0]
+        result.sync_actors[channel.name] = sync_actor
+        result._sync_tile[sync_actor] = dst_tile
+
+    return result

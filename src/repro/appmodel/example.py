@@ -1,0 +1,115 @@
+"""The paper's running example (Fig. 2, Fig. 3, Tables 1 and 2).
+
+The example platform has two tiles connected in both directions with
+latency 1; the example application has three actors in a chain
+``a1 -d1-> a2 -d2-> a3`` plus a self-edge ``d3`` on ``a1`` carrying one
+initial token (``d3``'s zero alpha_src/alpha_dst/beta in Table 2 show it
+can never cross tiles, which identifies it as the self-edge).
+
+The figure defining the edge rates is not reproducible from the text;
+we use rate-1 edges, which is consistent with every number the text
+states (see DESIGN.md "Known deltas").  The Section 8 discussion binds
+``a1, a2`` to ``t1`` and ``a3`` to ``t2``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+from repro.appmodel.application import ApplicationGraph
+from repro.appmodel.binding import Binding
+from repro.arch.architecture import ArchitectureGraph
+from repro.arch.tile import ProcessorType, Tile
+from repro.sdf.graph import SDFGraph
+
+PROCESSOR_P1 = ProcessorType("p1")
+PROCESSOR_P2 = ProcessorType("p2")
+
+
+def paper_example_architecture() -> ArchitectureGraph:
+    """The two-tile platform of Fig. 2 / Table 1."""
+    architecture = ArchitectureGraph("paper-example-platform")
+    architecture.add_tile(
+        Tile(
+            name="t1",
+            processor_type=PROCESSOR_P1,
+            wheel=10,
+            memory=700,
+            max_connections=5,
+            bandwidth_in=100,
+            bandwidth_out=100,
+        )
+    )
+    architecture.add_tile(
+        Tile(
+            name="t2",
+            processor_type=PROCESSOR_P2,
+            wheel=10,
+            memory=500,
+            max_connections=7,
+            bandwidth_in=100,
+            bandwidth_out=100,
+        )
+    )
+    architecture.add_connection("t1", "t2", 1)  # c1
+    architecture.add_connection("t2", "t1", 1)  # c2
+    return architecture
+
+
+def paper_example_application(
+    throughput_constraint: Fraction = Fraction(1, 40),
+) -> ApplicationGraph:
+    """The application of Fig. 3 / Table 2 with output actor ``a3``.
+
+    The default throughput constraint is loose enough for the example
+    platform; callers exploring the slice binary search can tighten it.
+    """
+    graph = SDFGraph("paper-example-app")
+    graph.add_actor("a1", 1)
+    graph.add_actor("a2", 1)
+    graph.add_actor("a3", 2)
+    graph.add_channel("d1", "a1", "a2")
+    graph.add_channel("d2", "a2", "a3")
+    graph.add_channel("d3", "a1", "a1", tokens=1)
+
+    application = ApplicationGraph(
+        graph, throughput_constraint=throughput_constraint, output_actor="a3"
+    )
+    application.set_actor_requirements(
+        "a1", (PROCESSOR_P1, 1, 10), (PROCESSOR_P2, 4, 15)
+    )
+    application.set_actor_requirements(
+        "a2", (PROCESSOR_P1, 1, 7), (PROCESSOR_P2, 7, 19)
+    )
+    application.set_actor_requirements(
+        "a3", (PROCESSOR_P1, 3, 13), (PROCESSOR_P2, 2, 10)
+    )
+    application.set_channel_requirements(
+        "d1", token_size=7, buffer_tile=1, buffer_src=2, buffer_dst=2, bandwidth=100
+    )
+    application.set_channel_requirements(
+        "d2", token_size=100, buffer_tile=2, buffer_src=2, buffer_dst=2, bandwidth=10
+    )
+    application.set_channel_requirements(
+        "d3", token_size=1, buffer_tile=1, buffer_src=0, buffer_dst=0, bandwidth=0
+    )
+    return application
+
+
+def paper_example_binding() -> Binding:
+    """The Section 8 binding: ``a1, a2 -> t1`` and ``a3 -> t2``."""
+    binding = Binding()
+    binding.bind("a1", "t1")
+    binding.bind("a2", "t1")
+    binding.bind("a3", "t2")
+    return binding
+
+
+def paper_example() -> Tuple[ApplicationGraph, ArchitectureGraph, Binding]:
+    """Application, platform and Section 8 binding in one call."""
+    return (
+        paper_example_application(),
+        paper_example_architecture(),
+        paper_example_binding(),
+    )

@@ -1,0 +1,104 @@
+"""JSON serialisation of application graphs (SDFG + Gamma + Theta + lambda).
+
+Lets users define complete applications in files and run the allocator
+from the command line (``repro-alloc allocate-file``).  Throughput
+constraints are stored exactly as ``"numerator/denominator"`` strings,
+so guarantees survive the round trip bit-for-bit.
+
+Schema::
+
+    {
+      "name": "...",
+      "graph": { ... repro.sdf.serialization dialect ... },
+      "throughput_constraint": "1/40",
+      "output_actor": "a3",
+      "actors": {
+        "a1": {"p1": {"execution_time": 1, "memory": 10}, ...},
+        ...
+      },
+      "channels": {
+        "d1": {"token_size": 7, "buffer_tile": 1, "buffer_src": 2,
+                "buffer_dst": 2, "bandwidth": 100},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict
+
+from repro.appmodel.application import ApplicationGraph
+from repro.arch.tile import ProcessorType
+from repro.sdf.serialization import graph_from_dict, graph_to_dict
+
+
+def application_to_dict(application: ApplicationGraph) -> Dict[str, Any]:
+    """A JSON-serialisable dictionary capturing the full application."""
+    actors: Dict[str, Any] = {}
+    for name, requirements in application.actor_requirements.items():
+        actors[name] = {
+            processor.name: {"execution_time": tau, "memory": mu}
+            for processor, (tau, mu) in requirements.options.items()
+        }
+    channels: Dict[str, Any] = {}
+    for name, theta in application.channel_requirements.items():
+        channels[name] = {
+            "token_size": theta.token_size,
+            "buffer_tile": theta.buffer_tile,
+            "buffer_src": theta.buffer_src,
+            "buffer_dst": theta.buffer_dst,
+            "bandwidth": theta.bandwidth,
+        }
+    return {
+        "name": application.name,
+        "graph": graph_to_dict(application.graph),
+        "throughput_constraint": str(
+            Fraction(application.throughput_constraint)
+        ),
+        "output_actor": application.output_actor,
+        "actors": actors,
+        "channels": channels,
+    }
+
+
+def application_from_dict(data: Dict[str, Any]) -> ApplicationGraph:
+    """Inverse of :func:`application_to_dict`."""
+    graph = graph_from_dict(data["graph"])
+    application = ApplicationGraph(
+        graph,
+        throughput_constraint=Fraction(data.get("throughput_constraint", "0")),
+        output_actor=data.get("output_actor"),
+    )
+    for actor, options in data.get("actors", {}).items():
+        application.set_actor_requirements(
+            actor,
+            *(
+                (
+                    ProcessorType(processor),
+                    int(entry["execution_time"]),
+                    int(entry.get("memory", 0)),
+                )
+                for processor, entry in options.items()
+            ),
+        )
+    for channel, entry in data.get("channels", {}).items():
+        application.set_channel_requirements(
+            channel,
+            token_size=int(entry.get("token_size", 1)),
+            buffer_tile=entry.get("buffer_tile"),
+            buffer_src=entry.get("buffer_src"),
+            buffer_dst=entry.get("buffer_dst"),
+            bandwidth=int(entry.get("bandwidth", 0)),
+        )
+    return application
+
+
+def application_to_json(application: ApplicationGraph, indent: int = 2) -> str:
+    return json.dumps(application_to_dict(application), indent=indent)
+
+
+def application_from_json(text: str) -> ApplicationGraph:
+    return application_from_dict(json.loads(text))

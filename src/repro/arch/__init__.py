@@ -1,0 +1,41 @@
+"""Tile-based MP-SoC architecture model (paper Section 5).
+
+An :class:`~repro.arch.architecture.ArchitectureGraph` is a set of
+:class:`~repro.arch.tile.Tile` objects (processor + local memory +
+network interface) connected by fixed-latency point-to-point
+:class:`~repro.arch.architecture.Connection` objects.  Tiles track the
+resources already granted to earlier applications (the paper's
+occupancy function ``Omega`` generalised to all four resource kinds), so
+successive allocations see only what is left.
+"""
+
+from repro.arch.tile import ProcessorType, Tile
+from repro.arch.architecture import ArchitectureGraph, Connection
+from repro.arch.resources import ResourceReservation, InsufficientResourcesError
+from repro.arch.presets import (
+    mesh_architecture,
+    benchmark_architectures,
+    multimedia_architecture,
+)
+from repro.arch.serialization import (
+    architecture_to_dict,
+    architecture_from_dict,
+    architecture_to_json,
+    architecture_from_json,
+)
+
+__all__ = [
+    "ProcessorType",
+    "Tile",
+    "ArchitectureGraph",
+    "Connection",
+    "ResourceReservation",
+    "InsufficientResourcesError",
+    "mesh_architecture",
+    "benchmark_architectures",
+    "multimedia_architecture",
+    "architecture_to_dict",
+    "architecture_from_dict",
+    "architecture_to_json",
+    "architecture_from_json",
+]

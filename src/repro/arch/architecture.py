@@ -1,0 +1,151 @@
+"""The architecture graph: tiles + fixed-latency connections (Def. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.tile import ProcessorType, Tile
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed point-to-point link ``(src, dst)`` with latency ``L``.
+
+    Latency is in time units and must be positive (Definition 4 uses
+    ``L : C -> N``).
+    """
+
+    src: str
+    dst: str
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(
+                f"connection {self.src}->{self.dst}: latency must be >= 1"
+            )
+
+
+class ArchitectureGraph:
+    """A set of tiles and the connections between them."""
+
+    def __init__(self, name: str = "architecture") -> None:
+        self.name = name
+        self._tiles: Dict[str, Tile] = {}
+        self._connections: Dict[Tuple[str, str], Connection] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_tile(self, tile: Tile) -> Tile:
+        if tile.name in self._tiles:
+            raise ValueError(f"duplicate tile {tile.name!r}")
+        self._tiles[tile.name] = tile
+        return tile
+
+    def add_connection(self, src: str, dst: str, latency: int = 1) -> Connection:
+        if src not in self._tiles:
+            raise KeyError(f"unknown tile {src!r}")
+        if dst not in self._tiles:
+            raise KeyError(f"unknown tile {dst!r}")
+        if src == dst:
+            raise ValueError("connections link distinct tiles")
+        key = (src, dst)
+        if key in self._connections:
+            raise ValueError(f"duplicate connection {src}->{dst}")
+        connection = Connection(src, dst, latency)
+        self._connections[key] = connection
+        return connection
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def tiles(self) -> List[Tile]:
+        return list(self._tiles.values())
+
+    @property
+    def tile_names(self) -> List[str]:
+        return list(self._tiles.keys())
+
+    @property
+    def connections(self) -> List[Connection]:
+        return list(self._connections.values())
+
+    def tile(self, name: str) -> Tile:
+        return self._tiles[name]
+
+    def has_tile(self, name: str) -> bool:
+        return name in self._tiles
+
+    def connection(self, src: str, dst: str) -> Optional[Connection]:
+        """The connection from ``src`` to ``dst``, or None."""
+        return self._connections.get((src, dst))
+
+    def connected(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._connections
+
+    def processor_types(self) -> List[ProcessorType]:
+        """Distinct processor types present, in tile order."""
+        seen: Dict[ProcessorType, None] = {}
+        for tile in self.tiles:
+            seen.setdefault(tile.processor_type)
+        return list(seen)
+
+    def tiles_of_type(self, processor_type: ProcessorType) -> List[Tile]:
+        return [t for t in self.tiles if t.processor_type == processor_type]
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchitectureGraph({self.name!r}, tiles={len(self._tiles)}, "
+            f"connections={len(self._connections)})"
+        )
+
+    # -- lifecycle --------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "ArchitectureGraph":
+        """Deep copy including per-tile occupancy."""
+        clone = ArchitectureGraph(name or self.name)
+        for tile in self.tiles:
+            clone.add_tile(tile.copy())
+        for connection in self.connections:
+            clone.add_connection(connection.src, connection.dst, connection.latency)
+        return clone
+
+    def reset_occupancy(self) -> None:
+        for tile in self.tiles:
+            tile.reset_occupancy()
+
+    # -- aggregate accounting (Table 5 reporting) ------------------------
+    def total_usage(self) -> Dict[str, int]:
+        """Summed occupancy of each resource kind over all tiles."""
+        usage = {
+            "timewheel": 0,
+            "memory": 0,
+            "connections": 0,
+            "input_bw": 0,
+            "output_bw": 0,
+        }
+        for tile in self.tiles:
+            usage["timewheel"] += tile.wheel_occupied
+            usage["memory"] += tile.memory_occupied
+            usage["connections"] += tile.connections_occupied
+            usage["input_bw"] += tile.bandwidth_in_occupied
+            usage["output_bw"] += tile.bandwidth_out_occupied
+        return usage
+
+    def total_capacity(self) -> Dict[str, int]:
+        """Summed capacity of each resource kind over all tiles."""
+        capacity = {
+            "timewheel": 0,
+            "memory": 0,
+            "connections": 0,
+            "input_bw": 0,
+            "output_bw": 0,
+        }
+        for tile in self.tiles:
+            capacity["timewheel"] += tile.wheel
+            capacity["memory"] += tile.memory
+            capacity["connections"] += tile.max_connections
+            capacity["input_bw"] += tile.bandwidth_in
+            capacity["output_bw"] += tile.bandwidth_out
+        return capacity

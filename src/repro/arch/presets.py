@@ -1,0 +1,123 @@
+"""Ready-made architecture graphs used by the paper's experiments.
+
+* :func:`mesh_architecture` — generic R x C mesh with all-pairs
+  connections (a network-on-chip with guaranteed services provides a
+  logical point-to-point link between any two tiles; the latency grows
+  with the Manhattan distance).
+* :func:`benchmark_architectures` — the three 3x3 meshes of §10.1:
+  three processor types, equal wheels, differing in memory size and NI
+  connection count.
+* :func:`multimedia_architecture` — the 2x2 mesh of §10.3 with two
+  generic processors and two accelerators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.arch.architecture import ArchitectureGraph
+from repro.arch.tile import ProcessorType, Tile
+
+
+def _manhattan(rows: int, cols: int, a: int, b: int) -> int:
+    return abs(a // cols - b // cols) + abs(a % cols - b % cols)
+
+
+def mesh_architecture(
+    rows: int,
+    cols: int,
+    processor_types: Sequence[ProcessorType],
+    wheel: int = 100,
+    memory: int = 1_000_000,
+    max_connections: int = 16,
+    bandwidth_in: int = 10_000,
+    bandwidth_out: int = 10_000,
+    base_latency: int = 2,
+    name: Optional[str] = None,
+) -> ArchitectureGraph:
+    """An ``rows x cols`` mesh with round-robin processor-type assignment.
+
+    Every ordered pair of distinct tiles gets a connection whose latency
+    is ``base_latency * manhattan_distance`` (NoC-style: small compared
+    to actor execution times, per §10.1).
+    """
+    if not processor_types:
+        raise ValueError("at least one processor type is required")
+    architecture = ArchitectureGraph(name or f"mesh{rows}x{cols}")
+    count = rows * cols
+    for index in range(count):
+        architecture.add_tile(
+            Tile(
+                name=f"t{index}",
+                processor_type=processor_types[index % len(processor_types)],
+                wheel=wheel,
+                memory=memory,
+                max_connections=max_connections,
+                bandwidth_in=bandwidth_in,
+                bandwidth_out=bandwidth_out,
+            )
+        )
+    for a in range(count):
+        for b in range(count):
+            if a == b:
+                continue
+            architecture.add_connection(
+                f"t{a}", f"t{b}", base_latency * _manhattan(rows, cols, a, b)
+            )
+    return architecture
+
+
+def benchmark_architectures(
+    wheel: int = 100,
+    memories: Sequence[int] = (400_000, 800_000, 1_600_000),
+    connection_counts: Sequence[int] = (16, 24, 32),
+    bandwidth: int = 10_000,
+) -> List[ArchitectureGraph]:
+    """The three 3x3 benchmark meshes of §10.1.
+
+    All three share the wheel size, bandwidth and the three processor
+    types (``proc_a/b/c`` round-robin over the nine tiles); they differ
+    in memory size and number of NI connections.
+    """
+    if len(memories) != len(connection_counts):
+        raise ValueError("memories and connection_counts must align")
+    types = [ProcessorType("proc_a"), ProcessorType("proc_b"), ProcessorType("proc_c")]
+    architectures = []
+    for index, (memory, connections) in enumerate(zip(memories, connection_counts)):
+        architectures.append(
+            mesh_architecture(
+                3,
+                3,
+                types,
+                wheel=wheel,
+                memory=memory,
+                max_connections=connections,
+                bandwidth_in=bandwidth,
+                bandwidth_out=bandwidth,
+                name=f"mesh3x3-v{index + 1}",
+            )
+        )
+    return architectures
+
+
+def multimedia_architecture(
+    wheel: int = 100,
+    memory: int = 4_000_000,
+    max_connections: int = 16,
+    bandwidth: int = 50_000,
+) -> ArchitectureGraph:
+    """The 2x2 mesh of §10.3: two generic processors, two accelerators."""
+    generic = ProcessorType("generic")
+    accelerator = ProcessorType("accelerator")
+    architecture = mesh_architecture(
+        2,
+        2,
+        [generic, accelerator, accelerator, generic],
+        wheel=wheel,
+        memory=memory,
+        max_connections=max_connections,
+        bandwidth_in=bandwidth,
+        bandwidth_out=bandwidth,
+        name="mesh2x2-multimedia",
+    )
+    return architecture

@@ -1,0 +1,94 @@
+"""Resource reservations: commit/rollback of an allocation on tiles.
+
+The multi-application flow of the paper allocates graphs one after the
+other; a successful allocation must permanently occupy its share of
+every tile (time slice, memory, NI connections, bandwidth) so that later
+applications only see the remainder.  A failed attempt must leave the
+architecture untouched.  :class:`ResourceReservation` makes that
+transactional behaviour explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.arch.architecture import ArchitectureGraph
+
+
+class InsufficientResourcesError(RuntimeError):
+    """Raised when a reservation does not fit the remaining capacity."""
+
+
+@dataclass
+class TileReservation:
+    """Amounts claimed on a single tile."""
+
+    time_slice: int = 0
+    memory: int = 0
+    connections: int = 0
+    bandwidth_in: int = 0
+    bandwidth_out: int = 0
+
+    def is_empty(self) -> bool:
+        return not (
+            self.time_slice
+            or self.memory
+            or self.connections
+            or self.bandwidth_in
+            or self.bandwidth_out
+        )
+
+
+@dataclass
+class ResourceReservation:
+    """Per-tile resource claims of one application allocation."""
+
+    tiles: Dict[str, TileReservation] = field(default_factory=dict)
+
+    def tile(self, name: str) -> TileReservation:
+        return self.tiles.setdefault(name, TileReservation())
+
+    def fits(self, architecture: ArchitectureGraph) -> bool:
+        """True when every claim fits the remaining capacity."""
+        for name, claim in self.tiles.items():
+            tile = architecture.tile(name)
+            if claim.time_slice > tile.wheel_remaining:
+                return False
+            if claim.memory > tile.memory_remaining:
+                return False
+            if claim.connections > tile.connections_remaining:
+                return False
+            if claim.bandwidth_in > tile.bandwidth_in_remaining:
+                return False
+            if claim.bandwidth_out > tile.bandwidth_out_remaining:
+                return False
+        return True
+
+    def commit(self, architecture: ArchitectureGraph) -> None:
+        """Permanently occupy the claimed resources.
+
+        Raises :class:`InsufficientResourcesError` (leaving the
+        architecture untouched) when anything does not fit.
+        """
+        if not self.fits(architecture):
+            raise InsufficientResourcesError(
+                "reservation exceeds remaining capacity"
+            )
+        for name, claim in self.tiles.items():
+            tile = architecture.tile(name)
+            tile.wheel_occupied += claim.time_slice
+            tile.memory_occupied += claim.memory
+            tile.connections_occupied += claim.connections
+            tile.bandwidth_in_occupied += claim.bandwidth_in
+            tile.bandwidth_out_occupied += claim.bandwidth_out
+
+    def rollback(self, architecture: ArchitectureGraph) -> None:
+        """Release a previously committed reservation."""
+        for name, claim in self.tiles.items():
+            tile = architecture.tile(name)
+            tile.wheel_occupied -= claim.time_slice
+            tile.memory_occupied -= claim.memory
+            tile.connections_occupied -= claim.connections
+            tile.bandwidth_in_occupied -= claim.bandwidth_in
+            tile.bandwidth_out_occupied -= claim.bandwidth_out

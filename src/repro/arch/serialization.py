@@ -1,0 +1,103 @@
+"""JSON serialisation of architecture graphs.
+
+Schema::
+
+    {
+      "name": "...",
+      "tiles": [
+        {"name": "t1", "processor_type": "p1", "wheel": 10,
+         "memory": 700, "max_connections": 5,
+         "bandwidth_in": 100, "bandwidth_out": 100,
+         "wheel_occupied": 0, ...},
+        ...
+      ],
+      "connections": [{"src": "t1", "dst": "t2", "latency": 1}, ...]
+    }
+
+Occupancy fields are optional on input (default: free platform) but
+always written, so a partially-allocated platform can be checkpointed
+between allocation sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.arch.architecture import ArchitectureGraph
+from repro.arch.tile import ProcessorType, Tile
+
+
+def architecture_to_dict(architecture: ArchitectureGraph) -> Dict[str, Any]:
+    """A JSON-serialisable dictionary including occupancy."""
+    return {
+        "name": architecture.name,
+        "tiles": [
+            {
+                "name": tile.name,
+                "processor_type": tile.processor_type.name,
+                "wheel": tile.wheel,
+                "memory": tile.memory,
+                "max_connections": tile.max_connections,
+                "bandwidth_in": tile.bandwidth_in,
+                "bandwidth_out": tile.bandwidth_out,
+                "wheel_occupied": tile.wheel_occupied,
+                "memory_occupied": tile.memory_occupied,
+                "connections_occupied": tile.connections_occupied,
+                "bandwidth_in_occupied": tile.bandwidth_in_occupied,
+                "bandwidth_out_occupied": tile.bandwidth_out_occupied,
+            }
+            for tile in architecture.tiles
+        ],
+        "connections": [
+            {
+                "src": connection.src,
+                "dst": connection.dst,
+                "latency": connection.latency,
+            }
+            for connection in architecture.connections
+        ],
+    }
+
+
+def architecture_from_dict(data: Dict[str, Any]) -> ArchitectureGraph:
+    """Inverse of :func:`architecture_to_dict`."""
+    architecture = ArchitectureGraph(data.get("name", "architecture"))
+    for entry in data.get("tiles", []):
+        architecture.add_tile(
+            Tile(
+                name=entry["name"],
+                processor_type=ProcessorType(entry["processor_type"]),
+                wheel=int(entry["wheel"]),
+                memory=int(entry.get("memory", 0)),
+                max_connections=int(entry.get("max_connections", 0)),
+                bandwidth_in=int(entry.get("bandwidth_in", 0)),
+                bandwidth_out=int(entry.get("bandwidth_out", 0)),
+                wheel_occupied=int(entry.get("wheel_occupied", 0)),
+                memory_occupied=int(entry.get("memory_occupied", 0)),
+                connections_occupied=int(
+                    entry.get("connections_occupied", 0)
+                ),
+                bandwidth_in_occupied=int(
+                    entry.get("bandwidth_in_occupied", 0)
+                ),
+                bandwidth_out_occupied=int(
+                    entry.get("bandwidth_out_occupied", 0)
+                ),
+            )
+        )
+    for entry in data.get("connections", []):
+        architecture.add_connection(
+            entry["src"], entry["dst"], int(entry.get("latency", 1))
+        )
+    return architecture
+
+
+def architecture_to_json(
+    architecture: ArchitectureGraph, indent: int = 2
+) -> str:
+    return json.dumps(architecture_to_dict(architecture), indent=indent)
+
+
+def architecture_from_json(text: str) -> ArchitectureGraph:
+    return architecture_from_dict(json.loads(text))

@@ -1,0 +1,106 @@
+"""Tiles and processor types (paper Definition 3).
+
+A tile is the 6-tuple ``(pt, w, m, c, i, o)``: processor type, TDMA
+wheel size, memory size (bits), maximum NI connections, and maximum
+incoming/outgoing bandwidth (bits per time unit).  On top of the static
+capacities a tile tracks what previous applications already occupy, so
+that allocating several applications in sequence (the paper's Section 10
+flow) is a first-class operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessorType:
+    """A named processor type (the set ``PT`` of the paper)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Tile:
+    """One tile of the architecture with capacity and occupancy state.
+
+    ``wheel_occupied`` is the paper's ``Omega(t)``: the part of the TDMA
+    wheel already granted to other applications.  The other
+    ``*_occupied`` fields extend the same idea to memory, NI connections
+    and bandwidth so a multi-application flow simply re-uses the tile.
+    """
+
+    name: str
+    processor_type: ProcessorType
+    wheel: int
+    memory: int
+    max_connections: int
+    bandwidth_in: int
+    bandwidth_out: int
+
+    wheel_occupied: int = 0
+    memory_occupied: int = 0
+    connections_occupied: int = 0
+    bandwidth_in_occupied: int = 0
+    bandwidth_out_occupied: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wheel <= 0:
+            raise ValueError(f"tile {self.name!r}: wheel size must be positive")
+        for label in (
+            "memory",
+            "max_connections",
+            "bandwidth_in",
+            "bandwidth_out",
+        ):
+            if getattr(self, label) < 0:
+                raise ValueError(f"tile {self.name!r}: {label} must be >= 0")
+
+    # -- remaining capacities -----------------------------------------
+    @property
+    def wheel_remaining(self) -> int:
+        return self.wheel - self.wheel_occupied
+
+    @property
+    def memory_remaining(self) -> int:
+        return self.memory - self.memory_occupied
+
+    @property
+    def connections_remaining(self) -> int:
+        return self.max_connections - self.connections_occupied
+
+    @property
+    def bandwidth_in_remaining(self) -> int:
+        return self.bandwidth_in - self.bandwidth_in_occupied
+
+    @property
+    def bandwidth_out_remaining(self) -> int:
+        return self.bandwidth_out - self.bandwidth_out_occupied
+
+    def reset_occupancy(self) -> None:
+        """Release everything (used between independent experiments)."""
+        self.wheel_occupied = 0
+        self.memory_occupied = 0
+        self.connections_occupied = 0
+        self.bandwidth_in_occupied = 0
+        self.bandwidth_out_occupied = 0
+
+    def copy(self) -> "Tile":
+        """An independent copy including current occupancy."""
+        return Tile(
+            self.name,
+            self.processor_type,
+            self.wheel,
+            self.memory,
+            self.max_connections,
+            self.bandwidth_in,
+            self.bandwidth_out,
+            self.wheel_occupied,
+            self.memory_occupied,
+            self.connections_occupied,
+            self.bandwidth_in_occupied,
+            self.bandwidth_out_occupied,
+        )

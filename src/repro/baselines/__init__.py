@@ -1,0 +1,23 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.hsdf_path` — throughput via the classical
+  SDF -> HSDF -> maximum-cycle-ratio route (what any HSDF-based
+  allocation flow pays per throughput check; §1's 21-minutes-vs-3
+  comparison).
+* :mod:`repro.baselines.tdma_inflation` — the conservative TDMA model
+  of the paper's ref [4], which inflates every actor's execution time by
+  the unreserved part of the wheel instead of tracking wheel positions;
+  §8.2 argues the state-space technique is strictly more accurate.
+"""
+
+from repro.baselines.hsdf_path import hsdf_throughput_check, timed_throughput_comparison
+from repro.baselines.tdma_inflation import tdma_inflated_throughput
+from repro.baselines.max_throughput import MaxThroughputResult, maximize_throughput
+
+__all__ = [
+    "hsdf_throughput_check",
+    "timed_throughput_comparison",
+    "tdma_inflated_throughput",
+    "MaxThroughputResult",
+    "maximize_throughput",
+]

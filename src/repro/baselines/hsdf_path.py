@@ -1,0 +1,78 @@
+"""The HSDF-conversion throughput path and its run-time comparison.
+
+Any pre-existing allocation flow for throughput-constrained graphs must
+(1) convert the SDFG to its HSDFG — exponentially larger in the worst
+case — and (2) run a maximum-cycle-mean/ratio analysis on it, once per
+throughput check.  The paper's headline run-time claim (Section 1) is
+that working directly on the SDFG makes each check cheap; the helpers
+here measure both paths on the same graph so benchmarks can reproduce
+the comparison's *shape* (who is faster, and by how much it grows with
+the multirate factor).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.transform import sdf_to_hsdf
+from repro.throughput.mcr import hsdf_iteration_rate
+from repro.throughput.state_space import throughput
+
+Rate = Union[Fraction, float]
+
+
+def hsdf_throughput_check(graph: SDFGraph, method: str = "howard") -> Rate:
+    """One baseline throughput check: convert to HSDF, invert the MCR.
+
+    ``method`` selects the MCR algorithm; the default is Howard policy
+    iteration, the fastest exact option at H.263 scale (i.e. the
+    baseline is as strong as we can make it).
+    """
+    hsdf = sdf_to_hsdf(graph)
+    return hsdf_iteration_rate(hsdf, method=method)
+
+
+@dataclass
+class ThroughputComparison:
+    """Wall-clock and result of both throughput paths on one graph."""
+
+    graph_name: str
+    sdf_actors: int
+    hsdf_actors: int
+    direct_rate: Rate
+    direct_seconds: float
+    hsdf_rate: Rate
+    hsdf_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the direct SDFG analysis is."""
+        if self.direct_seconds == 0:
+            return float("inf")
+        return self.hsdf_seconds / self.direct_seconds
+
+
+def timed_throughput_comparison(graph: SDFGraph) -> ThroughputComparison:
+    """Run both throughput paths on ``graph`` and time them."""
+    start = time.perf_counter()
+    direct = throughput(graph)
+    direct_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    hsdf = sdf_to_hsdf(graph)
+    hsdf_rate = hsdf_iteration_rate(hsdf, method="howard")
+    hsdf_seconds = time.perf_counter() - start
+
+    return ThroughputComparison(
+        graph_name=graph.name,
+        sdf_actors=len(graph),
+        hsdf_actors=len(hsdf),
+        direct_rate=direct.iteration_rate,
+        direct_seconds=direct_seconds,
+        hsdf_rate=hsdf_rate,
+        hsdf_seconds=hsdf_seconds,
+    )

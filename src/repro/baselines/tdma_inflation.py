@@ -1,0 +1,40 @@
+"""The conservative TDMA model of the paper's reference [4].
+
+Instead of tracking TDMA wheel positions during execution, [4] inflates
+the execution time of *every* firing of an actor bound to tile ``t`` by
+``w_t - omega_t`` (the worst-case wait for the application's slice).
+Section 8.2 shows this is the upper bound of the delay the state-space
+technique charges — the constrained analysis often postpones firings by
+less, so it proves a higher guaranteed throughput from the same slices
+and therefore needs fewer resources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.appmodel.binding_aware import BindingAwareGraph
+from repro.throughput.state_space import ThroughputResult, throughput
+
+
+def tdma_inflated_throughput(
+    bag: BindingAwareGraph,
+    slices: Dict[str, int],
+) -> ThroughputResult:
+    """Throughput of a binding-aware graph under the [4] TDMA model.
+
+    Every actor bound to a tile executes for
+    ``tau + (w_t - omega_t)``; connection and alignment actors keep
+    their times (the alignment actors are updated for ``slices`` first,
+    as in the constrained analysis).  The result is directly comparable
+    to :func:`repro.throughput.constrained.constrained_throughput` for
+    the same slices and is never more optimistic.
+    """
+    bag.update_slices(slices)
+    inflated: Dict[str, int] = {}
+    for actor in bag.graph.actors:
+        inflated[actor.name] = actor.execution_time
+    for actor_name, tile_name in bag.binding.assignment.items():
+        tile = bag.architecture.tile(tile_name)
+        inflated[actor_name] += tile.wheel - slices[tile_name]
+    return throughput(bag.graph, execution_times=inflated)

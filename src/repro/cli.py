@@ -1,0 +1,296 @@
+"""Command-line interface: ``repro-alloc``.
+
+Sub-commands::
+
+    repro-alloc analyse GRAPH.json            # throughput of an SDFG
+    repro-alloc generate --set mixed -n 5     # emit benchmark graphs
+    repro-alloc allocate --set processing ... # run the full flow
+    repro-alloc example                       # the paper's running example
+
+Graphs are exchanged in the JSON dialect of
+:mod:`repro.sdf.serialization`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.arch.presets import benchmark_architectures
+from repro.core.flow import allocate_until_failure
+from repro.core.strategy import ResourceAllocator
+from repro.core.tile_cost import CostWeights
+from repro.generate.benchmark import generate_benchmark_set
+from repro.sdf.serialization import graph_from_json, graph_to_dict
+from repro.throughput.state_space import throughput
+
+
+def _cmd_analyse(args: argparse.Namespace) -> int:
+    with open(args.graph) as handle:
+        graph = graph_from_json(handle.read())
+    result = throughput(graph, auto_concurrency=not args.no_auto_concurrency)
+    print(f"graph: {graph.name}")
+    print(f"actors: {len(graph)}  channels: {len(graph.channels)}")
+    print(f"iteration rate: {result.iteration_rate}")
+    for actor in graph.actor_names:
+        print(f"  throughput({actor}) = {result.of(actor)}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    architecture = benchmark_architectures()[0]
+    applications = generate_benchmark_set(
+        args.set, args.count, architecture.processor_types(), seed=args.seed
+    )
+    payload = [graph_to_dict(app.graph) for app in applications]
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    architecture = benchmark_architectures()[args.architecture]
+    applications = generate_benchmark_set(
+        args.set, args.count, architecture.processor_types(), seed=args.seed
+    )
+    weights = CostWeights(*args.weights)
+    result = allocate_until_failure(
+        architecture, applications, weights=weights
+    )
+    print(f"architecture: {architecture.name}")
+    print(f"cost weights: {weights}")
+    print(f"applications bound: {result.applications_bound}")
+    print(f"throughput checks: {result.total_throughput_checks}")
+    for key, value in result.utilisation().items():
+        print(f"  {key}: {value:.2f}")
+    if result.failed_application:
+        print(f"stopped at: {result.failed_application}")
+    return 0
+
+
+def _cmd_allocate_file(args: argparse.Namespace) -> int:
+    from repro.appmodel.serialization import application_from_json
+    from repro.arch.serialization import (
+        architecture_from_json,
+        architecture_to_json,
+    )
+
+    with open(args.application) as handle:
+        application = application_from_json(handle.read())
+    with open(args.architecture) as handle:
+        architecture = architecture_from_json(handle.read())
+    allocator = ResourceAllocator(weights=CostWeights(*args.weights))
+    allocation = allocator.allocate(application, architecture)
+    print(f"application: {application.name}")
+    print("binding:")
+    for actor, tile in allocation.binding.assignment.items():
+        print(f"  {actor} -> {tile}")
+    print("slices:", allocation.scheduling.slices)
+    print(
+        f"guaranteed throughput: {allocation.achieved_throughput} "
+        f"(constraint {application.throughput_constraint})"
+    )
+    if args.commit:
+        allocation.reservation.commit(architecture)
+        with open(args.architecture, "w") as handle:
+            handle.write(architecture_to_json(architecture))
+        print(f"occupancy committed back to {args.architecture}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.extensions.dot import sdfg_to_dot
+
+    with open(args.graph) as handle:
+        graph = graph_from_json(handle.read())
+    print(sdfg_to_dot(graph))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.appmodel.example import paper_example
+    from repro.extensions.tracing import render_gantt, trace_allocation
+
+    application, architecture, _ = paper_example()
+    allocator = ResourceAllocator(weights=CostWeights(*args.weights))
+    allocation = allocator.allocate(application, architecture)
+    events = trace_allocation(allocation, architecture)
+    print(render_gantt(events, width=args.width))
+    if args.vcd:
+        from repro.extensions.vcd import write_vcd
+
+        write_vcd(events, args.vcd)
+        print(f"VCD waveform written to {args.vcd}")
+    return 0
+
+
+def _cmd_dimension(args: argparse.Namespace) -> int:
+    from repro.extensions.dimensioning import dimension_platform
+
+    template = benchmark_architectures()[0]
+    applications = generate_benchmark_set(
+        args.set, args.count, template.processor_types(), seed=args.seed
+    )
+    result = dimension_platform(
+        applications, template.processor_types(), max_tiles=args.max_tiles
+    )
+    for rows, cols, bound in result.attempts:
+        print(f"  {rows}x{cols}: {bound}/{len(applications)} bound")
+    if result.found:
+        print(f"smallest sufficient platform: {result.architecture.name}")
+    else:
+        print(f"no mesh up to {args.max_tiles} tiles suffices")
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    from repro.appmodel.example import paper_example
+
+    application, architecture, _ = paper_example()
+    allocator = ResourceAllocator(weights=CostWeights(*args.weights))
+    allocation = allocator.allocate(application, architecture)
+    print("binding:")
+    for actor, tile in sorted(allocation.binding.assignment.items()):
+        print(f"  {actor} -> {tile}")
+    print("schedules:")
+    for tile, schedule in allocation.scheduling.schedules.items():
+        transient = " ".join(schedule.transient)
+        periodic = " ".join(schedule.periodic)
+        print(f"  {tile}: {transient} ({periodic})*")
+    print("slices:", allocation.scheduling.slices)
+    print(
+        f"throughput: {allocation.achieved_throughput} "
+        f"(constraint {application.throughput_constraint})"
+    )
+    print(f"throughput checks: {allocation.throughput_checks}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-alloc",
+        description="SDFG resource allocation (DAC 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyse = sub.add_parser("analyse", help="compute SDFG throughput")
+    analyse.add_argument("graph", help="path to a graph JSON file")
+    analyse.add_argument(
+        "--no-auto-concurrency",
+        action="store_true",
+        help="limit every actor to one concurrent firing",
+    )
+    analyse.set_defaults(func=_cmd_analyse)
+
+    generate = sub.add_parser("generate", help="emit benchmark graphs as JSON")
+    generate.add_argument(
+        "--set",
+        default="mixed",
+        choices=["processing", "memory", "communication", "mixed"],
+    )
+    generate.add_argument("-n", "--count", type=int, default=5)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    allocate = sub.add_parser(
+        "allocate", help="allocate a generated set until failure"
+    )
+    allocate.add_argument(
+        "--set",
+        default="mixed",
+        choices=["processing", "memory", "communication", "mixed"],
+    )
+    allocate.add_argument("-n", "--count", type=int, default=20)
+    allocate.add_argument("--seed", type=int, default=0)
+    allocate.add_argument(
+        "--architecture",
+        type=int,
+        default=0,
+        choices=[0, 1, 2],
+        help="benchmark architecture variant",
+    )
+    allocate.add_argument(
+        "--weights",
+        type=float,
+        nargs=3,
+        default=[0.0, 1.0, 2.0],
+        metavar=("C1", "C2", "C3"),
+        help="tile cost weights (processing, memory, communication)",
+    )
+    allocate.set_defaults(func=_cmd_allocate)
+
+    example = sub.add_parser("example", help="run the paper's running example")
+    example.add_argument(
+        "--weights",
+        type=float,
+        nargs=3,
+        default=[1.0, 1.0, 1.0],
+        metavar=("C1", "C2", "C3"),
+    )
+    example.set_defaults(func=_cmd_example)
+
+    allocate_file = sub.add_parser(
+        "allocate-file",
+        help="allocate one application JSON onto an architecture JSON",
+    )
+    allocate_file.add_argument("application", help="application JSON file")
+    allocate_file.add_argument("architecture", help="architecture JSON file")
+    allocate_file.add_argument(
+        "--weights",
+        type=float,
+        nargs=3,
+        default=[0.0, 1.0, 2.0],
+        metavar=("C1", "C2", "C3"),
+    )
+    allocate_file.add_argument(
+        "--commit",
+        action="store_true",
+        help="write the occupied architecture back to the file",
+    )
+    allocate_file.set_defaults(func=_cmd_allocate_file)
+
+    dot = sub.add_parser("dot", help="emit a Graphviz rendering of a graph")
+    dot.add_argument("graph", help="path to a graph JSON file")
+    dot.set_defaults(func=_cmd_dot)
+
+    trace = sub.add_parser(
+        "trace", help="Gantt trace of the paper example's allocation"
+    )
+    trace.add_argument(
+        "--weights",
+        type=float,
+        nargs=3,
+        default=[1.0, 1.0, 1.0],
+        metavar=("C1", "C2", "C3"),
+    )
+    trace.add_argument("--width", type=int, default=72)
+    trace.add_argument(
+        "--vcd", metavar="PATH", help="also write an IEEE-1364 VCD waveform"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    dimension = sub.add_parser(
+        "dimension", help="smallest mesh hosting a generated set"
+    )
+    dimension.add_argument(
+        "--set",
+        default="mixed",
+        choices=["processing", "memory", "communication", "mixed"],
+    )
+    dimension.add_argument("-n", "--count", type=int, default=3)
+    dimension.add_argument("--seed", type=int, default=0)
+    dimension.add_argument("--max-tiles", type=int, default=12)
+    dimension.set_defaults(func=_cmd_dimension)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

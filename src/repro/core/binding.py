@@ -1,0 +1,137 @@
+"""The resource-binding step (paper Section 9.1).
+
+Actors are processed in decreasing criticality order.  For every actor
+the candidate tiles (those whose processor type supports it) are sorted
+by the Eqn. 2 cost *with the actor provisionally bound there*; the first
+candidate that keeps all Section 7 constraints satisfied wins.  When no
+tile fits, the problem is infeasible.
+
+A load-balancing optimisation pass then revisits the actors in reverse
+order: each actor is unbound, the candidate tiles are re-sorted by the
+cost of the binding *without* the actor, and the actor is re-bound to
+the first feasible candidate.  The original tile is always among the
+candidates, so the pass cannot fail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.appmodel.application import ApplicationGraph
+from repro.appmodel.binding import Binding
+from repro.arch.architecture import ArchitectureGraph
+from repro.core.constraints import binding_violations, check_binding_constraints
+from repro.core.criticality import binding_order
+from repro.core.tile_cost import CostWeights, tile_cost
+
+
+class BindingError(RuntimeError):
+    """Raised when no valid binding exists for some actor."""
+
+
+def _candidate_tiles(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    actor: str,
+) -> List[str]:
+    requirements = application.requirements(actor)
+    return [
+        tile.name
+        for tile in architecture.tiles
+        if requirements.supports(tile.processor_type)
+    ]
+
+
+def bind_application(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    weights: CostWeights,
+    optimise: bool = True,
+    cycle_limit: Optional[int] = 20000,
+) -> Binding:
+    """Bind every actor of ``application`` to a tile (Section 9.1).
+
+    Raises :class:`BindingError` when some actor cannot be placed
+    without violating the resource constraints.  ``optimise=False``
+    skips the reverse-order rebinding pass (used by the ablation
+    benchmarks).
+    """
+    application.check_complete()
+    order = binding_order(application, cycle_limit=cycle_limit)
+    binding = Binding()
+
+    for actor in order:
+        candidates = _candidate_tiles(application, architecture, actor)
+        if not candidates:
+            raise BindingError(
+                f"actor {actor!r} is supported by no tile of "
+                f"{architecture.name!r}"
+            )
+
+        def provisional_cost(tile_name: str) -> float:
+            binding.bind(actor, tile_name)
+            try:
+                return tile_cost(
+                    application, architecture, binding, tile_name, weights
+                )
+            finally:
+                binding.unbind(actor)
+
+        tile_order = {name: i for i, name in enumerate(architecture.tile_names)}
+        candidates.sort(key=lambda t: (provisional_cost(t), tile_order[t]))
+
+        placed = False
+        for tile_name in candidates:
+            binding.bind(actor, tile_name)
+            if check_binding_constraints(application, architecture, binding):
+                placed = True
+                break
+            binding.unbind(actor)
+        if not placed:
+            violations = []
+            for tile_name in candidates[:1]:
+                binding.bind(actor, tile_name)
+                violations = binding_violations(
+                    application, architecture, binding
+                )
+                binding.unbind(actor)
+            raise BindingError(
+                f"no feasible tile for actor {actor!r}; e.g. on "
+                f"{candidates[0]!r}: "
+                + "; ".join(str(v) for v in violations)
+            )
+
+    if optimise:
+        _rebalance(application, architecture, binding, order, weights)
+    return binding
+
+
+def _rebalance(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+    order: List[str],
+    weights: CostWeights,
+) -> None:
+    """Reverse-order rebinding pass (always succeeds)."""
+    tile_order = {name: i for i, name in enumerate(architecture.tile_names)}
+    for actor in reversed(order):
+        original = binding.tile_of(actor)
+        binding.unbind(actor)
+        candidates = _candidate_tiles(application, architecture, actor)
+        # Cost of the binding *without* the actor steers the re-sort.
+        candidates.sort(
+            key=lambda t: (
+                tile_cost(application, architecture, binding, t, weights),
+                tile_order[t],
+            )
+        )
+        placed = False
+        for tile_name in candidates:
+            binding.bind(actor, tile_name)
+            if check_binding_constraints(application, architecture, binding):
+                placed = True
+                break
+            binding.unbind(actor)
+        if not placed:  # pragma: no cover - original tile always fits
+            binding.bind(actor, original)

@@ -1,0 +1,150 @@
+"""Section 7 resource constraints and reservation construction.
+
+A binding is resource-feasible when, for every tile,
+
+1. a non-empty time slice can still be allocated
+   (``Omega(t) < w_t`` for tiles with bound actors),
+2. the memory demand (actor state + channel buffers) fits,
+3. the NI connection count fits (``|D_src| + |D_dst| <= c_t``),
+4. the summed channel bandwidths fit the incoming/outgoing limits.
+
+The same accounting, after slice allocation, yields the
+:class:`~repro.arch.resources.ResourceReservation` an accepted
+application commits to the architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.appmodel.application import ApplicationGraph
+from repro.appmodel.binding import Binding
+from repro.arch.architecture import ArchitectureGraph
+from repro.arch.resources import ResourceReservation
+from repro.core.tile_cost import channel_sets, memory_demand
+
+
+@dataclass
+class ConstraintViolation:
+    """One violated Section 7 constraint (for diagnostics)."""
+
+    tile: str
+    constraint: str
+    demanded: int
+    available: int
+
+    def __str__(self) -> str:
+        return (
+            f"tile {self.tile!r}: {self.constraint} needs {self.demanded}, "
+            f"only {self.available} available"
+        )
+
+
+def binding_violations(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+) -> List[ConstraintViolation]:
+    """All Section 7 violations of a (partial) binding.
+
+    Channels to unbound actors are not yet counted (consistent with the
+    cost function); cross-tile channels additionally require a
+    connection in the architecture and a crossable channel (beta > 0),
+    which are reported as ``connection-missing`` violations.
+    """
+    violations: List[ConstraintViolation] = []
+    for tile_name in binding.used_tiles():
+        tile = architecture.tile(tile_name)
+        sets = channel_sets(application, binding, tile_name)
+
+        if tile.wheel_remaining < 1:
+            violations.append(
+                ConstraintViolation(tile_name, "time-slice", 1, 0)
+            )
+
+        demand = memory_demand(application, binding, tile)
+        if demand > tile.memory_remaining:
+            violations.append(
+                ConstraintViolation(
+                    tile_name, "memory", demand, tile.memory_remaining
+                )
+            )
+
+        connection_count = len(sets.src) + len(sets.dst)
+        if connection_count > tile.connections_remaining:
+            violations.append(
+                ConstraintViolation(
+                    tile_name,
+                    "connections",
+                    connection_count,
+                    tile.connections_remaining,
+                )
+            )
+
+        outgoing = sum(application.channel(c.name).bandwidth for c in sets.src)
+        if outgoing > tile.bandwidth_out_remaining:
+            violations.append(
+                ConstraintViolation(
+                    tile_name,
+                    "output-bandwidth",
+                    outgoing,
+                    tile.bandwidth_out_remaining,
+                )
+            )
+        incoming = sum(application.channel(c.name).bandwidth for c in sets.dst)
+        if incoming > tile.bandwidth_in_remaining:
+            violations.append(
+                ConstraintViolation(
+                    tile_name,
+                    "input-bandwidth",
+                    incoming,
+                    tile.bandwidth_in_remaining,
+                )
+            )
+
+        for channel in sets.src:
+            dst_tile = binding.tile_of(channel.dst)
+            if not application.channel(channel.name).crossable:
+                violations.append(
+                    ConstraintViolation(tile_name, "connection-missing", 1, 0)
+                )
+            elif not architecture.connected(tile_name, dst_tile):
+                violations.append(
+                    ConstraintViolation(tile_name, "connection-missing", 1, 0)
+                )
+    return violations
+
+
+def check_binding_constraints(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+) -> bool:
+    """True when the (partial) binding violates no Section 7 constraint."""
+    return not binding_violations(application, architecture, binding)
+
+
+def reservation_for(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+    slices: Optional[Dict[str, int]] = None,
+) -> ResourceReservation:
+    """The resource claims of a complete binding (plus optional slices)."""
+    reservation = ResourceReservation()
+    for tile_name in binding.used_tiles():
+        tile = architecture.tile(tile_name)
+        sets = channel_sets(application, binding, tile_name)
+        claim = reservation.tile(tile_name)
+        claim.memory = memory_demand(application, binding, tile)
+        claim.connections = len(sets.src) + len(sets.dst)
+        claim.bandwidth_out = sum(
+            application.channel(c.name).bandwidth for c in sets.src
+        )
+        claim.bandwidth_in = sum(
+            application.channel(c.name).bandwidth for c in sets.dst
+        )
+        if slices is not None:
+            claim.time_slice = slices.get(tile_name, 0)
+    return reservation

@@ -1,0 +1,240 @@
+"""Static-order schedule construction (paper Section 9.2).
+
+A list scheduler executes the binding-aware SDFG assuming half of every
+tile's remaining time wheel is allocated to the application.  A bound
+actor that becomes enabled does not fire immediately; it is appended to
+the ready list of its tile.  Whenever a tile is idle, the first actor of
+its ready list starts firing and is appended to the tile's schedule.
+Connection and alignment actors execute self-timed.  The execution runs
+until a recurrent state, which yields a finite transient prefix plus a
+periodic firing sequence per tile; the sequences are then compacted
+(minimal repeating unit, transient absorbed into rotations of the
+period — e.g. the paper's 17-entry schedule for ``t1`` collapses to
+``(a1 a2)*``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.appmodel.binding_aware import BindingAwareGraph
+from repro.throughput.constrained import (
+    StaticOrderSchedule,
+    busy_time,
+    gated_finish,
+)
+from repro.throughput.state_space import (
+    DEFAULT_MAX_STATES,
+    StateSpaceExplosionError,
+)
+
+
+class SchedulingError(RuntimeError):
+    """Raised when no periodic schedule exists (execution deadlocks)."""
+
+
+def minimal_repeating_unit(sequence: Sequence[str]) -> List[str]:
+    """The shortest unit ``u`` with ``sequence == u * k``."""
+    n = len(sequence)
+    sequence = list(sequence)
+    for length in range(1, n + 1):
+        if n % length:
+            continue
+        unit = sequence[:length]
+        if unit * (n // length) == sequence:
+            return unit
+    return sequence
+
+
+def compact_schedule(
+    transient: Sequence[str], periodic: Sequence[str]
+) -> StaticOrderSchedule:
+    """Remove recurrent occurrences of the same scheduling sequence.
+
+    The periodic part is reduced to its minimal repeating unit; then the
+    transient prefix is absorbed from the right by rotating the periodic
+    part (``u x (x u')* == u (x u' x)*`` when the transient ends in the
+    period's last entry).
+    """
+    if not periodic:
+        raise SchedulingError("periodic schedule part is empty")
+    unit = minimal_repeating_unit(periodic)
+    prefix = list(transient)
+    while prefix and prefix[-1] == unit[-1]:
+        prefix.pop()
+        unit = [unit[-1]] + unit[:-1]
+    unit = minimal_repeating_unit(unit)
+    return StaticOrderSchedule(periodic=tuple(unit), transient=tuple(prefix))
+
+
+def build_static_order_schedules(
+    bag: BindingAwareGraph,
+    slices: Optional[Dict[str, int]] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> Dict[str, StaticOrderSchedule]:
+    """List-schedule the binding-aware graph; one schedule per used tile.
+
+    ``slices`` defaults to the 50%-of-remaining-wheel assumption the
+    binding-aware graph was built with (``bag.slices``).
+    """
+    if slices is None:
+        slices = dict(bag.slices)
+    bag.update_slices(slices)
+    graph = bag.graph
+
+    tile_names = bag.binding.used_tiles()
+    tile_index = {name: i for i, name in enumerate(tile_names)}
+    wheels = [bag.architecture.tile(t).wheel for t in tile_names]
+    tile_slices = [slices[t] for t in tile_names]
+
+    actors = graph.actor_names
+    index = {a: i for i, a in enumerate(actors)}
+    times = [graph.actor(a).execution_time for a in actors]
+    channels = graph.channel_names
+    channel_index = {c: i for i, c in enumerate(channels)}
+    tokens = [graph.channel(c).tokens for c in channels]
+    inputs: List[List[Tuple[int, int]]] = []
+    outputs: List[List[Tuple[int, int]]] = []
+    for actor in actors:
+        inputs.append(
+            [(channel_index[c.name], c.consumption) for c in graph.in_channels(actor)]
+        )
+        outputs.append(
+            [(channel_index[c.name], c.production) for c in graph.out_channels(actor)]
+        )
+    tile_of: List[Optional[int]] = [None] * len(actors)
+    for actor_name, tile_name in bag.binding.assignment.items():
+        tile_of[index[actor_name]] = tile_index[tile_name]
+
+    ready: List[List[int]] = [[] for _ in tile_names]
+    in_ready = [False] * len(actors)
+    tile_active: List[Optional[Tuple[int, int]]] = [None] * len(tile_names)
+    unscheduled_active: List[List[int]] = [[] for _ in actors]
+    schedules: List[List[str]] = [[] for _ in tile_names]
+    time = 0
+    seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+
+    def enabled(actor: int) -> bool:
+        return all(tokens[c] >= rate for c, rate in inputs[actor])
+
+    def consume(actor: int) -> None:
+        for c, rate in inputs[actor]:
+            tokens[c] -= rate
+
+    def produce(actor: int) -> None:
+        for c, rate in outputs[actor]:
+            tokens[c] += rate
+
+    def dispatch() -> None:
+        """Enqueue newly enabled actors; start firings on idle tiles."""
+        progress = True
+        while progress:
+            progress = False
+            for actor in range(len(actors)):
+                tile = tile_of[actor]
+                if tile is None:
+                    while enabled(actor):
+                        consume(actor)
+                        if times[actor] == 0:
+                            produce(actor)
+                        else:
+                            unscheduled_active[actor].append(times[actor])
+                        progress = True
+                elif not in_ready[actor] and enabled(actor):
+                    ready[tile].append(actor)
+                    in_ready[actor] = True
+                    progress = True
+            for tile in range(len(tile_names)):
+                while tile_active[tile] is None and ready[tile]:
+                    actor = ready[tile].pop(0)
+                    in_ready[actor] = False
+                    if not enabled(actor):
+                        continue
+                    consume(actor)
+                    schedules[tile].append(actors[actor])
+                    if times[actor] == 0:
+                        produce(actor)
+                    else:
+                        tile_active[tile] = (actor, times[actor])
+                    progress = True
+
+    while True:
+        dispatch()
+        key = (
+            tuple(tokens),
+            tuple(tile_active),
+            tuple(tuple(r) for r in ready),
+            tuple(
+                (i, tuple(sorted(remaining)))
+                for i, remaining in enumerate(unscheduled_active)
+                if remaining
+            ),
+            tuple(time % w for w in wheels),
+        )
+        if key in seen:
+            first_time, first_lengths = seen[key]
+            result: Dict[str, StaticOrderSchedule] = {}
+            for tile, name in enumerate(tile_names):
+                transient = schedules[tile][: first_lengths[tile]]
+                periodic = schedules[tile][first_lengths[tile]:]
+                if not periodic:
+                    raise SchedulingError(
+                        f"actors on tile {name!r} never fire in the "
+                        "periodic phase (execution starves)"
+                    )
+                result[name] = compact_schedule(transient, periodic)
+            return result
+        seen[key] = (time, tuple(len(s) for s in schedules))
+        if len(seen) > max_states:
+            raise StateSpaceExplosionError(
+                f"list scheduling exceeded {max_states} states"
+            )
+
+        next_event: Optional[int] = None
+        for active in unscheduled_active:
+            for remaining in active:
+                candidate = time + remaining
+                if next_event is None or candidate < next_event:
+                    next_event = candidate
+        for tile, firing in enumerate(tile_active):
+            if firing is None:
+                continue
+            candidate = gated_finish(
+                time, firing[1], wheels[tile], tile_slices[tile]
+            )
+            if candidate is None:
+                continue
+            if next_event is None or candidate < next_event:
+                next_event = candidate
+        if next_event is None:
+            raise SchedulingError(
+                "execution of the binding-aware graph deadlocks; "
+                "no static-order schedule exists for this binding"
+            )
+
+        step = next_event - time
+        for actor, active in enumerate(unscheduled_active):
+            if not active:
+                continue
+            finished = 0
+            for i in range(len(active)):
+                active[i] -= step
+                if active[i] == 0:
+                    finished += 1
+            if finished:
+                unscheduled_active[actor] = [r for r in active if r > 0]
+                for _ in range(finished):
+                    produce(actor)
+        for tile, firing in enumerate(tile_active):
+            if firing is None:
+                continue
+            progressed = busy_time(
+                time, next_event, wheels[tile], tile_slices[tile]
+            )
+            remaining = firing[1] - progressed
+            if remaining <= 0:
+                produce(firing[0])
+                tile_active[tile] = None
+            else:
+                tile_active[tile] = (firing[0], remaining)
+        time = next_event

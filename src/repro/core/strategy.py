@@ -1,0 +1,139 @@
+"""The complete resource-allocation strategy (paper Section 9).
+
+:class:`ResourceAllocator` chains the three steps — binding, static-order
+scheduling, slice allocation — and returns an :class:`Allocation` whose
+reservation can be committed to the architecture.  Each step's failure
+mode surfaces as a distinct exception, all subclasses of
+:class:`AllocationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.appmodel.application import ApplicationGraph
+from repro.appmodel.binding import Allocation, Binding, SchedulingFunction
+from repro.appmodel.binding_aware import (
+    InfeasibleBindingError,
+    build_binding_aware_graph,
+)
+from repro.arch.architecture import ArchitectureGraph
+from repro.core.binding import BindingError, bind_application
+from repro.core.constraints import reservation_for
+from repro.core.scheduling import SchedulingError, build_static_order_schedules
+from repro.core.slices import SliceAllocationError, allocate_time_slices
+from repro.core.tile_cost import CostWeights
+from repro.throughput.state_space import (
+    DEFAULT_MAX_STATES,
+    StateSpaceExplosionError,
+)
+
+
+class AllocationError(RuntimeError):
+    """A resource allocation could not be found.
+
+    The ``__cause__`` chain identifies the failing step (binding,
+    scheduling or slice allocation).
+    """
+
+
+@dataclass
+class ResourceAllocator:
+    """Configurable facade over the three-step strategy.
+
+    Parameters mirror the paper's knobs: the Eqn. 2 weights, the 10%
+    early-stop band of the slice search, whether the rebinding and
+    slice-refinement optimisation passes run, and the state budget of
+    the throughput engine.
+    """
+
+    weights: CostWeights = CostWeights(1, 1, 1)
+    relaxation: float = 0.1
+    optimise_binding: bool = True
+    refine_slices: bool = True
+    #: optional 4th step: shrink channel buffers after slice allocation
+    #: while the throughput guarantee holds (ref [21] style); reduces
+    #: the committed memory so later applications fit more easily
+    trim_buffers: bool = False
+    cycle_limit: Optional[int] = 20000
+    max_states: int = DEFAULT_MAX_STATES
+
+    def allocate(
+        self,
+        application: ApplicationGraph,
+        architecture: ArchitectureGraph,
+        binding: Optional[Binding] = None,
+    ) -> Allocation:
+        """Run the strategy for one application.
+
+        A pre-computed ``binding`` skips step 1 (used by experiments
+        that sweep schedules or slices for a fixed binding).  The
+        returned allocation is *not* committed; call
+        ``allocation.reservation.commit(architecture)`` to occupy the
+        resources (as :mod:`repro.core.flow` does).
+        """
+        try:
+            if binding is None:
+                binding = bind_application(
+                    application,
+                    architecture,
+                    self.weights,
+                    optimise=self.optimise_binding,
+                    cycle_limit=self.cycle_limit,
+                )
+            bag = build_binding_aware_graph(application, architecture, binding)
+            schedules = build_static_order_schedules(
+                bag, max_states=self.max_states
+            )
+            slice_result = allocate_time_slices(
+                bag,
+                schedules,
+                relaxation=self.relaxation,
+                refine=self.refine_slices,
+                max_states=self.max_states,
+            )
+        except (
+            BindingError,
+            InfeasibleBindingError,
+            SchedulingError,
+            SliceAllocationError,
+            StateSpaceExplosionError,
+        ) as error:
+            raise AllocationError(
+                f"no valid allocation for {application.name!r}: {error}"
+            ) from error
+
+        scheduling = SchedulingFunction()
+        for tile_name, schedule in schedules.items():
+            scheduling.set_schedule(tile_name, schedule)
+        for tile_name, size in slice_result.slices.items():
+            scheduling.set_slice(tile_name, size)
+
+        achieved = slice_result.achieved_throughput
+        checks = slice_result.throughput_checks
+        if self.trim_buffers:
+            # deferred import: extensions sit above core in the layering
+            from repro.extensions.buffer_sizing import minimise_buffers
+
+            sizing = minimise_buffers(
+                application,
+                architecture,
+                binding,
+                scheduling,
+                max_states=self.max_states,
+            )
+            achieved = sizing.achieved_throughput
+            checks += sizing.throughput_checks
+
+        reservation = reservation_for(
+            application, architecture, binding, slice_result.slices
+        )
+        return Allocation(
+            application=application,
+            binding=binding,
+            scheduling=scheduling,
+            reservation=reservation,
+            achieved_throughput=achieved,
+            throughput_checks=checks,
+        )

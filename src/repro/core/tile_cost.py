@@ -1,0 +1,177 @@
+"""Tile load estimation and the Eqn. 2 cost function.
+
+Given a (partial) binding, each tile's load is captured by three
+normalised quantities (paper Section 9.1):
+
+* ``l_p`` — processing: work bound to the tile over the application's
+  total worst-case work;
+* ``l_m`` — memory: actor state plus channel buffers over the tile's
+  available memory;
+* ``l_c`` — communication: the average of outgoing-bandwidth,
+  incoming-bandwidth and NI-connection usage fractions.
+
+Channels are classified relative to a tile exactly as in Section 7
+(``D_t,tile``, ``D_t,src``, ``D_t,dst``); channels whose other endpoint
+is still unbound are not counted (the greedy binder learns about them
+when that endpoint is placed).  The combined cost is
+``c1*l_p + c2*l_m + c3*l_c`` with user-chosen weights — the knob the
+paper's Tables 3-5 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List
+
+from repro.appmodel.application import ApplicationGraph
+from repro.appmodel.binding import Binding
+from repro.arch.architecture import ArchitectureGraph
+from repro.arch.tile import Tile
+from repro.sdf.graph import Channel
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """The constants ``(c1, c2, c3)`` of Eqn. 2."""
+
+    processing: float = 1.0
+    memory: float = 1.0
+    communication: float = 1.0
+
+    def as_tuple(self) -> tuple:
+        return (self.processing, self.memory, self.communication)
+
+    def __str__(self) -> str:
+        return f"({self.processing:g},{self.memory:g},{self.communication:g})"
+
+
+@dataclass
+class ChannelSets:
+    """The Section 7 channel sets of one tile under a binding."""
+
+    tile: List[Channel]
+    src: List[Channel]
+    dst: List[Channel]
+
+
+def channel_sets(
+    application: ApplicationGraph, binding: Binding, tile_name: str
+) -> ChannelSets:
+    """``D_t,tile``, ``D_t,src`` and ``D_t,dst`` for ``tile_name``.
+
+    Only channels with both endpoints bound are classified.
+    """
+    sets = ChannelSets([], [], [])
+    for channel in application.graph.channels:
+        if not (binding.is_bound(channel.src) and binding.is_bound(channel.dst)):
+            continue
+        src_tile = binding.tile_of(channel.src)
+        dst_tile = binding.tile_of(channel.dst)
+        if src_tile == tile_name and dst_tile == tile_name:
+            sets.tile.append(channel)
+        elif src_tile == tile_name:
+            sets.src.append(channel)
+        elif dst_tile == tile_name:
+            sets.dst.append(channel)
+    return sets
+
+
+@dataclass
+class TileLoad:
+    """The three load fractions of one tile."""
+
+    processing: Fraction
+    memory: Fraction
+    communication: Fraction
+
+    def combined(self, weights: CostWeights) -> float:
+        """Eqn. 2: ``c1*l_p + c2*l_m + c3*l_c``."""
+        return (
+            weights.processing * float(self.processing)
+            + weights.memory * float(self.memory)
+            + weights.communication * float(self.communication)
+        )
+
+
+def memory_demand(
+    application: ApplicationGraph,
+    binding: Binding,
+    tile: Tile,
+) -> int:
+    """Bits of memory the binding claims on ``tile`` (§7 constraint 2)."""
+    sets = channel_sets(application, binding, tile.name)
+    total = 0
+    for actor in binding.actors_on(tile.name):
+        total += application.requirements(actor).memory(tile.processor_type)
+    for channel in sets.tile:
+        requirements = application.channel(channel.name)
+        total += requirements.buffer_tile * requirements.token_size
+    for channel in sets.src:
+        requirements = application.channel(channel.name)
+        total += requirements.buffer_src * requirements.token_size
+    for channel in sets.dst:
+        requirements = application.channel(channel.name)
+        total += requirements.buffer_dst * requirements.token_size
+    return total
+
+
+def tile_loads(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+    tile_name: str,
+) -> TileLoad:
+    """The ``(l_p, l_m, l_c)`` of ``tile_name`` under ``binding``.
+
+    Denominators use the tile's *remaining* capacities, so the cost
+    naturally steers later applications away from occupied tiles (the
+    paper assumes unavailable resources are simply not specified).
+    """
+    tile = architecture.tile(tile_name)
+    sets = channel_sets(application, binding, tile_name)
+
+    work_on_tile = sum(
+        application.gamma[a]
+        * application.requirements(a).execution_time(tile.processor_type)
+        for a in binding.actors_on(tile_name)
+    )
+    total_work = application.total_worst_case_work()
+    processing = Fraction(work_on_tile, total_work) if total_work else Fraction(0)
+
+    memory_available = tile.memory_remaining
+    demand = memory_demand(application, binding, tile)
+    memory = (
+        Fraction(demand, memory_available)
+        if memory_available > 0
+        else (Fraction(0) if demand == 0 else Fraction(10**9))
+    )
+
+    outgoing = sum(application.channel(c.name).bandwidth for c in sets.src)
+    incoming = sum(application.channel(c.name).bandwidth for c in sets.dst)
+    connection_count = len(sets.src) + len(sets.dst)
+
+    def fraction_or_penalty(amount: int, available: int) -> Fraction:
+        if available > 0:
+            return Fraction(amount, available)
+        return Fraction(0) if amount == 0 else Fraction(10**9)
+
+    communication = (
+        fraction_or_penalty(outgoing, tile.bandwidth_out_remaining)
+        + fraction_or_penalty(incoming, tile.bandwidth_in_remaining)
+        + fraction_or_penalty(connection_count, tile.connections_remaining)
+    ) / 3
+    return TileLoad(processing, memory, communication)
+
+
+def tile_cost(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+    tile_name: str,
+    weights: CostWeights,
+) -> float:
+    """Eqn. 2 evaluated on one tile under ``binding``."""
+    return tile_loads(application, architecture, binding, tile_name).combined(
+        weights
+    )

@@ -1,0 +1,107 @@
+"""Random CSDF generation by phase-splitting random SDF graphs.
+
+A CSDF graph is obtained from a live SDF graph by splitting each
+actor's single firing into ``k`` phases whose execution times sum to
+the original and whose per-channel rate sequences sum to the original
+rates.  Splitting can only *advance* behaviour (each phase consumes a
+part of the inputs no earlier than the whole, produces a part of the
+outputs no later), so the result is consistent and live by
+construction, and its throughput dominates the original's — the
+property the test suite checks against
+:func:`repro.csdf.convert.aggregate_csdf_to_sdf`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.csdf.graph import CSDFGraph
+from repro.generate.random_sdf import RandomSDFParameters, random_sdfg
+from repro.sdf.graph import SDFGraph
+
+
+def _split_amount(total: int, parts: int, rng: random.Random) -> List[int]:
+    """Split ``total`` into ``parts`` non-negative integers summing to it."""
+    if parts == 1:
+        return [total]
+    cuts = sorted(rng.randint(0, total) for _ in range(parts - 1))
+    amounts = []
+    previous = 0
+    for cut in cuts:
+        amounts.append(cut - previous)
+        previous = cut
+    amounts.append(total - previous)
+    return amounts
+
+
+def _split_positive(total: int, parts: int, rng: random.Random) -> List[int]:
+    """Split ``total`` into ``parts`` strictly positive integers.
+
+    Requires ``total >= parts``.  Used for phase durations: a
+    zero-duration phase between a token-consuming and a token-producing
+    phase would create an instantaneous token-return loop, whose
+    self-timed firing rate is unbounded (the CSDF analogue of an SDF
+    zero-time cycle).
+    """
+    if total < parts:
+        raise ValueError("cannot split into that many positive parts")
+    return [1 + part for part in _split_amount(total - parts, parts, rng)]
+
+
+def split_phases(
+    graph: SDFGraph,
+    phase_counts: Dict[str, int],
+    rng: Optional[random.Random] = None,
+) -> CSDFGraph:
+    """Split each SDF actor into the given number of CSDF phases.
+
+    Execution times and channel rates are partitioned randomly (but
+    reproducibly via ``rng``) across the phases; totals per phase cycle
+    equal the original firing, so the repetition structure (in phase
+    cycles) is preserved.
+    """
+    rng = rng or random.Random()
+    csdf = CSDFGraph(f"{graph.name}-phased")
+    for actor in graph.actors:
+        count = max(phase_counts.get(actor.name, 1), 1)
+        # each phase must take at least one time unit (see _split_positive)
+        count = min(count, max(actor.execution_time, 1))
+        times = _split_positive(max(actor.execution_time, count), count, rng)
+        csdf.add_actor(actor.name, times)
+    for channel in graph.channels:
+        src_phases = csdf.actor(channel.src).phase_count
+        dst_phases = csdf.actor(channel.dst).phase_count
+        productions = _split_amount(channel.production, src_phases, rng)
+        consumptions = _split_amount(channel.consumption, dst_phases, rng)
+        csdf.add_channel(
+            channel.name,
+            channel.src,
+            channel.dst,
+            productions,
+            consumptions,
+            channel.tokens,
+        )
+    return csdf
+
+
+def random_csdf(
+    rng: Optional[random.Random] = None,
+    parameters: Optional[RandomSDFParameters] = None,
+    max_phases: int = 3,
+    name: str = "random-csdf",
+) -> CSDFGraph:
+    """A random consistent, live CSDF graph.
+
+    Generates a live SDF graph first (see
+    :func:`repro.generate.random_sdf.random_sdfg`), assigns random
+    execution times, then phase-splits every actor.
+    """
+    rng = rng or random.Random()
+    sdf = random_sdfg(parameters, rng, name=name)
+    for actor in sdf.actors:
+        actor.execution_time = rng.randint(1, 8)
+    phase_counts = {
+        actor.name: rng.randint(1, max_phases) for actor in sdf.actors
+    }
+    return split_phases(sdf, phase_counts, rng)

@@ -1,0 +1,61 @@
+"""JSON serialisation of CSDF graphs.
+
+Mirrors :mod:`repro.sdf.serialization`: per-actor phase execution-time
+sequences and per-channel rate sequences are stored as JSON arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.csdf.graph import CSDFGraph
+
+
+def csdf_to_dict(graph: CSDFGraph) -> Dict[str, Any]:
+    """A JSON-serialisable dictionary capturing the full CSDF graph."""
+    return {
+        "name": graph.name,
+        "actors": [
+            {"name": a.name, "execution_times": list(a.execution_times)}
+            for a in graph.actors
+        ],
+        "channels": [
+            {
+                "name": c.name,
+                "src": c.src,
+                "dst": c.dst,
+                "productions": list(c.productions),
+                "consumptions": list(c.consumptions),
+                "tokens": c.tokens,
+            }
+            for c in graph.channels
+        ],
+    }
+
+
+def csdf_from_dict(data: Dict[str, Any]) -> CSDFGraph:
+    """Inverse of :func:`csdf_to_dict`."""
+    graph = CSDFGraph(data.get("name", "csdf"))
+    for actor in data.get("actors", []):
+        graph.add_actor(
+            actor["name"], [int(t) for t in actor["execution_times"]]
+        )
+    for channel in data.get("channels", []):
+        graph.add_channel(
+            channel["name"],
+            channel["src"],
+            channel["dst"],
+            [int(r) for r in channel["productions"]],
+            [int(r) for r in channel["consumptions"]],
+            int(channel.get("tokens", 0)),
+        )
+    return graph
+
+
+def csdf_to_json(graph: CSDFGraph, indent: int = 2) -> str:
+    return json.dumps(csdf_to_dict(graph), indent=indent)
+
+
+def csdf_from_json(text: str) -> CSDFGraph:
+    return csdf_from_dict(json.loads(text))

@@ -1,0 +1,70 @@
+"""Extensions: the follow-ups the paper sketches but does not evaluate.
+
+* :mod:`repro.extensions.ordering` — §10.1's "design-time preprocessing
+  step that orders the applications" before the allocate-until-failure
+  flow.
+* :mod:`repro.extensions.dimensioning` — §10.1's "platform dimensioning
+  step": the smallest mesh that hosts a given application mix.
+* :mod:`repro.extensions.buffer_sizing` — the storage-space /
+  throughput trade-off of the authors' companion work (the paper's
+  ref [21]): shrink channel buffers while preserving the constraint.
+* :mod:`repro.extensions.latency` — end-to-end latency from the same
+  self-timed semantics the throughput engine uses.
+* :mod:`repro.extensions.tracing` — Gantt-style execution traces of
+  constrained executions.
+* :mod:`repro.extensions.noc_model` — a detailed wormhole-style NoC
+  connection model plugging into §8.1's extension point (paper ref
+  [14]).
+* :mod:`repro.extensions.dot` — Graphviz/DOT export of graphs,
+  architectures and bindings.
+"""
+
+from repro.extensions.ordering import (
+    ORDERING_STRATEGIES,
+    order_applications,
+    compare_orderings,
+)
+from repro.extensions.dimensioning import DimensioningResult, dimension_platform
+from repro.extensions.buffer_sizing import (
+    BufferSizingResult,
+    minimise_buffers,
+    buffer_throughput_tradeoff,
+)
+from repro.extensions.latency import LatencyResult, output_latency
+from repro.extensions.tracing import trace_allocation, render_gantt
+from repro.extensions.vcd import trace_to_vcd, write_vcd
+from repro.extensions.noc_model import NocConnectionModel
+from repro.extensions.weight_tuning import (
+    TuningResult,
+    tune_weights,
+    weight_grid,
+)
+from repro.extensions.dot import (
+    sdfg_to_dot,
+    architecture_to_dot,
+    binding_to_dot,
+)
+
+__all__ = [
+    "ORDERING_STRATEGIES",
+    "order_applications",
+    "compare_orderings",
+    "DimensioningResult",
+    "dimension_platform",
+    "BufferSizingResult",
+    "minimise_buffers",
+    "buffer_throughput_tradeoff",
+    "LatencyResult",
+    "output_latency",
+    "trace_allocation",
+    "render_gantt",
+    "trace_to_vcd",
+    "write_vcd",
+    "NocConnectionModel",
+    "TuningResult",
+    "tune_weights",
+    "weight_grid",
+    "sdfg_to_dot",
+    "architecture_to_dot",
+    "binding_to_dot",
+]

@@ -1,0 +1,214 @@
+"""Buffer sizing under a throughput constraint (the paper's ref [21]).
+
+The allocation strategy takes the channel buffer sizes in ``Theta`` as
+given.  The authors' companion work (Stuijk et al., DAC'06 — "Exploring
+trade-offs in buffer requirements and throughput constraints for
+synchronous dataflow graphs") asks the converse question: how small can
+the buffers get while a throughput constraint still holds?  This module
+answers it for a *mapped* application: buffers are shrunk against the
+schedule/TDMA-constrained throughput of the binding-aware graph, so the
+result accounts for binding, schedules and slices.
+
+Two entry points:
+
+* :func:`minimise_buffers` — per-channel binary search for the minimal
+  buffer (intra-tile: ``alpha_tile``; cross-tile: ``alpha_src`` and
+  ``alpha_dst`` separately) that keeps the constrained throughput at or
+  above the application's constraint.
+* :func:`buffer_throughput_tradeoff` — the trade-off curve: constrained
+  throughput as a function of a global buffer scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.appmodel.application import ApplicationGraph, ChannelRequirements
+from repro.appmodel.binding import Binding, SchedulingFunction
+from repro.appmodel.binding_aware import (
+    InfeasibleBindingError,
+    build_binding_aware_graph,
+)
+from repro.arch.architecture import ArchitectureGraph
+from repro.throughput.constrained import constrained_throughput
+from repro.throughput.state_space import DEFAULT_MAX_STATES
+
+
+@dataclass
+class BufferSizingResult:
+    """Minimised buffers and what they save.
+
+    ``buffers`` maps channel name -> the new
+    :class:`ChannelRequirements`; ``memory_saved`` is in bits (summed
+    over the affected tiles), ``throughput_checks`` counts constrained
+    explorations spent by the search.
+    """
+
+    buffers: Dict[str, ChannelRequirements]
+    original: Dict[str, ChannelRequirements]
+    achieved_throughput: Fraction
+    throughput_checks: int
+
+    @property
+    def memory_saved(self) -> int:
+        saved = 0
+        for name, new in self.buffers.items():
+            old = self.original[name]
+            saved += (old.buffer_tile - new.buffer_tile) * old.token_size
+            saved += (old.buffer_src - new.buffer_src) * old.token_size
+            saved += (old.buffer_dst - new.buffer_dst) * old.token_size
+        return saved
+
+    @property
+    def total_buffer_tokens(self) -> int:
+        return sum(
+            r.buffer_tile + r.buffer_src + r.buffer_dst
+            for r in self.buffers.values()
+        )
+
+
+def _evaluate(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+    scheduling: SchedulingFunction,
+    max_states: int,
+) -> Fraction:
+    """Constrained throughput of the output actor with current Theta."""
+    try:
+        bag = build_binding_aware_graph(
+            application, architecture, binding, slices=dict(scheduling.slices)
+        )
+    except InfeasibleBindingError:
+        return Fraction(0)
+    result = constrained_throughput(
+        bag.graph, bag.tile_constraints(scheduling), max_states=max_states
+    )
+    return result.of(application.output_actor)
+
+
+def minimise_buffers(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+    scheduling: SchedulingFunction,
+    channels: Optional[Sequence[str]] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> BufferSizingResult:
+    """Shrink channel buffers while keeping the throughput constraint.
+
+    The application's ``Theta`` is updated in place to the minimised
+    values (also returned); pass a copy if the original must survive.
+    Channels are processed in graph order; per channel each buffer
+    bound is binary-searched independently with the others fixed, so
+    the result is a (good) greedy local minimum, as in ref [21]'s
+    heuristic mode, not a global one.
+    """
+    constraint = application.throughput_constraint
+    names = list(channels) if channels else application.graph.channel_names
+    original = {
+        name: application.channel_requirements[name] for name in names
+    }
+    checks = 0
+
+    def meets() -> bool:
+        nonlocal checks
+        checks += 1
+        achieved = _evaluate(
+            application, architecture, binding, scheduling, max_states
+        )
+        return achieved >= constraint and achieved > 0
+
+    if not meets():
+        raise ValueError(
+            "the starting buffers do not meet the throughput constraint"
+        )
+
+    for name in names:
+        channel = application.graph.channel(name)
+        crosses = (
+            not channel.is_self_loop
+            and binding.tile_of(channel.src) != binding.tile_of(channel.dst)
+        )
+        fields = ["buffer_src", "buffer_dst"] if crosses else ["buffer_tile"]
+        for field in fields:
+            current = getattr(application.channel_requirements[name], field)
+            low, high = channel.tokens, current
+            while low < high:
+                mid = (low + high) // 2
+                application.channel_requirements[name] = replace(
+                    application.channel_requirements[name], **{field: mid}
+                )
+                if meets():
+                    high = mid
+                else:
+                    low = mid + 1
+            application.channel_requirements[name] = replace(
+                application.channel_requirements[name], **{field: high}
+            )
+
+    achieved = _evaluate(
+        application, architecture, binding, scheduling, max_states
+    )
+    checks += 1
+    return BufferSizingResult(
+        buffers={
+            name: application.channel_requirements[name] for name in names
+        },
+        original=original,
+        achieved_throughput=achieved,
+        throughput_checks=checks,
+    )
+
+
+def buffer_throughput_tradeoff(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+    binding: Binding,
+    scheduling: SchedulingFunction,
+    scales: Sequence[Fraction] = (
+        Fraction(1, 4),
+        Fraction(1, 2),
+        Fraction(3, 4),
+        Fraction(1),
+        Fraction(3, 2),
+        Fraction(2),
+    ),
+    max_states: int = DEFAULT_MAX_STATES,
+) -> List[Tuple[int, Fraction]]:
+    """(total buffer tokens, constrained throughput) per buffer scale.
+
+    Buffers are scaled multiplicatively (floored at the channel's
+    initial tokens so the graph stays constructible); the application's
+    ``Theta`` is restored afterwards.
+    """
+    original = dict(application.channel_requirements)
+    points: List[Tuple[int, Fraction]] = []
+    try:
+        for scale in scales:
+            total = 0
+            for name, theta in original.items():
+                channel = application.graph.channel(name)
+                floor = channel.tokens
+
+                def scaled(value: int) -> int:
+                    return max(int(value * scale), floor, 0)
+
+                new = replace(
+                    theta,
+                    buffer_tile=scaled(theta.buffer_tile),
+                    buffer_src=scaled(theta.buffer_src),
+                    buffer_dst=scaled(theta.buffer_dst),
+                )
+                application.channel_requirements[name] = new
+                total += new.buffer_tile + new.buffer_src + new.buffer_dst
+            achieved = _evaluate(
+                application, architecture, binding, scheduling, max_states
+            )
+            points.append((total, achieved))
+    finally:
+        application.channel_requirements.clear()
+        application.channel_requirements.update(original)
+    return points

@@ -1,0 +1,97 @@
+"""Platform dimensioning (§10.1): the smallest mesh hosting a mix.
+
+The paper suggests "a platform dimensioning step" as one way to improve
+resource utilisation.  :func:`dimension_platform` searches mesh sizes
+in increasing tile count (1x1, 1x2, 2x2, 2x3, ...) until the whole
+application mix allocates, reporting the smallest sufficient platform
+and the utilisation achieved on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.appmodel.application import ApplicationGraph
+from repro.arch.architecture import ArchitectureGraph
+from repro.arch.presets import mesh_architecture
+from repro.arch.tile import ProcessorType
+from repro.core.flow import FlowResult, allocate_until_failure
+from repro.core.strategy import ResourceAllocator
+from repro.core.tile_cost import CostWeights
+
+
+def _mesh_shapes(max_tiles: int) -> List[Tuple[int, int]]:
+    """(rows, cols) pairs sorted by tile count, ties by squareness."""
+    shapes = []
+    for rows in range(1, max_tiles + 1):
+        for cols in range(rows, max_tiles + 1):
+            if rows * cols <= max_tiles:
+                shapes.append((rows, cols))
+    shapes.sort(key=lambda s: (s[0] * s[1], s[1] - s[0]))
+    return shapes
+
+
+@dataclass
+class DimensioningResult:
+    """Smallest sufficient platform and the flow result on it.
+
+    ``attempts`` records (rows, cols, applications bound) for every
+    platform tried, in search order.
+    """
+
+    architecture: Optional[ArchitectureGraph]
+    flow: Optional[FlowResult]
+    attempts: List[Tuple[int, int, int]]
+
+    @property
+    def found(self) -> bool:
+        return self.architecture is not None
+
+    @property
+    def tile_count(self) -> int:
+        return len(self.architecture) if self.architecture else 0
+
+
+def dimension_platform(
+    applications: Sequence[ApplicationGraph],
+    processor_types: Sequence[ProcessorType],
+    weights: Optional[CostWeights] = None,
+    max_tiles: int = 16,
+    wheel: int = 100,
+    memory: int = 1_000_000,
+    max_connections: int = 32,
+    bandwidth: int = 10_000,
+) -> DimensioningResult:
+    """Smallest mesh (by tile count) on which every application binds.
+
+    Tile capacities are uniform and given by the keyword arguments;
+    processor types rotate over the tiles, so a mesh must have at least
+    ``len(processor_types)`` tiles before every type is available.
+    Returns a result with ``found=False`` when even ``max_tiles`` tiles
+    are insufficient.
+    """
+    allocator = ResourceAllocator(weights=weights or CostWeights(0, 1, 2))
+    attempts: List[Tuple[int, int, int]] = []
+    applications = list(applications)
+    for rows, cols in _mesh_shapes(max_tiles):
+        architecture = mesh_architecture(
+            rows,
+            cols,
+            processor_types,
+            wheel=wheel,
+            memory=memory,
+            max_connections=max_connections,
+            bandwidth_in=bandwidth,
+            bandwidth_out=bandwidth,
+            name=f"mesh{rows}x{cols}-candidate",
+        )
+        result = allocate_until_failure(
+            architecture, applications, allocator=allocator
+        )
+        attempts.append((rows, cols, result.applications_bound))
+        if result.applications_bound == len(applications):
+            return DimensioningResult(
+                architecture=architecture, flow=result, attempts=attempts
+            )
+    return DimensioningResult(architecture=None, flow=None, attempts=attempts)

@@ -1,0 +1,94 @@
+"""End-to-end latency analysis from the self-timed semantics.
+
+Throughput (the paper's constraint metric) says nothing about how long
+the *first* result takes.  The same self-timed execution that yields
+throughput also yields latency: the completion time of the output
+actor's first firing(s) from a cold start.  This module exposes both
+the platform-independent latency of an (application) SDFG and the
+latency of a binding-aware graph, reusing
+:meth:`repro.throughput.state_space.SelfTimedExecution.execute_until`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+from repro.throughput.state_space import (
+    DEFAULT_MAX_STATES,
+    SelfTimedExecution,
+    throughput,
+)
+
+
+@dataclass
+class LatencyResult:
+    """First-output latency plus the steady-state period.
+
+    ``latency`` is the completion time of the output actor's first
+    ``firings`` firings under self-timed execution from the initial
+    token distribution; ``iteration_period`` is the reciprocal of the
+    steady-state iteration rate (None when the rate is unbounded),
+    ``deadlocked`` flags graphs that never produce the output.
+    """
+
+    output_actor: str
+    firings: int
+    latency: Optional[int]
+    iteration_period: Optional[Fraction]
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.latency is None
+
+
+def output_latency(
+    graph: SDFGraph,
+    output_actor: str,
+    firings: Optional[int] = None,
+    execution_times: Optional[Dict[str, int]] = None,
+    auto_concurrency: bool = True,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> LatencyResult:
+    """Latency of the first ``firings`` completions of ``output_actor``.
+
+    ``firings`` defaults to the actor's repetition-vector entry (one
+    full graph iteration's worth of outputs).  Execution uses the same
+    semantics as the throughput engine, so on a binding-aware graph the
+    result reflects buffer limits and connection delays (not TDMA
+    gating — combine with a full-wheel slice assumption or interpret as
+    the application-exclusive latency).
+    """
+    if not graph.has_actor(output_actor):
+        raise KeyError(f"unknown actor {output_actor!r}")
+    if firings is None:
+        firings = repetition_vector(graph)[output_actor]
+    engine = SelfTimedExecution(
+        graph,
+        execution_times=execution_times,
+        auto_concurrency=auto_concurrency,
+        max_states=max_states,
+    )
+    latency = engine.execute_until(output_actor, firings)
+
+    rate = throughput(
+        graph,
+        execution_times=execution_times,
+        auto_concurrency=auto_concurrency,
+        max_states=max_states,
+    ).iteration_rate
+    if rate == float("inf"):
+        period: Optional[Fraction] = None
+    elif rate == 0:
+        period = None
+    else:
+        period = 1 / rate
+    return LatencyResult(
+        output_actor=output_actor,
+        firings=firings,
+        latency=latency,
+        iteration_period=period,
+    )

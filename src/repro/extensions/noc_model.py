@@ -1,0 +1,58 @@
+"""A detailed NoC connection model (paper §8.1's extension point).
+
+The paper models a connection with a single actor of execution time
+``L + ceil(sz/beta)`` and notes that it "can be replaced with a more
+detailed model if available, such as the network-on-chip connection
+model of [14]" (Moonen et al.).  This module provides such a model for
+wormhole-switched guaranteed-service NoCs: a token is serialised into
+flits at the source network interface, then pipelined through the
+network.
+
+Two sequential stages per connection:
+
+* **injection** — the NI serialises the token at the channel's reserved
+  bandwidth: ``ceil(sz / beta)`` time units; one token at a time.
+* **traversal** — the head flit takes the path latency ``L`` and the
+  remaining flits stream behind it: ``L + ceil(sz / flit_size) - 1``
+  time units; one token in flight per connection (conservative for a
+  guaranteed-service circuit).
+
+Compared to the simple model the pipeline overlaps injection of token
+``k+1`` with traversal of token ``k``, so sustained cross-tile
+throughput improves while per-token latency stays conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.appmodel.binding_aware import ConnectionModel, ConnectionStage
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // denominator)
+
+
+@dataclass
+class NocConnectionModel(ConnectionModel):
+    """Wormhole NoC connection model with ``flit_size``-bit flits."""
+
+    flit_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.flit_size < 1:
+            raise ValueError("flit size must be at least one bit")
+
+    def stages(self, connection, requirements) -> List[ConnectionStage]:
+        injection = _ceil_div(requirements.token_size, requirements.bandwidth)
+        flits = max(_ceil_div(requirements.token_size, self.flit_size), 1)
+        traversal = connection.latency + flits - 1
+        return [
+            ConnectionStage(
+                suffix="inj", execution_time=max(injection, 1), sequential=True
+            ),
+            ConnectionStage(
+                suffix="net", execution_time=traversal, sequential=True
+            ),
+        ]

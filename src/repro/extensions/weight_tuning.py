@@ -1,0 +1,103 @@
+"""Automatic tile-cost weight tuning (automating the paper's §10.2 step).
+
+The paper sweeps five hand-picked weight settings over its benchmark,
+observes that communication dominates and memory is a strong secondary
+objective, and *manually* derives the (0, 1, 2) cost function that wins
+on the mixed set.  This module automates that derivation: a grid search
+over the weight simplex evaluates each candidate with the
+allocate-until-failure flow on a training workload and returns the
+setting that binds the most applications (ties broken towards fewer
+total committed resources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.appmodel.application import ApplicationGraph
+from repro.arch.architecture import ArchitectureGraph
+from repro.core.flow import FlowResult, allocate_until_failure
+from repro.core.strategy import ResourceAllocator
+from repro.core.tile_cost import CostWeights
+
+
+def weight_grid(levels: Sequence[float] = (0, 1, 2)) -> List[CostWeights]:
+    """All weight combinations over ``levels`` except the all-zero one.
+
+    Scalar multiples rank tiles identically, so only one representative
+    per direction is kept (the lexicographically smallest).
+    """
+    seen: Dict[Tuple[float, ...], CostWeights] = {}
+    for combination in product(levels, repeat=3):
+        if not any(combination):
+            continue
+        scale = max(combination)
+        direction = tuple(value / scale for value in combination)
+        if direction not in seen:
+            seen[direction] = CostWeights(*combination)
+    return list(seen.values())
+
+
+@dataclass
+class TuningResult:
+    """Winner of the grid search plus every candidate's score."""
+
+    best: CostWeights
+    best_flow: FlowResult
+    scores: Dict[Tuple[float, float, float], int]
+
+    def ranking(self) -> List[Tuple[CostWeights, int]]:
+        """Candidates sorted best-first by applications bound."""
+        return sorted(
+            (
+                (CostWeights(*weights), bound)
+                for weights, bound in self.scores.items()
+            ),
+            key=lambda item: -item[1],
+        )
+
+
+def tune_weights(
+    architecture: ArchitectureGraph,
+    applications: Sequence[ApplicationGraph],
+    candidates: Optional[Sequence[CostWeights]] = None,
+    continue_after_failure: bool = False,
+) -> TuningResult:
+    """Grid-search the Eqn. 2 weights on a training workload.
+
+    Every candidate gets a fresh copy of ``architecture``.  The winner
+    maximises the number of bound applications; among equals, the one
+    committing the least total time-wheel wins (it leaves the most head
+    room for further applications).
+    """
+    candidates = weight_grid() if candidates is None else list(candidates)
+    if not candidates:
+        raise ValueError("no weight candidates to evaluate")
+    applications = list(applications)
+
+    best: Optional[CostWeights] = None
+    best_flow: Optional[FlowResult] = None
+    scores: Dict[Tuple[float, float, float], int] = {}
+    for weights in candidates:
+        flow = allocate_until_failure(
+            architecture.copy(),
+            applications,
+            allocator=ResourceAllocator(weights=weights),
+            continue_after_failure=continue_after_failure,
+        )
+        scores[weights.as_tuple()] = flow.applications_bound
+        if best_flow is None:
+            best, best_flow = weights, flow
+            continue
+        better = flow.applications_bound > best_flow.applications_bound
+        tie = flow.applications_bound == best_flow.applications_bound
+        leaner = (
+            flow.resource_usage["timewheel"]
+            < best_flow.resource_usage["timewheel"]
+        )
+        if better or (tie and leaner):
+            best, best_flow = weights, flow
+    assert best is not None and best_flow is not None
+    return TuningResult(best=best, best_flow=best_flow, scores=scores)

@@ -1,0 +1,36 @@
+"""Workload generation: random SDFGs, benchmark sets, multimedia models.
+
+The paper evaluates on a benchmark of four sets of random application
+graphs generated with SDF3 (processing-, memory-, communication-
+intensive and mixed) plus a multimedia use case of three H.263 decoders
+and an MP3 decoder.  This package provides seeded, reproducible
+equivalents (see DESIGN.md "Substitutions").
+"""
+
+from repro.generate.random_sdf import RandomSDFParameters, random_sdfg
+from repro.generate.benchmark import (
+    BenchmarkSetProfile,
+    SET_PROFILES,
+    generate_application,
+    generate_benchmark_set,
+)
+from repro.generate.multimedia import h263_decoder, mp3_decoder
+from repro.generate.classic import (
+    modem,
+    samplerate_converter,
+    satellite_receiver,
+)
+
+__all__ = [
+    "RandomSDFParameters",
+    "random_sdfg",
+    "BenchmarkSetProfile",
+    "SET_PROFILES",
+    "generate_application",
+    "generate_benchmark_set",
+    "h263_decoder",
+    "mp3_decoder",
+    "modem",
+    "samplerate_converter",
+    "satellite_receiver",
+]

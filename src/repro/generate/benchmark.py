@@ -1,0 +1,195 @@
+"""The four benchmark sets of the paper's Section 10.1.
+
+Set 1 is processing intensive (large execution times, little
+communication, small tokens and state); sets 2 and 3 are memory and
+communication intensive; set 4 mixes all profiles.  Each generated
+application carries a throughput constraint expressed as a small
+fraction of its ideal (resource-unconstrained) throughput, so that many
+applications can share the platform — the paper's metric is how many.
+
+All sampling is driven by a seeded ``random.Random``, so sequences are
+reproducible; the paper's "3 different sequences per set" correspond to
+three seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List, Sequence, Tuple
+
+from repro.appmodel.application import ApplicationGraph
+from repro.arch.tile import ProcessorType
+from repro.generate.random_sdf import RandomSDFParameters, random_sdfg
+from repro.throughput.state_space import throughput
+
+
+@dataclass
+class BenchmarkSetProfile:
+    """Distribution knobs of one benchmark set."""
+
+    name: str
+    structure: RandomSDFParameters = field(default_factory=RandomSDFParameters)
+    execution_time: Tuple[int, int] = (10, 40)
+    #: per-processor-type slowdown/speedup factor range around the base
+    type_speed_spread: float = 1.5
+    #: probability that an actor supports each additional processor type
+    #: (one random type is always supported)
+    support_probability: float = 0.8
+    actor_memory: Tuple[int, int] = (50, 200)
+    token_size: Tuple[int, int] = (1, 8)
+    buffer_tokens: Tuple[int, int] = (1, 3)
+    bandwidth: Tuple[int, int] = (2, 10)
+    #: throughput constraint as percent of the ideal rate
+    constraint_percent: Tuple[int, int] = (1, 3)
+
+
+SET_PROFILES: Dict[str, BenchmarkSetProfile] = {
+    "processing": BenchmarkSetProfile(
+        name="processing",
+        structure=RandomSDFParameters(
+            actors_min=4, actors_max=7, extra_channel_fraction=0.3
+        ),
+        execution_time=(40, 150),
+        actor_memory=(50, 200),
+        token_size=(1, 8),
+        buffer_tokens=(1, 3),
+        bandwidth=(2, 10),
+        constraint_percent=(5, 12),
+    ),
+    "memory": BenchmarkSetProfile(
+        name="memory",
+        structure=RandomSDFParameters(
+            actors_min=4, actors_max=7, extra_channel_fraction=0.5
+        ),
+        execution_time=(5, 15),
+        actor_memory=(40_000, 90_000),
+        token_size=(1_500, 5_000),
+        buffer_tokens=(2, 4),
+        bandwidth=(400, 1_200),
+        constraint_percent=(4, 10),
+    ),
+    "communication": BenchmarkSetProfile(
+        name="communication",
+        structure=RandomSDFParameters(
+            actors_min=4, actors_max=8, extra_channel_fraction=0.8
+        ),
+        execution_time=(5, 15),
+        actor_memory=(50, 200),
+        token_size=(100, 400),
+        buffer_tokens=(1, 3),
+        bandwidth=(600, 2_000),
+        constraint_percent=(4, 10),
+    ),
+}
+
+
+def generate_application(
+    profile: BenchmarkSetProfile,
+    processor_types: Sequence[ProcessorType],
+    rng: random.Random,
+    name: str,
+) -> ApplicationGraph:
+    """One random application following ``profile``."""
+    graph = random_sdfg(profile.structure, rng, name=name)
+
+    # Worst-case execution times decide the ideal throughput used to
+    # scale the constraint, so requirements are drawn first.
+    requirement_plan: Dict[str, List[Tuple[ProcessorType, int, int]]] = {}
+    worst_case: Dict[str, int] = {}
+    for actor in graph.actor_names:
+        base_time = rng.randint(*profile.execution_time)
+        supported = [rng.choice(list(processor_types))]
+        for processor_type in processor_types:
+            if processor_type not in supported and (
+                rng.random() < profile.support_probability
+            ):
+                supported.append(processor_type)
+        options = []
+        for processor_type in supported:
+            factor = rng.uniform(1.0, profile.type_speed_spread)
+            if rng.random() < 0.5:
+                execution_time = max(1, round(base_time / factor))
+            else:
+                execution_time = max(1, round(base_time * factor))
+            memory = rng.randint(*profile.actor_memory)
+            options.append((processor_type, execution_time, memory))
+        requirement_plan[actor] = options
+        worst_case[actor] = max(t for _, t, _ in options)
+
+    ideal = throughput(
+        graph, execution_times=worst_case, auto_concurrency=False
+    )
+    output_actor = graph.actor_names[-1]
+    percent = rng.randint(*profile.constraint_percent)
+    constraint = ideal.of(output_actor) * Fraction(percent, 100)
+
+    application = ApplicationGraph(
+        graph, throughput_constraint=constraint, output_actor=output_actor
+    )
+    for actor, options in requirement_plan.items():
+        application.set_actor_requirements(actor, *options)
+    gamma = application.gamma
+    for channel in graph.channels:
+        # Buffers hold one full iteration of traffic
+        # (p * gamma(src) tokens) on top of the initial tokens: with
+        # that floor an entire iteration can execute without blocking
+        # on space, so no binding can deadlock on buffer capacity
+        # (multi-channel cycles make the classical single-channel bound
+        # p + q - gcd insufficient).
+        floor = max(
+            channel.production
+            + channel.consumption
+            - gcd(channel.production, channel.consumption),
+            channel.production * gamma[channel.src],
+        )
+        buffer_tile = max(rng.randint(*profile.buffer_tokens), floor) + channel.tokens
+        application.set_channel_requirements(
+            channel.name,
+            token_size=rng.randint(*profile.token_size),
+            buffer_tile=buffer_tile,
+            buffer_src=buffer_tile + rng.randint(0, 1),
+            buffer_dst=buffer_tile + rng.randint(0, 1),
+            bandwidth=0 if channel.is_self_loop else rng.randint(*profile.bandwidth),
+        )
+    return application
+
+
+def generate_benchmark_set(
+    set_name: str,
+    count: int,
+    processor_types: Sequence[ProcessorType],
+    seed: int = 0,
+) -> List[ApplicationGraph]:
+    """A sequence of ``count`` applications from one benchmark set.
+
+    ``set_name`` is one of ``processing``, ``memory``, ``communication``
+    or ``mixed``; the mixed set draws each application's profile
+    uniformly from the three pure sets (paper: graphs "balanced wrt
+    their requirements and graphs dominated by one or two aspects").
+    """
+    rng = random.Random(seed)
+    applications = []
+    pure = list(SET_PROFILES.values())
+    for index in range(count):
+        if set_name == "mixed":
+            profile = rng.choice(pure)
+        else:
+            try:
+                profile = SET_PROFILES[set_name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown benchmark set {set_name!r}; expected one of "
+                    f"{sorted(SET_PROFILES)} or 'mixed'"
+                ) from None
+        applications.append(
+            generate_application(
+                profile,
+                processor_types,
+                rng,
+                name=f"{set_name}-{seed}-{index}",
+            )
+        )
+    return applications

@@ -1,0 +1,205 @@
+"""Classic SDF benchmark applications from the literature.
+
+Reconstructions of the standard examples that ship with SDF3 and the
+Bhattacharyya/Sriram scheduling literature; the rate structure (and
+hence the repetition vectors and HSDF sizes, which is what matters for
+the paper's scaling arguments) follows the published models, while the
+execution times are representative.
+
+* :func:`samplerate_converter` — the CD-to-DAT converter: a 6-actor
+  multirate chain whose repetition vector is
+  ``(147, 147, 98, 28, 32, 160)`` (HSDFG: 612 actors).
+* :func:`modem` — a 16-actor single-rate modem loop.
+* :func:`satellite_receiver` — a 22-actor dual-channel receiver with
+  down-sampling filter banks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.appmodel.application import ApplicationGraph
+from repro.arch.tile import ProcessorType
+from repro.sdf.graph import SDFGraph
+
+
+def samplerate_converter(
+    name: str = "cd2dat",
+    processor: Optional[ProcessorType] = None,
+    throughput_constraint: Optional[Fraction] = None,
+) -> ApplicationGraph:
+    """The CD (44.1 kHz) to DAT (48 kHz) sample-rate converter.
+
+    The conversion ratio 160/147 factors into the classic filter chain
+    ``1/1 -> 2/3 -> 2/7 -> 8/7 -> 5/1``; double-buffered feedback from
+    the DAT sink to the CD source bounds the pipeline.
+    """
+    processor = processor or ProcessorType("dsp")
+    graph = SDFGraph(name)
+    stages = ["cd", "fir1", "fir2", "fir3", "fir4", "dat"]
+    times = {"cd": 1, "fir1": 4, "fir2": 9, "fir3": 6, "fir4": 3, "dat": 1}
+    for stage in stages:
+        graph.add_actor(stage, times[stage])
+    graph.add_channel("c1", "cd", "fir1", 1, 1)
+    graph.add_channel("c2", "fir1", "fir2", 2, 3)
+    graph.add_channel("c3", "fir2", "fir3", 2, 7)
+    graph.add_channel("c4", "fir3", "fir4", 8, 7)
+    graph.add_channel("c5", "fir4", "dat", 5, 1)
+    # feedback with two iterations' worth of tokens (double buffering)
+    graph.add_channel("fb", "dat", "cd", 147, 160, tokens=2 * 160 * 147)
+
+    if throughput_constraint is None:
+        # dat emits 160 samples per iteration; leave ample headroom so
+        # the converter shares a platform with other applications
+        throughput_constraint = Fraction(1, 1500)
+    application = ApplicationGraph(
+        graph, throughput_constraint=throughput_constraint, output_actor="dat"
+    )
+    for stage in stages:
+        application.set_actor_requirements(
+            stage, (processor, times[stage], 200 + 100 * times[stage])
+        )
+    for channel in graph.channels:
+        application.set_channel_requirements(
+            channel.name, token_size=16, bandwidth=1_000
+        )
+    return application
+
+
+def modem(
+    name: str = "modem",
+    processor: Optional[ProcessorType] = None,
+    throughput_constraint: Optional[Fraction] = None,
+) -> ApplicationGraph:
+    """A 16-actor modem (equaliser loop + decoder chain), single-rate.
+
+    Follows the topology of the classic modem example: an input chain
+    feeds an adaptive equaliser loop (with unit-delay feedback) and a
+    decision/decoder chain that also updates the equaliser.
+    """
+    processor = processor or ProcessorType("dsp")
+    graph = SDFGraph(name)
+    stages = {
+        "in": 2,
+        "filt": 9,
+        "conv1": 4,
+        "conv2": 4,
+        "sum": 2,
+        "equal": 12,
+        "decim": 3,
+        "deriv": 3,
+        "loop": 5,
+        "decide": 4,
+        "fork": 1,
+        "conj1": 2,
+        "conj2": 2,
+        "diff": 3,
+        "deco": 6,
+        "out": 1,
+    }
+    for stage, time in stages.items():
+        graph.add_actor(stage, time)
+    forward = [
+        ("in", "filt"),
+        ("filt", "conv1"),
+        ("conv1", "sum"),
+        ("sum", "equal"),
+        ("equal", "decim"),
+        ("decim", "deriv"),
+        ("deriv", "loop"),
+        ("loop", "decide"),
+        ("decide", "fork"),
+        ("fork", "conj1"),
+        ("conj1", "diff"),
+        ("diff", "deco"),
+        ("deco", "out"),
+        ("fork", "conj2"),
+    ]
+    for src, dst in forward:
+        graph.add_channel(f"{src}-{dst}", src, dst)
+    # feedback loops (all with unit delays, as in the original)
+    graph.add_channel("conj2-sum", "conj2", "sum", tokens=1)
+    graph.add_channel("loop-conv2", "loop", "conv2", tokens=1)
+    graph.add_channel("conv2-equal", "conv2", "equal", tokens=1)
+    graph.add_channel("out-in", "out", "in", tokens=2)
+
+    if throughput_constraint is None:
+        throughput_constraint = Fraction(1, 200)
+    application = ApplicationGraph(
+        graph, throughput_constraint=throughput_constraint, output_actor="out"
+    )
+    for stage, time in stages.items():
+        application.set_actor_requirements(
+            stage, (processor, time, 100 + 50 * time)
+        )
+    for channel in graph.channels:
+        application.set_channel_requirements(
+            channel.name, token_size=32, bandwidth=500
+        )
+    return application
+
+
+def satellite_receiver(
+    name: str = "satellite",
+    processor: Optional[ProcessorType] = None,
+    throughput_constraint: Optional[Fraction] = None,
+) -> ApplicationGraph:
+    """A 22-actor dual-channel satellite receiver with filter banks.
+
+    Two identical I/Q channels, each a chain of down-sampling FIR
+    stages (11 actors per channel including the shared source/sink),
+    joined at a demodulator; the down-sampling gives a strongly
+    multirate repetition vector like the published model.
+    """
+    processor = processor or ProcessorType("dsp")
+    graph = SDFGraph(name)
+    graph.add_actor("source", 1)
+    graph.add_actor("demod", 4)
+    times = {"frontend": 2, "chain1": 3, "chain2": 3, "fir1": 5, "fir2": 5,
+             "down1": 2, "down2": 2, "mf": 6, "sync": 4, "dec": 3}
+    for channel_id in ("i", "q"):
+        for stage, time in times.items():
+            graph.add_actor(f"{stage}_{channel_id}", time)
+        prefix = lambda s: f"{s}_{channel_id}"
+        graph.add_channel(
+            f"src-{channel_id}", "source", prefix("frontend"), 1, 1
+        )
+        chain = [
+            ("frontend", "chain1", 1, 1),
+            ("chain1", "chain2", 1, 1),
+            ("chain2", "fir1", 1, 1),
+            ("fir1", "down1", 1, 4),  # 4:1 decimation
+            ("down1", "fir2", 1, 1),
+            ("fir2", "down2", 1, 4),  # 4:1 decimation
+            ("down2", "mf", 1, 1),
+            ("mf", "sync", 1, 1),
+            ("sync", "dec", 1, 1),
+        ]
+        for src, dst, p, q in chain:
+            graph.add_channel(
+                f"{src}-{dst}-{channel_id}", prefix(src), prefix(dst), p, q
+            )
+        graph.add_channel(
+            f"dec-demod-{channel_id}", prefix("dec"), "demod", 1, 1
+        )
+    # rate-control feedback keeps the graph bounded (the source runs 16
+    # firings per demodulated symbol; double-buffered control)
+    graph.add_channel("demod-source", "demod", "source", 16, 1, tokens=32)
+
+    if throughput_constraint is None:
+        # one demodulated symbol needs 16 front-end firings per channel
+        throughput_constraint = Fraction(1, 2500)
+    application = ApplicationGraph(
+        graph, throughput_constraint=throughput_constraint, output_actor="demod"
+    )
+    for actor in graph.actor_names:
+        time = graph.actor(actor).execution_time
+        application.set_actor_requirements(
+            actor, (processor, time, 100 + 40 * time)
+        )
+    for channel in graph.channels:
+        application.set_channel_requirements(
+            channel.name, token_size=24, bandwidth=800
+        )
+    return application

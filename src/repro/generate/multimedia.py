@@ -1,0 +1,202 @@
+"""The multimedia applications of the paper's Section 10.3.
+
+* :func:`h263_decoder` — the H.263 decoder SDFG of Fig. 1: four actors
+  (variable-length decoding, inverse quantisation, IDCT, motion
+  compensation) with the macroblock multirate structure whose HSDFG has
+  ``1 + 2376 + 2376 + 1 = 4754`` actors (the number the paper quotes).
+* :func:`mp3_decoder` — a 13-actor single-rate MP3 decoder (the paper's
+  multimedia system totals ``3 * 4754 + 13 = 14275`` HSDFG actors,
+  which pins the MP3 model to 13 single-rate actors).
+
+Execution times follow the published SDF3 models in spirit (VLD and
+motion compensation dominate); DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.appmodel.application import ApplicationGraph
+from repro.arch.tile import ProcessorType
+from repro.sdf.graph import SDFGraph
+
+#: macroblocks per QCIF frame group used by the SDF3 H.263 model
+H263_MACROBLOCKS = 2376
+
+
+def h263_decoder(
+    name: str = "h263",
+    macroblocks: int = H263_MACROBLOCKS,
+    generic: Optional[ProcessorType] = None,
+    accelerator: Optional[ProcessorType] = None,
+    throughput_constraint: Optional[Fraction] = None,
+) -> ApplicationGraph:
+    """An H.263 decoder application graph (4 actors, Fig. 1).
+
+    ``macroblocks`` scales the multirate factor (the default matches the
+    paper: HSDFG size ``2 * macroblocks + 2 = 4754``).  ``generic`` and
+    ``accelerator`` are the processor types the actors support; the
+    control-flow actors (vld, mc) run on the generic processor, the
+    kernels (iq, idct) on either.
+    """
+    generic = generic or ProcessorType("generic")
+    accelerator = accelerator or ProcessorType("accelerator")
+
+    graph = SDFGraph(name)
+    graph.add_actor("vld", 1)
+    graph.add_actor("iq", 1)
+    graph.add_actor("idct", 1)
+    graph.add_actor("mc", 1)
+    graph.add_channel("vld-iq", "vld", "iq", macroblocks, 1)
+    graph.add_channel("iq-idct", "iq", "idct", 1, 1)
+    graph.add_channel("idct-mc", "idct", "mc", 1, macroblocks)
+    # frame-level feedback: motion compensation uses the previous frame
+    graph.add_channel("mc-vld", "mc", "vld", 1, 1, tokens=1)
+
+    if throughput_constraint is None:
+        # One frame (one vld firing) per ~10x the serial frame time:
+        # loose enough that several decoders share the platform (the
+        # paper's use case), tight enough to need real slices.
+        serial = 2600 + macroblocks * (6 + 5) + 1100
+        throughput_constraint = Fraction(1, 10 * serial)
+    application = ApplicationGraph(
+        graph, throughput_constraint=throughput_constraint, output_actor="mc"
+    )
+    application.set_actor_requirements("vld", (generic, 2600, 7000))
+    application.set_actor_requirements(
+        "iq", (generic, 12, 600), (accelerator, 6, 500)
+    )
+    application.set_actor_requirements(
+        "idct", (generic, 10, 700), (accelerator, 5, 600)
+    )
+    application.set_actor_requirements("mc", (generic, 1100, 10000))
+    application.set_channel_requirements(
+        "vld-iq",
+        token_size=384,
+        buffer_tile=2 * macroblocks,
+        buffer_src=2 * macroblocks,
+        buffer_dst=2 * macroblocks,
+        bandwidth=4000,
+    )
+    application.set_channel_requirements(
+        "iq-idct",
+        token_size=384,
+        buffer_tile=2,
+        buffer_src=2,
+        buffer_dst=2,
+        bandwidth=4000,
+    )
+    application.set_channel_requirements(
+        "idct-mc",
+        token_size=384,
+        buffer_tile=2 * macroblocks,
+        buffer_src=2 * macroblocks,
+        buffer_dst=2 * macroblocks,
+        bandwidth=4000,
+    )
+    application.set_channel_requirements(
+        "mc-vld",
+        token_size=16,
+        buffer_tile=2,
+        buffer_src=2,
+        buffer_dst=2,
+        bandwidth=100,
+    )
+    return application
+
+
+def mp3_decoder(
+    name: str = "mp3",
+    generic: Optional[ProcessorType] = None,
+    accelerator: Optional[ProcessorType] = None,
+    throughput_constraint: Optional[Fraction] = None,
+) -> ApplicationGraph:
+    """A 13-actor single-rate MP3 decoder application graph.
+
+    Topology: Huffman decoding fans out into left/right granule chains
+    (requantise, reorder), joins for stereo processing, fans out again
+    (antialias, hybrid synthesis/IMDCT, frequency inversion) and joins
+    in the synthesis filterbank; a feedback edge from the filterbank to
+    the Huffman decoder with two tokens allows double-buffered
+    pipelining.
+    """
+    generic = generic or ProcessorType("generic")
+    accelerator = accelerator or ProcessorType("accelerator")
+
+    graph = SDFGraph(name)
+    stages = [
+        "huffman",
+        "req_l",
+        "req_r",
+        "reorder_l",
+        "reorder_r",
+        "stereo",
+        "antialias_l",
+        "antialias_r",
+        "hybrid_l",
+        "hybrid_r",
+        "freqinv_l",
+        "freqinv_r",
+        "synth",
+    ]
+    for stage in stages:
+        graph.add_actor(stage, 1)
+    edges = [
+        ("huffman", "req_l"),
+        ("huffman", "req_r"),
+        ("req_l", "reorder_l"),
+        ("req_r", "reorder_r"),
+        ("reorder_l", "stereo"),
+        ("reorder_r", "stereo"),
+        ("stereo", "antialias_l"),
+        ("stereo", "antialias_r"),
+        ("antialias_l", "hybrid_l"),
+        ("antialias_r", "hybrid_r"),
+        ("hybrid_l", "freqinv_l"),
+        ("hybrid_r", "freqinv_r"),
+        ("freqinv_l", "synth"),
+        ("freqinv_r", "synth"),
+    ]
+    for src, dst in edges:
+        graph.add_channel(f"{src}-{dst}", src, dst)
+    graph.add_channel("synth-huffman", "synth", "huffman", tokens=2)
+
+    times = {
+        "huffman": 450,
+        "req_l": 120,
+        "req_r": 120,
+        "reorder_l": 80,
+        "reorder_r": 80,
+        "stereo": 70,
+        "antialias_l": 60,
+        "antialias_r": 60,
+        "hybrid_l": 320,
+        "hybrid_r": 320,
+        "freqinv_l": 40,
+        "freqinv_r": 40,
+        "synth": 600,
+    }
+    if throughput_constraint is None:
+        serial = sum(times.values())
+        throughput_constraint = Fraction(1, 10 * serial)
+    application = ApplicationGraph(
+        graph, throughput_constraint=throughput_constraint, output_actor="synth"
+    )
+    accelerated = {"hybrid_l", "hybrid_r", "synth"}
+    for stage in stages:
+        base = times[stage]
+        options = [(generic, base, 40 * base)]
+        if stage in accelerated:
+            options.append((accelerator, max(1, base // 2), 30 * base))
+        application.set_actor_requirements(stage, *options)
+    for channel in graph.channels:
+        application.set_channel_requirements(
+            channel.name,
+            token_size=2304,
+            buffer_tile=max(2, channel.tokens + 1),
+            buffer_src=max(2, channel.tokens + 1),
+            buffer_dst=max(2, channel.tokens + 1),
+            bandwidth=2000,
+        )
+    return application

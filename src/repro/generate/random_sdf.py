@@ -1,0 +1,117 @@
+"""Seeded random generation of consistent, live SDFGs (SDF3-style).
+
+Construction guarantees the two properties the allocator requires:
+
+* **consistency** — a repetition vector is drawn first and the rates of
+  every channel ``(a, b)`` are derived from it
+  (``p = gamma(b)/g, q = gamma(a)/g`` with ``g = gcd``), so the drawn
+  vector is a valid repetition vector by construction;
+* **liveness** — actors are kept in a creation order; forward channels
+  need no tokens, while every backward or self channel receives enough
+  initial tokens for one full iteration of its consumer, which makes a
+  complete iteration executable (and hence the graph live).
+
+The generator is deliberately parameter-light: the benchmark set
+profiles (:mod:`repro.generate.benchmark`) provide the distributions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional, Tuple
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.validate import validate_graph
+
+
+@dataclass
+class RandomSDFParameters:
+    """Structural knobs of :func:`random_sdfg`."""
+
+    actors_min: int = 4
+    actors_max: int = 8
+    #: repetition-vector entries are drawn uniformly from this range
+    repetition_min: int = 1
+    repetition_max: int = 3
+    #: extra channels beyond the connecting spanning structure,
+    #: as a fraction of the actor count
+    extra_channel_fraction: float = 0.5
+    #: probability that an extra channel points backwards (creating a
+    #: cycle and pipelining opportunities)
+    back_edge_probability: float = 0.5
+    #: fraction of actors receiving a self-edge (bounding their
+    #: auto-concurrency in the application model itself)
+    self_edge_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.actors_min < 1 or self.actors_max < self.actors_min:
+            raise ValueError("invalid actor count range")
+        if self.repetition_min < 1 or self.repetition_max < self.repetition_min:
+            raise ValueError("invalid repetition-vector range")
+
+
+def _rates(gamma_src: int, gamma_dst: int) -> Tuple[int, int]:
+    g = gcd(gamma_src, gamma_dst)
+    return gamma_dst // g, gamma_src // g
+
+
+def random_sdfg(
+    parameters: Optional[RandomSDFParameters] = None,
+    rng: Optional[random.Random] = None,
+    name: str = "random",
+) -> SDFGraph:
+    """Generate one consistent, live, connected SDFG.
+
+    ``rng`` supplies determinism; the same generator state yields the
+    same graph.
+    """
+    parameters = parameters or RandomSDFParameters()
+    rng = rng or random.Random()
+
+    count = rng.randint(parameters.actors_min, parameters.actors_max)
+    gamma = [
+        rng.randint(parameters.repetition_min, parameters.repetition_max)
+        for _ in range(count)
+    ]
+    graph = SDFGraph(name)
+    for i in range(count):
+        graph.add_actor(f"a{i}")
+
+    channel_id = 0
+
+    def add(src: int, dst: int) -> None:
+        nonlocal channel_id
+        if src == dst:
+            production = consumption = 1
+            tokens = 1
+        else:
+            production, consumption = _rates(gamma[src], gamma[dst])
+            tokens = consumption * gamma[dst] if src > dst else 0
+        graph.add_channel(
+            f"d{channel_id}", f"a{src}", f"a{dst}", production, consumption, tokens
+        )
+        channel_id += 1
+
+    # spanning structure: each actor (after the first) connects forward
+    # from a random earlier actor, keeping the graph connected and the
+    # forward edges token-free.
+    for dst in range(1, count):
+        add(rng.randrange(dst), dst)
+
+    extra = int(parameters.extra_channel_fraction * count)
+    for _ in range(extra):
+        if count < 2:
+            break
+        src, dst = rng.sample(range(count), 2)
+        if src > dst and rng.random() > parameters.back_edge_probability:
+            src, dst = dst, src
+        add(src, dst)
+
+    for actor in range(count):
+        if rng.random() < parameters.self_edge_fraction:
+            add(actor, actor)
+
+    validate_graph(graph)
+    return graph

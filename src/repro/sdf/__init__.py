@@ -1,0 +1,53 @@
+"""Synchronous Dataflow Graph (SDFG) substrate.
+
+This package implements the dataflow model of the paper's Section 3:
+actors connected by dependency edges (channels) that carry tokens, with
+fixed production/consumption rates per firing.  On top of the data
+structures it provides the classical SDF analyses the resource-allocation
+strategy relies on:
+
+* repetition vectors and consistency (:mod:`repro.sdf.repetition`),
+* deadlock-freedom / liveness (:mod:`repro.sdf.analysis`),
+* SDF to homogeneous-SDF (HSDF) conversion (:mod:`repro.sdf.transform`),
+* cycle utilities used by the criticality estimate (:mod:`repro.sdf.cycles`),
+* structural validation (:mod:`repro.sdf.validate`),
+* JSON and SDF3-like XML serialisation (:mod:`repro.sdf.serialization`).
+"""
+
+from repro.sdf.graph import Actor, Channel, SDFGraph
+from repro.sdf.repetition import repetition_vector, is_consistent
+from repro.sdf.analysis import is_deadlock_free, strongly_connected_components
+from repro.sdf.transform import sdf_to_hsdf, hsdf_size
+from repro.sdf.cycles import simple_cycles, cycle_ratio, max_cycle_ratio
+from repro.sdf.validate import validate_graph, ValidationError
+from repro.sdf.serialization import (
+    graph_to_dict,
+    graph_from_dict,
+    graph_to_json,
+    graph_from_json,
+    graph_to_sdf3_xml,
+    graph_from_sdf3_xml,
+)
+
+__all__ = [
+    "Actor",
+    "Channel",
+    "SDFGraph",
+    "repetition_vector",
+    "is_consistent",
+    "is_deadlock_free",
+    "strongly_connected_components",
+    "sdf_to_hsdf",
+    "hsdf_size",
+    "simple_cycles",
+    "cycle_ratio",
+    "max_cycle_ratio",
+    "validate_graph",
+    "ValidationError",
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_to_json",
+    "graph_from_json",
+    "graph_to_sdf3_xml",
+    "graph_from_sdf3_xml",
+]

@@ -1,0 +1,118 @@
+"""Cycle enumeration and cycle-ratio utilities.
+
+The binding step of the strategy estimates actor criticality (paper
+Eqn. 1) as the maximum, over simple cycles through the actor, of
+
+    sum_b gamma(b) * tau_max(b)  /  sum_d Tok(d) / q_d .
+
+This module provides generic cycle enumeration on :class:`SDFGraph`
+(via Johnson's algorithm, through networkx) plus exact Fraction-based
+ratio computation.  When several channels connect the same actor pair on
+a cycle, the channel minimising ``Tok/q`` is the binding constraint and
+is the one counted.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import islice
+from typing import Dict, List, Optional, Union
+
+import networkx as nx
+
+from repro.sdf.graph import SDFGraph
+
+Ratio = Union[Fraction, float]
+
+
+def _to_networkx(graph: SDFGraph) -> nx.DiGraph:
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(graph.actor_names)
+    for channel in graph.channels:
+        digraph.add_edge(channel.src, channel.dst)
+    return digraph
+
+
+def simple_cycles(
+    graph: SDFGraph, limit: Optional[int] = None
+) -> List[List[str]]:
+    """Simple cycles of ``graph`` as actor-name lists (self-loops included).
+
+    ``limit`` caps the number of enumerated cycles (Johnson's algorithm
+    is output-sensitive but the number of cycles can be exponential; the
+    criticality estimate degrades gracefully under a cap).
+    """
+    iterator = nx.simple_cycles(_to_networkx(graph))
+    if limit is not None:
+        iterator = islice(iterator, limit)
+    return [list(cycle) for cycle in iterator]
+
+
+def _min_hop_denominator(graph: SDFGraph, src: str, dst: str) -> Fraction:
+    """Smallest ``Tok/q`` over channels from ``src`` to ``dst``."""
+    candidates = graph.channels_between(src, dst)
+    if not candidates:
+        raise KeyError(f"no channel from {src!r} to {dst!r}")
+    return min(Fraction(c.tokens, c.consumption) for c in candidates)
+
+
+def cycle_ratio(
+    graph: SDFGraph,
+    cycle: List[str],
+    weights: Dict[str, Union[int, Fraction]],
+) -> Ratio:
+    """The ratio of ``cycle``: actor weights over normalised tokens.
+
+    ``weights[a]`` is the numerator contribution of actor ``a`` (for
+    Eqn. 1 that is ``gamma(a) * tau_max(a)``).  Returns ``float('inf')``
+    when the cycle carries no tokens (such a cycle deadlocks; callers
+    treat it as maximally critical).
+    """
+    numerator = sum(Fraction(weights[a]) for a in cycle)
+    denominator = Fraction(0)
+    hops = list(zip(cycle, cycle[1:] + cycle[:1]))
+    for src, dst in hops:
+        denominator += _min_hop_denominator(graph, src, dst)
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator
+
+
+def per_actor_max_cycle_ratio(
+    graph: SDFGraph,
+    weights: Dict[str, Union[int, Fraction]],
+    limit: Optional[int] = 20000,
+) -> Dict[str, Ratio]:
+    """For every actor, the max ratio over simple cycles through it.
+
+    Actors on no cycle are absent from the result (the caller decides
+    their fallback criticality).
+    """
+    best: Dict[str, Ratio] = {}
+    for cycle in simple_cycles(graph, limit=limit):
+        ratio = cycle_ratio(graph, cycle, weights)
+        for actor in cycle:
+            current = best.get(actor)
+            if current is None or ratio > current:
+                best[actor] = ratio
+    return best
+
+
+def max_cycle_ratio(
+    graph: SDFGraph,
+    weights: Optional[Dict[str, Union[int, Fraction]]] = None,
+    limit: Optional[int] = 20000,
+) -> Optional[Ratio]:
+    """Maximum cycle ratio over all simple cycles (None when acyclic).
+
+    With default weights (actor execution times) on an HSDFG this is the
+    maximum cycle mean, whose reciprocal is the graph's throughput.
+    """
+    if weights is None:
+        weights = {a.name: a.execution_time for a in graph.actors}
+    best: Optional[Ratio] = None
+    for cycle in simple_cycles(graph, limit=limit):
+        ratio = cycle_ratio(graph, cycle, weights)
+        if best is None or ratio > best:
+            best = ratio
+    return best

@@ -1,0 +1,101 @@
+"""Repetition vectors and consistency (paper Definition 2).
+
+A repetition vector ``gamma`` satisfies ``p * gamma(a) = q * gamma(b)``
+for every channel ``(a, b, p, q)``.  A consistent SDFG has a non-trivial
+(everywhere positive) repetition vector; *the* repetition vector is the
+smallest such vector.  Inconsistent graphs either deadlock or need
+unbounded memory, so the allocation strategy rejects them up front.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Optional
+
+from repro.sdf.graph import SDFGraph
+
+
+class InconsistentGraphError(ValueError):
+    """Raised when a graph admits no non-trivial repetition vector."""
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // gcd(a, b) * b
+
+
+def repetition_vector(graph: SDFGraph) -> Dict[str, int]:
+    """The smallest non-trivial repetition vector of ``graph``.
+
+    Raises :class:`InconsistentGraphError` when the graph is not
+    consistent.  Works per weakly-connected component: each component is
+    solved independently and scaled to the smallest integer vector.
+    """
+    if len(graph) == 0:
+        return {}
+
+    fractional: Dict[str, Fraction] = {}
+    for seed in graph.actor_names:
+        if seed in fractional:
+            continue
+        fractional[seed] = Fraction(1)
+        stack = [seed]
+        while stack:
+            actor = stack.pop()
+            rate = fractional[actor]
+            for channel in graph.out_channels(actor):
+                implied = rate * channel.production / channel.consumption
+                known = fractional.get(channel.dst)
+                if known is None:
+                    fractional[channel.dst] = implied
+                    stack.append(channel.dst)
+                elif known != implied:
+                    raise InconsistentGraphError(
+                        f"graph {graph.name!r}: channel {channel.name!r} "
+                        f"implies gamma({channel.dst}) = {implied}, but "
+                        f"{known} was already derived"
+                    )
+            for channel in graph.in_channels(actor):
+                implied = rate * channel.consumption / channel.production
+                known = fractional.get(channel.src)
+                if known is None:
+                    fractional[channel.src] = implied
+                    stack.append(channel.src)
+                elif known != implied:
+                    raise InconsistentGraphError(
+                        f"graph {graph.name!r}: channel {channel.name!r} "
+                        f"implies gamma({channel.src}) = {implied}, but "
+                        f"{known} was already derived"
+                    )
+
+    denominator_lcm = 1
+    for value in fractional.values():
+        denominator_lcm = _lcm(denominator_lcm, value.denominator)
+    integral = {
+        name: int(value * denominator_lcm) for name, value in fractional.items()
+    }
+    overall_gcd = 0
+    for value in integral.values():
+        overall_gcd = gcd(overall_gcd, value)
+    return {name: value // overall_gcd for name, value in integral.items()}
+
+
+def is_consistent(graph: SDFGraph) -> bool:
+    """True when ``graph`` has a non-trivial repetition vector."""
+    try:
+        repetition_vector(graph)
+    except InconsistentGraphError:
+        return False
+    return True
+
+
+def iteration_length(graph: SDFGraph, gamma: Optional[Dict[str, int]] = None) -> int:
+    """Total number of firings in one graph iteration (sum of gamma).
+
+    This equals the number of actors of the corresponding HSDFG, the
+    quantity the paper uses to argue HSDF conversion blows up (e.g. the
+    H.263 decoder: 4754).
+    """
+    if gamma is None:
+        gamma = repetition_vector(graph)
+    return sum(gamma.values())

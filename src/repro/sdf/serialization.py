@@ -1,0 +1,183 @@
+"""SDFG serialisation: plain dict/JSON and an SDF3-like XML dialect.
+
+The JSON form is the native interchange format of this library (used by
+the CLI); the XML form mirrors the structure of the SDF3 tool's ``.xml``
+files closely enough that graphs are easy to port by hand, without
+claiming byte compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ElementTree
+from typing import Any, Dict
+
+from repro.sdf.graph import SDFGraph
+
+
+def graph_to_dict(graph: SDFGraph) -> Dict[str, Any]:
+    """A JSON-serialisable dictionary capturing the full graph."""
+    return {
+        "name": graph.name,
+        "actors": [
+            {"name": a.name, "execution_time": a.execution_time}
+            for a in graph.actors
+        ],
+        "channels": [
+            {
+                "name": c.name,
+                "src": c.src,
+                "dst": c.dst,
+                "production": c.production,
+                "consumption": c.consumption,
+                "tokens": c.tokens,
+            }
+            for c in graph.channels
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> SDFGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    graph = SDFGraph(data.get("name", "sdfg"))
+    for actor in data.get("actors", []):
+        graph.add_actor(actor["name"], int(actor.get("execution_time", 1)))
+    for channel in data.get("channels", []):
+        graph.add_channel(
+            channel["name"],
+            channel["src"],
+            channel["dst"],
+            int(channel.get("production", 1)),
+            int(channel.get("consumption", 1)),
+            int(channel.get("tokens", 0)),
+        )
+    return graph
+
+
+def graph_to_json(graph: SDFGraph, indent: int = 2) -> str:
+    """JSON text for ``graph``."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def graph_from_json(text: str) -> SDFGraph:
+    """Parse a graph from JSON text produced by :func:`graph_to_json`."""
+    return graph_from_dict(json.loads(text))
+
+
+def graph_to_sdf3_xml(graph: SDFGraph) -> str:
+    """An SDF3-style XML rendering of ``graph``.
+
+    Layout::
+
+        <sdf3 type="sdf">
+          <applicationGraph name="...">
+            <sdf name="...">
+              <actor name="a"> <port name="out" type="out" rate="2"/> ... </actor>
+              <channel name="d" srcActor="a" srcPort="out"
+                       dstActor="b" dstPort="in" initialTokens="1"/>
+            </sdf>
+            <sdfProperties>
+              <actorProperties actor="a"> <executionTime time="3"/> ...
+            </sdfProperties>
+          </applicationGraph>
+        </sdf3>
+    """
+    root = ElementTree.Element("sdf3", {"type": "sdf", "version": "1.0"})
+    app = ElementTree.SubElement(root, "applicationGraph", {"name": graph.name})
+    sdf = ElementTree.SubElement(app, "sdf", {"name": graph.name})
+    actor_elements = {}
+    for actor in graph.actors:
+        actor_elements[actor.name] = ElementTree.SubElement(
+            sdf, "actor", {"name": actor.name, "type": actor.name}
+        )
+    for channel in graph.channels:
+        src_port = f"{channel.name}_out"
+        dst_port = f"{channel.name}_in"
+        ElementTree.SubElement(
+            actor_elements[channel.src],
+            "port",
+            {"name": src_port, "type": "out", "rate": str(channel.production)},
+        )
+        ElementTree.SubElement(
+            actor_elements[channel.dst],
+            "port",
+            {"name": dst_port, "type": "in", "rate": str(channel.consumption)},
+        )
+        attributes = {
+            "name": channel.name,
+            "srcActor": channel.src,
+            "srcPort": src_port,
+            "dstActor": channel.dst,
+            "dstPort": dst_port,
+        }
+        if channel.tokens:
+            attributes["initialTokens"] = str(channel.tokens)
+        ElementTree.SubElement(sdf, "channel", attributes)
+    properties = ElementTree.SubElement(app, "sdfProperties")
+    for actor in graph.actors:
+        actor_properties = ElementTree.SubElement(
+            properties, "actorProperties", {"actor": actor.name}
+        )
+        processor = ElementTree.SubElement(
+            actor_properties, "processor", {"type": "default", "default": "true"}
+        )
+        ElementTree.SubElement(
+            processor, "executionTime", {"time": str(actor.execution_time)}
+        )
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def graph_from_sdf3_xml(text: str) -> SDFGraph:
+    """Parse a graph from the XML dialect of :func:`graph_to_sdf3_xml`.
+
+    Also accepts hand-written files as long as every channel references
+    ports whose rates are defined on the endpoint actors.
+    """
+    root = ElementTree.fromstring(text)
+    app = root.find("applicationGraph")
+    if app is None:
+        raise ValueError("missing <applicationGraph> element")
+    sdf = app.find("sdf")
+    if sdf is None:
+        raise ValueError("missing <sdf> element")
+    graph = SDFGraph(app.get("name", sdf.get("name", "sdfg")))
+
+    port_rates: Dict[str, Dict[str, int]] = {}
+    for actor_element in sdf.findall("actor"):
+        actor_name = actor_element.get("name")
+        if actor_name is None:
+            raise ValueError("<actor> without name")
+        graph.add_actor(actor_name)
+        port_rates[actor_name] = {
+            port.get("name", ""): int(port.get("rate", "1"))
+            for port in actor_element.findall("port")
+        }
+
+    for channel_element in sdf.findall("channel"):
+        src = channel_element.get("srcActor")
+        dst = channel_element.get("dstActor")
+        name = channel_element.get("name")
+        if not (src and dst and name):
+            raise ValueError("<channel> missing name/srcActor/dstActor")
+        production = port_rates.get(src, {}).get(
+            channel_element.get("srcPort", ""), 1
+        )
+        consumption = port_rates.get(dst, {}).get(
+            channel_element.get("dstPort", ""), 1
+        )
+        tokens = int(channel_element.get("initialTokens", "0"))
+        graph.add_channel(name, src, dst, production, consumption, tokens)
+
+    properties = app.find("sdfProperties")
+    if properties is not None:
+        for actor_properties in properties.findall("actorProperties"):
+            actor_name = actor_properties.get("actor")
+            if actor_name is None or not graph.has_actor(actor_name):
+                continue
+            for processor in actor_properties.findall("processor"):
+                timing = processor.find("executionTime")
+                if timing is not None and processor.get("default") == "true":
+                    graph.actor(actor_name).execution_time = int(
+                        timing.get("time", "1")
+                    )
+    return graph

@@ -1,0 +1,73 @@
+"""Structural validation of SDFGs.
+
+The allocation strategy only accepts consistent, deadlock-free graphs
+(paper Section 3: anything else needs unbounded memory or never runs).
+:func:`validate_graph` collects *all* problems instead of failing on the
+first, which makes generator and serialisation bugs much easier to
+diagnose.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sdf.analysis import is_connected, is_deadlock_free
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import InconsistentGraphError, repetition_vector
+
+
+class ValidationError(ValueError):
+    """Raised by :func:`validate_graph` with all detected problems."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = list(problems)
+        super().__init__("; ".join(problems))
+
+
+def validation_problems(
+    graph: SDFGraph,
+    require_connected: bool = True,
+    require_deadlock_free: bool = True,
+) -> List[str]:
+    """All structural problems of ``graph`` (empty list when valid)."""
+    problems: List[str] = []
+    if len(graph) == 0:
+        problems.append("graph has no actors")
+        return problems
+
+    consistent = True
+    try:
+        repetition_vector(graph)
+    except InconsistentGraphError as error:
+        consistent = False
+        problems.append(f"inconsistent: {error}")
+
+    if require_connected and not is_connected(graph):
+        problems.append("graph is not (weakly) connected")
+
+    if require_deadlock_free and consistent and not is_deadlock_free(graph):
+        problems.append("graph deadlocks (cannot complete one iteration)")
+
+    for channel in graph.channels:
+        if channel.is_self_loop and channel.production != channel.consumption:
+            problems.append(
+                f"self-loop {channel.name!r} has unequal rates "
+                f"({channel.production} != {channel.consumption}), "
+                "which is inconsistent"
+            )
+    return problems
+
+
+def validate_graph(
+    graph: SDFGraph,
+    require_connected: bool = True,
+    require_deadlock_free: bool = True,
+) -> None:
+    """Raise :class:`ValidationError` when ``graph`` is not well formed."""
+    problems = validation_problems(
+        graph,
+        require_connected=require_connected,
+        require_deadlock_free=require_deadlock_free,
+    )
+    if problems:
+        raise ValidationError(problems)

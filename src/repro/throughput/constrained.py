@@ -1,0 +1,466 @@
+"""Schedule- and TDMA-constrained state-space throughput (paper §8.2).
+
+The binding-aware SDFG models the binding decisions, but the scheduling
+function (per-tile static-order schedules and TDMA slice allocations) is
+deliberately *not* modelled in the graph.  Instead it constrains the
+self-timed execution:
+
+* an actor bound to a tile may only start firing when (i) it has enough
+  input tokens, (ii) it is the actor at the current position of the
+  tile's static-order schedule, and (iii) no other firing is active on
+  the tile (one processor executes one actor at a time);
+* the remaining execution time of a firing bound to a tile decreases
+  only while the TDMA wheel of that tile is inside the slice reserved
+  for the application.
+
+All wheels are assumed aligned and the application slice occupies the
+start of every wheel rotation; the *s* actors of the binding-aware graph
+make the analysis conservative with respect to any actual alignment
+(paper §8.1).  Auxiliary actors that are not bound to a tile (the
+connection actors *c* and alignment actors *s*) execute unconstrained.
+
+The engine advances event-to-event: slice gating is evaluated in closed
+form (:func:`busy_time` / :func:`gated_finish`), never tick-by-tick, so
+large time wheels cost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sdf.graph import SDFGraph
+from repro.throughput.state_space import (
+    DEFAULT_MAX_STATES,
+    StateSpaceExplosionError,
+)
+
+
+def busy_time(
+    start: int, end: int, wheel: int, slice_size: int, slice_start: int = 0
+) -> int:
+    """Time units in ``[start, end)`` inside the application's slice.
+
+    The slice occupies ``[k*wheel + slice_start, k*wheel + slice_start +
+    slice_size)`` for every rotation ``k`` (``slice_start = 0`` is the
+    paper's aligned-wheels assumption; non-zero offsets place several
+    applications in disjoint windows of the same wheel).
+    """
+    if slice_size >= wheel:
+        return end - start
+
+    def busy_until(t: int) -> int:
+        rotations, position = divmod(t - slice_start, wheel)
+        return rotations * slice_size + min(position, slice_size)
+
+    return busy_until(end) - busy_until(start)
+
+
+def gated_finish(
+    start: int,
+    work: int,
+    wheel: int,
+    slice_size: int,
+    slice_start: int = 0,
+) -> Optional[int]:
+    """Earliest instant >= ``start`` by which ``work`` busy units elapse.
+
+    Returns None when ``slice_size`` is 0 (the firing can never finish).
+    """
+    if work <= 0:
+        return start
+    if slice_size >= wheel:
+        return start + work
+    if slice_size == 0:
+        return None
+    position = (start - slice_start) % wheel
+    remaining = work
+    if position < slice_size:
+        available = slice_size - position
+        if remaining <= available:
+            return start + remaining
+        remaining -= available
+        base = start + (wheel - position)
+    else:
+        base = start + (wheel - position)
+    full_rotations = (remaining - 1) // slice_size
+    leftover = remaining - full_rotations * slice_size
+    return base + full_rotations * wheel + leftover
+
+
+@dataclass(frozen=True)
+class StaticOrderSchedule:
+    """A practical static-order schedule: transient prefix + repeated part.
+
+    Represents the infinite firing sequence
+    ``transient[0] ... transient[-1] (periodic[0] ... periodic[-1])*``.
+    """
+
+    periodic: Tuple[str, ...]
+    transient: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.periodic:
+            raise ValueError("periodic part of a static-order schedule is empty")
+
+    def entry(self, position: int) -> str:
+        """Actor at ``position`` of the infinite schedule."""
+        if position < len(self.transient):
+            return self.transient[position]
+        return self.periodic[(position - len(self.transient)) % len(self.periodic)]
+
+    def canonical_position(self, position: int) -> int:
+        """Position folded into the finite transient+periodic representation."""
+        if position < len(self.transient):
+            return position
+        offset = (position - len(self.transient)) % len(self.periodic)
+        return len(self.transient) + offset
+
+    @property
+    def actors(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for name in self.transient + self.periodic:
+            seen.setdefault(name)
+        return tuple(seen)
+
+
+@dataclass
+class TileConstraints:
+    """Execution constraints of one tile (paper Def. 3 + Def. 7 excerpt).
+
+    ``wheel`` is the TDMA wheel size ``w``; ``slice_size`` the slice
+    ``omega`` reserved for this application; ``schedule`` the static-order
+    schedule of the application's actors bound to this tile.
+    """
+
+    name: str
+    wheel: int
+    slice_size: int
+    schedule: StaticOrderSchedule
+    #: where the slice window starts on the wheel (0 = paper's aligned
+    #: assumption; committed applications get disjoint offsets)
+    slice_start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wheel <= 0:
+            raise ValueError(f"tile {self.name!r}: wheel must be positive")
+        if not 0 <= self.slice_size <= self.wheel:
+            raise ValueError(
+                f"tile {self.name!r}: slice {self.slice_size} outside "
+                f"[0, {self.wheel}]"
+            )
+        if not 0 <= self.slice_start <= self.wheel - self.slice_size:
+            raise ValueError(
+                f"tile {self.name!r}: slice window "
+                f"[{self.slice_start}, {self.slice_start + self.slice_size})"
+                f" does not fit the wheel"
+            )
+
+
+@dataclass
+class ConstrainedThroughputResult:
+    """Steady-state throughput under schedule and TDMA constraints."""
+
+    period: Optional[int]
+    period_firings: Dict[str, int]
+    transient_time: int
+    states_explored: int
+    deadlocked: bool = False
+
+    def of(self, actor: str) -> Fraction:
+        """Firings of ``actor`` per time unit in the periodic phase."""
+        if self.deadlocked or not self.period:
+            return Fraction(0)
+        return Fraction(self.period_firings.get(actor, 0), self.period)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded firing: who ran where and when.
+
+    ``tile`` is None for unscheduled (connection/alignment) actors.
+    ``start`` is the instant the firing claimed its tokens; ``end`` the
+    instant it produced its outputs (wall-clock, including time spent
+    outside the TDMA slice).
+    """
+
+    actor: str
+    tile: Optional[str]
+    start: int
+    end: int
+
+
+class _ConstrainedEngine:
+    """Event-driven execution of a binding-aware graph under constraints."""
+
+    def __init__(
+        self,
+        graph: SDFGraph,
+        tiles: Sequence[TileConstraints],
+        max_states: int,
+        trace: Optional[List[TraceEvent]] = None,
+    ) -> None:
+        self.graph = graph
+        self.tiles = list(tiles)
+        self.max_states = max_states
+        self.trace = trace
+
+        self._actors = graph.actor_names
+        self._index = {a: i for i, a in enumerate(self._actors)}
+        self._times = [graph.actor(a).execution_time for a in self._actors]
+        channels = graph.channel_names
+        channel_index = {c: i for i, c in enumerate(channels)}
+        self._initial_tokens = [graph.channel(c).tokens for c in channels]
+        self._inputs: List[List[Tuple[int, int]]] = []
+        self._outputs: List[List[Tuple[int, int]]] = []
+        for actor in self._actors:
+            self._inputs.append(
+                [
+                    (channel_index[c.name], c.consumption)
+                    for c in graph.in_channels(actor)
+                ]
+            )
+            self._outputs.append(
+                [
+                    (channel_index[c.name], c.production)
+                    for c in graph.out_channels(actor)
+                ]
+            )
+        # actor index -> tile index (or None for unscheduled actors)
+        self._tile_of: List[Optional[int]] = [None] * len(self._actors)
+        for tile_idx, tile in enumerate(self.tiles):
+            for actor in tile.schedule.actors:
+                if actor not in self._index:
+                    raise KeyError(
+                        f"schedule of tile {tile.name!r} mentions unknown "
+                        f"actor {actor!r}"
+                    )
+                if self._tile_of[self._index[actor]] is not None:
+                    raise ValueError(
+                        f"actor {actor!r} scheduled on more than one tile"
+                    )
+                self._tile_of[self._index[actor]] = tile_idx
+
+    # -- helpers -------------------------------------------------------
+    def _tokens_available(self, actor: int, tokens: List[int]) -> bool:
+        return all(tokens[c] >= rate for c, rate in self._inputs[actor])
+
+    def _consume(self, actor: int, tokens: List[int]) -> None:
+        for channel, rate in self._inputs[actor]:
+            tokens[channel] -= rate
+
+    def _produce(self, actor: int, tokens: List[int]) -> None:
+        for channel, rate in self._outputs[actor]:
+            tokens[channel] += rate
+
+    def run(self) -> ConstrainedThroughputResult:
+        tokens = list(self._initial_tokens)
+        # remaining *work* per active firing; unscheduled actors may have
+        # several concurrent firings, tiles at most one.
+        unscheduled_active: List[List[int]] = [[] for _ in self._actors]
+        tile_active: List[Optional[Tuple[int, int]]] = [None] * len(self.tiles)
+        schedule_pos = [0] * len(self.tiles)
+        completed = [0] * len(self._actors)
+        time = 0
+        seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+        # trace bookkeeping lives outside the hashed state: firings of
+        # one actor all take the same time, so FIFO start matching is
+        # exact for concurrent unscheduled firings.
+        unscheduled_starts: List[List[int]] = [[] for _ in self._actors]
+        tile_started: List[int] = [0] * len(self.tiles)
+
+        def record(actor: int, tile_idx: Optional[int], start: int, end: int) -> None:
+            if self.trace is not None:
+                self.trace.append(
+                    TraceEvent(
+                        actor=self._actors[actor],
+                        tile=None if tile_idx is None else self.tiles[tile_idx].name,
+                        start=start,
+                        end=end,
+                    )
+                )
+
+        def start_enabled() -> None:
+            progress = True
+            zero_guard = 0
+            while progress:
+                progress = False
+                # unscheduled actors (connection/alignment actors)
+                for actor in range(len(self._actors)):
+                    if self._tile_of[actor] is not None:
+                        continue
+                    while self._tokens_available(actor, tokens):
+                        self._consume(actor, tokens)
+                        if self._times[actor] == 0:
+                            self._produce(actor, tokens)
+                            completed[actor] += 1
+                            record(actor, None, time, time)
+                            zero_guard += 1
+                            if zero_guard > 1_000_000:
+                                raise StateSpaceExplosionError(
+                                    "zero-duration firing loop in "
+                                    "constrained execution"
+                                )
+                        else:
+                            unscheduled_active[actor].append(self._times[actor])
+                            unscheduled_starts[actor].append(time)
+                        progress = True
+                # scheduled actors: head of static order, idle tile
+                for tile_idx, tile in enumerate(self.tiles):
+                    if tile_active[tile_idx] is not None:
+                        continue
+                    actor_name = tile.schedule.entry(schedule_pos[tile_idx])
+                    actor = self._index[actor_name]
+                    if self._tokens_available(actor, tokens):
+                        self._consume(actor, tokens)
+                        schedule_pos[tile_idx] += 1
+                        if self._times[actor] == 0:
+                            self._produce(actor, tokens)
+                            completed[actor] += 1
+                            record(actor, tile_idx, time, time)
+                        else:
+                            tile_active[tile_idx] = (actor, self._times[actor])
+                            tile_started[tile_idx] = time
+                        progress = True
+
+        while True:
+            start_enabled()
+            key = (
+                tuple(tokens),
+                tuple(
+                    (i, tuple(sorted(remaining)))
+                    for i, remaining in enumerate(unscheduled_active)
+                    if remaining
+                ),
+                tuple(tile_active),
+                tuple(
+                    tile.schedule.canonical_position(schedule_pos[i])
+                    for i, tile in enumerate(self.tiles)
+                ),
+                tuple(time % tile.wheel for tile in self.tiles),
+            )
+            if key in seen:
+                first_time, first_completed = seen[key]
+                period = time - first_time
+                firings = {
+                    name: completed[i] - first_completed[i]
+                    for i, name in enumerate(self._actors)
+                }
+                return ConstrainedThroughputResult(
+                    period=period,
+                    period_firings=firings,
+                    transient_time=first_time,
+                    states_explored=len(seen),
+                )
+            seen[key] = (time, tuple(completed))
+            if len(seen) > self.max_states:
+                raise StateSpaceExplosionError(
+                    f"exceeded {self.max_states} states in constrained "
+                    f"execution of {self.graph.name!r}"
+                )
+
+            # next completion event
+            next_event: Optional[int] = None
+            for active in unscheduled_active:
+                for remaining in active:
+                    candidate = time + remaining
+                    if next_event is None or candidate < next_event:
+                        next_event = candidate
+            for tile_idx, firing in enumerate(tile_active):
+                if firing is None:
+                    continue
+                tile = self.tiles[tile_idx]
+                candidate = gated_finish(
+                    time,
+                    firing[1],
+                    tile.wheel,
+                    tile.slice_size,
+                    tile.slice_start,
+                )
+                if candidate is None:
+                    continue  # zero slice: this firing never finishes
+                if next_event is None or candidate < next_event:
+                    next_event = candidate
+            if next_event is None:
+                return ConstrainedThroughputResult(
+                    period=None,
+                    period_firings={},
+                    transient_time=time,
+                    states_explored=len(seen),
+                    deadlocked=True,
+                )
+
+            step = next_event - time
+            for actor, active in enumerate(unscheduled_active):
+                if not active:
+                    continue
+                finished = 0
+                for i in range(len(active)):
+                    active[i] -= step
+                    if active[i] == 0:
+                        finished += 1
+                if finished:
+                    unscheduled_active[actor] = [r for r in active if r > 0]
+                    for _ in range(finished):
+                        self._produce(actor, tokens)
+                        if unscheduled_starts[actor]:
+                            record(
+                                actor,
+                                None,
+                                unscheduled_starts[actor].pop(0),
+                                next_event,
+                            )
+                    completed[actor] += finished
+            for tile_idx, firing in enumerate(tile_active):
+                if firing is None:
+                    continue
+                tile = self.tiles[tile_idx]
+                progressed = busy_time(
+                    time,
+                    next_event,
+                    tile.wheel,
+                    tile.slice_size,
+                    tile.slice_start,
+                )
+                remaining = firing[1] - progressed
+                if remaining <= 0:
+                    self._produce(firing[0], tokens)
+                    completed[firing[0]] += 1
+                    record(firing[0], tile_idx, tile_started[tile_idx], next_event)
+                    tile_active[tile_idx] = None
+                else:
+                    tile_active[tile_idx] = (firing[0], remaining)
+            time = next_event
+
+
+def constrained_throughput(
+    graph: SDFGraph,
+    tiles: Sequence[TileConstraints],
+    max_states: int = DEFAULT_MAX_STATES,
+    trace: Optional[List[TraceEvent]] = None,
+) -> ConstrainedThroughputResult:
+    """Throughput of ``graph`` under static-order + TDMA constraints.
+
+    ``graph`` is typically a binding-aware SDFG
+    (:func:`repro.appmodel.binding_aware.build_binding_aware_graph`);
+    actors appearing in no tile's schedule run unconstrained.
+
+    When any tile with scheduled actors has a zero slice the execution
+    deadlocks (its firings never finish) and a zero-throughput result is
+    returned without exploration.
+
+    Passing a list as ``trace`` records every firing as a
+    :class:`TraceEvent` (transient plus one full period), which
+    :mod:`repro.extensions.tracing` renders as a Gantt chart.
+    """
+    for tile in tiles:
+        if tile.slice_size == 0 and tile.schedule.actors:
+            return ConstrainedThroughputResult(
+                period=None,
+                period_firings={},
+                transient_time=0,
+                states_explored=0,
+                deadlocked=True,
+            )
+    return _ConstrainedEngine(graph, tiles, max_states, trace=trace).run()

@@ -1,0 +1,186 @@
+"""Howard's policy iteration for the maximum cycle ratio (exact).
+
+A third, independent implementation of the HSDF throughput oracle
+(besides cycle enumeration and the parametric Lawler search): policy
+iteration over "successor choices".  Each node of a strongly connected
+component picks one outgoing edge (a *policy*); the policy graph is
+functional, so every node leads into exactly one cycle, whose ratio
+
+    lambda = (sum of edge weights) / (sum of edge tokens)
+
+is the policy's value at that node.  Improvement switches a node to an
+edge that reaches a better cycle, or — at equal lambda — to one with a
+larger bias value `v(u) = w_e - lambda * t_e + v(next(u))`.  With
+exact ``Fraction`` arithmetic the iteration terminates at the maximum
+cycle ratio; in practice it converges in a handful of rounds, making it
+the fastest exact option in this repository for mid-size HSDFGs.
+
+Edge weights follow the repository convention for HSDF throughput: the
+weight of an edge is the execution time of its *source* actor, so a
+cycle's weight sum equals the total execution time of the actors on it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple, Union
+
+from repro.sdf.analysis import strongly_connected_components
+from repro.sdf.graph import SDFGraph
+
+Ratio = Union[Fraction, float]
+
+
+class _Component:
+    """One strongly connected component prepared for policy iteration."""
+
+    def __init__(self, graph: SDFGraph, nodes: List[str]) -> None:
+        keep = set(nodes)
+        self.nodes = list(nodes)
+        self.index = {name: i for i, name in enumerate(self.nodes)}
+        # out[u] = [(v, weight, tokens)]
+        self.out: List[List[Tuple[int, int, int]]] = [[] for _ in self.nodes]
+        for channel in graph.channels:
+            if channel.src in keep and channel.dst in keep:
+                self.out[self.index[channel.src]].append(
+                    (
+                        self.index[channel.dst],
+                        graph.actor(channel.src).execution_time,
+                        channel.tokens,
+                    )
+                )
+
+    def has_cycle(self) -> bool:
+        return all(edges for edges in self.out) and len(self.nodes) > 0
+
+
+def _evaluate_policy(
+    component: _Component, policy: List[int]
+) -> Tuple[List[Ratio], List[Fraction], Optional[Ratio]]:
+    """Per-node cycle ratio and bias under ``policy``.
+
+    Returns (lambda per node, bias per node, infinite-ratio marker).
+    A reached cycle with zero total tokens has an infinite ratio; the
+    caller reports it immediately (the graph deadlocks).
+    """
+    count = len(component.nodes)
+    lam: List[Optional[Ratio]] = [None] * count
+    bias: List[Optional[Fraction]] = [None] * count
+    state = [0] * count  # 0 unvisited, 1 on stack, 2 done
+
+    for root in range(count):
+        if state[root] == 2:
+            continue
+        # walk the functional graph until a done node or a cycle
+        path: List[int] = []
+        node = root
+        while state[node] == 0:
+            state[node] = 1
+            path.append(node)
+            node = component.out[node][policy[node]][0]
+        if state[node] == 1:
+            # found a new cycle: nodes from `node` onward in `path`
+            start = path.index(node)
+            cycle = path[start:]
+            weight_sum = 0
+            token_sum = 0
+            for member in cycle:
+                _, weight, tokens = component.out[member][policy[member]]
+                weight_sum += weight
+                token_sum += tokens
+            if token_sum == 0:
+                return [], [], float("inf")
+            ratio: Ratio = Fraction(weight_sum, token_sum)
+            anchor = cycle[0]
+            lam[anchor] = ratio
+            bias[anchor] = Fraction(0)
+            # propagate values backwards around the cycle
+            ordered = cycle[1:][::-1]
+            for member in ordered:
+                successor, weight, tokens = component.out[member][
+                    policy[member]
+                ]
+                lam[member] = ratio
+                bias[member] = (
+                    Fraction(weight) - ratio * tokens + bias[successor]
+                )
+        # resolve the tail of the path (and any prefix before the cycle)
+        for member in reversed(path):
+            if lam[member] is None:
+                successor, weight, tokens = component.out[member][
+                    policy[member]
+                ]
+                lam[member] = lam[successor]
+                bias[member] = (
+                    Fraction(weight)
+                    - lam[successor] * tokens
+                    + bias[successor]
+                )
+            state[member] = 2
+        state[node] = 2
+    return lam, bias, None  # type: ignore[return-value]
+
+
+def _howard_component(component: _Component) -> Ratio:
+    policy = [0] * len(component.nodes)
+    while True:
+        lam, bias, infinite = _evaluate_policy(component, policy)
+        if infinite is not None:
+            return infinite
+        improved = False
+        for node, edges in enumerate(component.out):
+            best_choice = policy[node]
+            best_lambda = lam[component.out[node][policy[node]][0]]
+            best_value = (
+                Fraction(component.out[node][policy[node]][1])
+                - lam[node] * component.out[node][policy[node]][2]
+                + bias[component.out[node][policy[node]][0]]
+            )
+            for choice, (successor, weight, tokens) in enumerate(edges):
+                if choice == policy[node]:
+                    continue
+                successor_lambda = lam[successor]
+                if successor_lambda > best_lambda:
+                    best_choice = choice
+                    best_lambda = successor_lambda
+                    best_value = (
+                        Fraction(weight)
+                        - successor_lambda * tokens
+                        + bias[successor]
+                    )
+                    improved = True
+                elif successor_lambda == best_lambda == lam[node]:
+                    value = (
+                        Fraction(weight)
+                        - lam[node] * tokens
+                        + bias[successor]
+                    )
+                    if value > best_value:
+                        best_choice = choice
+                        best_value = value
+                        improved = True
+            policy[node] = best_choice
+        if not improved:
+            return max(lam)  # type: ignore[arg-type]
+
+
+def howard_max_cycle_ratio(graph: SDFGraph) -> Optional[Ratio]:
+    """Maximum cycle ratio of an HSDF-style graph via Howard iteration.
+
+    Weight of a cycle = execution times of its actors; denominator =
+    tokens on its edges.  Returns None for acyclic graphs and
+    ``float('inf')`` when a token-free cycle exists.
+    """
+    best: Optional[Ratio] = None
+    for nodes in strongly_connected_components(graph):
+        if len(nodes) == 1:
+            actor = nodes[0]
+            if not any(
+                c.is_self_loop for c in graph.out_channels(actor)
+            ):
+                continue
+        component = _Component(graph, nodes)
+        ratio = _howard_component(component)
+        if best is None or ratio > best:
+            best = ratio
+    return best

@@ -1,0 +1,361 @@
+"""Self-timed state-space throughput analysis (paper ref [10]).
+
+An actor fires as soon as sufficient tokens are present on all inputs;
+tokens are consumed at the start of a firing and produced at its end,
+``tau`` time units later.  The state of the execution is the token
+distribution plus the remaining execution times of all active firings.
+Because a consistent, strongly connected SDFG visits only finitely many
+states under self-timed execution, the execution eventually revisits a
+state; the throughput of every actor is its firing count over the
+duration of that periodic phase.
+
+Graphs that are not strongly connected have unbounded channels under
+self-timed execution, so the driver :func:`throughput` decomposes the
+graph into strongly connected components, analyses each in isolation and
+combines them: the iteration rate of the graph is the minimum over the
+components (upstream components throttle downstream ones; this is exact
+for self-timed executions with unbounded inter-component buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sdf.analysis import strongly_connected_components
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+
+Rate = Union[Fraction, float]
+
+#: Default cap on explored states before the engine gives up.
+DEFAULT_MAX_STATES = 2_000_000
+#: Cap on zero-duration firing completions at a single time instant.
+_ZERO_TIME_GUARD = 1_000_000
+
+
+class StateSpaceExplosionError(RuntimeError):
+    """Raised when exploration exceeds the configured state budget."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one self-timed execution until recurrence (or deadlock).
+
+    ``period`` is the duration of the periodic phase, ``period_firings``
+    maps each actor to its number of completed firings inside one period.
+    ``deadlocked`` executions have ``period = None``.
+    """
+
+    transient_time: int
+    period: Optional[int]
+    period_firings: Dict[str, int]
+    states_explored: int
+    deadlocked: bool = False
+
+    def actor_throughput(self, actor: str) -> Fraction:
+        """Firings of ``actor`` per time unit in the steady state."""
+        if self.deadlocked or not self.period:
+            return Fraction(0)
+        return Fraction(self.period_firings.get(actor, 0), self.period)
+
+
+@dataclass
+class ThroughputResult:
+    """Throughput of a full graph (possibly several SCCs).
+
+    ``iteration_rate`` is the number of complete graph iterations per
+    time unit (``float('inf')`` when nothing constrains the rate, i.e.
+    the graph has no cycle; ``0`` when the graph deadlocks).
+    """
+
+    iteration_rate: Rate
+    gamma: Dict[str, int]
+    scc_rates: Dict[Tuple[str, ...], Rate] = field(default_factory=dict)
+    states_explored: int = 0
+
+    def of(self, actor: str) -> Rate:
+        """Steady-state firings per time unit of ``actor``."""
+        if self.iteration_rate == float("inf"):
+            return float("inf")
+        return self.iteration_rate * self.gamma[actor]
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.iteration_rate == 0
+
+
+class SelfTimedExecution:
+    """Executable self-timed semantics of one (sub-)graph.
+
+    The engine assumes the graph's channels stay bounded (callers pass
+    strongly connected graphs or graphs with explicit buffer back-edges,
+    like binding-aware graphs).  ``auto_concurrency=False`` adds an
+    implicit one-firing-at-a-time restriction per actor, equivalent to a
+    self-edge with one initial token.
+    """
+
+    def __init__(
+        self,
+        graph: SDFGraph,
+        execution_times: Optional[Dict[str, int]] = None,
+        auto_concurrency: bool = True,
+        max_states: int = DEFAULT_MAX_STATES,
+    ) -> None:
+        self.graph = graph
+        self.auto_concurrency = auto_concurrency
+        self.max_states = max_states
+        times = execution_times or graph.execution_times()
+        self._actor_names = graph.actor_names
+        self._actor_index = {a: i for i, a in enumerate(self._actor_names)}
+        self._times = [times[a] for a in self._actor_names]
+        channel_names = graph.channel_names
+        channel_index = {c: i for i, c in enumerate(channel_names)}
+        self._initial_tokens = [graph.channel(c).tokens for c in channel_names]
+        # per actor: [(channel index, rate), ...]
+        self._inputs: List[List[Tuple[int, int]]] = []
+        self._outputs: List[List[Tuple[int, int]]] = []
+        for actor in self._actor_names:
+            self._inputs.append(
+                [
+                    (channel_index[c.name], c.consumption)
+                    for c in graph.in_channels(actor)
+                ]
+            )
+            self._outputs.append(
+                [
+                    (channel_index[c.name], c.production)
+                    for c in graph.out_channels(actor)
+                ]
+            )
+
+    # ------------------------------------------------------------------
+    def _try_start(
+        self,
+        actor: int,
+        tokens: List[int],
+        active: List[List[int]],
+        completed: List[int],
+    ) -> bool:
+        """Start one firing of ``actor`` if enabled; returns success."""
+        if not self.auto_concurrency and active[actor]:
+            return False
+        for channel, rate in self._inputs[actor]:
+            if tokens[channel] < rate:
+                return False
+        for channel, rate in self._inputs[actor]:
+            tokens[channel] -= rate
+        duration = self._times[actor]
+        if duration == 0:
+            for channel, rate in self._outputs[actor]:
+                tokens[channel] += rate
+            completed[actor] += 1
+        else:
+            active[actor].append(duration)
+        return True
+
+    def _start_phase(
+        self,
+        tokens: List[int],
+        active: List[List[int]],
+        completed: List[int],
+    ) -> None:
+        """Start every enabled firing (zero-time firings loop in place)."""
+        guard = 0
+        progress = True
+        while progress:
+            progress = False
+            for actor in range(len(self._actor_names)):
+                while self._try_start(actor, tokens, active, completed):
+                    progress = True
+                    guard += 1
+                    if guard > _ZERO_TIME_GUARD:
+                        raise StateSpaceExplosionError(
+                            "unbounded firing burst at one time instant: "
+                            "either a cycle with total execution time 0, or "
+                            "an actor without inputs under auto-concurrency "
+                            "(bound the graph or disable auto_concurrency)"
+                        )
+            # A second sweep is only needed when zero-time firings
+            # produced tokens; firing starts alone never enable others.
+            if not any(self._times[a] == 0 for a in range(len(self._times))):
+                break
+
+    def execute_until(
+        self, actor: str, firings: int
+    ) -> Optional[int]:
+        """Time at which ``actor`` completes its ``firings``-th firing.
+
+        Runs the same self-timed semantics as :meth:`execute` but stops
+        as soon as the target completion count is reached (used by the
+        latency analysis).  Returns None when the graph deadlocks
+        first.
+        """
+        target = self._actor_index[actor]
+        tokens = list(self._initial_tokens)
+        active: List[List[int]] = [[] for _ in self._actor_names]
+        completed = [0] * len(self._actor_names)
+        time = 0
+        steps = 0
+        while completed[target] < firings:
+            self._start_phase(tokens, active, completed)
+            if completed[target] >= firings:
+                break
+            remaining_values = [r for firing in active for r in firing]
+            if not remaining_values:
+                return None  # deadlock before the target count
+            step = min(remaining_values)
+            time += step
+            for index, firing in enumerate(active):
+                finished = 0
+                for i in range(len(firing)):
+                    firing[i] -= step
+                    if firing[i] == 0:
+                        finished += 1
+                if finished:
+                    active[index] = [r for r in firing if r > 0]
+                    for channel, rate in self._outputs[index]:
+                        tokens[channel] += rate * finished
+                    completed[index] += finished
+            steps += 1
+            if steps > self.max_states:
+                raise StateSpaceExplosionError(
+                    f"execute_until exceeded {self.max_states} events"
+                )
+        return time
+
+    def execute(self) -> ExecutionResult:
+        """Run until a recurrent state (or deadlock) and report the period."""
+        tokens = list(self._initial_tokens)
+        active: List[List[int]] = [[] for _ in self._actor_names]
+        completed = [0] * len(self._actor_names)
+        time = 0
+        seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+
+        while True:
+            self._start_phase(tokens, active, completed)
+            key = (
+                tuple(tokens),
+                tuple(
+                    (i, tuple(sorted(remaining)))
+                    for i, remaining in enumerate(active)
+                    if remaining
+                ),
+            )
+            if key in seen:
+                first_time, first_completed = seen[key]
+                period = time - first_time
+                firings = {
+                    name: completed[i] - first_completed[i]
+                    for i, name in enumerate(self._actor_names)
+                }
+                return ExecutionResult(
+                    transient_time=first_time,
+                    period=period,
+                    period_firings=firings,
+                    states_explored=len(seen),
+                )
+            seen[key] = (time, tuple(completed))
+            if len(seen) > self.max_states:
+                raise StateSpaceExplosionError(
+                    f"exceeded {self.max_states} states on graph "
+                    f"{self.graph.name!r} (channels unbounded or budget "
+                    "too small)"
+                )
+
+            remaining_values = [r for firing in active for r in firing]
+            if not remaining_values:
+                return ExecutionResult(
+                    transient_time=time,
+                    period=None,
+                    period_firings={},
+                    states_explored=len(seen),
+                    deadlocked=True,
+                )
+            step = min(remaining_values)
+            time += step
+            for actor, firing in enumerate(active):
+                finished = 0
+                for index in range(len(firing)):
+                    firing[index] -= step
+                    if firing[index] == 0:
+                        finished += 1
+                if finished:
+                    active[actor] = [r for r in firing if r > 0]
+                    for channel, rate in self._outputs[actor]:
+                        tokens[channel] += rate * finished
+                    completed[actor] += finished
+
+
+def _scc_subgraph_with_cycles(
+    graph: SDFGraph, component: Sequence[str]
+) -> Optional[SDFGraph]:
+    """Induced sub-graph when the component contains a cycle, else None."""
+    if len(component) > 1:
+        return graph.subgraph(component)
+    actor = component[0]
+    if any(c.is_self_loop for c in graph.out_channels(actor)):
+        return graph.subgraph(component)
+    return None
+
+
+def throughput(
+    graph: SDFGraph,
+    execution_times: Optional[Dict[str, int]] = None,
+    auto_concurrency: bool = True,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> ThroughputResult:
+    """Self-timed throughput of ``graph`` via SCC-wise state-space analysis.
+
+    Returns a :class:`ThroughputResult`; ``result.of(actor)`` is the
+    steady-state firing rate of an actor.  Graphs without any cycle are
+    reported as unbounded (``float('inf')``); a deadlocking component
+    makes the whole graph rate 0.
+    """
+    gamma = repetition_vector(graph)
+    rates: Dict[Tuple[str, ...], Rate] = {}
+    states = 0
+    overall: Rate = float("inf")
+    for component in strongly_connected_components(graph):
+        subgraph = _scc_subgraph_with_cycles(graph, component)
+        if subgraph is None:
+            if not auto_concurrency:
+                # One firing at a time acts like a self-edge with one
+                # token: the actor alone limits the rate to 1/tau.
+                actor = component[0]
+                times = execution_times or {}
+                duration = times.get(actor, graph.actor(actor).execution_time)
+                if duration > 0:
+                    rate = Fraction(1, duration * gamma[actor])
+                    rates[tuple(component)] = rate
+                    if rate < overall:
+                        overall = rate
+            continue
+        engine = SelfTimedExecution(
+            subgraph,
+            execution_times=(
+                {a: execution_times[a] for a in component}
+                if execution_times
+                else None
+            ),
+            auto_concurrency=auto_concurrency,
+            max_states=max_states,
+        )
+        result = engine.execute()
+        states += result.states_explored
+        representative = component[0]
+        rate: Rate
+        if result.deadlocked:
+            rate = Fraction(0)
+        else:
+            rate = result.actor_throughput(representative) / gamma[representative]
+        rates[tuple(component)] = rate
+        if rate < overall:
+            overall = rate
+    return ThroughputResult(
+        iteration_rate=overall,
+        gamma=gamma,
+        scc_rates=rates,
+        states_explored=states,
+    )

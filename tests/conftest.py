@@ -1,0 +1,55 @@
+"""Shared fixtures: the paper's running example and small canonical graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+    paper_example_binding,
+)
+from repro.sdf.graph import SDFGraph, chain
+
+
+@pytest.fixture
+def example_application():
+    return paper_example_application()
+
+
+@pytest.fixture
+def example_architecture():
+    return paper_example_architecture()
+
+
+@pytest.fixture
+def example_binding():
+    return paper_example_binding()
+
+
+@pytest.fixture
+def simple_cycle_graph():
+    """a -> b -> a with execution times 2/3 and 2 tokens on the cycle."""
+    graph = SDFGraph("cycle")
+    graph.add_actor("a", 2)
+    graph.add_actor("b", 3)
+    graph.add_channel("ab", "a", "b")
+    graph.add_channel("ba", "b", "a", tokens=2)
+    return graph
+
+
+@pytest.fixture
+def multirate_graph():
+    """a -(2,3)-> b -(3,2)-> a; gamma = (3, 2); MCR = 5."""
+    graph = SDFGraph("multirate")
+    graph.add_actor("a", 2)
+    graph.add_actor("b", 3)
+    graph.add_channel("ab", "a", "b", 2, 3, 1)
+    graph.add_channel("ba", "b", "a", 3, 2, 6)
+    return graph
+
+
+@pytest.fixture
+def chain_graph():
+    """Homogeneous 3-chain closed by a 2-token back edge."""
+    return chain(["x", "y", "z"], [1, 2, 3], tokens_on_back_edge=2)

@@ -1,0 +1,138 @@
+"""Unit tests for structural analyses (SCCs, liveness, connectivity)."""
+
+import pytest
+
+from repro.sdf.analysis import (
+    actors_on_cycles,
+    is_connected,
+    is_deadlock_free,
+    is_strongly_connected,
+    strongly_connected_components,
+    undirected_components,
+)
+from repro.sdf.graph import SDFGraph, chain
+
+
+def build(edges, actors=None, tokens=None):
+    graph = SDFGraph()
+    names = actors or sorted({n for e in edges for n in e})
+    for name in names:
+        graph.add_actor(name)
+    for index, (src, dst) in enumerate(edges):
+        graph.add_channel(
+            f"d{index}", src, dst, tokens=(tokens or {}).get((src, dst), 0)
+        )
+    return graph
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_is_one_component(self, simple_cycle_graph):
+        components = strongly_connected_components(simple_cycle_graph)
+        assert len(components) == 1
+        assert sorted(components[0]) == ["a", "b"]
+
+    def test_chain_gives_singletons(self):
+        graph = chain(["a", "b", "c"])
+        components = strongly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+
+    def test_reverse_topological_order(self):
+        graph = build([("a", "b"), ("b", "c")])
+        components = strongly_connected_components(graph)
+        # Tarjan emits sinks first.
+        assert components[0] == ["c"]
+        assert components[-1] == ["a"]
+
+    def test_two_cycles_bridged(self):
+        graph = build(
+            [("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")]
+        )
+        components = strongly_connected_components(graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [2, 2]
+
+    def test_self_loop_is_singleton_component(self):
+        graph = build([("a", "a")])
+        assert strongly_connected_components(graph) == [["a"]]
+
+    def test_is_strongly_connected(self, simple_cycle_graph):
+        assert is_strongly_connected(simple_cycle_graph)
+        assert not is_strongly_connected(chain(["a", "b"]))
+        assert is_strongly_connected(SDFGraph())
+
+    def test_large_cycle_no_recursion_limit(self):
+        names = [f"a{i}" for i in range(5000)]
+        graph = chain(names, tokens_on_back_edge=1)
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert len(components[0]) == 5000
+
+
+class TestDeadlockFreedom:
+    def test_cycle_with_tokens_is_live(self, simple_cycle_graph):
+        assert is_deadlock_free(simple_cycle_graph)
+
+    def test_token_free_cycle_deadlocks(self):
+        graph = build([("a", "b"), ("b", "a")])
+        assert not is_deadlock_free(graph)
+
+    def test_acyclic_graph_is_live(self):
+        assert is_deadlock_free(chain(["a", "b", "c"]))
+
+    def test_multirate_needs_enough_tokens(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.add_channel("ab", "a", "b", 1, 2)
+        graph.add_channel("ba", "b", "a", 2, 1, tokens=1)
+        # gamma = (2, 1): 'a' needs 2 tokens on ba to fire twice before b
+        # can fire; 1 token lets a fire once, then everything stalls.
+        assert not is_deadlock_free(graph)
+        graph.channel("ba").tokens = 2
+        assert is_deadlock_free(graph)
+
+    def test_self_loop_token_required(self):
+        graph = build([("a", "a")])
+        assert not is_deadlock_free(graph)
+        graph.channel("d0").tokens = 1
+        assert is_deadlock_free(graph)
+
+    def test_partial_progress_then_deadlock(self):
+        # a fires its full iteration, but b and c sit on a token-free
+        # cycle and never fire: partial progress is not liveness
+        graph = SDFGraph()
+        for n in "abc":
+            graph.add_actor(n)
+        graph.add_channel("aa", "a", "a", tokens=1)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("bc", "b", "c")
+        graph.add_channel("cb", "c", "b")
+        assert not is_deadlock_free(graph)
+
+
+class TestConnectivity:
+    def test_connected_chain(self):
+        assert is_connected(chain(["a", "b", "c"]))
+
+    def test_disconnected_graph(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        assert not is_connected(graph)
+        assert len(undirected_components(graph)) == 2
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(SDFGraph())
+
+    def test_direction_ignored(self):
+        graph = build([("a", "b"), ("c", "b")])
+        assert is_connected(graph)
+
+
+class TestActorsOnCycles:
+    def test_mixed_graph(self):
+        graph = build([("a", "b"), ("b", "a"), ("b", "c"), ("d", "d")])
+        assert actors_on_cycles(graph) == {"a", "b", "d"}
+
+    def test_acyclic_graph_empty(self):
+        assert actors_on_cycles(chain(["a", "b", "c"])) == set()

@@ -1,0 +1,221 @@
+"""Unit tests for the architecture model (tiles, connections, occupancy)."""
+
+import pytest
+
+from repro.arch.architecture import ArchitectureGraph, Connection
+from repro.arch.resources import (
+    InsufficientResourcesError,
+    ResourceReservation,
+)
+from repro.arch.tile import ProcessorType, Tile
+
+
+def make_tile(name="t0", **overrides):
+    values = dict(
+        name=name,
+        processor_type=ProcessorType("p"),
+        wheel=100,
+        memory=1000,
+        max_connections=4,
+        bandwidth_in=50,
+        bandwidth_out=60,
+    )
+    values.update(overrides)
+    return Tile(**values)
+
+
+class TestTile:
+    def test_remaining_equals_capacity_initially(self):
+        tile = make_tile()
+        assert tile.wheel_remaining == 100
+        assert tile.memory_remaining == 1000
+        assert tile.connections_remaining == 4
+        assert tile.bandwidth_in_remaining == 50
+        assert tile.bandwidth_out_remaining == 60
+
+    def test_occupancy_reduces_remaining(self):
+        tile = make_tile()
+        tile.wheel_occupied = 30
+        tile.memory_occupied = 100
+        assert tile.wheel_remaining == 70
+        assert tile.memory_remaining == 900
+
+    def test_reset_occupancy(self):
+        tile = make_tile()
+        tile.wheel_occupied = 30
+        tile.connections_occupied = 2
+        tile.reset_occupancy()
+        assert tile.wheel_remaining == 100
+        assert tile.connections_remaining == 4
+
+    def test_copy_preserves_occupancy_independently(self):
+        tile = make_tile()
+        tile.memory_occupied = 500
+        clone = tile.copy()
+        clone.memory_occupied = 0
+        assert tile.memory_occupied == 500
+
+    def test_wheel_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_tile(wheel=0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make_tile(memory=-1)
+
+
+class TestConnection:
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Connection("a", "b", 0)
+
+    def test_fields(self):
+        connection = Connection("a", "b", 3)
+        assert (connection.src, connection.dst, connection.latency) == (
+            "a",
+            "b",
+            3,
+        )
+
+
+class TestArchitectureGraph:
+    def build(self):
+        arch = ArchitectureGraph("test")
+        arch.add_tile(make_tile("t0"))
+        arch.add_tile(make_tile("t1", processor_type=ProcessorType("q")))
+        arch.add_connection("t0", "t1", 2)
+        return arch
+
+    def test_tile_lookup(self):
+        arch = self.build()
+        assert arch.tile("t0").name == "t0"
+        assert arch.has_tile("t1")
+        assert not arch.has_tile("t9")
+        assert len(arch) == 2
+
+    def test_duplicate_tile_rejected(self):
+        arch = self.build()
+        with pytest.raises(ValueError):
+            arch.add_tile(make_tile("t0"))
+
+    def test_connection_lookup_is_directional(self):
+        arch = self.build()
+        assert arch.connected("t0", "t1")
+        assert not arch.connected("t1", "t0")
+        assert arch.connection("t1", "t0") is None
+        assert arch.connection("t0", "t1").latency == 2
+
+    def test_self_connection_rejected(self):
+        arch = self.build()
+        with pytest.raises(ValueError):
+            arch.add_connection("t0", "t0")
+
+    def test_connection_to_unknown_tile_rejected(self):
+        arch = self.build()
+        with pytest.raises(KeyError):
+            arch.add_connection("t0", "ghost")
+
+    def test_duplicate_connection_rejected(self):
+        arch = self.build()
+        with pytest.raises(ValueError):
+            arch.add_connection("t0", "t1", 5)
+
+    def test_processor_types_deduplicated(self):
+        arch = self.build()
+        arch.add_tile(make_tile("t2"))
+        types = arch.processor_types()
+        assert [t.name for t in types] == ["p", "q"]
+
+    def test_tiles_of_type(self):
+        arch = self.build()
+        assert [t.name for t in arch.tiles_of_type(ProcessorType("p"))] == ["t0"]
+
+    def test_copy_is_independent(self):
+        arch = self.build()
+        arch.tile("t0").wheel_occupied = 10
+        clone = arch.copy()
+        clone.tile("t0").wheel_occupied = 99
+        assert arch.tile("t0").wheel_occupied == 10
+        assert clone.connected("t0", "t1")
+
+    def test_usage_and_capacity_totals(self):
+        arch = self.build()
+        arch.tile("t0").wheel_occupied = 10
+        arch.tile("t1").memory_occupied = 200
+        usage = arch.total_usage()
+        assert usage["timewheel"] == 10
+        assert usage["memory"] == 200
+        capacity = arch.total_capacity()
+        assert capacity["timewheel"] == 200
+        assert capacity["connections"] == 8
+
+    def test_reset_occupancy_all_tiles(self):
+        arch = self.build()
+        arch.tile("t0").wheel_occupied = 10
+        arch.reset_occupancy()
+        assert arch.total_usage()["timewheel"] == 0
+
+
+class TestResourceReservation:
+    def build_arch(self):
+        arch = ArchitectureGraph()
+        arch.add_tile(make_tile("t0"))
+        return arch
+
+    def test_commit_occupies(self):
+        arch = self.build_arch()
+        reservation = ResourceReservation()
+        claim = reservation.tile("t0")
+        claim.time_slice = 10
+        claim.memory = 100
+        claim.connections = 1
+        claim.bandwidth_in = 5
+        claim.bandwidth_out = 6
+        reservation.commit(arch)
+        tile = arch.tile("t0")
+        assert tile.wheel_occupied == 10
+        assert tile.memory_occupied == 100
+        assert tile.connections_occupied == 1
+        assert tile.bandwidth_in_occupied == 5
+        assert tile.bandwidth_out_occupied == 6
+
+    def test_rollback_restores(self):
+        arch = self.build_arch()
+        reservation = ResourceReservation()
+        reservation.tile("t0").time_slice = 10
+        reservation.commit(arch)
+        reservation.rollback(arch)
+        assert arch.tile("t0").wheel_occupied == 0
+
+    def test_overcommit_rejected_atomically(self):
+        arch = self.build_arch()
+        reservation = ResourceReservation()
+        reservation.tile("t0").time_slice = 10
+        reservation.tile("t0").memory = 5000  # exceeds 1000
+        with pytest.raises(InsufficientResourcesError):
+            reservation.commit(arch)
+        assert arch.tile("t0").wheel_occupied == 0
+
+    def test_fits_checks_every_resource(self):
+        arch = self.build_arch()
+        reservation = ResourceReservation()
+        reservation.tile("t0").bandwidth_out = 61
+        assert not reservation.fits(arch)
+        reservation.tile("t0").bandwidth_out = 60
+        assert reservation.fits(arch)
+
+    def test_sequential_commits_stack(self):
+        arch = self.build_arch()
+        for _ in range(2):
+            reservation = ResourceReservation()
+            reservation.tile("t0").time_slice = 40
+            reservation.commit(arch)
+        third = ResourceReservation()
+        third.tile("t0").time_slice = 40
+        assert not third.fits(arch)
+
+    def test_empty_claim_detection(self):
+        reservation = ResourceReservation()
+        assert reservation.tile("t0").is_empty()
+        reservation.tile("t0").memory = 1
+        assert not reservation.tile("t0").is_empty()

@@ -1,0 +1,144 @@
+"""Unit tests for the baselines (HSDF path, TDMA inflation model)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.binding_aware import build_binding_aware_graph
+from repro.baselines.hsdf_path import (
+    hsdf_throughput_check,
+    timed_throughput_comparison,
+)
+from repro.baselines.tdma_inflation import tdma_inflated_throughput
+from repro.throughput.constrained import constrained_throughput
+from repro.throughput.state_space import throughput
+
+
+class TestHsdfPath:
+    def test_matches_direct_throughput(self, multirate_graph):
+        direct = throughput(multirate_graph).iteration_rate
+        assert hsdf_throughput_check(multirate_graph) == direct
+        assert hsdf_throughput_check(multirate_graph, method="enumerate") == direct
+
+    def test_timed_comparison_fields(self, multirate_graph):
+        comparison = timed_throughput_comparison(multirate_graph)
+        assert comparison.sdf_actors == 2
+        assert comparison.hsdf_actors == 5
+        assert comparison.direct_rate == comparison.hsdf_rate
+        assert comparison.direct_seconds >= 0
+        assert comparison.hsdf_seconds >= 0
+        assert comparison.speedup > 0
+
+    def test_multirate_blowup_reported(self):
+        from repro.generate.multimedia import h263_decoder
+
+        app = h263_decoder(macroblocks=50)
+        comparison = timed_throughput_comparison(app.graph)
+        assert comparison.sdf_actors == 4
+        assert comparison.hsdf_actors == 102
+
+
+class TestTdmaInflation:
+    @pytest.fixture
+    def bag(self, example_application, example_architecture, example_binding):
+        return build_binding_aware_graph(
+            example_application,
+            example_architecture,
+            example_binding,
+            slices={"t1": 5, "t2": 5},
+        )
+
+    def test_inflated_is_no_faster_than_constrained(self, bag):
+        slices = {"t1": 5, "t2": 5}
+        inflated = tdma_inflated_throughput(bag, slices).of("a3")
+        schedules = None
+        from repro.core.scheduling import build_static_order_schedules
+
+        schedules = build_static_order_schedules(bag, slices=slices)
+        from repro.appmodel.binding import SchedulingFunction
+
+        scheduling = SchedulingFunction()
+        for tile, schedule in schedules.items():
+            scheduling.set_schedule(tile, schedule)
+            scheduling.set_slice(tile, slices[tile])
+        constrained = constrained_throughput(
+            bag.graph, bag.tile_constraints(scheduling)
+        ).of("a3")
+        # the paper's claim: [4]'s model is conservative (never better)
+        assert inflated <= constrained
+
+    def test_full_slice_means_no_inflation(self, bag):
+        slices = {"t1": 10, "t2": 10}
+        inflated = tdma_inflated_throughput(bag, slices)
+        plain = throughput(bag.graph)
+        assert inflated.of("a3") == plain.of("a3")
+
+    def test_smaller_slices_inflate_more(self, bag):
+        fat = tdma_inflated_throughput(bag, {"t1": 8, "t2": 8}).of("a3")
+        thin = tdma_inflated_throughput(bag, {"t1": 2, "t2": 2}).of("a3")
+        assert thin < fat
+
+    def test_connection_actors_not_inflated(self, bag):
+        tdma_inflated_throughput(bag, {"t1": 5, "t2": 5})
+        # the original graph object keeps its connection actor timing
+        assert bag.graph.actor("con:d2").execution_time == 11
+
+
+class TestMaxThroughput:
+    def test_max_equals_full_wheel_capability(self):
+        """The [6]-style objective coincides with the largest lambda the
+        standard strategy can satisfy for the same binding."""
+        from fractions import Fraction
+
+        from repro.appmodel.example import (
+            paper_example_application,
+            paper_example_architecture,
+        )
+        from repro.baselines.max_throughput import maximize_throughput
+        from repro.core.strategy import AllocationError, ResourceAllocator
+
+        architecture = paper_example_architecture()
+        best = maximize_throughput(
+            paper_example_application(), architecture
+        )
+        assert best.max_throughput > 0
+
+        # the standard strategy satisfies exactly constraints <= best
+        satisfiable = paper_example_application(
+            throughput_constraint=best.max_throughput
+        )
+        allocation = ResourceAllocator(
+            weights=best_weights()
+        ).allocate(satisfiable, architecture, binding=best.binding)
+        assert allocation.achieved_throughput >= best.max_throughput
+
+        impossible = paper_example_application(
+            throughput_constraint=best.max_throughput * Fraction(101, 100)
+        )
+        with pytest.raises(AllocationError):
+            ResourceAllocator(weights=best_weights()).allocate(
+                impossible, architecture, binding=best.binding
+            )
+
+    def test_occupied_platform_lowers_the_maximum(self):
+        from repro.appmodel.example import (
+            paper_example_application,
+            paper_example_architecture,
+        )
+        from repro.baselines.max_throughput import maximize_throughput
+
+        free = paper_example_architecture()
+        crowded = paper_example_architecture()
+        for tile in crowded.tiles:
+            tile.wheel_occupied = 5
+        best_free = maximize_throughput(paper_example_application(), free)
+        best_crowded = maximize_throughput(
+            paper_example_application(), crowded
+        )
+        assert best_crowded.max_throughput <= best_free.max_throughput
+
+
+def best_weights():
+    from repro.core.tile_cost import CostWeights
+
+    return CostWeights(0, 1, 2)

@@ -1,0 +1,99 @@
+"""Unit tests for benchmark set generation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arch.presets import benchmark_architectures
+from repro.arch.tile import ProcessorType
+from repro.generate.benchmark import (
+    SET_PROFILES,
+    generate_application,
+    generate_benchmark_set,
+)
+from repro.throughput.state_space import throughput
+
+TYPES = benchmark_architectures()[0].processor_types()
+
+
+def test_profiles_cover_three_pure_sets():
+    assert set(SET_PROFILES) == {"processing", "memory", "communication"}
+
+
+@pytest.mark.parametrize("set_name", ["processing", "memory", "communication", "mixed"])
+def test_generated_sets_are_wellformed(set_name):
+    apps = generate_benchmark_set(set_name, 5, TYPES, seed=3)
+    assert len(apps) == 5
+    for app in apps:
+        app.check_complete()  # every actor supports some processor
+        assert app.throughput_constraint > 0
+        for channel in app.graph.channels:
+            theta = app.channel(channel.name)
+            assert theta.buffer_tile >= channel.tokens
+            if channel.is_self_loop:
+                assert theta.bandwidth == 0
+
+
+def test_sequences_reproducible():
+    first = generate_benchmark_set("mixed", 4, TYPES, seed=9)
+    second = generate_benchmark_set("mixed", 4, TYPES, seed=9)
+    for left, right in zip(first, second):
+        assert left.graph.actor_names == right.graph.actor_names
+        assert left.throughput_constraint == right.throughput_constraint
+
+
+def test_sequences_differ_across_seeds():
+    first = generate_benchmark_set("mixed", 4, TYPES, seed=1)
+    second = generate_benchmark_set("mixed", 4, TYPES, seed=2)
+    assert any(
+        l.throughput_constraint != r.throughput_constraint
+        for l, r in zip(first, second)
+    )
+
+
+def test_unknown_set_rejected():
+    with pytest.raises(KeyError, match="unknown benchmark set"):
+        generate_benchmark_set("bogus", 1, TYPES)
+
+
+def test_profile_pressure_differs():
+    processing = generate_benchmark_set("processing", 5, TYPES, seed=0)
+    memory = generate_benchmark_set("memory", 5, TYPES, seed=0)
+
+    def average_memory(apps):
+        total = 0
+        count = 0
+        for app in apps:
+            for requirements in app.actor_requirements.values():
+                for _, mu in requirements.options.values():
+                    total += mu
+                    count += 1
+        return total / count
+
+    assert average_memory(memory) > 50 * average_memory(processing)
+
+
+def test_constraint_is_fraction_of_ideal():
+    apps = generate_benchmark_set("processing", 3, TYPES, seed=5)
+    for app in apps:
+        worst = {
+            name: requirements.worst_case_execution_time
+            for name, requirements in app.actor_requirements.items()
+        }
+        ideal = throughput(
+            app.graph, execution_times=worst, auto_concurrency=False
+        ).of(app.output_actor)
+        assert 0 < app.throughput_constraint <= ideal
+
+
+def test_applications_are_allocatable():
+    from repro.core.strategy import ResourceAllocator
+    from repro.core.tile_cost import CostWeights
+
+    arch = benchmark_architectures()[2]  # largest variant
+    apps = generate_benchmark_set("processing", 2, arch.processor_types(), seed=4)
+    allocator = ResourceAllocator(weights=CostWeights(0, 1, 2))
+    for app in apps:
+        allocation = allocator.allocate(app, arch)
+        assert allocation.satisfied
+        allocation.reservation.commit(arch)

@@ -1,0 +1,212 @@
+"""Unit tests for binding-aware SDFG construction (paper §8.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.binding import Binding, SchedulingFunction
+from repro.appmodel.binding_aware import (
+    InfeasibleBindingError,
+    build_binding_aware_graph,
+)
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+    paper_example_binding,
+)
+from repro.sdf.validate import validate_graph
+from repro.throughput.constrained import StaticOrderSchedule
+from repro.throughput.state_space import throughput
+
+
+@pytest.fixture
+def bag(example_application, example_architecture, example_binding):
+    return build_binding_aware_graph(
+        example_application,
+        example_architecture,
+        example_binding,
+        slices={"t1": 5, "t2": 5},
+    )
+
+
+class TestConstruction:
+    def test_execution_times_from_bound_processor(self, bag):
+        # a1, a2 on p1 (times 1, 1); a3 on p2 (time 2)
+        assert bag.graph.actor("a1").execution_time == 1
+        assert bag.graph.actor("a2").execution_time == 1
+        assert bag.graph.actor("a3").execution_time == 2
+
+    def test_self_edges_added(self, bag):
+        for actor in ("a1", "a2", "a3"):
+            channel = bag.graph.channel(f"self:{actor}")
+            assert channel.is_self_loop
+            assert channel.tokens == 1
+
+    def test_intra_tile_channel_gets_buffer_back_edge(self, bag):
+        # d1 (a1 -> a2) is inside t1; alpha_tile = 1
+        back = bag.graph.channel("buf:d1")
+        assert (back.src, back.dst) == ("a2", "a1")
+        assert back.tokens == 1
+
+    def test_cross_tile_channel_expanded(self, bag):
+        # d2 (a2 -> a3) crosses t1 -> t2
+        assert bag.connection_actors == {"d2": "con:d2"}
+        assert bag.sync_actors == {"d2": "syn:d2"}
+        con = bag.graph.actor("con:d2")
+        # L(c1) + ceil(sz/beta) = 1 + ceil(100/10) = 11
+        assert con.execution_time == 11
+        syn = bag.graph.actor("syn:d2")
+        # w_t2 - omega_t2 = 10 - 5
+        assert syn.execution_time == 5
+
+    def test_connection_actor_has_self_edge(self, bag):
+        assert bag.graph.channel("self:con:d2").tokens == 1
+
+    def test_buffer_edges_on_cross_channel(self, bag):
+        src_buffer = bag.graph.channel("buf_src:d2")
+        assert (src_buffer.src, src_buffer.dst) == ("con:d2", "a2")
+        assert src_buffer.tokens == 2  # alpha_src
+        dst_buffer = bag.graph.channel("buf_dst:d2")
+        assert (dst_buffer.src, dst_buffer.dst) == ("a3", "con:d2")
+        assert dst_buffer.tokens == 2  # alpha_dst - Tok(d2) = 2 - 0
+
+    def test_result_is_valid_live_graph(self, bag):
+        validate_graph(bag.graph)
+
+    def test_binding_aware_throughput_below_ideal(
+        self, bag, example_application
+    ):
+        ideal = throughput(
+            example_application.graph, auto_concurrency=False
+        ).of("a3")
+        bound = throughput(bag.graph).of("a3")
+        assert bound < ideal
+
+    def test_self_loop_channel_kept_without_buffer_edge(self, bag):
+        assert bag.graph.has_channel("d3")
+        assert not bag.graph.has_channel("buf:d3")
+
+    def test_default_slices_are_half_remaining(
+        self, example_application, example_architecture, example_binding
+    ):
+        result = build_binding_aware_graph(
+            example_application, example_architecture, example_binding
+        )
+        assert result.slices == {"t1": 5, "t2": 5}
+
+
+class TestInfeasibleBindings:
+    def test_unbound_actor_rejected(
+        self, example_application, example_architecture
+    ):
+        binding = Binding()
+        binding.bind("a1", "t1")
+        with pytest.raises(InfeasibleBindingError, match="not bound"):
+            build_binding_aware_graph(
+                example_application, example_architecture, binding
+            )
+
+    def test_unknown_tile_rejected(
+        self, example_application, example_architecture
+    ):
+        binding = Binding()
+        for actor in ("a1", "a2", "a3"):
+            binding.bind(actor, "ghost")
+        with pytest.raises(InfeasibleBindingError, match="unknown tile"):
+            build_binding_aware_graph(
+                example_application, example_architecture, binding
+            )
+
+    def test_uncrossable_channel_rejected(
+        self, example_application, example_architecture
+    ):
+        # d3 is a self edge so it can never cross; force d1 (beta=100) is
+        # fine, but forcing d2's endpoints apart is allowed -- instead
+        # build a custom app where a low-beta channel must cross.
+        binding = Binding()
+        binding.bind("a1", "t2")  # d3 self edge stays on t2, fine
+        binding.bind("a2", "t1")
+        binding.bind("a3", "t1")
+        # d1 now crosses t2 -> t1 with beta=100: allowed.  Make it
+        # uncrossable and expect failure.
+        example_application.set_channel_requirements(
+            "d1", token_size=7, buffer_tile=1, bandwidth=0
+        )
+        with pytest.raises(InfeasibleBindingError, match="beta = 0"):
+            build_binding_aware_graph(
+                example_application, example_architecture, binding
+            )
+
+    def test_missing_connection_rejected(
+        self, example_application, example_architecture, example_binding
+    ):
+        # remove the t1 -> t2 link by rebuilding the architecture
+        from repro.arch.architecture import ArchitectureGraph
+
+        stripped = ArchitectureGraph("no-link")
+        for tile in example_architecture.tiles:
+            stripped.add_tile(tile.copy())
+        stripped.add_connection("t2", "t1", 1)  # only the reverse
+        with pytest.raises(InfeasibleBindingError, match="no connection"):
+            build_binding_aware_graph(
+                example_application, stripped, example_binding
+            )
+
+    def test_buffer_smaller_than_initial_tokens_rejected(
+        self, example_application, example_architecture, example_binding
+    ):
+        example_application.graph.channel("d1").tokens = 3
+        example_application.set_channel_requirements(
+            "d1", token_size=7, buffer_tile=1, buffer_src=2, buffer_dst=2,
+            bandwidth=100,
+        )
+        with pytest.raises(InfeasibleBindingError, match="alpha_tile"):
+            build_binding_aware_graph(
+                example_application, example_architecture, example_binding
+            )
+
+    def test_unsupported_processor_rejected(
+        self, example_application, example_architecture, example_binding
+    ):
+        example_application.set_actor_requirements(
+            "a3", (example_architecture.tile("t1").processor_type, 3, 13)
+        )
+        # a3 is bound to t2 whose type p2 is now unsupported
+        with pytest.raises(InfeasibleBindingError, match="cannot run"):
+            build_binding_aware_graph(
+                example_application, example_architecture, example_binding
+            )
+
+
+class TestSliceUpdates:
+    def test_update_slices_retargets_sync_actors(self, bag):
+        bag.update_slices({"t2": 8})
+        assert bag.graph.actor("syn:d2").execution_time == 2
+
+    def test_update_slices_rejects_out_of_range(self, bag):
+        with pytest.raises(ValueError):
+            bag.update_slices({"t2": 11})
+
+    def test_tile_constraints_sync_with_scheduling(self, bag):
+        scheduling = SchedulingFunction()
+        scheduling.set_slice("t1", 4)
+        scheduling.set_slice("t2", 6)
+        scheduling.set_schedule(
+            "t1", StaticOrderSchedule(periodic=("a1", "a2"))
+        )
+        scheduling.set_schedule("t2", StaticOrderSchedule(periodic=("a3",)))
+        constraints = bag.tile_constraints(scheduling)
+        by_name = {c.name: c for c in constraints}
+        assert by_name["t1"].slice_size == 4
+        assert by_name["t2"].slice_size == 6
+        assert bag.graph.actor("syn:d2").execution_time == 4
+
+    def test_default_tile_constraints_cover_bound_actors(self, bag):
+        constraints = bag.default_tile_constraints()
+        actors = set()
+        for constraint in constraints:
+            actors.update(constraint.schedule.actors)
+        assert actors == {"a1", "a2", "a3"}
+
+    def test_cross_channels_listed(self, bag):
+        assert bag.cross_channels == ["d2"]

@@ -1,0 +1,107 @@
+"""Unit tests for the classic SDF benchmark applications."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arch.tile import ProcessorType
+from repro.core.strategy import ResourceAllocator
+from repro.core.tile_cost import CostWeights
+from repro.arch.presets import mesh_architecture
+from repro.generate.classic import (
+    modem,
+    samplerate_converter,
+    satellite_receiver,
+)
+from repro.sdf.repetition import iteration_length, repetition_vector
+from repro.sdf.validate import validate_graph
+from repro.throughput.state_space import throughput
+
+
+class TestSamplerateConverter:
+    def test_literature_repetition_vector(self):
+        gamma = repetition_vector(samplerate_converter().graph)
+        assert gamma == {
+            "cd": 147,
+            "fir1": 147,
+            "fir2": 98,
+            "fir3": 28,
+            "fir4": 32,
+            "dat": 160,
+        }
+
+    def test_hsdf_size_612(self):
+        assert iteration_length(samplerate_converter().graph) == 612
+
+    def test_valid_and_live(self):
+        validate_graph(samplerate_converter().graph)
+
+    def test_conversion_ratio(self):
+        """DAT samples out per CD sample in is exactly 160/147."""
+        gamma = repetition_vector(samplerate_converter().graph)
+        assert Fraction(gamma["dat"], gamma["cd"]) == Fraction(160, 147)
+
+    def test_analysable(self):
+        result = throughput(
+            samplerate_converter().graph, auto_concurrency=False
+        )
+        assert result.iteration_rate > 0
+
+    def test_requirements_complete(self):
+        samplerate_converter().check_complete()
+
+
+class TestModem:
+    def test_sixteen_single_rate_actors(self):
+        graph = modem().graph
+        assert len(graph) == 16
+        assert set(repetition_vector(graph).values()) == {1}
+
+    def test_valid_and_live(self):
+        validate_graph(modem().graph)
+
+    def test_feedback_loops_bound_the_rate(self):
+        result = throughput(modem().graph)
+        assert 0 < result.iteration_rate < 1
+
+    def test_allocatable_on_a_mesh(self):
+        application = modem(processor=ProcessorType("dsp"))
+        platform = mesh_architecture(
+            2,
+            2,
+            [ProcessorType("dsp")],
+            wheel=100,
+            memory=100_000,
+            bandwidth_in=5_000,
+            bandwidth_out=5_000,
+        )
+        allocation = ResourceAllocator(weights=CostWeights(0, 1, 2)).allocate(
+            application, platform
+        )
+        assert allocation.satisfied
+
+
+class TestSatelliteReceiver:
+    def test_twenty_two_actors(self):
+        assert len(satellite_receiver().graph) == 22
+
+    def test_downsampling_structure(self):
+        gamma = repetition_vector(satellite_receiver().graph)
+        # the front end runs 16x per demodulated symbol (two 4:1 stages)
+        assert gamma["source"] == 16 * gamma["demod"]
+        assert gamma["frontend_i"] == 16 * gamma["demod"]
+        assert gamma["mf_i"] == gamma["demod"]
+
+    def test_channels_symmetric(self):
+        gamma = repetition_vector(satellite_receiver().graph)
+        for stage in ("frontend", "fir1", "down1", "mf", "dec"):
+            assert gamma[f"{stage}_i"] == gamma[f"{stage}_q"]
+
+    def test_valid_and_live(self):
+        validate_graph(satellite_receiver().graph)
+
+    def test_analysable(self):
+        result = throughput(
+            satellite_receiver().graph, auto_concurrency=False
+        )
+        assert result.iteration_rate > 0

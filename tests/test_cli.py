@@ -1,0 +1,123 @@
+"""Unit tests for the repro-alloc command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sdf.graph import chain
+from repro.sdf.serialization import graph_to_json
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.json"
+    path.write_text(graph_to_json(chain(["a", "b"], [2, 3], tokens_on_back_edge=1)))
+    return str(path)
+
+
+def test_analyse_prints_throughput(graph_file, capsys):
+    assert main(["analyse", graph_file]) == 0
+    out = capsys.readouterr().out
+    assert "iteration rate: 1/5" in out
+    assert "throughput(a) = 1/5" in out
+
+
+def test_analyse_auto_concurrency_flag(graph_file, capsys):
+    assert main(["analyse", graph_file, "--no-auto-concurrency"]) == 0
+    assert "1/5" in capsys.readouterr().out
+
+
+def test_generate_emits_json(capsys):
+    assert main(["generate", "--set", "processing", "-n", "2", "--seed", "1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 2
+    assert all("actors" in graph for graph in payload)
+
+
+def test_example_runs_paper_flow(capsys):
+    assert main(["example"]) == 0
+    out = capsys.readouterr().out
+    assert "binding:" in out
+    assert "a1 -> t1" in out
+    assert "throughput checks:" in out
+
+
+def test_example_with_weights(capsys):
+    assert main(["example", "--weights", "0", "0", "1"]) == 0
+    out = capsys.readouterr().out
+    # pure communication weight clusters everything on one tile
+    assert "a3 -> t1" in out
+
+
+def test_allocate_small_run(capsys):
+    assert (
+        main(
+            [
+                "allocate",
+                "--set",
+                "processing",
+                "-n",
+                "2",
+                "--seed",
+                "4",
+                "--architecture",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "applications bound: 2" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_missing_graph_file_errors(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["analyse", str(tmp_path / "missing.json")])
+
+
+def test_dot_command(graph_file, capsys):
+    assert main(["dot", graph_file]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert '"a" -> "b"' in out
+
+
+def test_trace_command(capsys):
+    assert main(["trace", "--width", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "a1@t1" in out
+    assert "#" in out
+
+
+def test_dimension_command(capsys):
+    assert (
+        main(
+            [
+                "dimension",
+                "--set",
+                "processing",
+                "-n",
+                "1",
+                "--seed",
+                "4",
+                "--max-tiles",
+                "9",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "bound" in out
+
+
+def test_trace_vcd_option(tmp_path, capsys):
+    vcd_path = tmp_path / "trace.vcd"
+    assert main(["trace", "--vcd", str(vcd_path)]) == 0
+    assert vcd_path.read_text().startswith("$comment")
+    assert "VCD waveform" in capsys.readouterr().out

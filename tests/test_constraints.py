@@ -1,0 +1,139 @@
+"""Unit tests for the Section 7 constraint checks and reservations."""
+
+import pytest
+
+from repro.appmodel.binding import Binding
+from repro.core.constraints import (
+    binding_violations,
+    check_binding_constraints,
+    reservation_for,
+)
+
+
+def test_section8_binding_is_feasible(
+    example_application, example_architecture, example_binding
+):
+    assert check_binding_constraints(
+        example_application, example_architecture, example_binding
+    )
+    assert (
+        binding_violations(
+            example_application, example_architecture, example_binding
+        )
+        == []
+    )
+
+
+def test_memory_violation_detected(
+    example_application, example_architecture, example_binding
+):
+    example_architecture.tile("t1").memory_occupied = 600  # 100 left < 225
+    violations = binding_violations(
+        example_application, example_architecture, example_binding
+    )
+    assert any(v.constraint == "memory" for v in violations)
+
+
+def test_connection_violation_detected(
+    example_application, example_architecture, example_binding
+):
+    example_architecture.tile("t1").connections_occupied = 5
+    violations = binding_violations(
+        example_application, example_architecture, example_binding
+    )
+    assert any(v.constraint == "connections" for v in violations)
+
+
+def test_bandwidth_violations_detected(
+    example_application, example_architecture, example_binding
+):
+    example_architecture.tile("t1").bandwidth_out_occupied = 95  # 5 < 10
+    example_architecture.tile("t2").bandwidth_in_occupied = 95
+    violations = binding_violations(
+        example_application, example_architecture, example_binding
+    )
+    kinds = {v.constraint for v in violations}
+    assert "output-bandwidth" in kinds
+    assert "input-bandwidth" in kinds
+
+
+def test_full_wheel_violation_detected(
+    example_application, example_architecture, example_binding
+):
+    example_architecture.tile("t2").wheel_occupied = 10
+    violations = binding_violations(
+        example_application, example_architecture, example_binding
+    )
+    assert any(v.constraint == "time-slice" for v in violations)
+
+
+def test_missing_connection_reported(
+    example_application, example_architecture
+):
+    binding = Binding()
+    binding.bind("a1", "t2")
+    binding.bind("a2", "t1")  # d1 crosses t2 -> t1 (link exists)
+    binding.bind("a3", "t2")  # d2 crosses t1 -> t2 (link exists)
+    assert check_binding_constraints(
+        example_application, example_architecture, binding
+    )
+    # now make d1 uncrossable
+    example_application.set_channel_requirements(
+        "d1", token_size=7, bandwidth=0
+    )
+    violations = binding_violations(
+        example_application, example_architecture, binding
+    )
+    assert any(v.constraint == "connection-missing" for v in violations)
+
+
+def test_violation_str_mentions_tile():
+    from repro.core.constraints import ConstraintViolation
+
+    text = str(ConstraintViolation("t1", "memory", 10, 5))
+    assert "t1" in text and "memory" in text
+
+
+def test_reservation_matches_section7_accounting(
+    example_application, example_architecture, example_binding
+):
+    reservation = reservation_for(
+        example_application,
+        example_architecture,
+        example_binding,
+        slices={"t1": 4, "t2": 6},
+    )
+    t1 = reservation.tiles["t1"]
+    assert t1.memory == 225
+    assert t1.connections == 1
+    assert t1.bandwidth_out == 10
+    assert t1.bandwidth_in == 0
+    assert t1.time_slice == 4
+    t2 = reservation.tiles["t2"]
+    assert t2.memory == 210
+    assert t2.bandwidth_in == 10
+    assert t2.time_slice == 6
+
+
+def test_reservation_without_slices(
+    example_application, example_architecture, example_binding
+):
+    reservation = reservation_for(
+        example_application, example_architecture, example_binding
+    )
+    assert reservation.tiles["t1"].time_slice == 0
+
+
+def test_reservation_commit_roundtrip(
+    example_application, example_architecture, example_binding
+):
+    reservation = reservation_for(
+        example_application,
+        example_architecture,
+        example_binding,
+        slices={"t1": 4, "t2": 6},
+    )
+    reservation.commit(example_architecture)
+    assert example_architecture.tile("t1").memory_occupied == 225
+    reservation.rollback(example_architecture)
+    assert example_architecture.tile("t1").memory_occupied == 0

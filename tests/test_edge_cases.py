@@ -1,0 +1,318 @@
+"""Edge cases and failure injection across the stack.
+
+These tests target the corners the happy-path suites skip: occupied
+architectures, degenerate graphs, exotic rate combinations, and the
+exact failure surfaced for each broken input.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.application import ApplicationGraph
+from repro.appmodel.binding import Binding
+from repro.appmodel.binding_aware import build_binding_aware_graph
+from repro.appmodel.example import (
+    PROCESSOR_P1,
+    PROCESSOR_P2,
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.arch.architecture import ArchitectureGraph
+from repro.arch.tile import ProcessorType, Tile
+from repro.core.strategy import AllocationError, ResourceAllocator
+from repro.core.tile_cost import CostWeights
+from repro.sdf.graph import SDFGraph
+from repro.throughput.state_space import throughput
+
+
+class TestDegenerateGraphs:
+    def test_single_actor_with_self_loop(self):
+        graph = SDFGraph("solo")
+        graph.add_actor("a", 7)
+        graph.add_channel("s", "a", "a", tokens=1)
+        result = throughput(graph)
+        assert result.of("a") == Fraction(1, 7)
+
+    def test_single_actor_multiple_self_loops(self):
+        graph = SDFGraph("solo")
+        graph.add_actor("a", 4)
+        graph.add_channel("s1", "a", "a", tokens=2)
+        graph.add_channel("s2", "a", "a", tokens=1)
+        # the tighter loop (1 token) wins
+        assert throughput(graph).of("a") == Fraction(1, 4)
+
+    def test_parallel_channels_both_respected(self):
+        graph = SDFGraph("par")
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 1)
+        graph.add_channel("f1", "a", "b")
+        graph.add_channel("f2", "a", "b", tokens=5)
+        graph.add_channel("r", "b", "a", tokens=1)
+        # f1 (0 tokens) is the binding forward constraint
+        assert throughput(graph).iteration_rate == Fraction(1, 2)
+
+    def test_large_rates_small_gamma(self):
+        graph = SDFGraph("big-rates")
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 1)
+        graph.add_channel("ab", "a", "b", 1000, 1000, 0)
+        graph.add_channel("ba", "b", "a", 1000, 1000, 1000)
+        assert throughput(graph).iteration_rate == Fraction(1, 2)
+
+    def test_huge_execution_times_stay_exact(self):
+        graph = SDFGraph("slow")
+        graph.add_actor("a", 10**9)
+        graph.add_channel("s", "a", "a", tokens=1)
+        assert throughput(graph).of("a") == Fraction(1, 10**9)
+
+
+class TestOccupiedArchitectures:
+    def test_allocation_on_partially_used_platform(self):
+        application = paper_example_application(Fraction(1, 100))
+        architecture = paper_example_architecture()
+        architecture.tile("t1").wheel_occupied = 8
+        architecture.tile("t2").wheel_occupied = 8
+        allocation = ResourceAllocator().allocate(application, architecture)
+        for tile, size in allocation.scheduling.slices.items():
+            assert size <= 2
+
+    def test_fully_occupied_wheel_fails_cleanly(self):
+        application = paper_example_application(Fraction(1, 100))
+        architecture = paper_example_architecture()
+        for tile in architecture.tiles:
+            tile.wheel_occupied = tile.wheel
+        with pytest.raises(AllocationError):
+            ResourceAllocator().allocate(application, architecture)
+
+    def test_memory_pressure_redirects_binding(self):
+        application = paper_example_application(Fraction(1, 100))
+        architecture = paper_example_architecture()
+        # t1 is nearly full: not even the smallest actor fits there
+        architecture.tile("t1").memory_occupied = 695
+        allocation = ResourceAllocator(
+            weights=CostWeights(0, 0, 1)
+        ).allocate(application, architecture)
+        # (0,0,1) normally clusters on t1; the whole app moves to t2
+        assert set(allocation.binding.assignment.values()) == {"t2"}
+
+    def test_greedy_binding_has_no_backtracking(self):
+        """A faithful limit of the strategy: once an early actor claims
+        a nearly-full tile, later actors whose channels charge memory on
+        that tile can become unplaceable, even though a different first
+        placement would have worked."""
+        application = paper_example_application(Fraction(1, 100))
+        architecture = paper_example_architecture()
+        architecture.tile("t1").memory_occupied = 680  # 20 bits free
+        with pytest.raises(AllocationError, match="memory"):
+            ResourceAllocator(weights=CostWeights(0, 0, 1)).allocate(
+                application, architecture
+            )
+
+    def test_occupancy_is_cumulative_and_reversible(self):
+        application = paper_example_application(Fraction(1, 100))
+        architecture = paper_example_architecture()
+        allocation = ResourceAllocator().allocate(application, architecture)
+        allocation.reservation.commit(architecture)
+        used = architecture.total_usage()
+        allocation.reservation.rollback(architecture)
+        assert architecture.total_usage()["timewheel"] == 0
+        assert used["timewheel"] > 0
+
+
+class TestHeterogeneityCorners:
+    def build_arch(self, count, processor):
+        architecture = ArchitectureGraph("hetero")
+        for index in range(count):
+            architecture.add_tile(
+                Tile(
+                    name=f"t{index}",
+                    processor_type=processor[index],
+                    wheel=50,
+                    memory=10_000,
+                    max_connections=8,
+                    bandwidth_in=500,
+                    bandwidth_out=500,
+                )
+            )
+        names = architecture.tile_names
+        for a in names:
+            for b in names:
+                if a != b:
+                    architecture.add_connection(a, b, 1)
+        return architecture
+
+    def test_actor_forced_to_unique_supporting_tile(self):
+        graph = SDFGraph("forced")
+        graph.add_actor("x", 1)
+        graph.add_actor("y", 1)
+        graph.add_channel("xy", "x", "y")
+        graph.add_channel("yx", "y", "x", tokens=2)
+        app = ApplicationGraph(graph, throughput_constraint=Fraction(1, 50))
+        app.set_actor_requirements("x", (PROCESSOR_P1, 1, 10))
+        app.set_actor_requirements("y", (PROCESSOR_P2, 1, 10))
+        app.set_channel_requirements("xy", token_size=4, bandwidth=10)
+        app.set_channel_requirements("yx", token_size=4, bandwidth=10)
+        architecture = self.build_arch(
+            3, [PROCESSOR_P1, PROCESSOR_P1, PROCESSOR_P2]
+        )
+        allocation = ResourceAllocator().allocate(app, architecture)
+        assert allocation.binding.tile_of("y") == "t2"
+
+    def test_cluster_weight_cannot_beat_type_restrictions(self):
+        graph = SDFGraph("forced2")
+        graph.add_actor("x", 1)
+        graph.add_actor("y", 1)
+        graph.add_channel("xy", "x", "y")
+        graph.add_channel("yx", "y", "x", tokens=2)
+        app = ApplicationGraph(graph, throughput_constraint=0)
+        app.set_actor_requirements("x", (PROCESSOR_P1, 1, 10))
+        app.set_actor_requirements("y", (PROCESSOR_P2, 1, 10))
+        app.set_channel_requirements("xy", token_size=4, bandwidth=10)
+        app.set_channel_requirements("yx", token_size=4, bandwidth=10)
+        architecture = self.build_arch(2, [PROCESSOR_P1, PROCESSOR_P2])
+        allocation = ResourceAllocator(
+            weights=CostWeights(0, 0, 1)
+        ).allocate(app, architecture)
+        # clustering impossible: the channel must cross
+        assert allocation.binding.tile_of("x") != allocation.binding.tile_of(
+            "y"
+        )
+
+
+class TestApplicationCopy:
+    def test_copy_is_deep(self):
+        application = paper_example_application()
+        clone = application.copy()
+        clone.set_channel_requirements("d1", token_size=999, bandwidth=1)
+        clone.graph.actor("a1").execution_time = 42
+        assert application.channel("d1").token_size == 7
+        assert application.graph.actor("a1").execution_time == 1
+
+    def test_copy_allocates_identically(self):
+        application = paper_example_application(Fraction(1, 60))
+        clone = application.copy()
+        architecture = paper_example_architecture()
+        first = ResourceAllocator().allocate(application, architecture)
+        second = ResourceAllocator().allocate(clone, architecture.copy())
+        assert first.binding.assignment == second.binding.assignment
+        assert first.scheduling.slices == second.scheduling.slices
+
+
+class TestBindingAwareCorners:
+    def test_multirate_cross_tile_channel(self):
+        graph = SDFGraph("mrx")
+        graph.add_actor("p", 1)
+        graph.add_actor("c", 1)
+        graph.add_channel("d", "p", "c", 3, 2, 0)
+        graph.add_channel("r", "c", "p", 2, 3, 6)
+        app = ApplicationGraph(graph, throughput_constraint=0)
+        app.set_actor_requirements("p", (PROCESSOR_P1, 1, 10))
+        app.set_actor_requirements("c", (PROCESSOR_P2, 1, 10))
+        app.set_channel_requirements(
+            "d", token_size=4, buffer_src=6, buffer_dst=6, bandwidth=10
+        )
+        app.set_channel_requirements(
+            "r", token_size=4, buffer_src=9, buffer_dst=9, bandwidth=10
+        )
+        architecture = paper_example_architecture()
+        binding = Binding()
+        binding.bind("p", "t1")
+        binding.bind("c", "t2")
+        bag = build_binding_aware_graph(app, architecture, binding)
+        # gamma(p)=2, gamma(c)=3 -> connection actor fires 6 per iteration
+        from repro.sdf.repetition import repetition_vector
+
+        gamma = repetition_vector(bag.graph)
+        assert gamma["con:d"] == 6
+        assert gamma["syn:d"] == 6
+        result = throughput(bag.graph)
+        assert result.iteration_rate > 0
+
+    def test_initial_tokens_on_cross_channel_start_at_destination(self):
+        graph = SDFGraph("tok")
+        graph.add_actor("p", 1)
+        graph.add_actor("c", 5)
+        graph.add_channel("d", "p", "c", 1, 1, 2)
+        graph.add_channel("r", "c", "p", 1, 1, 1)
+        app = ApplicationGraph(graph, throughput_constraint=0)
+        app.set_actor_requirements("p", (PROCESSOR_P1, 1, 10))
+        app.set_actor_requirements("c", (PROCESSOR_P2, 5, 10))
+        app.set_channel_requirements(
+            "d", token_size=4, buffer_src=3, buffer_dst=3, bandwidth=10
+        )
+        app.set_channel_requirements(
+            "r", token_size=4, buffer_src=3, buffer_dst=3, bandwidth=10
+        )
+        architecture = paper_example_architecture()
+        binding = Binding()
+        binding.bind("p", "t1")
+        binding.bind("c", "t2")
+        bag = build_binding_aware_graph(app, architecture, binding)
+        # c can fire immediately from the 2 initial tokens on syn->c
+        assert bag.graph.channel("dst:d").tokens == 2
+        assert bag.graph.channel("buf_dst:d").tokens == 1  # 3 - 2
+
+
+class TestFlowEdgeCases:
+    def test_empty_application_list(self):
+        from repro.core.flow import allocate_until_failure
+
+        architecture = paper_example_architecture()
+        result = allocate_until_failure(architecture, [])
+        assert result.applications_bound == 0
+        assert result.failed_application is None
+        assert result.resource_capacity["timewheel"] > 0
+
+    def test_failure_reason_is_informative(self):
+        from repro.core.flow import allocate_until_failure
+
+        architecture = paper_example_architecture()
+        impossible = paper_example_application(Fraction(1, 2))
+        result = allocate_until_failure(architecture, [impossible])
+        assert result.applications_bound == 0
+        assert "paper-example-app" in result.failure_reason
+
+    def test_first_failure_recorded_even_when_continuing(self):
+        from repro.core.flow import allocate_until_failure
+
+        architecture = paper_example_architecture()
+        apps = [
+            paper_example_application(Fraction(1, 2)),   # impossible
+            paper_example_application(Fraction(1, 3)),   # impossible too
+            paper_example_application(Fraction(1, 200)),  # fine
+        ]
+        result = allocate_until_failure(
+            architecture, apps, continue_after_failure=True
+        )
+        assert result.applications_bound == 1
+        assert result.failed_application == apps[0].name
+
+
+class TestSchedulingEdgeCases:
+    def test_single_actor_application(self):
+        from repro.appmodel.application import ApplicationGraph
+        from repro.core.strategy import ResourceAllocator
+        from repro.sdf.graph import SDFGraph
+
+        graph = SDFGraph("solo")
+        graph.add_actor("only", 3)
+        graph.add_channel("self", "only", "only", tokens=1)
+        app = ApplicationGraph(graph, throughput_constraint=Fraction(1, 100))
+        app.set_actor_requirements("only", (PROCESSOR_P1, 3, 10))
+        app.set_channel_requirements("self", token_size=1, bandwidth=0)
+        architecture = paper_example_architecture()
+        allocation = ResourceAllocator().allocate(app, architecture)
+        assert allocation.satisfied
+        (tile,) = allocation.binding.used_tiles()
+        assert allocation.scheduling.schedule_of(tile).periodic == ("only",)
+
+    def test_throughput_constraint_zero_still_schedules(self):
+        from repro.core.strategy import ResourceAllocator
+
+        app = paper_example_application(throughput_constraint=0)
+        architecture = paper_example_architecture()
+        allocation = ResourceAllocator().allocate(app, architecture)
+        # zero constraint: minimal one-unit slices are enough
+        assert set(allocation.scheduling.slices.values()) == {1}
+        assert allocation.satisfied

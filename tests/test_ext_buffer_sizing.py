@@ -1,0 +1,115 @@
+"""Unit tests for buffer sizing under a throughput constraint (ref [21])."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.core.strategy import ResourceAllocator
+from repro.extensions.buffer_sizing import (
+    buffer_throughput_tradeoff,
+    minimise_buffers,
+)
+
+
+@pytest.fixture
+def allocated():
+    application = paper_example_application(Fraction(1, 60))
+    architecture = paper_example_architecture()
+    allocation = ResourceAllocator().allocate(application, architecture)
+    return application, architecture, allocation
+
+
+def test_minimised_buffers_never_grow(allocated):
+    application, architecture, allocation = allocated
+    result = minimise_buffers(
+        application, architecture, allocation.binding, allocation.scheduling
+    )
+    for name, new in result.buffers.items():
+        old = result.original[name]
+        assert new.buffer_tile <= old.buffer_tile
+        assert new.buffer_src <= old.buffer_src
+        assert new.buffer_dst <= old.buffer_dst
+
+
+def test_constraint_still_met_after_minimisation(allocated):
+    application, architecture, allocation = allocated
+    result = minimise_buffers(
+        application, architecture, allocation.binding, allocation.scheduling
+    )
+    assert result.achieved_throughput >= application.throughput_constraint
+    assert result.memory_saved >= 0
+
+
+def test_application_theta_updated_in_place(allocated):
+    application, architecture, allocation = allocated
+    result = minimise_buffers(
+        application, architecture, allocation.binding, allocation.scheduling
+    )
+    for name, requirements in result.buffers.items():
+        assert application.channel_requirements[name] == requirements
+
+
+def test_infeasible_start_rejected():
+    application = paper_example_application(Fraction(1, 60))
+    architecture = paper_example_architecture()
+    allocation = ResourceAllocator().allocate(application, architecture)
+    application.throughput_constraint = Fraction(1, 2)  # now unreachable
+    with pytest.raises(ValueError, match="starting buffers"):
+        minimise_buffers(
+            application,
+            architecture,
+            allocation.binding,
+            allocation.scheduling,
+        )
+
+
+def test_channel_subset_only_touches_named(allocated):
+    application, architecture, allocation = allocated
+    before = dict(application.channel_requirements)
+    result = minimise_buffers(
+        application,
+        architecture,
+        allocation.binding,
+        allocation.scheduling,
+        channels=["d1"],
+    )
+    assert set(result.buffers) == {"d1"}
+    for name in ("d2", "d3"):
+        assert application.channel_requirements[name] == before[name]
+
+
+def test_tradeoff_curve_monotone_in_buffers(allocated):
+    application, architecture, allocation = allocated
+    points = buffer_throughput_tradeoff(
+        application, architecture, allocation.binding, allocation.scheduling
+    )
+    # larger total buffers never decrease throughput
+    by_size = sorted(points)
+    rates = [rate for _, rate in by_size]
+    assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+
+def test_tradeoff_restores_theta(allocated):
+    application, architecture, allocation = allocated
+    before = dict(application.channel_requirements)
+    buffer_throughput_tradeoff(
+        application, architecture, allocation.binding, allocation.scheduling
+    )
+    assert application.channel_requirements == before
+
+
+def test_tiny_buffers_deadlock_to_zero(allocated):
+    application, architecture, allocation = allocated
+    points = buffer_throughput_tradeoff(
+        application,
+        architecture,
+        allocation.binding,
+        allocation.scheduling,
+        scales=[Fraction(0)],
+    )
+    ((_, rate),) = points
+    assert rate == 0

@@ -1,0 +1,103 @@
+"""Unit tests for platform dimensioning (§10.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    PROCESSOR_P1,
+    PROCESSOR_P2,
+    paper_example_application,
+)
+from repro.extensions.dimensioning import _mesh_shapes, dimension_platform
+
+
+def test_mesh_shapes_sorted_by_tile_count():
+    shapes = _mesh_shapes(6)
+    counts = [rows * cols for rows, cols in shapes]
+    assert counts == sorted(counts)
+    assert shapes[0] == (1, 1)
+    assert (2, 3) in shapes
+    assert all(rows * cols <= 6 for rows, cols in shapes)
+
+
+def test_single_loose_app_fits_smallest_platform():
+    application = paper_example_application(Fraction(1, 500))
+    result = dimension_platform(
+        [application],
+        [PROCESSOR_P1, PROCESSOR_P2],
+        max_tiles=4,
+        wheel=10,
+        memory=1000,
+        bandwidth=200,
+    )
+    assert result.found
+    # a1-a3 all support p1, so one tile can host everything
+    assert result.tile_count == 1
+    assert result.flow.applications_bound == 1
+
+
+def _single_actor_app(index: int):
+    """One heavy actor whose memory footprint fills most of a tile."""
+    from repro.appmodel.application import ApplicationGraph
+    from repro.sdf.graph import SDFGraph
+
+    graph = SDFGraph(f"heavy-{index}")
+    graph.add_actor("work", 1)
+    graph.add_channel("self", "work", "work", tokens=1)
+    application = ApplicationGraph(
+        graph, throughput_constraint=Fraction(1, 100), output_actor="work"
+    )
+    application.set_actor_requirements("work", (PROCESSOR_P1, 1, 600))
+    application.set_channel_requirements("self", token_size=1, bandwidth=0)
+    return application
+
+
+def test_growth_until_sufficient():
+    # each application's actor needs 600 of the 1000 memory bits, so a
+    # tile hosts exactly one: three applications need three tiles
+    applications = [_single_actor_app(i) for i in range(3)]
+    result = dimension_platform(
+        applications,
+        [PROCESSOR_P1],
+        weights=None,
+        max_tiles=9,
+        wheel=10,
+        memory=1000,
+        bandwidth=500,
+    )
+    assert result.found
+    assert result.tile_count == 3
+    # the attempt log shows the smaller platforms failing first
+    assert result.attempts[0][2] < len(applications)
+    assert result.attempts[-1][2] == len(applications)
+    assert [attempt[2] for attempt in result.attempts] == [1, 2, 3]
+
+
+def test_unsatisfiable_mix_reports_not_found():
+    application = paper_example_application(Fraction(1, 2))  # impossible
+    result = dimension_platform(
+        [application],
+        [PROCESSOR_P1, PROCESSOR_P2],
+        max_tiles=2,
+        wheel=10,
+        memory=1000,
+        bandwidth=200,
+    )
+    assert not result.found
+    assert result.architecture is None
+    assert all(bound == 0 for _, _, bound in result.attempts)
+
+
+def test_attempts_record_every_candidate():
+    application = paper_example_application(Fraction(1, 500))
+    result = dimension_platform(
+        [application],
+        [PROCESSOR_P1, PROCESSOR_P2],
+        max_tiles=4,
+        wheel=10,
+        memory=1000,
+        bandwidth=200,
+    )
+    assert result.attempts[0][:2] == (1, 1)
+    assert len(result.attempts) >= 1

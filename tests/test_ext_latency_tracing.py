@@ -1,0 +1,231 @@
+"""Unit tests for the latency and tracing extensions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example,
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.core.strategy import ResourceAllocator
+from repro.extensions.latency import output_latency
+from repro.extensions.tracing import render_gantt, trace_allocation
+from repro.sdf.graph import SDFGraph, chain
+from repro.throughput.constrained import TraceEvent
+
+
+class TestLatency:
+    def test_chain_latency_is_serial_sum(self):
+        graph = chain(["a", "b", "c"], [2, 3, 4])
+        result = output_latency(graph, "c", auto_concurrency=False)
+        assert result.latency == 9
+        assert not result.deadlocked
+
+    def test_latency_counts_multiple_firings(self):
+        graph = chain(["a", "b"], [2, 3], tokens_on_back_edge=1)
+        # second b completion: no pipelining (1 token) -> 2+3 + 2+3
+        result = output_latency(graph, "b", firings=2)
+        assert result.latency == 10
+
+    def test_pipelining_shortens_following_outputs(self):
+        deep = chain(["a", "b"], [2, 3], tokens_on_back_edge=3)
+        shallow = chain(["a", "b"], [2, 3], tokens_on_back_edge=1)
+        deep_result = output_latency(deep, "b", firings=3)
+        shallow_result = output_latency(shallow, "b", firings=3)
+        assert deep_result.latency <= shallow_result.latency
+
+    def test_default_firings_is_one_iteration(self):
+        graph = SDFGraph("mr")
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 2)
+        graph.add_channel("ab", "a", "b", 2, 1)
+        result = output_latency(graph, "b", auto_concurrency=False)
+        assert result.firings == 2  # gamma(b)
+        # a fires at t=1, both b firings serialise: 1+2+2
+        assert result.latency == 5
+
+    def test_unbounded_source_burst_reported(self):
+        from repro.throughput.state_space import StateSpaceExplosionError
+
+        graph = SDFGraph("src")
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 2)
+        graph.add_channel("ab", "a", "b", 2, 1)
+        with pytest.raises(StateSpaceExplosionError, match="auto-concurrency"):
+            output_latency(graph, "b")  # source actor, unbounded burst
+
+    def test_deadlocked_graph_reports_none(self):
+        graph = SDFGraph("dl")
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 1)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a")
+        result = output_latency(graph, "b")
+        assert result.deadlocked
+        assert result.latency is None
+
+    def test_period_reported(self, simple_cycle_graph):
+        result = output_latency(simple_cycle_graph, "b")
+        assert result.iteration_period == Fraction(5, 2)
+
+    def test_unknown_actor_rejected(self, chain_graph):
+        with pytest.raises(KeyError):
+            output_latency(chain_graph, "ghost")
+
+    def test_paper_example_latency(self):
+        application = paper_example_application()
+        result = output_latency(
+            application.graph, "a3", auto_concurrency=False
+        )
+        # serial a1(1) a2(1) a3(2)
+        assert result.latency == 4
+
+
+class TestTracing:
+    @pytest.fixture
+    def traced(self):
+        application, architecture, _ = paper_example()
+        allocation = ResourceAllocator().allocate(application, architecture)
+        events = trace_allocation(allocation, architecture)
+        return allocation, events
+
+    def test_trace_contains_every_actor(self, traced):
+        _, events = traced
+        actors = {event.actor for event in events}
+        assert {"a1", "a2", "a3"} <= actors
+        assert any(actor.startswith("con:") for actor in actors)
+        assert any(actor.startswith("syn:") for actor in actors)
+
+    def test_events_well_formed(self, traced):
+        _, events = traced
+        for event in events:
+            assert event.end >= event.start >= 0
+
+    def test_tile_attribution(self, traced):
+        allocation, events = traced
+        for event in events:
+            if event.actor in allocation.binding.assignment:
+                assert event.tile == allocation.binding.tile_of(event.actor)
+            else:
+                assert event.tile is None
+
+    def test_same_tile_events_never_overlap(self, traced):
+        _, events = traced
+        by_tile = {}
+        for event in events:
+            if event.tile is not None:
+                by_tile.setdefault(event.tile, []).append(event)
+        for tile_events in by_tile.values():
+            tile_events.sort(key=lambda e: e.start)
+            for first, second in zip(tile_events, tile_events[1:]):
+                assert second.start >= first.end
+
+    def test_tdma_gating_stretches_firings(self, traced):
+        allocation, events = traced
+        # slice 1/10: a firing of execution time t occupies >= t wall time
+        stretched = [
+            event
+            for event in events
+            if event.tile is not None and event.end - event.start > 2
+        ]
+        assert stretched  # at least one firing waited for its slice
+
+    def test_gantt_rendering(self, traced):
+        _, events = traced
+        chart = render_gantt(events, width=40)
+        lines = chart.splitlines()
+        assert any("a1@t1" in line for line in lines)
+        assert all(len(line) > 0 for line in lines)
+        assert "#" in chart
+
+    def test_gantt_empty(self):
+        assert render_gantt([]) == "(no events)"
+
+    def test_gantt_crop_and_filter(self, traced):
+        _, events = traced
+        chart = render_gantt(events, width=30, include_unscheduled=False)
+        assert "con:" not in chart
+
+    def test_gantt_handles_zero_duration_events(self):
+        events = [TraceEvent("x", None, 5, 5)]
+        chart = render_gantt(events, width=10)
+        assert "#" in chart
+
+
+class TestVcdExport:
+    @pytest.fixture
+    def traced_events(self):
+        from repro.appmodel.example import paper_example
+
+        application, architecture, _ = paper_example()
+        allocation = ResourceAllocator().allocate(application, architecture)
+        return trace_allocation(allocation, architecture)
+
+    def test_header_and_structure(self, traced_events):
+        from repro.extensions.vcd import trace_to_vcd
+
+        vcd = trace_to_vcd(traced_events)
+        assert "$timescale 1 ns $end" in vcd
+        assert "$enddefinitions $end" in vcd
+        assert "$scope module t1 $end" in vcd
+        assert "$scope module network $end" in vcd
+        assert "$dumpvars" in vcd
+
+    def test_every_actor_declared_once(self, traced_events):
+        from repro.extensions.vcd import trace_to_vcd
+
+        vcd = trace_to_vcd(traced_events)
+        declarations = [l for l in vcd.splitlines() if l.startswith("$var")]
+        names = [l.split()[4] for l in declarations]
+        assert len(names) == len(set(names))
+        assert "a1" in names
+        assert any(name.startswith("con:") for name in names)
+
+    def test_changes_are_time_ordered(self, traced_events):
+        from repro.extensions.vcd import trace_to_vcd
+
+        vcd = trace_to_vcd(traced_events)
+        times = [
+            int(line[1:])
+            for line in vcd.splitlines()
+            if line.startswith("#")
+        ]
+        assert times == sorted(times)
+
+    def test_balanced_rise_fall_per_signal(self, traced_events):
+        from repro.extensions.vcd import trace_to_vcd
+
+        vcd = trace_to_vcd(traced_events)
+        body = vcd.split("$dumpvars")[1]
+        rises = {}
+        falls = {}
+        for line in body.splitlines():
+            if line.startswith("1"):
+                rises[line[1:]] = rises.get(line[1:], 0) + 1
+            elif line.startswith("0"):
+                falls[line[1:]] = falls.get(line[1:], 0) + 1
+        for identifier, count in rises.items():
+            # +1 initial zero from dumpvars
+            assert falls[identifier] == count + 1
+
+    def test_write_vcd_to_file(self, traced_events, tmp_path):
+        from repro.extensions.vcd import write_vcd
+
+        path = tmp_path / "trace.vcd"
+        write_vcd(traced_events, str(path))
+        assert path.read_text().startswith("$comment")
+
+    def test_zero_width_events_become_pulses(self):
+        from repro.extensions.vcd import trace_to_vcd
+        from repro.throughput.constrained import TraceEvent
+
+        vcd = trace_to_vcd([TraceEvent("x", None, 3, 3)])
+        assert "#3" in vcd and "#4" in vcd
+
+    def test_identifier_generation_unique(self):
+        from repro.extensions.vcd import _identifier
+
+        codes = {_identifier(i) for i in range(5000)}
+        assert len(codes) == 5000

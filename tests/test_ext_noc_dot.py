@@ -1,0 +1,124 @@
+"""Unit tests for the NoC connection model and DOT export."""
+
+import pytest
+
+from repro.appmodel.binding_aware import (
+    ConnectionStage,
+    SimpleConnectionModel,
+    build_binding_aware_graph,
+)
+from repro.appmodel.example import paper_example
+from repro.extensions.dot import (
+    architecture_to_dot,
+    binding_to_dot,
+    sdfg_to_dot,
+)
+from repro.extensions.noc_model import NocConnectionModel
+from repro.sdf.validate import validate_graph
+from repro.throughput.state_space import throughput
+
+
+class TestNocConnectionModel:
+    def test_two_stages(self, example_application, example_architecture):
+        model = NocConnectionModel(flit_size=32)
+        connection = example_architecture.connection("t1", "t2")
+        stages = model.stages(connection, example_application.channel("d2"))
+        assert len(stages) == 2
+        assert stages[0].suffix == "inj"
+        assert stages[1].suffix == "net"
+
+    def test_stage_timings(self, example_application, example_architecture):
+        # d2: sz=100, beta=10, L=1, flits of 32 bits -> 4 flits
+        model = NocConnectionModel(flit_size=32)
+        connection = example_architecture.connection("t1", "t2")
+        injection, traversal = model.stages(
+            connection, example_application.channel("d2")
+        )
+        assert injection.execution_time == 10  # ceil(100/10)
+        assert traversal.execution_time == 1 + 4 - 1
+
+    def test_invalid_flit_size(self):
+        with pytest.raises(ValueError):
+            NocConnectionModel(flit_size=0)
+
+    def test_binding_aware_graph_with_noc_model(self):
+        application, architecture, binding = paper_example()
+        bag = build_binding_aware_graph(
+            application,
+            architecture,
+            binding,
+            connection_model=NocConnectionModel(flit_size=32),
+        )
+        validate_graph(bag.graph)
+        assert bag.graph.has_actor("con:d2")
+        assert bag.graph.has_actor("con1-net:d2")
+        # both stages sequential (self edges)
+        assert bag.graph.has_channel("self:con:d2")
+        assert bag.graph.has_channel("self:con1-net:d2")
+
+    def test_noc_pipeline_beats_simple_model_on_throughput(self):
+        """Overlapping injection and traversal raises the sustained
+        cross-tile rate compared to the monolithic connection actor."""
+        application, architecture, binding = paper_example()
+        simple = build_binding_aware_graph(
+            application, architecture, binding,
+            connection_model=SimpleConnectionModel(),
+        )
+        noc = build_binding_aware_graph(
+            application, architecture, binding,
+            connection_model=NocConnectionModel(flit_size=32),
+        )
+        assert throughput(noc.graph).of("a3") >= throughput(simple.graph).of(
+            "a3"
+        )
+
+    def test_sync_actor_still_present(self):
+        application, architecture, binding = paper_example()
+        bag = build_binding_aware_graph(
+            application,
+            architecture,
+            binding,
+            connection_model=NocConnectionModel(),
+        )
+        assert bag.sync_actors == {"d2": "syn:d2"}
+        bag.update_slices({"t2": 8})
+        assert bag.graph.actor("syn:d2").execution_time == 2
+
+
+class TestDotExport:
+    def test_sdfg_dot_structure(self, multirate_graph):
+        dot = sdfg_to_dot(multirate_graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"a" -> "b"' in dot
+        assert "2,3" in dot  # rates rendered
+        assert "1T" in dot  # tokens rendered
+
+    def test_sdfg_dot_omits_unit_rates(self, chain_graph):
+        dot = sdfg_to_dot(chain_graph)
+        assert "1,1" not in dot
+
+    def test_architecture_dot(self, example_architecture):
+        dot = architecture_to_dot(example_architecture)
+        assert '"t1" -> "t2"' in dot
+        assert "p1" in dot
+
+    def test_binding_dot_clusters(self):
+        application, architecture, binding = paper_example()
+        dot = binding_to_dot(application, binding, architecture)
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_1" in dot
+        assert "style=dashed" in dot  # the crossing channel d2
+
+    def test_binding_dot_without_architecture(self):
+        application, _, binding = paper_example()
+        dot = binding_to_dot(application, binding)
+        assert "cluster" in dot
+
+    def test_quoting_of_odd_names(self):
+        from repro.sdf.graph import SDFGraph
+
+        graph = SDFGraph('weird"name')
+        graph.add_actor("a b")
+        dot = sdfg_to_dot(graph)
+        assert '"a b"' in dot

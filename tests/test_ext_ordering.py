@@ -1,0 +1,89 @@
+"""Unit tests for the application-ordering extension (§10.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.arch.presets import benchmark_architectures
+from repro.core.tile_cost import CostWeights
+from repro.extensions.ordering import (
+    ORDERING_STRATEGIES,
+    compare_orderings,
+    order_applications,
+)
+from repro.generate.benchmark import generate_benchmark_set
+
+
+@pytest.fixture(scope="module")
+def mixed_apps():
+    types = benchmark_architectures()[0].processor_types()
+    return generate_benchmark_set("mixed", 8, types, seed=5)
+
+
+def test_all_strategies_permute_without_loss(mixed_apps):
+    names = sorted(app.name for app in mixed_apps)
+    for strategy in ORDERING_STRATEGIES:
+        ordered = order_applications(mixed_apps, strategy)
+        assert sorted(app.name for app in ordered) == names
+
+
+def test_fifo_keeps_input_order(mixed_apps):
+    ordered = order_applications(mixed_apps, "fifo")
+    assert [a.name for a in ordered] == [a.name for a in mixed_apps]
+
+
+def test_heaviest_first_descending_work(mixed_apps):
+    ordered = order_applications(mixed_apps, "heaviest-first")
+    work = [a.total_worst_case_work() for a in ordered]
+    assert work == sorted(work, reverse=True)
+
+
+def test_lightest_first_is_reverse_of_heaviest(mixed_apps):
+    heavy = order_applications(mixed_apps, "heaviest-first")
+    light = order_applications(mixed_apps, "lightest-first")
+    assert [a.total_worst_case_work() for a in light] == sorted(
+        a.total_worst_case_work() for a in heavy
+    )
+
+
+def test_unknown_strategy_rejected(mixed_apps):
+    with pytest.raises(KeyError, match="unknown ordering strategy"):
+        order_applications(mixed_apps, "random")
+
+
+def test_compare_orderings_runs_each_strategy():
+    architecture = paper_example_architecture()
+    applications = [
+        paper_example_application(Fraction(1, 200)) for _ in range(6)
+    ]
+    results = compare_orderings(
+        architecture,
+        applications,
+        weights=CostWeights(1, 1, 1),
+        strategies=["fifo", "heaviest-first"],
+    )
+    assert set(results) == {"fifo", "heaviest-first"}
+    for result in results.values():
+        assert result.applications_bound >= 1
+
+
+def test_compare_orderings_does_not_mutate_architecture():
+    architecture = paper_example_architecture()
+    applications = [paper_example_application(Fraction(1, 200))]
+    compare_orderings(
+        architecture, applications, strategies=["fifo"]
+    )
+    assert architecture.total_usage()["timewheel"] == 0
+
+
+def test_identical_apps_order_stable():
+    applications = [
+        paper_example_application(Fraction(1, 200)) for _ in range(3)
+    ]
+    for strategy in ORDERING_STRATEGIES:
+        ordered = order_applications(applications, strategy)
+        assert ordered == applications  # all keys tie -> stable

@@ -1,0 +1,109 @@
+"""Unit tests for the cost-weight tuning extension."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.core.tile_cost import CostWeights
+from repro.extensions.weight_tuning import (
+    TuningResult,
+    tune_weights,
+    weight_grid,
+)
+
+
+class TestWeightGrid:
+    def test_excludes_all_zero(self):
+        grid = weight_grid()
+        assert all(any(w.as_tuple()) for w in grid)
+
+    def test_deduplicates_scalar_multiples(self):
+        grid = weight_grid(levels=(0, 1, 2))
+        directions = set()
+        for weights in grid:
+            scale = max(weights.as_tuple())
+            directions.add(tuple(v / scale for v in weights.as_tuple()))
+        assert len(directions) == len(grid)
+        # (1,1,1) and (2,2,2) collapse to one candidate
+        tuples = [w.as_tuple() for w in grid]
+        assert ((1, 1, 1) in tuples) != ((2, 2, 2) in tuples)
+
+    def test_contains_paper_settings(self):
+        tuples = {w.as_tuple() for w in weight_grid()}
+        assert (1, 0, 0) in tuples
+        assert (0, 1, 2) in tuples
+
+    def test_custom_levels(self):
+        grid = weight_grid(levels=(0, 1))
+        assert len(grid) == 7  # 2^3 - 1 directions
+
+
+class TestTuneWeights:
+    def workload(self, count=5):
+        return [
+            paper_example_application(Fraction(1, 120)) for _ in range(count)
+        ]
+
+    def test_finds_a_winner(self):
+        architecture = paper_example_architecture()
+        result = tune_weights(
+            architecture,
+            self.workload(),
+            candidates=[CostWeights(1, 0, 0), CostWeights(0, 1, 2)],
+        )
+        assert isinstance(result, TuningResult)
+        assert result.best.as_tuple() in {(1, 0, 0), (0, 1, 2)}
+        assert result.best_flow.applications_bound == max(
+            result.scores.values()
+        )
+
+    def test_architecture_not_mutated(self):
+        architecture = paper_example_architecture()
+        tune_weights(
+            architecture,
+            self.workload(2),
+            candidates=[CostWeights(1, 1, 1)],
+        )
+        assert architecture.total_usage()["timewheel"] == 0
+
+    def test_scores_cover_all_candidates(self):
+        architecture = paper_example_architecture()
+        candidates = [CostWeights(1, 0, 0), CostWeights(0, 0, 1)]
+        result = tune_weights(
+            architecture, self.workload(3), candidates=candidates
+        )
+        assert set(result.scores) == {(1, 0, 0), (0, 0, 1)}
+
+    def test_tie_broken_towards_lean_wheel_usage(self):
+        # clustering (0,0,1) avoids connection actors, so the same
+        # number of applications needs smaller slices
+        architecture = paper_example_architecture()
+        result = tune_weights(
+            architecture,
+            self.workload(2),
+            candidates=[CostWeights(1, 0, 0), CostWeights(0, 0, 1)],
+        )
+        scores = result.scores
+        if scores[(1, 0, 0)] == scores[(0, 0, 1)]:
+            assert result.best.as_tuple() == (0, 0, 1)
+
+    def test_ranking_sorted(self):
+        architecture = paper_example_architecture()
+        result = tune_weights(
+            architecture,
+            self.workload(3),
+            candidates=[CostWeights(1, 0, 0), CostWeights(0, 1, 2)],
+        )
+        ranking = result.ranking()
+        bounds = [bound for _, bound in ranking]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            tune_weights(
+                paper_example_architecture(), self.workload(1), candidates=[]
+            )

@@ -1,0 +1,86 @@
+"""Unit tests for Howard's policy-iteration maximum cycle ratio."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.generate.random_sdf import random_sdfg
+from repro.sdf.graph import SDFGraph, chain
+from repro.sdf.transform import sdf_to_hsdf
+from repro.throughput.howard import howard_max_cycle_ratio
+from repro.throughput.mcr import (
+    hsdf_iteration_rate,
+    max_cycle_ratio_exact,
+)
+
+
+def test_simple_cycle(simple_cycle_graph):
+    assert howard_max_cycle_ratio(simple_cycle_graph) == Fraction(5, 2)
+
+
+def test_acyclic_none():
+    assert howard_max_cycle_ratio(chain(["a", "b", "c"])) is None
+
+
+def test_token_free_cycle_infinite():
+    graph = SDFGraph()
+    graph.add_actor("a", 1)
+    graph.add_actor("b", 1)
+    graph.add_channel("ab", "a", "b")
+    graph.add_channel("ba", "b", "a")
+    assert howard_max_cycle_ratio(graph) == float("inf")
+
+
+def test_self_loop_component():
+    graph = SDFGraph()
+    graph.add_actor("a", 6)
+    graph.add_channel("s", "a", "a", tokens=3)
+    assert howard_max_cycle_ratio(graph) == Fraction(2)
+
+
+def test_picks_worst_cycle_among_many():
+    graph = SDFGraph()
+    graph.add_actor("a", 1)
+    graph.add_actor("b", 2)
+    graph.add_actor("c", 30)
+    graph.add_channel("ab", "a", "b")
+    graph.add_channel("ba", "b", "a", tokens=1)
+    graph.add_channel("ac", "a", "c")
+    graph.add_channel("ca", "c", "a", tokens=4)
+    assert howard_max_cycle_ratio(graph) == Fraction(31, 4)
+
+
+def test_multiple_components_max_taken():
+    graph = SDFGraph()
+    for name, time in (("a", 2), ("b", 10)):
+        graph.add_actor(name, time)
+    graph.add_channel("sa", "a", "a", tokens=1)
+    graph.add_channel("sb", "b", "b", tokens=2)
+    graph.add_channel("bridge", "a", "b")
+    assert howard_max_cycle_ratio(graph) == Fraction(5)
+
+
+def test_agrees_with_enumeration_on_random_hsdfgs():
+    rng = random.Random(23)
+    for _ in range(40):
+        graph = random_sdfg(rng=rng)
+        for actor in graph.actors:
+            actor.execution_time = rng.randint(1, 9)
+        hsdf = sdf_to_hsdf(graph)
+        assert howard_max_cycle_ratio(hsdf) == max_cycle_ratio_exact(
+            hsdf, limit=200_000
+        )
+
+
+def test_method_selector_in_iteration_rate(multirate_graph):
+    hsdf = sdf_to_hsdf(multirate_graph)
+    enumerate_rate = hsdf_iteration_rate(hsdf, method="enumerate")
+    howard_rate = hsdf_iteration_rate(hsdf, method="howard")
+    numeric_rate = hsdf_iteration_rate(hsdf, method="numeric")
+    assert enumerate_rate == howard_rate == numeric_rate == Fraction(1, 5)
+
+
+def test_unknown_method_rejected(multirate_graph):
+    with pytest.raises(ValueError, match="unknown MCR method"):
+        hsdf_iteration_rate(multirate_graph, method="magic")

@@ -1,0 +1,148 @@
+"""Integration tests: full pipelines across modules."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ApplicationGraph,
+    CostWeights,
+    ProcessorType,
+    ResourceAllocator,
+    SDFGraph,
+    allocate_until_failure,
+    benchmark_architectures,
+    mesh_architecture,
+    multimedia_architecture,
+)
+from repro.appmodel.binding_aware import build_binding_aware_graph
+from repro.generate.benchmark import generate_benchmark_set
+from repro.generate.multimedia import h263_decoder, mp3_decoder
+from repro.throughput.constrained import constrained_throughput
+from repro.throughput.state_space import throughput
+
+
+def test_quickstart_from_package_docstring():
+    proc = ProcessorType("dsp")
+    graph = SDFGraph("app")
+    graph.add_actor("src")
+    graph.add_actor("sink")
+    graph.add_channel("d", "src", "sink", 2, 1)
+    app = ApplicationGraph(graph, throughput_constraint=0, output_actor="sink")
+    app.set_actor_requirements("src", (proc, 5, 100))
+    app.set_actor_requirements("sink", (proc, 3, 100))
+    app.set_channel_requirements("d", token_size=32, bandwidth=64)
+    platform = mesh_architecture(2, 2, [proc])
+    allocation = ResourceAllocator(weights=CostWeights(0, 1, 2)).allocate(
+        app, platform
+    )
+    assert allocation.satisfied
+
+
+def test_generated_set_allocates_and_respects_constraints():
+    arch = benchmark_architectures()[2]
+    apps = generate_benchmark_set(
+        "mixed", 6, arch.processor_types(), seed=13
+    )
+    result = allocate_until_failure(
+        arch, apps, weights=CostWeights(0, 1, 2)
+    )
+    assert result.applications_bound >= 1
+    for allocation in result.allocations:
+        assert allocation.satisfied
+        # committed resources never exceed capacity
+    for tile in arch.tiles:
+        assert tile.wheel_occupied <= tile.wheel
+        assert tile.memory_occupied <= tile.memory
+        assert tile.connections_occupied <= tile.max_connections
+        assert tile.bandwidth_in_occupied <= tile.bandwidth_in
+        assert tile.bandwidth_out_occupied <= tile.bandwidth_out
+
+
+def test_allocation_verifiable_post_hoc():
+    """Re-verify a committed allocation with an independent engine run."""
+    arch = benchmark_architectures()[2]
+    apps = generate_benchmark_set(
+        "processing", 2, arch.processor_types(), seed=21
+    )
+    clean = arch.copy()
+    result = allocate_until_failure(arch, apps, weights=CostWeights(1, 1, 1))
+    assert result.applications_bound == 2
+    for allocation in result.allocations:
+        bag = build_binding_aware_graph(
+            allocation.application,
+            clean,
+            allocation.binding,
+            slices=allocation.scheduling.slices,
+        )
+        verified = constrained_throughput(
+            bag.graph, bag.tile_constraints(allocation.scheduling)
+        )
+        assert (
+            verified.of(allocation.application.output_actor)
+            >= allocation.application.throughput_constraint
+        )
+
+
+def test_multimedia_system_allocation():
+    """§10.3 scenario: three H.263 decoders + one MP3 on the 2x2 mesh.
+
+    Scaled-down macroblock count keeps the test fast; the full-size
+    system runs in the multimedia benchmark.
+    """
+    arch = multimedia_architecture()
+    generic = ProcessorType("generic")
+    accelerator = ProcessorType("accelerator")
+    apps = [
+        h263_decoder(f"h263-{i}", macroblocks=30, generic=generic,
+                     accelerator=accelerator)
+        for i in range(3)
+    ]
+    apps.append(mp3_decoder(generic=generic, accelerator=accelerator))
+    allocator = ResourceAllocator(weights=CostWeights(2, 0, 1))
+    result = allocate_until_failure(arch, apps, allocator=allocator)
+    assert result.applications_bound == 4
+    # every allocation individually meets its constraint
+    assert all(a.satisfied for a in result.allocations)
+
+
+def test_two_applications_share_tiles_without_interference():
+    """Timing guarantees are per-application: the second allocation
+    cannot invalidate the first (TDMA slices are disjoint)."""
+    arch = paper_arch = None
+    from repro.appmodel.example import (
+        paper_example_application,
+        paper_example_architecture,
+    )
+
+    arch = paper_example_architecture()
+    first_app = paper_example_application(Fraction(1, 60))
+    second_app = paper_example_application(Fraction(1, 60))
+    allocator = ResourceAllocator()
+    first = allocator.allocate(first_app, arch)
+    first.reservation.commit(arch)
+    second = allocator.allocate(second_app, arch)
+    second.reservation.commit(arch)
+    # slices do not overlap: sum of occupancy within wheel
+    for tile in arch.tiles:
+        assert tile.wheel_occupied <= tile.wheel
+    # both keep their guarantees (checked at allocation time)
+    assert first.satisfied and second.satisfied
+
+
+def test_roundtrip_through_serialization_and_analysis(tmp_path):
+    """Generate -> serialise -> reload -> analyse == analyse directly."""
+    from repro.generate.random_sdf import random_sdfg
+    from repro.sdf.serialization import graph_from_json, graph_to_json
+
+    graph = random_sdfg(rng=random.Random(99))
+    for actor in graph.actors:
+        actor.execution_time = 3
+    path = tmp_path / "g.json"
+    path.write_text(graph_to_json(graph))
+    reloaded = graph_from_json(path.read_text())
+    assert (
+        throughput(reloaded).iteration_rate
+        == throughput(graph).iteration_rate
+    )

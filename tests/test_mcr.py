@@ -1,0 +1,180 @@
+"""Unit tests for maximum-cycle-ratio analysis and the reference path."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.sdf.graph import SDFGraph, chain
+from repro.sdf.transform import sdf_to_hsdf
+from repro.throughput.mcr import (
+    hsdf_iteration_rate,
+    max_cycle_ratio_exact,
+    max_cycle_ratio_numeric,
+)
+from repro.throughput.reference import reference_throughput
+from repro.throughput.state_space import throughput
+
+
+class TestExactMCR:
+    def test_simple_cycle(self, simple_cycle_graph):
+        assert max_cycle_ratio_exact(simple_cycle_graph) == Fraction(5, 2)
+
+    def test_acyclic_none(self):
+        assert max_cycle_ratio_exact(chain(["a", "b"])) is None
+
+    def test_token_free_cycle_infinite(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 1)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a")
+        assert max_cycle_ratio_exact(graph) == float("inf")
+
+
+class TestNumericMCR:
+    def test_agrees_with_exact_on_cycle(self, simple_cycle_graph):
+        assert max_cycle_ratio_numeric(simple_cycle_graph) == Fraction(5, 2)
+
+    def test_acyclic_none(self):
+        assert max_cycle_ratio_numeric(chain(["a", "b", "c"])) is None
+
+    def test_token_free_cycle_infinite(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 1)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a")
+        assert max_cycle_ratio_numeric(graph) == float("inf")
+
+    def test_picks_dominant_cycle(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 2)
+        graph.add_actor("c", 30)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a", tokens=1)
+        graph.add_channel("ac", "a", "c")
+        graph.add_channel("ca", "c", "a", tokens=4)
+        exact = max_cycle_ratio_exact(graph)
+        numeric = max_cycle_ratio_numeric(graph)
+        assert exact == numeric == Fraction(31, 4)
+
+    def test_agrees_with_exact_on_hsdf_expansions(self, multirate_graph):
+        hsdf = sdf_to_hsdf(multirate_graph)
+        assert max_cycle_ratio_exact(hsdf) == max_cycle_ratio_numeric(hsdf)
+
+    def test_moderate_hsdf_scale(self):
+        graph = SDFGraph()
+        graph.add_actor("src", 3)
+        graph.add_actor("mid", 2)
+        graph.add_actor("dst", 5)
+        graph.add_channel("d1", "src", "mid", 40, 1)
+        graph.add_channel("d2", "mid", "dst", 1, 40)
+        graph.add_channel("fb", "dst", "src", 1, 1, 1)
+        hsdf = sdf_to_hsdf(graph)
+        assert len(hsdf) == 42
+        ratio = max_cycle_ratio_numeric(hsdf)
+        # the 40 'mid' copies run concurrently, so the critical cycle is
+        # src + one mid + dst over the single feedback token
+        assert ratio == Fraction(10)
+        # and the state-space engine agrees
+        assert throughput(graph).iteration_rate == Fraction(1, 10)
+
+
+class TestHsdfIterationRate:
+    def test_reciprocal_of_mcr(self, simple_cycle_graph):
+        assert hsdf_iteration_rate(simple_cycle_graph) == Fraction(2, 5)
+
+    def test_acyclic_unbounded(self):
+        assert hsdf_iteration_rate(chain(["a", "b"])) == float("inf")
+
+    def test_deadlock_zero(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 1)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a")
+        assert hsdf_iteration_rate(graph) == 0
+
+
+class TestReferencePath:
+    def test_matches_state_space_multirate(self, multirate_graph):
+        direct = throughput(multirate_graph).iteration_rate
+        assert reference_throughput(multirate_graph) == direct
+
+    def test_matches_state_space_chain(self, chain_graph):
+        direct = throughput(chain_graph).iteration_rate
+        assert reference_throughput(chain_graph) == direct
+
+    def test_numeric_backend(self, multirate_graph):
+        assert reference_throughput(multirate_graph, exact=False) == Fraction(
+            1, 5
+        )
+
+    def test_execution_time_override_does_not_mutate(self, multirate_graph):
+        reference_throughput(multirate_graph, execution_times={"a": 9, "b": 9})
+        assert multirate_graph.actor("a").execution_time == 2
+
+    def test_override_changes_result(self, simple_cycle_graph):
+        slow = reference_throughput(
+            simple_cycle_graph, execution_times={"a": 20, "b": 30}
+        )
+        assert slow == Fraction(2, 50)
+
+
+class TestResultObjects:
+    def test_execution_result_deadlocked_throughput_zero(self):
+        from repro.throughput.state_space import ExecutionResult
+
+        result = ExecutionResult(
+            transient_time=5,
+            period=None,
+            period_firings={},
+            states_explored=3,
+            deadlocked=True,
+        )
+        assert result.actor_throughput("x") == 0
+
+    def test_execution_result_throughput(self):
+        from repro.throughput.state_space import ExecutionResult
+
+        result = ExecutionResult(
+            transient_time=0,
+            period=10,
+            period_firings={"a": 4},
+            states_explored=7,
+        )
+        assert result.actor_throughput("a") == Fraction(4, 10)
+        assert result.actor_throughput("missing") == 0
+
+    def test_throughput_result_of_unbounded(self):
+        from repro.throughput.state_space import ThroughputResult
+
+        result = ThroughputResult(
+            iteration_rate=float("inf"), gamma={"a": 3}
+        )
+        assert result.of("a") == float("inf")
+        assert not result.deadlocked
+
+
+class TestNumericEdgeCases:
+    def test_empty_graph_none(self):
+        graph = SDFGraph("empty-ish")
+        graph.add_actor("a", 1)
+        assert max_cycle_ratio_numeric(graph) is None
+
+    def test_zero_execution_time_cycle(self):
+        # cycle with total time 0: ratio 0 -> unbounded rate
+        graph = SDFGraph("zt")
+        graph.add_actor("a", 0)
+        graph.add_channel("s", "a", "a", tokens=1)
+        assert max_cycle_ratio_numeric(graph) == 0
+        assert hsdf_iteration_rate(graph, exact=False) == float("inf")
+
+    def test_large_denominator_snapped_exactly(self):
+        # ratio 97/89 with coprime large-ish numbers survives the float
+        # search and the rational snap
+        graph = SDFGraph("frac")
+        graph.add_actor("a", 97)
+        graph.add_channel("s", "a", "a", tokens=89)
+        assert max_cycle_ratio_numeric(graph) == Fraction(97, 89)

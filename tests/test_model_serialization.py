@@ -1,0 +1,140 @@
+"""Unit tests for application and architecture JSON serialisation."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.appmodel.serialization import (
+    application_from_dict,
+    application_from_json,
+    application_to_dict,
+    application_to_json,
+)
+from repro.arch.serialization import (
+    architecture_from_json,
+    architecture_to_json,
+)
+from repro.arch.tile import ProcessorType
+from repro.core.strategy import ResourceAllocator
+
+
+class TestApplicationSerialisation:
+    def test_roundtrip_preserves_requirements(self):
+        application = paper_example_application()
+        restored = application_from_json(application_to_json(application))
+        assert restored.name == application.name
+        assert restored.output_actor == "a3"
+        assert restored.throughput_constraint == Fraction(1, 40)
+        p2 = ProcessorType("p2")
+        assert restored.requirements("a2").execution_time(p2) == 7
+        assert restored.requirements("a2").memory(p2) == 19
+        theta = restored.channel("d2")
+        assert (theta.token_size, theta.bandwidth) == (100, 10)
+        assert theta.buffer_tile == 2
+
+    def test_constraint_is_exact_fraction(self):
+        application = paper_example_application(Fraction(355, 113_000))
+        restored = application_from_json(application_to_json(application))
+        assert restored.throughput_constraint == Fraction(355, 113_000)
+
+    def test_json_is_plain_json(self):
+        payload = json.loads(application_to_json(paper_example_application()))
+        assert payload["output_actor"] == "a3"
+        assert "graph" in payload
+
+    def test_missing_sections_default(self):
+        application = paper_example_application()
+        data = application_to_dict(application)
+        del data["actors"]
+        del data["channels"]
+        del data["throughput_constraint"]
+        restored = application_from_dict(data)
+        assert restored.throughput_constraint == 0
+        # default buffers stay liveness-safe
+        assert restored.channel("d1").buffer_tile >= 1
+
+    def test_roundtrip_allocates_identically(self):
+        application = paper_example_application(Fraction(1, 60))
+        restored = application_from_json(application_to_json(application))
+        first = ResourceAllocator().allocate(
+            application, paper_example_architecture()
+        )
+        second = ResourceAllocator().allocate(
+            restored, paper_example_architecture()
+        )
+        assert first.binding.assignment == second.binding.assignment
+        assert first.scheduling.slices == second.scheduling.slices
+        assert first.achieved_throughput == second.achieved_throughput
+
+
+class TestArchitectureSerialisation:
+    def test_roundtrip_preserves_capacities(self):
+        architecture = paper_example_architecture()
+        restored = architecture_from_json(
+            architecture_to_json(architecture)
+        )
+        assert restored.name == architecture.name
+        t1 = restored.tile("t1")
+        assert (t1.wheel, t1.memory, t1.max_connections) == (10, 700, 5)
+        assert t1.processor_type == ProcessorType("p1")
+        assert restored.connection("t1", "t2").latency == 1
+        assert restored.connection("t2", "t1").latency == 1
+
+    def test_occupancy_checkpointed(self):
+        architecture = paper_example_architecture()
+        architecture.tile("t1").wheel_occupied = 4
+        architecture.tile("t2").memory_occupied = 123
+        restored = architecture_from_json(
+            architecture_to_json(architecture)
+        )
+        assert restored.tile("t1").wheel_occupied == 4
+        assert restored.tile("t2").memory_occupied == 123
+
+    def test_occupancy_optional_on_input(self):
+        architecture = paper_example_architecture()
+        data = json.loads(architecture_to_json(architecture))
+        for tile in data["tiles"]:
+            for key in list(tile):
+                if key.endswith("_occupied"):
+                    del tile[key]
+        restored = architecture_from_json(json.dumps(data))
+        assert restored.tile("t1").wheel_occupied == 0
+
+
+class TestAllocateFileCommand:
+    def test_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        application = paper_example_application(Fraction(1, 60))
+        architecture = paper_example_architecture()
+        app_path = tmp_path / "app.json"
+        arch_path = tmp_path / "arch.json"
+        app_path.write_text(application_to_json(application))
+        arch_path.write_text(architecture_to_json(architecture))
+
+        assert (
+            main(
+                [
+                    "allocate-file",
+                    str(app_path),
+                    str(arch_path),
+                    "--commit",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "guaranteed throughput" in out
+        # occupancy was committed back to the file
+        recycled = architecture_from_json(arch_path.read_text())
+        assert recycled.total_usage()["timewheel"] > 0
+
+        # a second allocation on the checkpointed platform still works
+        assert (
+            main(["allocate-file", str(app_path), str(arch_path)]) == 0
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for the H.263 and MP3 application models (paper §10.3)."""
+
+import pytest
+
+from repro.generate.multimedia import h263_decoder, mp3_decoder
+from repro.sdf.repetition import iteration_length, repetition_vector
+from repro.sdf.validate import validate_graph
+
+
+class TestH263:
+    def test_hsdf_size_matches_paper(self):
+        app = h263_decoder()
+        assert iteration_length(app.graph) == 4754
+
+    def test_repetition_vector(self):
+        app = h263_decoder()
+        gamma = repetition_vector(app.graph)
+        assert gamma == {"vld": 1, "iq": 2376, "idct": 2376, "mc": 1}
+
+    def test_graph_is_valid(self):
+        validate_graph(h263_decoder().graph)
+
+    def test_scalable_macroblocks(self):
+        app = h263_decoder(macroblocks=10)
+        assert iteration_length(app.graph) == 22
+
+    def test_requirements_complete(self):
+        h263_decoder().check_complete()
+
+    def test_kernels_support_accelerator(self):
+        from repro.arch.tile import ProcessorType
+
+        accelerator = ProcessorType("accelerator")
+        app = h263_decoder()
+        assert app.requirements("iq").supports(accelerator)
+        assert app.requirements("idct").supports(accelerator)
+        assert not app.requirements("vld").supports(accelerator)
+
+    def test_constraint_feasible_standalone(self):
+        from repro.throughput.state_space import throughput
+
+        app = h263_decoder(macroblocks=20)
+        worst = {
+            name: requirements.worst_case_execution_time
+            for name, requirements in app.actor_requirements.items()
+        }
+        ideal = throughput(
+            app.graph, execution_times=worst, auto_concurrency=False
+        ).of(app.output_actor)
+        assert app.throughput_constraint <= ideal
+
+    def test_output_actor_is_mc(self):
+        assert h263_decoder().output_actor == "mc"
+
+
+class TestMP3:
+    def test_thirteen_single_rate_actors(self):
+        app = mp3_decoder()
+        assert len(app.graph) == 13
+        gamma = repetition_vector(app.graph)
+        assert set(gamma.values()) == {1}
+
+    def test_paper_system_hsdf_total(self):
+        total = 3 * iteration_length(h263_decoder().graph) + iteration_length(
+            mp3_decoder().graph
+        )
+        assert total == 14275
+
+    def test_graph_is_valid(self):
+        validate_graph(mp3_decoder().graph)
+
+    def test_requirements_complete(self):
+        mp3_decoder().check_complete()
+
+    def test_feedback_allows_pipelining(self):
+        app = mp3_decoder()
+        feedback = app.graph.channel("synth-huffman")
+        assert feedback.tokens == 2
+
+    def test_stereo_join_structure(self):
+        app = mp3_decoder()
+        assert set(app.graph.predecessors("stereo")) == {
+            "reorder_l",
+            "reorder_r",
+        }
+        assert set(app.graph.predecessors("synth")) == {
+            "freqinv_l",
+            "freqinv_r",
+        }

@@ -1,0 +1,73 @@
+"""Performance regression guards.
+
+Generous wall-clock and state-count bounds on the engines' costs; these
+fail loudly if an accidental change makes an engine tick-by-tick or
+quadratic (e.g. a broken hash key exploding the state space).  Bounds
+are ~10x above currently observed values so normal machine variance
+never trips them.
+"""
+
+import time
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.core.strategy import ResourceAllocator
+from repro.generate.multimedia import h263_decoder
+from repro.throughput.state_space import throughput
+
+
+def test_h263_direct_throughput_stays_linear():
+    application = h263_decoder()  # full 2376 macroblocks
+    started = time.perf_counter()
+    result = throughput(application.graph)
+    elapsed = time.perf_counter() - started
+    # auto-concurrent H.263 collapses to a handful of states
+    assert result.states_explored < 1_000
+    assert elapsed < 5.0
+
+
+def test_constrained_engine_never_ticks():
+    """Wheel size must not affect the state count (event-driven gating):
+    scale the example's wheel 100x and expect the same exploration."""
+    from repro.appmodel.binding import SchedulingFunction
+    from repro.appmodel.binding_aware import build_binding_aware_graph
+    from repro.appmodel.example import paper_example_binding
+    from repro.throughput.constrained import constrained_throughput
+
+    counts = []
+    for scale in (1, 100):
+        application = paper_example_application()
+        architecture = paper_example_architecture()
+        for tile in architecture.tiles:
+            tile.wheel *= scale
+        binding = paper_example_binding()
+        slices = {"t1": 5 * scale, "t2": 5 * scale}
+        bag = build_binding_aware_graph(
+            application, architecture, binding, slices=slices
+        )
+        scheduling = SchedulingFunction()
+        from repro.core.scheduling import build_static_order_schedules
+
+        for tile_name, schedule in build_static_order_schedules(bag).items():
+            scheduling.set_schedule(tile_name, schedule)
+            scheduling.set_slice(tile_name, slices[tile_name])
+        result = constrained_throughput(
+            bag.graph, bag.tile_constraints(scheduling)
+        )
+        counts.append(result.states_explored)
+    small, large = counts
+    assert large <= 3 * small  # event-driven: no tick-per-time-unit blowup
+
+
+def test_example_allocation_stays_fast():
+    started = time.perf_counter()
+    allocation = ResourceAllocator().allocate(
+        paper_example_application(), paper_example_architecture()
+    )
+    elapsed = time.perf_counter() - started
+    assert allocation.satisfied
+    assert elapsed < 5.0

@@ -1,0 +1,94 @@
+"""Unit tests for the architecture presets."""
+
+import pytest
+
+from repro.arch.presets import (
+    benchmark_architectures,
+    mesh_architecture,
+    multimedia_architecture,
+)
+from repro.arch.tile import ProcessorType
+
+
+class TestMesh:
+    def test_tile_count(self):
+        arch = mesh_architecture(2, 3, [ProcessorType("p")])
+        assert len(arch) == 6
+
+    def test_all_pairs_connected(self):
+        arch = mesh_architecture(2, 2, [ProcessorType("p")])
+        names = arch.tile_names
+        for a in names:
+            for b in names:
+                if a != b:
+                    assert arch.connected(a, b)
+
+    def test_latency_scales_with_manhattan_distance(self):
+        arch = mesh_architecture(3, 3, [ProcessorType("p")], base_latency=2)
+        # t0 is (0,0); t1 is (0,1); t8 is (2,2)
+        assert arch.connection("t0", "t1").latency == 2
+        assert arch.connection("t0", "t8").latency == 8
+
+    def test_processor_types_round_robin(self):
+        types = [ProcessorType("x"), ProcessorType("y")]
+        arch = mesh_architecture(2, 2, types)
+        assert arch.tile("t0").processor_type.name == "x"
+        assert arch.tile("t1").processor_type.name == "y"
+        assert arch.tile("t2").processor_type.name == "x"
+
+    def test_requires_processor_types(self):
+        with pytest.raises(ValueError):
+            mesh_architecture(2, 2, [])
+
+    def test_capacity_parameters_applied(self):
+        arch = mesh_architecture(
+            1,
+            2,
+            [ProcessorType("p")],
+            wheel=42,
+            memory=7,
+            max_connections=3,
+            bandwidth_in=11,
+            bandwidth_out=13,
+        )
+        tile = arch.tile("t0")
+        assert (tile.wheel, tile.memory, tile.max_connections) == (42, 7, 3)
+        assert (tile.bandwidth_in, tile.bandwidth_out) == (11, 13)
+
+
+class TestBenchmarkArchitectures:
+    def test_three_variants(self):
+        variants = benchmark_architectures()
+        assert len(variants) == 3
+        assert all(len(v) == 9 for v in variants)
+
+    def test_variants_differ_in_memory_and_connections(self):
+        small, medium, large = benchmark_architectures()
+        assert small.tile("t0").memory < large.tile("t0").memory
+        assert (
+            small.tile("t0").max_connections < large.tile("t0").max_connections
+        )
+
+    def test_three_processor_types(self):
+        arch = benchmark_architectures()[0]
+        assert len(arch.processor_types()) == 3
+
+    def test_equal_wheels(self):
+        arch = benchmark_architectures(wheel=64)[0]
+        assert {t.wheel for t in arch.tiles} == {64}
+
+    def test_mismatched_variant_lists_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_architectures(memories=(1, 2), connection_counts=(1,))
+
+
+class TestMultimediaArchitecture:
+    def test_two_by_two(self):
+        arch = multimedia_architecture()
+        assert len(arch) == 4
+
+    def test_two_generic_two_accelerator(self):
+        arch = multimedia_architecture()
+        names = [t.processor_type.name for t in arch.tiles]
+        assert names.count("generic") == 2
+        assert names.count("accelerator") == 2

@@ -1,0 +1,351 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The two deepest invariants of the library:
+
+* the state-space throughput of a consistent, live SDFG equals the
+  reciprocal maximum cycle ratio of its HSDF expansion (two completely
+  independent implementations);
+* the repetition vector balances every channel and is minimal.
+
+Plus algebraic properties of the TDMA gating arithmetic and schedule
+compaction.
+"""
+
+import random
+from fractions import Fraction
+from math import gcd
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduling import compact_schedule, minimal_repeating_unit
+from repro.generate.random_sdf import RandomSDFParameters, random_sdfg
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.transform import sdf_to_hsdf
+from repro.throughput.constrained import (
+    StaticOrderSchedule,
+    busy_time,
+    gated_finish,
+)
+from repro.throughput.mcr import max_cycle_ratio_numeric
+from repro.throughput.reference import reference_throughput
+from repro.throughput.state_space import throughput
+
+
+# ---------------------------------------------------------------------------
+# random graph strategy built on the (already liveness-safe) generator
+# ---------------------------------------------------------------------------
+@st.composite
+def live_sdfgs(draw):
+    seed = draw(st.integers(0, 10_000))
+    actors = draw(st.integers(2, 5))
+    repetition = draw(st.integers(1, 3))
+    parameters = RandomSDFParameters(
+        actors_min=actors,
+        actors_max=actors,
+        repetition_min=1,
+        repetition_max=repetition,
+        extra_channel_fraction=draw(st.floats(0.0, 1.0)),
+        back_edge_probability=draw(st.floats(0.0, 1.0)),
+        self_edge_fraction=draw(st.floats(0.0, 0.7)),
+    )
+    graph = random_sdfg(parameters, random.Random(seed))
+    rng = random.Random(seed + 1)
+    for actor in graph.actors:
+        actor.execution_time = rng.randint(1, 6)
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(live_sdfgs())
+def test_state_space_equals_hsdf_mcr(graph):
+    """The paper's enabling claim: direct SDFG analysis is exact."""
+    direct = throughput(graph).iteration_rate
+    reference = reference_throughput(graph, exact=False)
+    assert direct == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(live_sdfgs())
+def test_repetition_vector_balances_all_channels(graph):
+    gamma = repetition_vector(graph)
+    assert all(value > 0 for value in gamma.values())
+    overall = 0
+    for value in gamma.values():
+        overall = gcd(overall, value)
+    assert overall == 1  # minimality
+    for channel in graph.channels:
+        assert (
+            channel.production * gamma[channel.src]
+            == channel.consumption * gamma[channel.dst]
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(live_sdfgs())
+def test_hsdf_preserves_iteration_structure(graph):
+    gamma = repetition_vector(graph)
+    hsdf = sdf_to_hsdf(graph)
+    assert len(hsdf) == sum(gamma.values())
+    assert repetition_vector(hsdf) == {a.name: 1 for a in hsdf.actors}
+    # total initial tokens can shift between parallel precedence edges
+    # but every HSDF delay is a non-negative iteration distance
+    assert all(c.tokens >= 0 for c in hsdf.channels)
+
+
+@settings(max_examples=40, deadline=None)
+@given(live_sdfgs(), st.integers(1, 5))
+def test_slower_actors_never_speed_up_the_graph(graph, slowdown):
+    base = throughput(graph).iteration_rate
+    times = {a.name: a.execution_time + slowdown for a in graph.actors}
+    slower = throughput(graph, execution_times=times).iteration_rate
+    assert slower <= base
+
+
+# ---------------------------------------------------------------------------
+# TDMA gating arithmetic
+# ---------------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(0, 300),
+    st.integers(1, 60),
+    st.integers(2, 40),
+    st.integers(1, 40),
+)
+def test_gated_finish_inverts_busy_time(start, work, wheel, slice_size):
+    slice_size = min(slice_size, wheel)
+    finish = gated_finish(start, work, wheel, slice_size)
+    assert finish is not None
+    assert busy_time(start, finish, wheel, slice_size) == work
+    # one step earlier the work is not yet done (minimality)
+    assert busy_time(start, finish - 1, wheel, slice_size) < work
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(0, 100),
+    st.integers(0, 100),
+    st.integers(0, 100),
+    st.integers(2, 30),
+    st.integers(0, 30),
+)
+def test_busy_time_is_additive(a, b, c, wheel, slice_size):
+    slice_size = min(slice_size, wheel)
+    t0, t1, t2 = sorted((a, b, c))
+    assert busy_time(t0, t2, wheel, slice_size) == busy_time(
+        t0, t1, wheel, slice_size
+    ) + busy_time(t1, t2, wheel, slice_size)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, 100), st.integers(0, 200), st.integers(2, 30))
+def test_full_slice_gating_is_identity(start, work, wheel):
+    assert gated_finish(start, work, wheel, wheel) == start + work
+    assert busy_time(start, start + work, wheel, wheel) == work
+
+
+# ---------------------------------------------------------------------------
+# schedule compaction
+# ---------------------------------------------------------------------------
+schedule_alphabet = st.sampled_from(["a", "b", "c"])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(schedule_alphabet, max_size=6),
+    st.lists(schedule_alphabet, min_size=1, max_size=6),
+    st.integers(1, 3),
+)
+def test_compaction_preserves_infinite_schedule(transient, unit, repeats):
+    periodic = unit * repeats
+    original = StaticOrderSchedule(
+        periodic=tuple(periodic), transient=tuple(transient)
+    )
+    compacted = compact_schedule(transient, periodic)
+    horizon = 3 * (len(transient) + len(periodic)) + 5
+    for position in range(horizon):
+        assert compacted.entry(position) == original.entry(position)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(schedule_alphabet, min_size=1, max_size=8), st.integers(1, 4))
+def test_minimal_unit_divides_and_reconstructs(unit, repeats):
+    sequence = unit * repeats
+    minimal = minimal_repeating_unit(sequence)
+    assert len(sequence) % len(minimal) == 0
+    assert minimal * (len(sequence) // len(minimal)) == sequence
+    assert len(minimal) <= len(unit)
+
+
+# ---------------------------------------------------------------------------
+# throughput monotonicity in tokens
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 8))
+def test_more_pipeline_tokens_never_hurt(time_a, time_b, tokens):
+    def rate(token_count):
+        graph = SDFGraph("ring")
+        graph.add_actor("a", time_a)
+        graph.add_actor("b", time_b)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a", tokens=token_count)
+        return throughput(graph).iteration_rate
+
+    assert rate(tokens + 1) >= rate(tokens)
+    # and the rate is capped by the heaviest actor under no concurrency
+    graph_rate = rate(tokens)
+    assert graph_rate <= Fraction(tokens, time_a + time_b)
+
+
+# ---------------------------------------------------------------------------
+# whole-strategy invariants on random workloads
+# ---------------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000), st.sampled_from(["processing", "memory", "mixed"]))
+def test_allocation_invariants_on_random_applications(seed, set_name):
+    """Whatever the workload, a returned allocation is internally sound:
+    slices fit the wheels, the reservation fits the architecture, the
+    schedules cover exactly the bound actors, and an independent
+    re-verification reproduces the guaranteed throughput."""
+    from repro.arch.presets import benchmark_architectures
+    from repro.appmodel.binding_aware import build_binding_aware_graph
+    from repro.core.strategy import AllocationError, ResourceAllocator
+    from repro.core.tile_cost import CostWeights
+    from repro.generate.benchmark import generate_benchmark_set
+    from repro.throughput.constrained import constrained_throughput
+
+    architecture = benchmark_architectures()[2]
+    (application,) = generate_benchmark_set(
+        set_name, 1, architecture.processor_types(), seed=seed
+    )
+    try:
+        allocation = ResourceAllocator(weights=CostWeights(0, 1, 2)).allocate(
+            application, architecture
+        )
+    except AllocationError:
+        return  # infeasible workloads are allowed; nothing to check
+
+    # 1. slices fit the wheels
+    for tile_name, slice_size in allocation.scheduling.slices.items():
+        assert 1 <= slice_size <= architecture.tile(tile_name).wheel
+
+    # 2. the reservation fits and is reversible
+    assert allocation.reservation.fits(architecture)
+    allocation.reservation.commit(architecture)
+    allocation.reservation.rollback(architecture)
+    assert architecture.total_usage()["timewheel"] == 0
+
+    # 3. schedules cover exactly the bound actors
+    scheduled = set()
+    for tile_name in allocation.binding.used_tiles():
+        scheduled.update(
+            allocation.scheduling.schedule_of(tile_name).actors
+        )
+    assert scheduled == set(application.graph.actor_names)
+
+    # 4. independent re-verification agrees
+    bag = build_binding_aware_graph(
+        application,
+        architecture,
+        allocation.binding,
+        slices=dict(allocation.scheduling.slices),
+    )
+    verified = constrained_throughput(
+        bag.graph, bag.tile_constraints(allocation.scheduling)
+    ).of(application.output_actor)
+    assert verified == allocation.achieved_throughput
+    assert verified >= application.throughput_constraint
+
+
+@settings(max_examples=40, deadline=None)
+@given(live_sdfgs(), st.booleans())
+def test_csdf_engine_equals_sdf_engine_on_single_phase(graph, auto_concurrency):
+    """The CSDF engine restricted to one phase per actor is exactly the
+    SDF engine (a third independent implementation agreeing)."""
+    from repro.csdf import csdf_throughput, sdf_to_csdf
+
+    lifted = sdf_to_csdf(graph)
+    assert (
+        csdf_throughput(lifted, auto_concurrency=auto_concurrency).iteration_rate
+        == throughput(graph, auto_concurrency=auto_concurrency).iteration_rate
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100000))
+def test_csdf_aggregation_is_conservative(seed):
+    """The SDF aggregation of a CSDF graph consumes no later and
+    produces no earlier than the phased original... the other way
+    around: the phased graph dominates, so aggregation gives a valid
+    throughput lower bound usable by the SDF-only allocator."""
+    from repro.csdf.convert import aggregate_csdf_to_sdf
+    from repro.csdf.random_csdf import random_csdf
+    from repro.csdf.throughput import csdf_throughput
+
+    csdf = random_csdf(random.Random(seed))
+    aggregated = aggregate_csdf_to_sdf(csdf)
+    for auto_concurrency in (True, False):
+        phased = csdf_throughput(
+            csdf, auto_concurrency=auto_concurrency
+        ).iteration_rate
+        lower = throughput(
+            aggregated, auto_concurrency=auto_concurrency
+        ).iteration_rate
+        assert lower <= phased
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(0, 200),
+    st.integers(1, 40),
+    st.integers(2, 30),
+    st.integers(1, 30),
+    st.integers(0, 29),
+)
+def test_offset_gating_inverts(start, work, wheel, slice_size, slice_start):
+    slice_size = min(slice_size, wheel)
+    slice_start = min(slice_start, wheel - slice_size)
+    finish = gated_finish(start, work, wheel, slice_size, slice_start)
+    assert finish is not None
+    assert busy_time(start, finish, wheel, slice_size, slice_start) == work
+    assert busy_time(start, finish - 1, wheel, slice_size, slice_start) < work
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(0, 100),
+    st.integers(0, 100),
+    st.integers(2, 30),
+    st.integers(1, 30),
+    st.integers(0, 29),
+)
+def test_offset_only_shifts_the_window(t0, duration, wheel, slice_size, slice_start):
+    """Shifting both the window and the observation interval by the
+    offset leaves the busy time unchanged."""
+    slice_size = min(slice_size, wheel)
+    slice_start = min(slice_start, wheel - slice_size)
+    plain = busy_time(t0, t0 + duration, wheel, slice_size, 0)
+    shifted = busy_time(
+        t0 + slice_start, t0 + slice_start + duration, wheel, slice_size,
+        slice_start,
+    )
+    assert plain == shifted
+
+
+@settings(max_examples=40, deadline=None)
+@given(live_sdfgs())
+def test_three_mcr_algorithms_agree(graph):
+    """Cycle enumeration, parametric Lawler search and Howard policy
+    iteration compute the same maximum cycle ratio on HSDF expansions."""
+    from repro.throughput.howard import howard_max_cycle_ratio
+    from repro.throughput.mcr import (
+        max_cycle_ratio_exact,
+        max_cycle_ratio_numeric,
+    )
+
+    hsdf = sdf_to_hsdf(graph)
+    enumerated = max_cycle_ratio_exact(hsdf, limit=200_000)
+    numeric = max_cycle_ratio_numeric(hsdf)
+    howard = howard_max_cycle_ratio(hsdf)
+    assert enumerated == numeric == howard

@@ -1,0 +1,97 @@
+"""Unit tests for the random SDFG generator."""
+
+import random
+
+import pytest
+
+from repro.generate.random_sdf import RandomSDFParameters, random_sdfg
+from repro.sdf.analysis import is_connected, is_deadlock_free
+from repro.sdf.repetition import is_consistent, repetition_vector
+
+
+def test_generated_graphs_are_valid():
+    rng = random.Random(7)
+    for _ in range(30):
+        graph = random_sdfg(rng=rng)
+        assert is_consistent(graph)
+        assert is_deadlock_free(graph)
+        assert is_connected(graph)
+
+
+def test_actor_count_respects_range():
+    rng = random.Random(0)
+    parameters = RandomSDFParameters(actors_min=5, actors_max=5)
+    for _ in range(10):
+        assert len(random_sdfg(parameters, rng)) == 5
+
+
+def test_deterministic_for_same_seed():
+    first = random_sdfg(rng=random.Random(42))
+    second = random_sdfg(rng=random.Random(42))
+    assert [a.name for a in first.actors] == [a.name for a in second.actors]
+    assert [
+        (c.src, c.dst, c.production, c.consumption, c.tokens)
+        for c in first.channels
+    ] == [
+        (c.src, c.dst, c.production, c.consumption, c.tokens)
+        for c in second.channels
+    ]
+
+
+def test_different_seeds_differ():
+    graphs = [random_sdfg(rng=random.Random(seed)) for seed in range(20)]
+    shapes = {(len(g), len(g.channels)) for g in graphs}
+    assert len(shapes) > 1
+
+
+def test_repetition_entries_within_range():
+    parameters = RandomSDFParameters(repetition_min=2, repetition_max=4)
+    rng = random.Random(3)
+    for _ in range(10):
+        graph = random_sdfg(parameters, rng)
+        gamma = repetition_vector(graph)
+        # the drawn vector may be scaled down by a common divisor but
+        # never scaled up beyond the drawn range
+        assert max(gamma.values()) <= 4
+
+
+def test_single_actor_graph():
+    parameters = RandomSDFParameters(actors_min=1, actors_max=1)
+    graph = random_sdfg(parameters, random.Random(1))
+    assert len(graph) == 1
+
+
+def test_self_edges_controlled_by_fraction():
+    no_self = RandomSDFParameters(self_edge_fraction=0.0)
+    rng = random.Random(5)
+    for _ in range(10):
+        graph = random_sdfg(no_self, rng)
+        assert not any(c.is_self_loop for c in graph.channels)
+    all_self = RandomSDFParameters(self_edge_fraction=1.0)
+    graph = random_sdfg(all_self, random.Random(5))
+    assert sum(c.is_self_loop for c in graph.channels) == len(graph)
+
+
+def test_back_edges_carry_iteration_tokens():
+    parameters = RandomSDFParameters(
+        actors_min=6, actors_max=6, extra_channel_fraction=2.0,
+        back_edge_probability=1.0,
+    )
+    graph = random_sdfg(parameters, random.Random(11))
+    gamma = repetition_vector(graph)
+    for channel in graph.channels:
+        if channel.is_self_loop:
+            continue
+        src_index = int(channel.src[1:])
+        dst_index = int(channel.dst[1:])
+        if src_index > dst_index:
+            assert channel.tokens >= channel.consumption
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        RandomSDFParameters(actors_min=0)
+    with pytest.raises(ValueError):
+        RandomSDFParameters(actors_min=5, actors_max=3)
+    with pytest.raises(ValueError):
+        RandomSDFParameters(repetition_min=0)

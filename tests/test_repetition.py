@@ -1,0 +1,122 @@
+"""Unit tests for repetition vectors and consistency."""
+
+import pytest
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import (
+    InconsistentGraphError,
+    is_consistent,
+    iteration_length,
+    repetition_vector,
+)
+
+
+def test_single_rate_graph_has_unit_vector(chain_graph):
+    assert repetition_vector(chain_graph) == {"x": 1, "y": 1, "z": 1}
+
+
+def test_multirate_vector(multirate_graph):
+    assert repetition_vector(multirate_graph) == {"a": 3, "b": 2}
+
+
+def test_vector_is_minimal():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_channel("d", "a", "b", 4, 6)
+    # 4 * gamma(a) = 6 * gamma(b)  =>  smallest is (3, 2)
+    assert repetition_vector(graph) == {"a": 3, "b": 2}
+
+
+def test_vector_satisfies_balance_equations(multirate_graph):
+    gamma = repetition_vector(multirate_graph)
+    for channel in multirate_graph.channels:
+        assert (
+            channel.production * gamma[channel.src]
+            == channel.consumption * gamma[channel.dst]
+        )
+
+
+def test_inconsistent_graph_raises():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_channel("d1", "a", "b", 1, 1)
+    graph.add_channel("d2", "a", "b", 2, 1)
+    with pytest.raises(InconsistentGraphError):
+        repetition_vector(graph)
+
+
+def test_inconsistent_cycle_detected_via_incoming_edge():
+    # inconsistency discovered while walking an in-channel
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_actor("c")
+    graph.add_channel("d1", "a", "b", 1, 1)
+    graph.add_channel("d2", "c", "b", 1, 1)
+    graph.add_channel("d3", "c", "a", 3, 1)
+    with pytest.raises(InconsistentGraphError):
+        repetition_vector(graph)
+
+
+def test_is_consistent_false_instead_of_raise():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_channel("d1", "a", "b", 1, 2)
+    graph.add_channel("d2", "b", "a", 1, 2)
+    assert not is_consistent(graph)
+
+
+def test_is_consistent_true(multirate_graph):
+    assert is_consistent(multirate_graph)
+
+
+def test_empty_graph_has_empty_vector():
+    assert repetition_vector(SDFGraph()) == {}
+
+
+def test_disconnected_components_scaled_independently():
+    graph = SDFGraph()
+    for name in ("a", "b", "c", "d"):
+        graph.add_actor(name)
+    graph.add_channel("d1", "a", "b", 2, 1)
+    graph.add_channel("d2", "c", "d", 1, 3)
+    gamma = repetition_vector(graph)
+    # Both components reduced jointly to the overall smallest vector.
+    assert gamma["b"] == 2 * gamma["a"]
+    assert gamma["c"] == 3 * gamma["d"]
+    values = sorted(gamma.values())
+    assert values[0] == 1
+
+
+def test_self_loop_with_equal_rates_is_consistent():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_channel("s", "a", "a", 2, 2, 2)
+    assert repetition_vector(graph) == {"a": 1}
+
+
+def test_self_loop_with_unequal_rates_is_inconsistent():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_channel("s", "a", "a", 2, 3)
+    with pytest.raises(InconsistentGraphError):
+        repetition_vector(graph)
+
+
+def test_iteration_length_matches_hsdf_size_claim():
+    # the paper's H.263 figure: 1 + 2376 + 2376 + 1 = 4754
+    graph = SDFGraph()
+    for name in ("vld", "iq", "idct", "mc"):
+        graph.add_actor(name)
+    graph.add_channel("d1", "vld", "iq", 2376, 1)
+    graph.add_channel("d2", "iq", "idct", 1, 1)
+    graph.add_channel("d3", "idct", "mc", 1, 2376)
+    assert iteration_length(graph) == 4754
+
+
+def test_iteration_length_accepts_precomputed_gamma(multirate_graph):
+    gamma = repetition_vector(multirate_graph)
+    assert iteration_length(multirate_graph, gamma) == 5

@@ -1,0 +1,161 @@
+"""Unit tests for list scheduling and schedule compaction (paper §9.2)."""
+
+import pytest
+
+from repro.appmodel.binding import Binding
+from repro.appmodel.binding_aware import build_binding_aware_graph
+from repro.core.scheduling import (
+    SchedulingError,
+    build_static_order_schedules,
+    compact_schedule,
+    minimal_repeating_unit,
+)
+from repro.throughput.constrained import StaticOrderSchedule
+
+
+class TestMinimalRepeatingUnit:
+    def test_already_minimal(self):
+        assert minimal_repeating_unit(["a", "b"]) == ["a", "b"]
+
+    def test_repetition_collapsed(self):
+        assert minimal_repeating_unit(["a", "b"] * 4) == ["a", "b"]
+
+    def test_single_symbol(self):
+        assert minimal_repeating_unit(["a"] * 7) == ["a"]
+
+    def test_non_divisible_pattern_kept(self):
+        assert minimal_repeating_unit(["a", "b", "a"]) == ["a", "b", "a"]
+
+    def test_empty(self):
+        assert minimal_repeating_unit([]) == []
+
+
+class TestCompactSchedule:
+    def test_paper_example_17_state_schedule(self):
+        # a1 a2 ... a1 (a2 a1 ... a2 a1)* with 17 entries -> (a1 a2)*
+        transient = ["a1", "a2"] * 4 + ["a1"]
+        periodic = ["a2", "a1"] * 4
+        schedule = compact_schedule(transient, periodic)
+        assert schedule.transient == ()
+        assert set(schedule.periodic) == {"a1", "a2"}
+        assert len(schedule.periodic) == 2
+
+    def test_pure_periodic_minimised(self):
+        schedule = compact_schedule([], ["x", "y", "x", "y"])
+        assert schedule.periodic == ("x", "y")
+
+    def test_genuine_transient_kept(self):
+        schedule = compact_schedule(["warmup"], ["x", "y"])
+        assert schedule.transient == ("warmup",)
+        assert schedule.periodic == ("x", "y")
+
+    def test_empty_periodic_rejected(self):
+        with pytest.raises(SchedulingError):
+            compact_schedule(["a"], [])
+
+    def test_absorption_preserves_semantics(self):
+        # compare the first 20 entries of the infinite schedules
+        transient = ["a", "b", "a"]
+        periodic = ["b", "a", "b", "a"]
+        original = StaticOrderSchedule(
+            periodic=tuple(periodic), transient=tuple(transient)
+        )
+        compacted = compact_schedule(transient, periodic)
+        for position in range(20):
+            assert compacted.entry(position) == original.entry(position)
+
+
+class TestListScheduler:
+    def test_paper_example_schedules(
+        self, example_application, example_architecture, example_binding
+    ):
+        bag = build_binding_aware_graph(
+            example_application,
+            example_architecture,
+            example_binding,
+            slices={"t1": 5, "t2": 5},
+        )
+        schedules = build_static_order_schedules(bag)
+        assert set(schedules) == {"t1", "t2"}
+        # the paper's compacted schedules: (a1 a2)* and (a3)*
+        assert schedules["t2"].periodic == ("a3",)
+        assert set(schedules["t1"].periodic) == {"a1", "a2"}
+        assert len(schedules["t1"].periodic) == 2
+
+    def test_schedule_covers_every_bound_actor(
+        self, example_application, example_architecture, example_binding
+    ):
+        bag = build_binding_aware_graph(
+            example_application, example_architecture, example_binding
+        )
+        schedules = build_static_order_schedules(bag)
+        scheduled = set()
+        for schedule in schedules.values():
+            scheduled.update(schedule.actors)
+        assert scheduled == {"a1", "a2", "a3"}
+
+    def test_firing_counts_follow_repetition_vector(
+        self, example_application, example_architecture
+    ):
+        # bind everything to t1: the periodic part must fire each actor
+        # a multiple of gamma (here gamma is all ones)
+        binding = Binding()
+        for actor in ("a1", "a2", "a3"):
+            binding.bind(actor, "t1")
+        bag = build_binding_aware_graph(
+            example_application, example_architecture, binding
+        )
+        schedules = build_static_order_schedules(bag)
+        periodic = schedules["t1"].periodic
+        counts = {a: periodic.count(a) for a in ("a1", "a2", "a3")}
+        assert len(set(counts.values())) == 1
+
+    def test_multirate_schedule_counts(self, example_architecture):
+        from repro.appmodel.application import ApplicationGraph
+        from repro.appmodel.example import PROCESSOR_P1
+        from repro.sdf.graph import SDFGraph
+
+        graph = SDFGraph("mr")
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.add_channel("ab", "a", "b", 2, 1)
+        graph.add_channel("ba", "b", "a", 1, 2, tokens=2)
+        app = ApplicationGraph(graph)
+        app.set_actor_requirements("a", (PROCESSOR_P1, 1, 1))
+        app.set_actor_requirements("b", (PROCESSOR_P1, 1, 1))
+        app.set_channel_requirements("ab", buffer_tile=2, bandwidth=1)
+        app.set_channel_requirements("ba", buffer_tile=2, bandwidth=1)
+        binding = Binding()
+        binding.bind("a", "t1")
+        binding.bind("b", "t1")
+        bag = build_binding_aware_graph(app, example_architecture, binding)
+        schedules = build_static_order_schedules(bag)
+        periodic = schedules["t1"].periodic
+        # gamma = (1, 2): b fires twice as often as a
+        assert periodic.count("b") == 2 * periodic.count("a")
+
+    def test_deadlocking_binding_raises(
+        self, example_application, example_architecture, example_binding
+    ):
+        # shrink d1's buffer to zero available space via initial tokens
+        example_application.graph.channel("d2").tokens = 0
+        example_application.set_channel_requirements(
+            "d1", token_size=7, buffer_tile=0, buffer_src=0, buffer_dst=0,
+            bandwidth=100,
+        )
+        bag = build_binding_aware_graph(
+            example_application, example_architecture, example_binding
+        )
+        with pytest.raises(SchedulingError):
+            build_static_order_schedules(bag)
+
+    def test_explicit_slices_override(self,
+        example_application, example_architecture, example_binding
+    ):
+        bag = build_binding_aware_graph(
+            example_application, example_architecture, example_binding
+        )
+        schedules = build_static_order_schedules(
+            bag, slices={"t1": 10, "t2": 10}
+        )
+        assert schedules["t2"].periodic == ("a3",)

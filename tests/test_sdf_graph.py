@@ -1,0 +1,196 @@
+"""Unit tests for the SDFG data structures."""
+
+import pytest
+
+from repro.sdf.graph import Actor, Channel, SDFGraph, chain
+
+
+class TestActor:
+    def test_defaults(self):
+        actor = Actor("a")
+        assert actor.name == "a"
+        assert actor.execution_time == 1
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Actor("")
+
+    def test_rejects_negative_execution_time(self):
+        with pytest.raises(ValueError):
+            Actor("a", -1)
+
+    def test_zero_execution_time_allowed(self):
+        assert Actor("a", 0).execution_time == 0
+
+    def test_hash_by_name(self):
+        assert hash(Actor("a", 1)) == hash(Actor("a", 7))
+
+
+class TestChannel:
+    def test_defaults(self):
+        channel = Channel("d", "a", "b")
+        assert channel.production == 1
+        assert channel.consumption == 1
+        assert channel.tokens == 0
+
+    def test_rejects_zero_rates(self):
+        with pytest.raises(ValueError):
+            Channel("d", "a", "b", production=0)
+        with pytest.raises(ValueError):
+            Channel("d", "a", "b", consumption=0)
+
+    def test_rejects_negative_tokens(self):
+        with pytest.raises(ValueError):
+            Channel("d", "a", "b", tokens=-1)
+
+    def test_self_loop_detection(self):
+        assert Channel("d", "a", "a").is_self_loop
+        assert not Channel("d", "a", "b").is_self_loop
+
+
+class TestSDFGraph:
+    def test_add_and_query_actor(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 5)
+        assert graph.has_actor("a")
+        assert graph.actor("a").execution_time == 5
+        assert len(graph) == 1
+        assert "a" in graph
+
+    def test_duplicate_actor_rejected(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        with pytest.raises(ValueError):
+            graph.add_actor("a")
+
+    def test_channel_requires_known_endpoints(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        with pytest.raises(KeyError):
+            graph.add_channel("d", "a", "missing")
+        with pytest.raises(KeyError):
+            graph.add_channel("d", "missing", "a")
+
+    def test_duplicate_channel_rejected(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.add_channel("d", "a", "b")
+        with pytest.raises(ValueError):
+            graph.add_channel("d", "b", "a")
+
+    def test_incidence_queries(self):
+        graph = SDFGraph()
+        for name in "abc":
+            graph.add_actor(name)
+        graph.add_channel("d1", "a", "b")
+        graph.add_channel("d2", "a", "c")
+        graph.add_channel("d3", "b", "c")
+        assert [c.name for c in graph.out_channels("a")] == ["d1", "d2"]
+        assert [c.name for c in graph.in_channels("c")] == ["d2", "d3"]
+        assert graph.successors("a") == ["b", "c"]
+        assert graph.predecessors("c") == ["a", "b"]
+
+    def test_self_loop_appears_in_both_directions(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_channel("s", "a", "a", tokens=1)
+        assert [c.name for c in graph.out_channels("a")] == ["s"]
+        assert [c.name for c in graph.in_channels("a")] == ["s"]
+
+    def test_channels_between(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.add_channel("d1", "a", "b")
+        graph.add_channel("d2", "a", "b")
+        graph.add_channel("d3", "b", "a")
+        assert {c.name for c in graph.channels_between("a", "b")} == {"d1", "d2"}
+
+    def test_remove_channel(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.add_channel("d", "a", "b")
+        graph.remove_channel("d")
+        assert not graph.has_channel("d")
+        assert graph.successors("a") == []
+
+    def test_remove_actor_removes_incident_channels(self):
+        graph = SDFGraph()
+        for name in "abc":
+            graph.add_actor(name)
+        graph.add_channel("d1", "a", "b")
+        graph.add_channel("d2", "b", "c")
+        graph.add_channel("s", "b", "b")
+        graph.remove_actor("b")
+        assert not graph.has_actor("b")
+        assert graph.channel_names == []
+
+    def test_remove_unknown_actor_raises(self):
+        with pytest.raises(KeyError):
+            SDFGraph().remove_actor("nope")
+
+    def test_copy_is_deep(self):
+        graph = SDFGraph("orig")
+        graph.add_actor("a", 3)
+        graph.add_actor("b")
+        graph.add_channel("d", "a", "b", 2, 3, 1)
+        clone = graph.copy()
+        clone.actor("a").execution_time = 9
+        clone.add_actor("c")
+        assert graph.actor("a").execution_time == 3
+        assert not graph.has_actor("c")
+        assert clone.channel("d").tokens == 1
+
+    def test_subgraph_keeps_internal_channels_only(self):
+        graph = SDFGraph()
+        for name in "abc":
+            graph.add_actor(name)
+        graph.add_channel("d1", "a", "b")
+        graph.add_channel("d2", "b", "c")
+        sub = graph.subgraph(["a", "b"])
+        assert sub.actor_names == ["a", "b"]
+        assert sub.channel_names == ["d1"]
+
+    def test_subgraph_unknown_actor_raises(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        with pytest.raises(KeyError):
+            graph.subgraph(["a", "ghost"])
+
+    def test_iteration_and_repr(self):
+        graph = SDFGraph("g")
+        graph.add_actor("a")
+        graph.add_actor("b")
+        assert [a.name for a in graph] == ["a", "b"]
+        assert "actors=2" in repr(graph)
+
+    def test_execution_times_mapping(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 4)
+        graph.add_actor("b", 7)
+        assert graph.execution_times() == {"a": 4, "b": 7}
+
+
+class TestChainBuilder:
+    def test_open_chain(self):
+        graph = chain(["a", "b", "c"])
+        assert graph.channel_names == ["a->b", "b->c"]
+
+    def test_closed_chain(self):
+        graph = chain(["a", "b"], tokens_on_back_edge=3)
+        back = graph.channel("b->a")
+        assert back.tokens == 3
+
+    def test_execution_times_applied(self):
+        graph = chain(["a", "b"], [5, 6])
+        assert graph.actor("b").execution_time == 6
+
+    def test_mismatched_times_rejected(self):
+        with pytest.raises(ValueError):
+            chain(["a", "b"], [1])
+
+    def test_single_actor_chain_ignores_back_edge(self):
+        graph = chain(["a"], tokens_on_back_edge=1)
+        assert graph.channel_names == []

@@ -1,0 +1,106 @@
+"""Unit tests for JSON and SDF3-style XML serialisation."""
+
+import json
+
+import pytest
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.serialization import (
+    graph_from_dict,
+    graph_from_json,
+    graph_from_sdf3_xml,
+    graph_to_dict,
+    graph_to_json,
+    graph_to_sdf3_xml,
+)
+
+
+def graphs_equal(left, right):
+    if left.name != right.name:
+        return False
+    if [(a.name, a.execution_time) for a in left.actors] != [
+        (a.name, a.execution_time) for a in right.actors
+    ]:
+        return False
+    key = lambda c: (c.name, c.src, c.dst, c.production, c.consumption, c.tokens)
+    return [key(c) for c in left.channels] == [key(c) for c in right.channels]
+
+
+def test_dict_roundtrip(multirate_graph):
+    assert graphs_equal(
+        multirate_graph, graph_from_dict(graph_to_dict(multirate_graph))
+    )
+
+
+def test_json_roundtrip(chain_graph):
+    assert graphs_equal(chain_graph, graph_from_json(graph_to_json(chain_graph)))
+
+
+def test_json_is_valid_json(chain_graph):
+    payload = json.loads(graph_to_json(chain_graph))
+    assert payload["name"] == chain_graph.name
+    assert len(payload["actors"]) == 3
+
+
+def test_dict_defaults_fill_missing_fields():
+    graph = graph_from_dict(
+        {
+            "actors": [{"name": "a"}, {"name": "b"}],
+            "channels": [{"name": "d", "src": "a", "dst": "b"}],
+        }
+    )
+    assert graph.name == "sdfg"
+    assert graph.channel("d").production == 1
+    assert graph.actor("a").execution_time == 1
+
+
+def test_xml_roundtrip(multirate_graph):
+    text = graph_to_sdf3_xml(multirate_graph)
+    assert graphs_equal(multirate_graph, graph_from_sdf3_xml(text))
+
+
+def test_xml_roundtrip_preserves_execution_times(chain_graph):
+    restored = graph_from_sdf3_xml(graph_to_sdf3_xml(chain_graph))
+    assert restored.actor("z").execution_time == 3
+
+
+def test_xml_contains_sdf3_structure(multirate_graph):
+    text = graph_to_sdf3_xml(multirate_graph)
+    assert "<sdf3" in text
+    assert "applicationGraph" in text
+    assert 'initialTokens="1"' in text
+
+
+def test_xml_missing_application_graph_rejected():
+    with pytest.raises(ValueError):
+        graph_from_sdf3_xml("<sdf3/>")
+
+
+def test_xml_missing_sdf_rejected():
+    with pytest.raises(ValueError):
+        graph_from_sdf3_xml('<sdf3><applicationGraph name="x"/></sdf3>')
+
+
+def test_hand_written_xml_with_default_rates():
+    text = """
+    <sdf3 type="sdf">
+      <applicationGraph name="hand">
+        <sdf name="hand">
+          <actor name="a"/>
+          <actor name="b"/>
+          <channel name="d" srcActor="a" dstActor="b"/>
+        </sdf>
+      </applicationGraph>
+    </sdf3>
+    """
+    graph = graph_from_sdf3_xml(text)
+    assert graph.channel("d").production == 1
+    assert graph.channel("d").consumption == 1
+
+
+def test_self_loop_roundtrip():
+    graph = SDFGraph("loop")
+    graph.add_actor("a", 4)
+    graph.add_channel("s", "a", "a", 2, 2, 2)
+    assert graphs_equal(graph, graph_from_json(graph_to_json(graph)))
+    assert graphs_equal(graph, graph_from_sdf3_xml(graph_to_sdf3_xml(graph)))

@@ -1,0 +1,125 @@
+"""Deep semantic checks of the slice allocation (§9.3).
+
+These go beyond the unit tests: they sweep the slice space exhaustively
+on the running example to check the two facts the binary searches rely
+on — throughput is monotone in every slice, and the allocation the
+strategy returns is locally minimal (no single slice can shrink without
+breaking the constraint).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.binding import SchedulingFunction
+from repro.appmodel.binding_aware import build_binding_aware_graph
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+    paper_example_binding,
+)
+from repro.core.scheduling import build_static_order_schedules
+from repro.core.slices import allocate_time_slices
+from repro.core.strategy import ResourceAllocator
+from repro.throughput.constrained import constrained_throughput
+
+
+def evaluate(application, architecture, binding, schedules, slices):
+    bag = build_binding_aware_graph(
+        application, architecture, binding, slices=slices
+    )
+    scheduling = SchedulingFunction()
+    for tile, schedule in schedules.items():
+        scheduling.set_schedule(tile, schedule)
+        scheduling.set_slice(tile, slices[tile])
+    return constrained_throughput(
+        bag.graph, bag.tile_constraints(scheduling)
+    ).of(application.output_actor)
+
+
+@pytest.fixture(scope="module")
+def example_setup():
+    application = paper_example_application()
+    architecture = paper_example_architecture()
+    binding = paper_example_binding()
+    bag = build_binding_aware_graph(application, architecture, binding)
+    schedules = build_static_order_schedules(bag)
+    return application, architecture, binding, schedules
+
+
+def test_throughput_monotone_in_each_slice(example_setup):
+    application, architecture, binding, schedules = example_setup
+    wheel = architecture.tile("t1").wheel
+    # full 10x10 sweep of both slices
+    rates = {}
+    for slice_t1 in range(1, wheel + 1):
+        for slice_t2 in range(1, wheel + 1):
+            rates[(slice_t1, slice_t2)] = evaluate(
+                application,
+                architecture,
+                binding,
+                schedules,
+                {"t1": slice_t1, "t2": slice_t2},
+            )
+    for (slice_t1, slice_t2), rate in rates.items():
+        if slice_t1 < wheel:
+            assert rates[(slice_t1 + 1, slice_t2)] >= rate
+        if slice_t2 < wheel:
+            assert rates[(slice_t1, slice_t2 + 1)] >= rate
+
+
+@pytest.mark.parametrize(
+    "constraint",
+    [Fraction(1, 60), Fraction(1, 30), Fraction(1, 15), Fraction(3, 40)],
+)
+def test_allocated_slices_are_locally_minimal(example_setup, constraint):
+    application_template, architecture, binding, schedules = example_setup
+    application = paper_example_application(constraint)
+    bag = build_binding_aware_graph(application, architecture, binding)
+    result = allocate_time_slices(bag, schedules, relaxation=0.0)
+    assert result.achieved_throughput >= constraint
+    for tile in result.slices:
+        if result.slices[tile] == 1:
+            continue
+        reduced = dict(result.slices)
+        reduced[tile] -= 1
+        rate = evaluate(
+            application, architecture, binding, schedules, reduced
+        )
+        assert rate < constraint, (
+            f"slice of {tile} could shrink to {reduced[tile]} and still "
+            f"achieve {rate} >= {constraint}"
+        )
+
+
+def test_full_strategy_matches_exhaustive_minimum():
+    """For one constraint, compare the strategy's total slice budget to
+    the true optimum found by exhaustive search over the 10x10 grid."""
+    constraint = Fraction(1, 25)
+    application = paper_example_application(constraint)
+    architecture = paper_example_architecture()
+    binding = paper_example_binding()
+    bag = build_binding_aware_graph(application, architecture, binding)
+    schedules = build_static_order_schedules(bag)
+    result = allocate_time_slices(bag, schedules, relaxation=0.0)
+
+    best_total = None
+    wheel = architecture.tile("t1").wheel
+    for slice_t1 in range(1, wheel + 1):
+        for slice_t2 in range(1, wheel + 1):
+            rate = evaluate(
+                application,
+                architecture,
+                binding,
+                schedules,
+                {"t1": slice_t1, "t2": slice_t2},
+            )
+            if rate >= constraint:
+                total = slice_t1 + slice_t2
+                if best_total is None or total < best_total:
+                    best_total = total
+    assert best_total is not None
+    strategy_total = sum(result.slices.values())
+    # the two-phase search is a heuristic: allow a small gap but no
+    # gross over-allocation
+    assert strategy_total <= best_total + 2

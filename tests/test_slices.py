@@ -1,0 +1,121 @@
+"""Unit tests for TDMA time-slice allocation (paper §9.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.binding_aware import build_binding_aware_graph
+from repro.appmodel.example import paper_example_application
+from repro.core.scheduling import build_static_order_schedules
+from repro.core.slices import SliceAllocationError, allocate_time_slices
+
+
+def setup_bag(example_architecture, example_binding, constraint):
+    application = paper_example_application(throughput_constraint=constraint)
+    bag = build_binding_aware_graph(
+        application, example_architecture, example_binding
+    )
+    schedules = build_static_order_schedules(bag)
+    return bag, schedules
+
+
+def test_loose_constraint_gets_minimal_slices(
+    example_architecture, example_binding
+):
+    bag, schedules = setup_bag(
+        example_architecture, example_binding, Fraction(1, 1000)
+    )
+    result = allocate_time_slices(bag, schedules)
+    assert set(result.slices.values()) == {1}
+    assert result.achieved_throughput >= Fraction(1, 1000)
+
+
+def test_tight_constraint_gets_larger_slices(
+    example_architecture, example_binding
+):
+    loose_bag, loose_schedules = setup_bag(
+        example_architecture, example_binding, Fraction(1, 1000)
+    )
+    loose = allocate_time_slices(loose_bag, loose_schedules)
+    tight_bag, tight_schedules = setup_bag(
+        example_architecture, example_binding, Fraction(1, 12)
+    )
+    tight = allocate_time_slices(tight_bag, tight_schedules)
+    assert sum(tight.slices.values()) > sum(loose.slices.values())
+    assert tight.achieved_throughput >= Fraction(1, 12)
+
+
+def test_infeasible_constraint_raises(example_architecture, example_binding):
+    bag, schedules = setup_bag(
+        example_architecture, example_binding, Fraction(1, 2)
+    )
+    with pytest.raises(SliceAllocationError):
+        allocate_time_slices(bag, schedules)
+
+
+def test_occupied_wheel_limits_search(example_architecture, example_binding):
+    example_architecture.tile("t1").wheel_occupied = 10
+    bag, schedules = setup_bag(
+        example_architecture, example_binding, Fraction(1, 1000)
+    )
+    with pytest.raises(SliceAllocationError, match="no remaining time wheel"):
+        allocate_time_slices(bag, schedules)
+
+
+def test_partially_occupied_wheel_caps_slices(
+    example_architecture, example_binding
+):
+    example_architecture.tile("t1").wheel_occupied = 6
+    bag, schedules = setup_bag(
+        example_architecture, example_binding, Fraction(1, 1000)
+    )
+    result = allocate_time_slices(bag, schedules)
+    assert result.slices["t1"] <= 4
+
+
+def test_throughput_checks_counted(example_architecture, example_binding):
+    bag, schedules = setup_bag(
+        example_architecture, example_binding, Fraction(1, 40)
+    )
+    result = allocate_time_slices(bag, schedules)
+    assert result.throughput_checks >= 2
+
+
+def test_refinement_never_increases_slices(
+    example_architecture, example_binding
+):
+    bag, schedules = setup_bag(
+        example_architecture, example_binding, Fraction(1, 30)
+    )
+    refined = allocate_time_slices(bag, schedules, refine=True)
+    bag2, schedules2 = setup_bag(
+        example_architecture, example_binding, Fraction(1, 30)
+    )
+    unrefined = allocate_time_slices(bag2, schedules2, refine=False)
+    for tile in refined.slices:
+        assert refined.slices[tile] <= unrefined.slices[tile]
+
+
+def test_result_meets_constraint_exactly_when_verified(
+    example_architecture, example_binding
+):
+    constraint = Fraction(1, 30)
+    bag, schedules = setup_bag(example_architecture, example_binding, constraint)
+    result = allocate_time_slices(bag, schedules)
+    assert result.achieved_throughput >= constraint
+
+
+def test_relaxation_band_allows_early_stop(
+    example_architecture, example_binding
+):
+    constraint = Fraction(1, 40)
+    bag, schedules = setup_bag(example_architecture, example_binding, constraint)
+    eager = allocate_time_slices(bag, schedules, relaxation=10.0)
+    bag2, schedules2 = setup_bag(
+        example_architecture, example_binding, constraint
+    )
+    exhaustive = allocate_time_slices(bag2, schedules2, relaxation=0.0)
+    # a huge relaxation band stops the search earlier (or equal)
+    assert eager.throughput_checks <= exhaustive.throughput_checks
+    assert eager.achieved_throughput >= constraint
+    assert exhaustive.achieved_throughput >= constraint

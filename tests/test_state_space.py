@@ -1,0 +1,156 @@
+"""Unit tests for the self-timed state-space throughput engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.sdf.graph import SDFGraph, chain
+from repro.throughput.state_space import (
+    SelfTimedExecution,
+    StateSpaceExplosionError,
+    throughput,
+)
+
+
+class TestSelfTimedExecution:
+    def test_simple_cycle_period(self, simple_cycle_graph):
+        result = SelfTimedExecution(simple_cycle_graph).execute()
+        assert not result.deadlocked
+        # MCR = (2 + 3) / 2 tokens -> each actor fires 2 per 5 time units
+        assert result.actor_throughput("a") == Fraction(2, 5)
+        assert result.actor_throughput("b") == Fraction(2, 5)
+
+    def test_deadlocked_graph_reported(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a")
+        result = SelfTimedExecution(graph).execute()
+        assert result.deadlocked
+        assert result.actor_throughput("a") == 0
+
+    def test_execution_time_override(self, simple_cycle_graph):
+        result = SelfTimedExecution(
+            simple_cycle_graph, execution_times={"a": 4, "b": 6}
+        ).execute()
+        assert result.actor_throughput("a") == Fraction(2, 10)
+
+    def test_auto_concurrency_enables_pipelining(self):
+        # two parallel firings allowed by 2 tokens on a self cycle
+        graph = SDFGraph()
+        graph.add_actor("a", 4)
+        graph.add_channel("s", "a", "a", tokens=2)
+        result = SelfTimedExecution(graph).execute()
+        assert result.actor_throughput("a") == Fraction(2, 4)
+
+    def test_no_auto_concurrency_serialises(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 4)
+        graph.add_channel("s", "a", "a", tokens=2)
+        result = SelfTimedExecution(graph, auto_concurrency=False).execute()
+        assert result.actor_throughput("a") == Fraction(1, 4)
+
+    def test_zero_time_actor_fires_instantly(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 2)
+        graph.add_actor("z", 0)
+        graph.add_channel("az", "a", "z")
+        graph.add_channel("za", "z", "a", tokens=1)
+        result = SelfTimedExecution(graph).execute()
+        assert result.actor_throughput("a") == Fraction(1, 2)
+        assert result.actor_throughput("z") == Fraction(1, 2)
+
+    def test_zero_time_cycle_raises(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 0)
+        graph.add_channel("s", "a", "a", tokens=1)
+        with pytest.raises(StateSpaceExplosionError):
+            SelfTimedExecution(graph).execute()
+
+    def test_state_budget_enforced(self, simple_cycle_graph):
+        with pytest.raises(StateSpaceExplosionError):
+            SelfTimedExecution(simple_cycle_graph, max_states=1).execute()
+
+    def test_transient_before_periodic_phase(self):
+        # unbalanced initial tokens create a warm-up phase
+        graph = SDFGraph()
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 5)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a", tokens=3)
+        result = SelfTimedExecution(graph, auto_concurrency=False).execute()
+        assert result.actor_throughput("b") == Fraction(1, 5)
+
+
+class TestThroughputDriver:
+    def test_matches_mcr_on_cycle(self, simple_cycle_graph):
+        result = throughput(simple_cycle_graph)
+        assert result.iteration_rate == Fraction(2, 5)
+
+    def test_multirate(self, multirate_graph):
+        result = throughput(multirate_graph)
+        assert result.iteration_rate == Fraction(1, 5)
+        assert result.of("a") == Fraction(3, 5)
+        assert result.of("b") == Fraction(2, 5)
+
+    def test_acyclic_graph_unbounded(self):
+        result = throughput(chain(["a", "b"]))
+        assert result.iteration_rate == float("inf")
+        assert result.of("a") == float("inf")
+
+    def test_acyclic_no_auto_concurrency_bounded_by_slowest(self):
+        graph = chain(["a", "b"], [2, 5])
+        result = throughput(graph, auto_concurrency=False)
+        assert result.iteration_rate == Fraction(1, 5)
+        assert result.of("a") == Fraction(1, 5)
+
+    def test_slowest_scc_dominates(self):
+        graph = SDFGraph()
+        for name, time in (("a", 1), ("b", 1), ("c", 10)):
+            graph.add_actor(name, time)
+        graph.add_channel("s1", "a", "a", tokens=1)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("bc", "b", "c")
+        graph.add_channel("s2", "c", "c", tokens=1)
+        result = throughput(graph)
+        assert result.iteration_rate == Fraction(1, 10)
+
+    def test_deadlocked_scc_zeroes_graph(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1)
+        graph.add_actor("b", 1)
+        graph.add_channel("ab", "a", "b")
+        graph.add_channel("ba", "b", "a")  # token-free cycle
+        result = throughput(graph)
+        assert result.iteration_rate == 0
+        assert result.deadlocked
+
+    def test_scc_rates_reported(self, simple_cycle_graph):
+        result = throughput(simple_cycle_graph)
+        assert len(result.scc_rates) == 1
+        ((component, rate),) = result.scc_rates.items()
+        assert sorted(component) == ["a", "b"]
+        assert rate == Fraction(2, 5)
+
+    def test_states_accumulated(self, multirate_graph):
+        assert throughput(multirate_graph).states_explored > 0
+
+    def test_gamma_in_result(self, multirate_graph):
+        assert throughput(multirate_graph).gamma == {"a": 3, "b": 2}
+
+
+def test_no_auto_concurrency_scales_with_repetition():
+    # gamma(b) = 2, tau(b) = 3: b alone limits iterations to 1/6
+    graph = SDFGraph()
+    graph.add_actor("a", 1)
+    graph.add_actor("b", 3)
+    graph.add_channel("d", "a", "b", 2, 1)
+    result = throughput(graph, auto_concurrency=False)
+    assert result.iteration_rate == Fraction(1, 6)
+    assert result.of("b") == Fraction(1, 3)
+
+
+def test_execution_times_override_in_driver(simple_cycle_graph):
+    result = throughput(simple_cycle_graph, execution_times={"a": 20, "b": 30})
+    assert result.iteration_rate == Fraction(2, 50)

@@ -1,0 +1,176 @@
+"""Unit tests for the full strategy facade and the multi-application flow."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.core.flow import allocate_until_failure
+from repro.core.strategy import AllocationError, ResourceAllocator
+from repro.core.tile_cost import CostWeights
+
+
+class TestResourceAllocator:
+    def test_successful_allocation(self):
+        app = paper_example_application()
+        arch = paper_example_architecture()
+        allocation = ResourceAllocator().allocate(app, arch)
+        assert allocation.satisfied
+        assert set(allocation.binding.assignment) == {"a1", "a2", "a3"}
+        assert allocation.throughput_checks > 0
+        for tile in allocation.binding.used_tiles():
+            assert allocation.scheduling.slice_of(tile) >= 1
+            assert allocation.scheduling.schedule_of(tile).periodic
+
+    def test_allocation_not_committed_automatically(self):
+        app = paper_example_application()
+        arch = paper_example_architecture()
+        ResourceAllocator().allocate(app, arch)
+        assert arch.total_usage()["timewheel"] == 0
+
+    def test_reservation_commit(self):
+        app = paper_example_application()
+        arch = paper_example_architecture()
+        allocation = ResourceAllocator().allocate(app, arch)
+        allocation.reservation.commit(arch)
+        usage = arch.total_usage()
+        assert usage["timewheel"] > 0
+        assert usage["memory"] > 0
+
+    def test_infeasible_constraint_raises_allocation_error(self):
+        app = paper_example_application(throughput_constraint=Fraction(1, 2))
+        arch = paper_example_architecture()
+        with pytest.raises(AllocationError):
+            ResourceAllocator().allocate(app, arch)
+
+    def test_precomputed_binding_honoured(self):
+        from repro.appmodel.example import paper_example_binding
+
+        app = paper_example_application()
+        arch = paper_example_architecture()
+        binding = paper_example_binding()
+        allocation = ResourceAllocator().allocate(app, arch, binding=binding)
+        assert allocation.binding.assignment == binding.assignment
+
+    def test_weights_influence_binding(self):
+        app = paper_example_application()
+        arch = paper_example_architecture()
+        clustered = ResourceAllocator(weights=CostWeights(0, 0, 1)).allocate(
+            app, arch
+        )
+        assert len(clustered.binding.used_tiles()) == 1
+
+    def test_achieved_throughput_is_fraction(self):
+        app = paper_example_application()
+        arch = paper_example_architecture()
+        allocation = ResourceAllocator().allocate(app, arch)
+        assert isinstance(allocation.achieved_throughput, Fraction)
+
+
+class TestFlow:
+    def apps(self, count):
+        return [
+            paper_example_application(throughput_constraint=Fraction(1, 200))
+            for _ in range(count)
+        ]
+
+    def test_allocates_until_wheel_runs_out(self):
+        arch = paper_example_architecture()
+        result = allocate_until_failure(arch, self.apps(30))
+        assert 1 <= result.applications_bound < 30
+        assert result.failed_application is not None
+        assert result.resource_usage["timewheel"] > 0
+
+    def test_committed_resources_accumulate(self):
+        arch = paper_example_architecture()
+        result = allocate_until_failure(arch, self.apps(2))
+        assert result.applications_bound == 2
+        assert arch.total_usage()["memory"] == sum(
+            claim.memory
+            for allocation in result.allocations
+            for claim in allocation.reservation.tiles.values()
+        )
+
+    def test_stops_at_first_failure_by_default(self):
+        arch = paper_example_architecture()
+        # one impossible app in the middle stops the flow
+        apps = self.apps(1)
+        apps.append(
+            paper_example_application(throughput_constraint=Fraction(1, 2))
+        )
+        apps.extend(self.apps(1))
+        result = allocate_until_failure(arch, apps)
+        assert result.applications_bound == 1
+        assert result.failed_application == apps[1].name
+
+    def test_continue_after_failure(self):
+        arch = paper_example_architecture()
+        apps = self.apps(1)
+        apps.append(
+            paper_example_application(throughput_constraint=Fraction(1, 2))
+        )
+        apps.extend(self.apps(1))
+        result = allocate_until_failure(arch, apps, continue_after_failure=True)
+        assert result.applications_bound == 2
+        assert result.failed_application == apps[1].name
+
+    def test_utilisation_fractions(self):
+        arch = paper_example_architecture()
+        result = allocate_until_failure(arch, self.apps(30))
+        utilisation = result.utilisation()
+        assert 0 < utilisation["timewheel"] <= 1
+
+    def test_allocator_and_weights_mutually_exclusive(self):
+        arch = paper_example_architecture()
+        with pytest.raises(ValueError):
+            allocate_until_failure(
+                arch,
+                [],
+                allocator=ResourceAllocator(),
+                weights=CostWeights(),
+            )
+
+    def test_total_throughput_checks_aggregated(self):
+        arch = paper_example_architecture()
+        result = allocate_until_failure(arch, self.apps(2))
+        assert result.total_throughput_checks == sum(
+            a.throughput_checks for a in result.allocations
+        )
+
+
+class TestBufferTrimming:
+    def test_trimming_reduces_committed_memory(self):
+        from repro.core.tile_cost import CostWeights
+
+        plain_app = paper_example_application(Fraction(1, 60))
+        plain_arch = paper_example_architecture()
+        plain = ResourceAllocator().allocate(plain_app, plain_arch)
+
+        trimmed_app = paper_example_application(Fraction(1, 60))
+        trimmed_arch = paper_example_architecture()
+        trimmed = ResourceAllocator(trim_buffers=True).allocate(
+            trimmed_app, trimmed_arch
+        )
+
+        def total_memory(allocation):
+            return sum(
+                claim.memory
+                for claim in allocation.reservation.tiles.values()
+            )
+
+        assert total_memory(trimmed) <= total_memory(plain)
+        assert trimmed.satisfied
+
+    def test_trimming_preserves_flow_correctness(self):
+        arch = paper_example_architecture()
+        apps = [
+            paper_example_application(Fraction(1, 200)) for _ in range(3)
+        ]
+        result = allocate_until_failure(
+            arch, apps, allocator=ResourceAllocator(trim_buffers=True)
+        )
+        assert result.applications_bound >= 1
+        assert all(a.satisfied for a in result.allocations)

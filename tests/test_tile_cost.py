@@ -1,0 +1,158 @@
+"""Unit tests for the tile loads and the Eqn. 2 cost function."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.binding import Binding
+from repro.core.tile_cost import (
+    CostWeights,
+    channel_sets,
+    memory_demand,
+    tile_cost,
+    tile_loads,
+)
+
+
+@pytest.fixture
+def section8_binding(example_binding):
+    return example_binding  # a1, a2 -> t1; a3 -> t2
+
+
+class TestChannelSets:
+    def test_full_binding_classification(
+        self, example_application, section8_binding
+    ):
+        sets_t1 = channel_sets(example_application, section8_binding, "t1")
+        assert [c.name for c in sets_t1.tile] == ["d1", "d3"]
+        assert [c.name for c in sets_t1.src] == ["d2"]
+        assert sets_t1.dst == []
+        sets_t2 = channel_sets(example_application, section8_binding, "t2")
+        assert [c.name for c in sets_t2.dst] == ["d2"]
+
+    def test_partial_binding_ignores_unbound_endpoints(
+        self, example_application
+    ):
+        binding = Binding()
+        binding.bind("a1", "t1")
+        sets = channel_sets(example_application, binding, "t1")
+        # d1's destination a2 is unbound; only the self edge d3 counts
+        assert [c.name for c in sets.tile] == ["d3"]
+        assert sets.src == []
+
+
+class TestLoads:
+    def test_processing_load(
+        self, example_application, example_architecture, section8_binding
+    ):
+        # total worst-case work = 4 + 7 + 3 = 14; t1 runs a1+a2 at 1+1
+        load = tile_loads(
+            example_application, example_architecture, section8_binding, "t1"
+        )
+        assert load.processing == Fraction(2, 14)
+        load2 = tile_loads(
+            example_application, example_architecture, section8_binding, "t2"
+        )
+        assert load2.processing == Fraction(2, 14)
+
+    def test_memory_demand_section7(
+        self, example_application, example_architecture, section8_binding
+    ):
+        # t1: mu(a1)+mu(a2) + d1 tile buffer (1*7) + d3 (1*1) + d2 src (2*100)
+        demand = memory_demand(
+            example_application,
+            section8_binding,
+            example_architecture.tile("t1"),
+        )
+        assert demand == 10 + 7 + 7 + 1 + 200
+        demand2 = memory_demand(
+            example_application,
+            section8_binding,
+            example_architecture.tile("t2"),
+        )
+        # t2: mu(a3) + d2 dst buffer (2*100)
+        assert demand2 == 10 + 200
+
+    def test_memory_load_normalised(
+        self, example_application, example_architecture, section8_binding
+    ):
+        load = tile_loads(
+            example_application, example_architecture, section8_binding, "t1"
+        )
+        assert load.memory == Fraction(225, 700)
+
+    def test_communication_load(
+        self, example_application, example_architecture, section8_binding
+    ):
+        load = tile_loads(
+            example_application, example_architecture, section8_binding, "t1"
+        )
+        # t1: out bw 10/100, in 0, connections 1/5 -> avg = (0.1+0+0.2)/3
+        assert load.communication == (
+            Fraction(10, 100) + Fraction(0) + Fraction(1, 5)
+        ) / 3
+
+    def test_occupied_resources_shrink_denominators(
+        self, example_application, example_architecture, section8_binding
+    ):
+        example_architecture.tile("t1").memory_occupied = 350
+        load = tile_loads(
+            example_application, example_architecture, section8_binding, "t1"
+        )
+        assert load.memory == Fraction(225, 350)
+
+    def test_zero_capacity_with_demand_is_penalised(
+        self, example_application, example_architecture, section8_binding
+    ):
+        example_architecture.tile("t1").memory_occupied = 700
+        load = tile_loads(
+            example_application, example_architecture, section8_binding, "t1"
+        )
+        assert load.memory >= 10**9
+
+    def test_empty_tile_has_zero_load(
+        self, example_application, example_architecture
+    ):
+        binding = Binding()
+        load = tile_loads(
+            example_application, example_architecture, binding, "t1"
+        )
+        assert load.processing == 0
+        assert load.memory == 0
+        assert load.communication == 0
+
+
+class TestCostWeights:
+    def test_combined_weighting(
+        self, example_application, example_architecture, section8_binding
+    ):
+        load = tile_loads(
+            example_application, example_architecture, section8_binding, "t1"
+        )
+        only_memory = tile_cost(
+            example_application,
+            example_architecture,
+            section8_binding,
+            "t1",
+            CostWeights(0, 1, 0),
+        )
+        assert only_memory == pytest.approx(float(load.memory))
+
+    def test_weights_tuple_and_str(self):
+        weights = CostWeights(0, 1, 2)
+        assert weights.as_tuple() == (0, 1, 2)
+        assert str(weights) == "(0,1,2)"
+
+    def test_zero_weights_give_zero_cost(
+        self, example_application, example_architecture, section8_binding
+    ):
+        assert (
+            tile_cost(
+                example_application,
+                example_architecture,
+                section8_binding,
+                "t1",
+                CostWeights(0, 0, 0),
+            )
+            == 0.0
+        )

@@ -1,0 +1,131 @@
+"""Unit tests for SDF -> HSDF conversion."""
+
+import pytest
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.transform import (
+    hsdf_actor_name,
+    hsdf_size,
+    precedence_edges,
+    sdf_to_hsdf,
+)
+from repro.sdf.validate import validate_graph
+
+
+def test_single_rate_graph_is_isomorphic(chain_graph):
+    hsdf = sdf_to_hsdf(chain_graph)
+    assert len(hsdf) == len(chain_graph)
+    assert len(hsdf.channels) == len(chain_graph.channels)
+
+
+def test_copy_count_follows_repetition_vector(multirate_graph):
+    hsdf = sdf_to_hsdf(multirate_graph)
+    gamma = repetition_vector(multirate_graph)
+    assert len(hsdf) == sum(gamma.values())
+    for actor, count in gamma.items():
+        for copy in range(count):
+            assert hsdf.has_actor(hsdf_actor_name(actor, copy))
+
+
+def test_execution_times_preserved(multirate_graph):
+    hsdf = sdf_to_hsdf(multirate_graph)
+    assert hsdf.actor("a#0").execution_time == 2
+    assert hsdf.actor("b#1").execution_time == 3
+
+
+def test_all_rates_one(multirate_graph):
+    hsdf = sdf_to_hsdf(multirate_graph)
+    for channel in hsdf.channels:
+        assert channel.production == 1
+        assert channel.consumption == 1
+
+
+def test_hsdf_is_consistent_and_validates(multirate_graph):
+    validate_graph(sdf_to_hsdf(multirate_graph))
+
+
+def test_token_count_preserved_per_channel():
+    # total initial tokens of an SDF channel must equal the total delay
+    # of its HSDF expansion counted per consumed token group
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_channel("d", "a", "b", 2, 3, 4)
+    hsdf = sdf_to_hsdf(graph)
+    gamma = repetition_vector(graph)
+    assert gamma == {"a": 3, "b": 2}
+    # every b copy consumes from producers; delays are >= 0
+    assert all(c.tokens >= 0 for c in hsdf.channels)
+
+
+def test_simple_pipeline_dependencies():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_channel("d", "a", "b", 2, 1)
+    hsdf = sdf_to_hsdf(graph)
+    # gamma = (1, 2): b#0 and b#1 both depend on a#0 in the same iteration
+    names = {(c.src, c.dst, c.tokens) for c in hsdf.channels}
+    assert ("a#0", "b#0", 0) in names
+    assert ("a#0", "b#1", 0) in names
+
+
+def test_initial_tokens_create_iteration_delay():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_channel("d", "a", "b", 1, 1, 1)
+    hsdf = sdf_to_hsdf(graph)
+    (channel,) = hsdf.channels
+    assert channel.src == "a#0"
+    assert channel.dst == "b#0"
+    assert channel.tokens == 1
+
+
+def test_self_loop_expansion():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_channel("s", "a", "a", 1, 1, 1)
+    hsdf = sdf_to_hsdf(graph)
+    (channel,) = hsdf.channels
+    assert channel.src == channel.dst == "a#0"
+    assert channel.tokens == 1
+
+
+def test_h263_explosion_size():
+    graph = SDFGraph()
+    for name in ("vld", "iq", "idct", "mc"):
+        graph.add_actor(name)
+    graph.add_channel("d1", "vld", "iq", 99, 1)
+    graph.add_channel("d2", "iq", "idct", 1, 1)
+    graph.add_channel("d3", "idct", "mc", 1, 99)
+    assert hsdf_size(graph) == 200
+    hsdf = sdf_to_hsdf(graph)
+    assert len(hsdf) == 200
+
+
+def test_hsdf_size_without_materialising(multirate_graph):
+    assert hsdf_size(multirate_graph) == 5
+
+
+def test_precedence_edges_match_converted_graph(multirate_graph):
+    hsdf = sdf_to_hsdf(multirate_graph)
+    pairs = {(c.src, c.dst) for c in hsdf.channels}
+    assert precedence_edges(multirate_graph) == pairs
+
+
+def test_multirate_delay_distribution():
+    # a -(3,2)-> b with 1 initial token; gamma = (2, 3)
+    graph = SDFGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_channel("d", "a", "b", 3, 2, 1)
+    hsdf = sdf_to_hsdf(graph)
+    # b#0 consumes tokens 0,1: token 0 is initial; token 1 comes from a#0.
+    edges = {(c.src, c.dst): c.tokens for c in hsdf.channels}
+    assert edges[("a#0", "b#0")] == 0
+    # b#2 consumes tokens 4,5 -> produced by a#1 (tokens 3..5 shifted by 1)
+    assert edges[("a#1", "b#2")] == 0
+    # the initial token shifts one dependency across the iteration edge
+    assert any(tokens >= 1 for tokens in edges.values())
