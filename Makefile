@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full experiments examples clean
+.PHONY: install test test-fast bench bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Skip the @pytest.mark.slow cases (heavy differential comparisons).
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -6,7 +6,10 @@ Sub-commands::
     repro-alloc generate --set mixed -n 5     # emit benchmark graphs
     repro-alloc allocate --set processing ... # run the full flow
     repro-alloc example                       # the paper's running example
+    repro-alloc profile GRAPH.json            # instrumented run + JSON report
 
+Every sub-command accepts ``--metrics PATH`` to dump the observability
+snapshot (see ``docs/OBSERVABILITY.md``) collected during the run.
 Graphs are exchanged in the JSON dialect of
 :mod:`repro.sdf.serialization`.
 """
@@ -23,6 +26,7 @@ from repro.core.flow import allocate_until_failure
 from repro.core.strategy import ResourceAllocator
 from repro.core.tile_cost import CostWeights
 from repro.generate.benchmark import generate_benchmark_set
+from repro.obs import JsonSink, collecting, format_summary, to_json
 from repro.sdf.serialization import graph_from_json, graph_to_dict
 from repro.throughput.state_space import throughput
 
@@ -145,6 +149,65 @@ def _cmd_dimension(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one workload with instrumentation on; emit a JSON report."""
+    with collecting() as metrics:
+        if args.graph:
+            with open(args.graph) as handle:
+                graph = graph_from_json(handle.read())
+            result = throughput(graph)
+            summary = {
+                "mode": "analyse",
+                "graph": graph.name,
+                "actors": len(graph),
+                "channels": len(graph.channels),
+                "iteration_rate": str(result.iteration_rate),
+                "states_explored": result.states_explored,
+            }
+        elif args.flow:
+            architecture = benchmark_architectures()[args.architecture]
+            applications = generate_benchmark_set(
+                args.set,
+                args.count,
+                architecture.processor_types(),
+                seed=args.seed,
+            )
+            flow = allocate_until_failure(
+                architecture, applications, weights=CostWeights(*args.weights)
+            )
+            summary = {
+                "mode": "flow",
+                "architecture": architecture.name,
+                "applications_bound": flow.applications_bound,
+                "throughput_checks": flow.total_throughput_checks,
+                "failed_application": flow.failed_application,
+                "applications": flow.application_stats,
+            }
+        else:
+            from repro.appmodel.example import paper_example
+
+            application, architecture, _ = paper_example()
+            allocator = ResourceAllocator(weights=CostWeights(*args.weights))
+            allocation = allocator.allocate(application, architecture)
+            summary = {
+                "mode": "example",
+                "application": application.name,
+                "achieved_throughput": str(allocation.achieved_throughput),
+                "throughput_checks": allocation.throughput_checks,
+            }
+        snapshot = metrics.snapshot()
+    report = {"result": summary, "metrics": snapshot}
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(to_json(report) + "\n")
+        print(f"metrics report written to {args.out}")
+    if args.summary:
+        print(format_summary(snapshot))
+    elif not args.out:
+        print(to_json(report))
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     from repro.appmodel.example import paper_example
 
@@ -175,7 +238,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    analyse = sub.add_parser("analyse", help="compute SDFG throughput")
+    # shared by every sub-command: dump the metrics snapshot of the run
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="collect instrumentation during the run and write the "
+        "JSON snapshot to PATH",
+    )
+
+    analyse = sub.add_parser(
+        "analyse", help="compute SDFG throughput", parents=[common]
+    )
     analyse.add_argument("graph", help="path to a graph JSON file")
     analyse.add_argument(
         "--no-auto-concurrency",
@@ -184,7 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyse.set_defaults(func=_cmd_analyse)
 
-    generate = sub.add_parser("generate", help="emit benchmark graphs as JSON")
+    generate = sub.add_parser(
+        "generate", help="emit benchmark graphs as JSON", parents=[common]
+    )
     generate.add_argument(
         "--set",
         default="mixed",
@@ -195,7 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=_cmd_generate)
 
     allocate = sub.add_parser(
-        "allocate", help="allocate a generated set until failure"
+        "allocate",
+        help="allocate a generated set until failure",
+        parents=[common],
     )
     allocate.add_argument(
         "--set",
@@ -221,7 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     allocate.set_defaults(func=_cmd_allocate)
 
-    example = sub.add_parser("example", help="run the paper's running example")
+    example = sub.add_parser(
+        "example", help="run the paper's running example", parents=[common]
+    )
     example.add_argument(
         "--weights",
         type=float,
@@ -234,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     allocate_file = sub.add_parser(
         "allocate-file",
         help="allocate one application JSON onto an architecture JSON",
+        parents=[common],
     )
     allocate_file.add_argument("application", help="application JSON file")
     allocate_file.add_argument("architecture", help="architecture JSON file")
@@ -251,12 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     allocate_file.set_defaults(func=_cmd_allocate_file)
 
-    dot = sub.add_parser("dot", help="emit a Graphviz rendering of a graph")
+    dot = sub.add_parser(
+        "dot", help="emit a Graphviz rendering of a graph", parents=[common]
+    )
     dot.add_argument("graph", help="path to a graph JSON file")
     dot.set_defaults(func=_cmd_dot)
 
     trace = sub.add_parser(
-        "trace", help="Gantt trace of the paper example's allocation"
+        "trace",
+        help="Gantt trace of the paper example's allocation",
+        parents=[common],
     )
     trace.add_argument(
         "--weights",
@@ -272,7 +357,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(func=_cmd_trace)
 
     dimension = sub.add_parser(
-        "dimension", help="smallest mesh hosting a generated set"
+        "dimension",
+        help="smallest mesh hosting a generated set",
+        parents=[common],
     )
     dimension.add_argument(
         "--set",
@@ -283,12 +370,65 @@ def build_parser() -> argparse.ArgumentParser:
     dimension.add_argument("--seed", type=int, default=0)
     dimension.add_argument("--max-tiles", type=int, default=12)
     dimension.set_defaults(func=_cmd_dimension)
+
+    profile = sub.add_parser(
+        "profile",
+        help="instrumented run emitting a JSON metrics report",
+        description="Run one workload with the repro.obs instrumentation "
+        "enabled and emit a JSON report (result summary + metrics "
+        "snapshot).  Profiles a graph JSON when given, the generated "
+        "benchmark flow with --flow, or the paper's running example "
+        "otherwise.",
+    )
+    profile.add_argument(
+        "graph",
+        nargs="?",
+        help="graph JSON file to analyse (omit for --flow or the example)",
+    )
+    profile.add_argument(
+        "--flow",
+        action="store_true",
+        help="profile an allocate-until-failure run over a generated set",
+    )
+    profile.add_argument(
+        "--set",
+        default="mixed",
+        choices=["processing", "memory", "communication", "mixed"],
+    )
+    profile.add_argument("-n", "--count", type=int, default=5)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--architecture", type=int, default=0, choices=[0, 1, 2]
+    )
+    profile.add_argument(
+        "--weights",
+        type=float,
+        nargs=3,
+        default=[0.0, 1.0, 2.0],
+        metavar=("C1", "C2", "C3"),
+    )
+    profile.add_argument(
+        "--out", metavar="PATH", help="write the JSON report to PATH"
+    )
+    profile.add_argument(
+        "--summary",
+        action="store_true",
+        help="print a human-readable summary instead of the JSON report",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        with collecting() as metrics:
+            status = args.func(args)
+            snapshot = metrics.snapshot()
+        JsonSink(metrics_path).emit(snapshot)
+        return status
     return args.func(args)
 
 

@@ -23,6 +23,7 @@ from repro.arch.architecture import ArchitectureGraph
 from repro.core.constraints import binding_violations, check_binding_constraints
 from repro.core.criticality import binding_order
 from repro.core.tile_cost import CostWeights, tile_cost
+from repro.obs import get_metrics
 
 
 class BindingError(RuntimeError):
@@ -57,8 +58,10 @@ def bind_application(
     benchmarks).
     """
     application.check_complete()
+    obs = get_metrics()
     order = binding_order(application, cycle_limit=cycle_limit)
     binding = Binding()
+    retries = 0
 
     for actor in order:
         candidates = _candidate_tiles(application, architecture, actor)
@@ -87,6 +90,7 @@ def bind_application(
                 placed = True
                 break
             binding.unbind(actor)
+            retries += 1
         if not placed:
             violations = []
             for tile_name in candidates[:1]:
@@ -101,6 +105,9 @@ def bind_application(
                 + "; ".join(str(v) for v in violations)
             )
 
+    if obs.enabled:
+        obs.counter("binding.actors_bound", len(order))
+        obs.counter("binding.retries", retries)
     if optimise:
         _rebalance(application, architecture, binding, order, weights)
     return binding
@@ -114,6 +121,8 @@ def _rebalance(
     weights: CostWeights,
 ) -> None:
     """Reverse-order rebinding pass (always succeeds)."""
+    obs = get_metrics()
+    moves = 0
     tile_order = {name: i for i, name in enumerate(architecture.tile_names)}
     for actor in reversed(order):
         original = binding.tile_of(actor)
@@ -135,3 +144,7 @@ def _rebalance(
             binding.unbind(actor)
         if not placed:  # pragma: no cover - original tile always fits
             binding.bind(actor, original)
+        elif binding.tile_of(actor) != original:
+            moves += 1
+    if obs.enabled:
+        obs.counter("binding.rebalance_moves", moves)

@@ -11,6 +11,7 @@ total occupied resources at the stopping point its efficiency metric
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional
 
 from repro.appmodel.application import ApplicationGraph
@@ -18,6 +19,7 @@ from repro.appmodel.binding import Allocation
 from repro.arch.architecture import ArchitectureGraph
 from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.core.tile_cost import CostWeights
+from repro.obs import get_metrics
 
 
 @dataclass
@@ -31,6 +33,9 @@ class FlowResult:
     resource_usage: Dict[str, int] = field(default_factory=dict)
     #: architecture capacity summed over tiles (for utilisation ratios)
     resource_capacity: Dict[str, int] = field(default_factory=dict)
+    #: per-application outcome records: name, outcome ("allocated" /
+    #: "failed"), wall-clock seconds, throughput checks, achieved rate
+    application_stats: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def applications_bound(self) -> int:
@@ -72,19 +77,49 @@ def allocate_until_failure(
     elif weights is not None:
         raise ValueError("pass either an allocator or weights, not both")
 
+    obs = get_metrics()
     result = FlowResult()
     for application in applications:
-        try:
-            allocation = allocator.allocate(application, architecture)
-        except AllocationError as error:
-            if result.failed_application is None:
-                result.failed_application = application.name
-                result.failure_reason = str(error)
-            if not continue_after_failure:
-                break
-            continue
-        allocation.reservation.commit(architecture)
-        result.allocations.append(allocation)
+        started = perf_counter()
+        with obs.span("flow.application", application=application.name) as span:
+            try:
+                allocation = allocator.allocate(application, architecture)
+            except AllocationError as error:
+                obs.counter("flow.failures")
+                span.set("outcome", "failed")
+                result.application_stats.append(
+                    {
+                        "application": application.name,
+                        "outcome": "failed",
+                        "seconds": perf_counter() - started,
+                        "reason": str(error),
+                    }
+                )
+                if result.failed_application is None:
+                    result.failed_application = application.name
+                    result.failure_reason = str(error)
+                if not continue_after_failure:
+                    break
+                continue
+            allocation.reservation.commit(architecture)
+            result.allocations.append(allocation)
+            obs.counter("flow.allocated")
+            span.set("outcome", "allocated")
+            result.application_stats.append(
+                {
+                    "application": application.name,
+                    "outcome": "allocated",
+                    "seconds": perf_counter() - started,
+                    "throughput_checks": allocation.throughput_checks,
+                    "achieved_throughput": str(allocation.achieved_throughput),
+                    "tiles_used": len(allocation.binding.used_tiles()),
+                }
+            )
     result.resource_usage = architecture.total_usage()
     result.resource_capacity = architecture.total_capacity()
+    if obs.enabled:
+        obs.gauge("flow.applications_bound", result.applications_bound)
+        obs.counter(
+            "flow.throughput_checks", result.total_throughput_checks
+        )
     return result

@@ -25,6 +25,7 @@ from typing import Dict
 from repro.appmodel.binding_aware import BindingAwareGraph
 from repro.appmodel.binding import SchedulingFunction
 from repro.core.tile_cost import tile_loads
+from repro.obs import get_metrics
 from repro.throughput.constrained import (
     StaticOrderSchedule,
     constrained_throughput,
@@ -75,9 +76,12 @@ def allocate_time_slices(
     for name, schedule in schedules.items():
         scheduling.set_schedule(name, schedule)
 
+    obs = get_metrics()
+
     def evaluate(slices: Dict[str, int]) -> Fraction:
         nonlocal checks
         checks += 1
+        obs.counter("slices.throughput_checks")
         for name in tile_names:
             scheduling.set_slice(name, slices[name])
         constraints = bag.tile_constraints(scheduling)
@@ -113,6 +117,10 @@ def allocate_time_slices(
             low = mid + 1
     slices = shared(best_f)
     achieved = best_throughput
+    phase1_checks = checks
+    if obs.enabled:
+        obs.counter("slices.phase1_checks", phase1_checks)
+        obs.gauge("slices.shared_slice", best_f)
 
     # -- phase 2: per-tile refinement ----------------------------------
     if refine and len(tile_names) > 0:
@@ -143,6 +151,8 @@ def allocate_time_slices(
                 else:
                     low_t = mid + 1
 
+    if obs.enabled:
+        obs.counter("slices.phase2_checks", checks - phase1_checks)
     return SliceAllocationResult(
         slices=slices, achieved_throughput=achieved, throughput_checks=checks
     )

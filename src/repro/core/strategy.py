@@ -24,6 +24,7 @@ from repro.core.constraints import reservation_for
 from repro.core.scheduling import SchedulingError, build_static_order_schedules
 from repro.core.slices import SliceAllocationError, allocate_time_slices
 from repro.core.tile_cost import CostWeights
+from repro.obs import get_metrics
 from repro.throughput.state_space import (
     DEFAULT_MAX_STATES,
     StateSpaceExplosionError,
@@ -73,67 +74,87 @@ class ResourceAllocator:
         ``allocation.reservation.commit(architecture)`` to occupy the
         resources (as :mod:`repro.core.flow` does).
         """
-        try:
-            if binding is None:
-                binding = bind_application(
-                    application,
-                    architecture,
-                    self.weights,
-                    optimise=self.optimise_binding,
-                    cycle_limit=self.cycle_limit,
-                )
-            bag = build_binding_aware_graph(application, architecture, binding)
-            schedules = build_static_order_schedules(
-                bag, max_states=self.max_states
+        obs = get_metrics()
+        with obs.span("allocate", application=application.name) as span:
+            try:
+                if binding is None:
+                    with obs.timer("allocate.binding"):
+                        binding = bind_application(
+                            application,
+                            architecture,
+                            self.weights,
+                            optimise=self.optimise_binding,
+                            cycle_limit=self.cycle_limit,
+                        )
+                with obs.timer("allocate.binding_aware"):
+                    bag = build_binding_aware_graph(
+                        application, architecture, binding
+                    )
+                with obs.timer("allocate.scheduling"):
+                    schedules = build_static_order_schedules(
+                        bag, max_states=self.max_states
+                    )
+                with obs.timer("allocate.slices"):
+                    slice_result = allocate_time_slices(
+                        bag,
+                        schedules,
+                        relaxation=self.relaxation,
+                        refine=self.refine_slices,
+                        max_states=self.max_states,
+                    )
+            except (
+                BindingError,
+                InfeasibleBindingError,
+                SchedulingError,
+                SliceAllocationError,
+                StateSpaceExplosionError,
+            ) as error:
+                if obs.enabled:
+                    obs.counter("allocate.failures")
+                    span.set("outcome", "failed")
+                    span.set("reason", str(error))
+                raise AllocationError(
+                    f"no valid allocation for {application.name!r}: {error}"
+                ) from error
+
+            scheduling = SchedulingFunction()
+            for tile_name, schedule in schedules.items():
+                scheduling.set_schedule(tile_name, schedule)
+            for tile_name, size in slice_result.slices.items():
+                scheduling.set_slice(tile_name, size)
+
+            achieved = slice_result.achieved_throughput
+            checks = slice_result.throughput_checks
+            if self.trim_buffers:
+                # deferred import: extensions sit above core in the layering
+                from repro.extensions.buffer_sizing import minimise_buffers
+
+                with obs.timer("allocate.trim_buffers"):
+                    sizing = minimise_buffers(
+                        application,
+                        architecture,
+                        binding,
+                        scheduling,
+                        max_states=self.max_states,
+                    )
+                achieved = sizing.achieved_throughput
+                checks += sizing.throughput_checks
+
+            reservation = reservation_for(
+                application, architecture, binding, slice_result.slices
             )
-            slice_result = allocate_time_slices(
-                bag,
-                schedules,
-                relaxation=self.relaxation,
-                refine=self.refine_slices,
-                max_states=self.max_states,
+            if obs.enabled:
+                obs.counter("allocate.successes")
+                obs.counter("allocate.throughput_checks", checks)
+                span.set("outcome", "allocated")
+                span.set("throughput_checks", checks)
+                span.set("achieved_throughput", str(achieved))
+                span.set("tiles_used", len(binding.used_tiles()))
+            return Allocation(
+                application=application,
+                binding=binding,
+                scheduling=scheduling,
+                reservation=reservation,
+                achieved_throughput=achieved,
+                throughput_checks=checks,
             )
-        except (
-            BindingError,
-            InfeasibleBindingError,
-            SchedulingError,
-            SliceAllocationError,
-            StateSpaceExplosionError,
-        ) as error:
-            raise AllocationError(
-                f"no valid allocation for {application.name!r}: {error}"
-            ) from error
-
-        scheduling = SchedulingFunction()
-        for tile_name, schedule in schedules.items():
-            scheduling.set_schedule(tile_name, schedule)
-        for tile_name, size in slice_result.slices.items():
-            scheduling.set_slice(tile_name, size)
-
-        achieved = slice_result.achieved_throughput
-        checks = slice_result.throughput_checks
-        if self.trim_buffers:
-            # deferred import: extensions sit above core in the layering
-            from repro.extensions.buffer_sizing import minimise_buffers
-
-            sizing = minimise_buffers(
-                application,
-                architecture,
-                binding,
-                scheduling,
-                max_states=self.max_states,
-            )
-            achieved = sizing.achieved_throughput
-            checks += sizing.throughput_checks
-
-        reservation = reservation_for(
-            application, architecture, binding, slice_result.slices
-        )
-        return Allocation(
-            application=application,
-            binding=binding,
-            scheduling=scheduling,
-            reservation=reservation,
-            achieved_throughput=achieved,
-            throughput_checks=checks,
-        )

@@ -1,0 +1,63 @@
+"""``repro.obs`` — zero-dependency observability for the engines.
+
+The throughput engines, MCR oracles and the allocation strategy are
+permanently instrumented against this package.  Collection is off by
+default: :func:`get_metrics` then returns the shared
+:data:`NULL_METRICS` no-op, whose cost is one attribute lookup plus an
+empty call (guarded by ``tests/test_performance_guards.py`` to stay
+under 5% of engine run time).
+
+Typical use::
+
+    from repro.obs import collecting
+    from repro.obs.sinks import format_summary
+
+    with collecting() as metrics:
+        result = throughput(graph)
+    print(format_summary(metrics.snapshot()))
+
+See ``docs/OBSERVABILITY.md`` for the metric names and the snapshot
+schema.
+"""
+
+from repro.obs.metrics import (
+    Metrics,
+    MetricsLike,
+    NULL_METRICS,
+    NullMetrics,
+    Span,
+    TimerStat,
+    collecting,
+    disable,
+    enable,
+    get_metrics,
+)
+from repro.obs.sinks import (
+    JsonSink,
+    NULL_SINK,
+    NullSink,
+    Sink,
+    SummarySink,
+    format_summary,
+    to_json,
+)
+
+__all__ = [
+    "JsonSink",
+    "Metrics",
+    "MetricsLike",
+    "NULL_METRICS",
+    "NULL_SINK",
+    "NullMetrics",
+    "NullSink",
+    "Sink",
+    "Span",
+    "SummarySink",
+    "TimerStat",
+    "collecting",
+    "disable",
+    "enable",
+    "format_summary",
+    "get_metrics",
+    "to_json",
+]

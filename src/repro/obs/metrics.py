@@ -1,0 +1,308 @@
+"""Metrics registry: counters, gauges, timers and nested spans.
+
+The registry is deliberately tiny and dependency-free so it can stay
+permanently wired into the hot paths of the throughput engines.  Two
+implementations share one duck-typed API:
+
+* :class:`Metrics` — the real registry.  Counters accumulate, gauges
+  keep the last value, timers aggregate durations, and spans build a
+  tree of timed sections with attributes.
+* :class:`NullMetrics` — the module-level no-op used whenever
+  instrumentation is disabled.  Every method returns immediately (the
+  span/timer objects are shared stateless singletons), so instrumented
+  code pays only an attribute lookup and an empty call.
+
+Instrumented code fetches the active registry with :func:`get_metrics`
+and, on hot paths, guards non-trivial bookkeeping behind the
+``enabled`` attribute::
+
+    obs = get_metrics()
+    started = time.perf_counter() if obs.enabled else 0.0
+    ...                                   # the actual work
+    if obs.enabled:
+        obs.counter("engine.states", states)
+        obs.observe("engine.execute", time.perf_counter() - started)
+
+:func:`enable` / :func:`disable` swap the active registry;
+:func:`collecting` does so for the duration of a ``with`` block.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.obs.sinks import NULL_SINK, Sink
+
+Number = Union[int, float]
+
+__all__ = [
+    "Metrics",
+    "NullMetrics",
+    "Span",
+    "TimerStat",
+    "collecting",
+    "disable",
+    "enable",
+    "get_metrics",
+]
+
+
+class TimerStat:
+    """Aggregated observations of one named timer."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def to_dict(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max,
+        }
+
+
+class Span:
+    """One timed, attributed section; nests via the registry's stack."""
+
+    __slots__ = ("name", "attributes", "children", "seconds", "_metrics", "_start")
+
+    def __init__(self, name: str, metrics: "Metrics", attributes: Dict[str, Any]):
+        self.name = name
+        self.attributes = attributes
+        self.children: List["Span"] = []
+        self.seconds = 0.0
+        self._metrics = metrics
+        self._start = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute to the span (overwrites)."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self._start = self._metrics._clock()
+        self._metrics._push(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = self._metrics._clock() - self._start
+        self._metrics._pop(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": self.name, "seconds": self.seconds}
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+
+class _Timer:
+    """Context manager feeding one duration into a named TimerStat."""
+
+    __slots__ = ("_metrics", "_name", "_start")
+
+    def __init__(self, metrics: "Metrics", name: str) -> None:
+        self._metrics = metrics
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._metrics._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._metrics.observe(self._name, self._metrics._clock() - self._start)
+
+
+class _NullSpan:
+    """Shared stateless no-op standing in for spans and timers."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullMetrics:
+    """Disabled instrumentation: every operation is a no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, value: Number = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: Number) -> None:
+        pass
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    def timer(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "timers": {}, "spans": []}
+
+    def flush(self) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class Metrics:
+    """The collecting registry.
+
+    ``sink`` receives the snapshot on :meth:`flush`; ``clock`` is
+    injectable for deterministic tests (defaults to
+    :func:`time.perf_counter`).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Optional[Sink] = None,
+        clock=time.perf_counter,
+    ) -> None:
+        self.sink: Sink = sink if sink is not None else NULL_SINK
+        self._clock = clock
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Any] = {}
+        self._timers: Dict[str, TimerStat] = {}
+        self._roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- recording -----------------------------------------------------
+    def counter(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` (default 1) to the named counter."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Record the last-seen value of the named gauge."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Feed one duration into the named timer aggregate."""
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat()
+        stat.add(seconds)
+
+    def timer(self, name: str) -> _Timer:
+        """Context manager timing its body into :meth:`observe`."""
+        return _Timer(self, name)
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Context manager opening a nested, attributed span."""
+        return Span(name, self, attributes)
+
+    # -- span stack (called by Span) -----------------------------------
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # tolerate out-of-order exits: unwind to the matching span
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of everything recorded so far.
+
+        Open (unfinished) spans are not included.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "timers": {
+                name: stat.to_dict() for name, stat in self._timers.items()
+            },
+            "spans": [span.to_dict() for span in self._roots],
+        }
+
+    def flush(self) -> None:
+        """Emit the current snapshot to the configured sink."""
+        self.sink.emit(self.snapshot())
+
+    def reset(self) -> None:
+        """Drop everything recorded so far."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._roots.clear()
+        self._stack.clear()
+
+
+MetricsLike = Union[Metrics, NullMetrics]
+
+#: the permanent no-op registry handed out while instrumentation is off
+NULL_METRICS = NullMetrics()
+
+_active: MetricsLike = NULL_METRICS
+
+
+def get_metrics() -> MetricsLike:
+    """The active registry (the shared :data:`NULL_METRICS` when off)."""
+    return _active
+
+
+def enable(metrics: Optional[Metrics] = None) -> Metrics:
+    """Install ``metrics`` (or a fresh registry) as the active one."""
+    global _active
+    active = metrics if metrics is not None else Metrics()
+    _active = active
+    return active
+
+
+def disable() -> MetricsLike:
+    """Deactivate collection; returns the registry that was active."""
+    global _active
+    previous = _active
+    _active = NULL_METRICS
+    return previous
+
+
+@contextmanager
+def collecting(metrics: Optional[Metrics] = None) -> Iterator[Metrics]:
+    """Enable collection for the duration of a ``with`` block."""
+    active = enable(metrics)
+    try:
+        yield active
+    finally:
+        if _active is active:
+            disable()

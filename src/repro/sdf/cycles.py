@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Union
 
 import networkx as nx
 
+from repro.obs import get_metrics
 from repro.sdf.graph import SDFGraph
 
 Ratio = Union[Fraction, float]
@@ -111,8 +112,15 @@ def max_cycle_ratio(
     if weights is None:
         weights = {a.name: a.execution_time for a in graph.actors}
     best: Optional[Ratio] = None
+    count = 0
     for cycle in simple_cycles(graph, limit=limit):
+        count += 1
         ratio = cycle_ratio(graph, cycle, weights)
         if best is None or ratio > best:
             best = ratio
+    obs = get_metrics()
+    if obs.enabled:
+        obs.counter("cycles.enumerated", count)
+        if limit is not None and count == limit:
+            obs.counter("cycles.limit_hits")
     return best

@@ -28,8 +28,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import get_metrics
 from repro.sdf.graph import SDFGraph
 from repro.throughput.state_space import (
     DEFAULT_MAX_STATES,
@@ -254,7 +256,25 @@ class _ConstrainedEngine:
         for channel, rate in self._outputs[actor]:
             tokens[channel] += rate
 
+    def _record(
+        self, result: ConstrainedThroughputResult, started: float, zero_firings: int
+    ) -> None:
+        """Export one constrained execution's statistics."""
+        obs = get_metrics()
+        obs.counter("constrained.executions")
+        obs.counter("constrained.states", result.states_explored)
+        obs.counter("constrained.zero_time_firings", zero_firings)
+        obs.gauge("constrained.hash_set_size", result.states_explored)
+        obs.gauge("constrained.transient_time", result.transient_time)
+        obs.gauge("constrained.period", result.period or 0)
+        if result.deadlocked:
+            obs.counter("constrained.deadlocks")
+        obs.observe("constrained.execute", perf_counter() - started)
+
     def run(self) -> ConstrainedThroughputResult:
+        obs = get_metrics()
+        started = perf_counter() if obs.enabled else 0.0
+        zero_firings = 0
         tokens = list(self._initial_tokens)
         # remaining *work* per active firing; unscheduled actors may have
         # several concurrent firings, tiles at most one.
@@ -282,6 +302,7 @@ class _ConstrainedEngine:
                 )
 
         def start_enabled() -> None:
+            nonlocal zero_firings
             progress = True
             zero_guard = 0
             while progress:
@@ -297,7 +318,11 @@ class _ConstrainedEngine:
                             completed[actor] += 1
                             record(actor, None, time, time)
                             zero_guard += 1
+                            zero_firings += 1
                             if zero_guard > 1_000_000:
+                                get_metrics().counter(
+                                    "constrained.zero_time_guard_hits"
+                                )
                                 raise StateSpaceExplosionError(
                                     "zero-duration firing loop in "
                                     "constrained execution"
@@ -347,12 +372,15 @@ class _ConstrainedEngine:
                     name: completed[i] - first_completed[i]
                     for i, name in enumerate(self._actors)
                 }
-                return ConstrainedThroughputResult(
+                result = ConstrainedThroughputResult(
                     period=period,
                     period_firings=firings,
                     transient_time=first_time,
                     states_explored=len(seen),
                 )
+                if obs.enabled:
+                    self._record(result, started, zero_firings)
+                return result
             seen[key] = (time, tuple(completed))
             if len(seen) > self.max_states:
                 raise StateSpaceExplosionError(
@@ -383,13 +411,16 @@ class _ConstrainedEngine:
                 if next_event is None or candidate < next_event:
                     next_event = candidate
             if next_event is None:
-                return ConstrainedThroughputResult(
+                result = ConstrainedThroughputResult(
                     period=None,
                     period_firings={},
                     transient_time=time,
                     states_explored=len(seen),
                     deadlocked=True,
                 )
+                if obs.enabled:
+                    self._record(result, started, zero_firings)
+                return result
 
             step = next_event - time
             for actor, active in enumerate(unscheduled_active):
@@ -456,6 +487,7 @@ def constrained_throughput(
     """
     for tile in tiles:
         if tile.slice_size == 0 and tile.schedule.actors:
+            get_metrics().counter("constrained.zero_slice_shortcuts")
             return ConstrainedThroughputResult(
                 period=None,
                 period_firings={},

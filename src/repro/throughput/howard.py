@@ -23,8 +23,10 @@ cycle's weight sum equals the total execution time of the actors on it.
 from __future__ import annotations
 
 from fractions import Fraction
+from time import perf_counter
 from typing import List, Optional, Tuple, Union
 
+from repro.obs import get_metrics
 from repro.sdf.analysis import strongly_connected_components
 from repro.sdf.graph import SDFGraph
 
@@ -122,10 +124,15 @@ def _evaluate_policy(
 
 
 def _howard_component(component: _Component) -> Ratio:
+    obs = get_metrics()
+    rounds = 0
     policy = [0] * len(component.nodes)
     while True:
+        rounds += 1
         lam, bias, infinite = _evaluate_policy(component, policy)
         if infinite is not None:
+            if obs.enabled:
+                obs.counter("mcr.howard.rounds", rounds)
             return infinite
         improved = False
         for node, edges in enumerate(component.out):
@@ -161,6 +168,8 @@ def _howard_component(component: _Component) -> Ratio:
                         improved = True
             policy[node] = best_choice
         if not improved:
+            if obs.enabled:
+                obs.counter("mcr.howard.rounds", rounds)
             return max(lam)  # type: ignore[arg-type]
 
 
@@ -171,7 +180,10 @@ def howard_max_cycle_ratio(graph: SDFGraph) -> Optional[Ratio]:
     tokens on its edges.  Returns None for acyclic graphs and
     ``float('inf')`` when a token-free cycle exists.
     """
+    obs = get_metrics()
+    started = perf_counter() if obs.enabled else 0.0
     best: Optional[Ratio] = None
+    analysed = 0
     for nodes in strongly_connected_components(graph):
         if len(nodes) == 1:
             actor = nodes[0]
@@ -180,7 +192,12 @@ def howard_max_cycle_ratio(graph: SDFGraph) -> Optional[Ratio]:
             ):
                 continue
         component = _Component(graph, nodes)
+        analysed += 1
         ratio = _howard_component(component)
         if best is None or ratio > best:
             best = ratio
+    if obs.enabled:
+        obs.counter("mcr.howard.calls")
+        obs.counter("mcr.howard.components", analysed)
+        obs.observe("mcr.howard", perf_counter() - started)
     return best

@@ -20,10 +20,12 @@ Two implementations are provided:
 from __future__ import annotations
 
 from fractions import Fraction
+from time import perf_counter
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import get_metrics
 from repro.sdf.cycles import max_cycle_ratio as _enumerated_max_cycle_ratio
 from repro.sdf.graph import SDFGraph
 
@@ -37,8 +39,14 @@ def max_cycle_ratio_exact(hsdf: SDFGraph, limit: Optional[int] = None) -> Option
     the denominator is the tokens on its edges.  ``None`` for acyclic
     graphs; ``float('inf')`` when a token-free cycle exists (deadlock).
     """
+    obs = get_metrics()
+    started = perf_counter() if obs.enabled else 0.0
     weights = {a.name: a.execution_time for a in hsdf.actors}
-    return _enumerated_max_cycle_ratio(hsdf, weights, limit=limit)
+    ratio = _enumerated_max_cycle_ratio(hsdf, weights, limit=limit)
+    if obs.enabled:
+        obs.counter("mcr.enumerate.calls")
+        obs.observe("mcr.enumerate", perf_counter() - started)
+    return ratio
 
 
 def _edge_arrays(hsdf: SDFGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
@@ -98,6 +106,8 @@ def max_cycle_ratio_numeric(
     bounded by the total token count.  Returns ``None`` when the graph
     is acyclic, ``float('inf')`` when a token-free cycle exists.
     """
+    obs = get_metrics()
+    started = perf_counter() if obs.enabled else 0.0
     sources, targets, times, tokens, node_count = _edge_arrays(hsdf)
     if sources.size == 0:
         return None
@@ -123,7 +133,9 @@ def max_cycle_ratio_numeric(
 
     total_time = float(times.sum())
     low, high = 0.0, max(total_time, 1.0)
+    iterations = 0
     while high - low > tolerance:
+        iterations += 1
         mid = (low + high) / 2.0
         if _has_positive_cycle(
             sources, targets, times - mid * tokens, node_count
@@ -133,6 +145,10 @@ def max_cycle_ratio_numeric(
             high = mid
     total_tokens = int(tokens.sum())
     midpoint = Fraction((low + high) / 2.0)
+    if obs.enabled:
+        obs.counter("mcr.lawler.calls")
+        obs.counter("mcr.lawler.iterations", iterations)
+        obs.observe("mcr.lawler", perf_counter() - started)
     return midpoint.limit_denominator(max(total_tokens, 1))
 
 

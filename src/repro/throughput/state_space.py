@@ -21,8 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import get_metrics
 from repro.sdf.analysis import strongly_connected_components
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import repetition_vector
@@ -76,7 +78,13 @@ class ThroughputResult:
     states_explored: int = 0
 
     def of(self, actor: str) -> Rate:
-        """Steady-state firings per time unit of ``actor``."""
+        """Steady-state firings per time unit of ``actor``.
+
+        Actors absent from ``gamma`` (e.g. queried against the wrong
+        graph) are reported as rate 0 instead of raising ``KeyError``.
+        """
+        if actor not in self.gamma:
+            return Fraction(0)
         if self.iteration_rate == float("inf"):
             return float("inf")
         return self.iteration_rate * self.gamma[actor]
@@ -106,6 +114,9 @@ class SelfTimedExecution:
         self.graph = graph
         self.auto_concurrency = auto_concurrency
         self.max_states = max_states
+        #: firing starts observed so far (the zero-time guard counter,
+        #: accumulated across phases; exported when metrics are enabled)
+        self.firing_starts = 0
         times = execution_times or graph.execution_times()
         self._actor_names = graph.actor_names
         self._actor_index = {a: i for i, a in enumerate(self._actor_names)}
@@ -171,6 +182,7 @@ class SelfTimedExecution:
                     progress = True
                     guard += 1
                     if guard > _ZERO_TIME_GUARD:
+                        get_metrics().counter("state_space.zero_time_guard_hits")
                         raise StateSpaceExplosionError(
                             "unbounded firing burst at one time instant: "
                             "either a cycle with total execution time 0, or "
@@ -181,6 +193,20 @@ class SelfTimedExecution:
             # produced tokens; firing starts alone never enable others.
             if not any(self._times[a] == 0 for a in range(len(self._times))):
                 break
+        self.firing_starts += guard
+
+    def _record(self, result: ExecutionResult, started: float) -> None:
+        """Export one execution's statistics (metrics enabled only)."""
+        obs = get_metrics()
+        obs.counter("state_space.executions")
+        obs.counter("state_space.states", result.states_explored)
+        obs.counter("state_space.firing_starts", self.firing_starts)
+        obs.gauge("state_space.hash_set_size", result.states_explored)
+        obs.gauge("state_space.transient_time", result.transient_time)
+        obs.gauge("state_space.period", result.period or 0)
+        if result.deadlocked:
+            obs.counter("state_space.deadlocks")
+        obs.observe("state_space.execute", perf_counter() - started)
 
     def execute_until(
         self, actor: str, firings: int
@@ -192,6 +218,7 @@ class SelfTimedExecution:
         latency analysis).  Returns None when the graph deadlocks
         first.
         """
+        get_metrics().counter("state_space.execute_until_calls")
         target = self._actor_index[actor]
         tokens = list(self._initial_tokens)
         active: List[List[int]] = [[] for _ in self._actor_names]
@@ -227,6 +254,8 @@ class SelfTimedExecution:
 
     def execute(self) -> ExecutionResult:
         """Run until a recurrent state (or deadlock) and report the period."""
+        obs = get_metrics()
+        started = perf_counter() if obs.enabled else 0.0
         tokens = list(self._initial_tokens)
         active: List[List[int]] = [[] for _ in self._actor_names]
         completed = [0] * len(self._actor_names)
@@ -250,12 +279,15 @@ class SelfTimedExecution:
                     name: completed[i] - first_completed[i]
                     for i, name in enumerate(self._actor_names)
                 }
-                return ExecutionResult(
+                result = ExecutionResult(
                     transient_time=first_time,
                     period=period,
                     period_firings=firings,
                     states_explored=len(seen),
                 )
+                if obs.enabled:
+                    self._record(result, started)
+                return result
             seen[key] = (time, tuple(completed))
             if len(seen) > self.max_states:
                 raise StateSpaceExplosionError(
@@ -266,13 +298,16 @@ class SelfTimedExecution:
 
             remaining_values = [r for firing in active for r in firing]
             if not remaining_values:
-                return ExecutionResult(
+                result = ExecutionResult(
                     transient_time=time,
                     period=None,
                     period_firings={},
                     states_explored=len(seen),
                     deadlocked=True,
                 )
+                if obs.enabled:
+                    self._record(result, started)
+                return result
             step = min(remaining_values)
             time += step
             for actor, firing in enumerate(active):
@@ -313,11 +348,27 @@ def throughput(
     reported as unbounded (``float('inf')``); a deadlocking component
     makes the whole graph rate 0.
     """
+    obs = get_metrics()
+    with obs.span("state_space.throughput", graph=graph.name) as span:
+        return _throughput_body(
+            graph, execution_times, auto_concurrency, max_states, obs, span
+        )
+
+
+def _throughput_body(
+    graph: SDFGraph,
+    execution_times: Optional[Dict[str, int]],
+    auto_concurrency: bool,
+    max_states: int,
+    obs,
+    span,
+) -> ThroughputResult:
     gamma = repetition_vector(graph)
     rates: Dict[Tuple[str, ...], Rate] = {}
     states = 0
     overall: Rate = float("inf")
-    for component in strongly_connected_components(graph):
+    components = strongly_connected_components(graph)
+    for component in components:
         subgraph = _scc_subgraph_with_cycles(graph, component)
         if subgraph is None:
             if not auto_concurrency:
@@ -353,6 +404,12 @@ def throughput(
         rates[tuple(component)] = rate
         if rate < overall:
             overall = rate
+    if obs.enabled:
+        obs.counter("state_space.throughput_calls")
+        span.set("sccs", len(components))
+        span.set("sccs_explored", len(rates))
+        span.set("states", states)
+        span.set("iteration_rate", str(overall))
     return ThroughputResult(
         iteration_rate=overall,
         gamma=gamma,

@@ -121,3 +121,85 @@ def test_trace_vcd_option(tmp_path, capsys):
     assert main(["trace", "--vcd", str(vcd_path)]) == 0
     assert vcd_path.read_text().startswith("$comment")
     assert "VCD waveform" in capsys.readouterr().out
+
+
+def test_profile_graph_reports_states_and_timings(graph_file, capsys):
+    assert main(["profile", graph_file]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["result"]["mode"] == "analyse"
+    assert report["result"]["iteration_rate"] == "1/5"
+    assert report["result"]["states_explored"] > 0
+    metrics = report["metrics"]
+    assert (
+        metrics["counters"]["state_space.states"]
+        == report["result"]["states_explored"]
+    )
+    assert metrics["timers"]["state_space.execute"]["count"] >= 1
+    assert any(
+        span["name"] == "state_space.throughput" for span in metrics["spans"]
+    )
+
+
+def test_profile_example_records_allocation_phases(capsys):
+    assert main(["profile"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["result"]["mode"] == "example"
+    assert report["result"]["achieved_throughput"] == "1/20"
+    assert report["result"]["throughput_checks"] > 0
+    timers = report["metrics"]["timers"]
+    for phase in ("allocate.binding", "allocate.scheduling", "allocate.slices"):
+        assert timers[phase]["count"] >= 1
+    assert report["metrics"]["counters"]["slices.throughput_checks"] > 0
+
+
+def test_profile_flow_reports_per_application_stats(capsys):
+    assert main(["profile", "--flow", "-n", "2", "--seed", "4"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["result"]["mode"] == "flow"
+    applications = report["result"]["applications"]
+    assert len(applications) == 2
+    for stats in applications:
+        assert stats["outcome"] in ("allocated", "failed")
+        assert stats["seconds"] >= 0
+    allocated = [s for s in applications if s["outcome"] == "allocated"]
+    assert allocated, "expected at least one allocated application"
+    assert all("throughput_checks" in s for s in allocated)
+    assert all("tiles_used" in s for s in allocated)
+
+
+def test_profile_out_and_summary(graph_file, tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    assert main(["profile", graph_file, "--out", str(out_path)]) == 0
+    report = json.loads(out_path.read_text())
+    assert "metrics" in report
+    assert main(["profile", graph_file, "--summary"]) == 0
+    summary = capsys.readouterr().out
+    assert "state_space.states" in summary
+    assert "state_space.throughput" in summary
+
+
+def test_metrics_flag_writes_snapshot(graph_file, tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["analyse", graph_file, "--metrics", str(metrics_path)]) == 0
+    assert "1/5" in capsys.readouterr().out  # normal output is untouched
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["counters"]["state_space.throughput_calls"] == 1
+    assert snapshot["counters"]["state_space.states"] > 0
+    assert "state_space.execute" in snapshot["timers"]
+
+
+def test_metrics_flag_on_allocation_command(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["example", "--metrics", str(metrics_path)]) == 0
+    assert "binding:" in capsys.readouterr().out
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["counters"]["allocate.successes"] == 1
+    assert any(span["name"] == "allocate" for span in snapshot["spans"])
+
+
+def test_metrics_collection_is_scoped_to_the_command(graph_file, tmp_path):
+    from repro.obs import NULL_METRICS, get_metrics
+
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["analyse", graph_file, "--metrics", str(metrics_path)]) == 0
+    assert get_metrics() is NULL_METRICS  # collection disabled again

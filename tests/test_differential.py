@@ -1,0 +1,109 @@
+"""Differential test harness: state-space engine vs. the HSDF MCR oracles.
+
+For seeded random consistent, live SDFGs the self-timed state-space
+iteration rate must equal the reciprocal maximum cycle ratio of the
+SDF→HSDF unfolding, computed by all three independent oracles: simple
+cycle enumeration, the parametric Lawler search and Howard policy
+iteration.  Everything is compared in exact ``Fraction`` arithmetic.
+
+The heavy configuration (more actors, larger repetition vectors, denser
+extra channels) drives cycle enumeration into its exponential regime —
+those cases carry ``@pytest.mark.slow`` and are excluded from
+``make test-fast``.
+"""
+
+from fractions import Fraction
+from random import Random
+
+import pytest
+
+from repro.generate.random_sdf import RandomSDFParameters, random_sdfg
+from repro.sdf.transform import sdf_to_hsdf
+from repro.throughput.howard import howard_max_cycle_ratio
+from repro.throughput.mcr import (
+    max_cycle_ratio_exact,
+    max_cycle_ratio_numeric,
+)
+from repro.throughput.state_space import throughput
+
+#: small graphs: exhaustively comparable in milliseconds
+FAST_PARAMETERS = RandomSDFParameters(
+    actors_min=3, actors_max=6, repetition_max=3
+)
+#: the heavy regime: HSDF unfoldings of 30-60 actors whose cycle count
+#: can explode (the paper's argument against the SDF→HSDF+MCM path)
+HEAVY_PARAMETERS = RandomSDFParameters(
+    actors_min=12,
+    actors_max=16,
+    repetition_max=6,
+    extra_channel_fraction=1.0,
+)
+
+FAST_SEEDS = list(range(40))
+HEAVY_SEEDS = list(range(40, 50))
+
+
+def _rate_from_ratio(ratio):
+    """Iteration rate from a maximum cycle ratio (engine conventions)."""
+    if ratio is None:  # acyclic: nothing constrains the rate
+        return float("inf")
+    if ratio == float("inf"):  # token-free cycle: deadlock
+        return Fraction(0)
+    if ratio == 0:
+        return float("inf")
+    return 1 / ratio
+
+
+def _assert_oracles_agree(graph, enumeration_limit):
+    state_space_rate = throughput(graph).iteration_rate
+    hsdf = sdf_to_hsdf(graph)
+
+    enumerated = _rate_from_ratio(
+        max_cycle_ratio_exact(hsdf, limit=enumeration_limit)
+    )
+    lawler = _rate_from_ratio(max_cycle_ratio_numeric(hsdf))
+    howard = _rate_from_ratio(howard_max_cycle_ratio(hsdf))
+
+    assert state_space_rate == enumerated, (
+        f"state space {state_space_rate} != cycle enumeration {enumerated}"
+    )
+    assert state_space_rate == howard, (
+        f"state space {state_space_rate} != Howard {howard}"
+    )
+    assert state_space_rate == lawler, (
+        f"state space {state_space_rate} != Lawler {lawler}"
+    )
+    # rates are exact rationals (or the inf/0 sentinels), never floats
+    # from an unsnapped numeric search
+    if state_space_rate != float("inf"):
+        assert isinstance(state_space_rate, Fraction)
+        assert isinstance(lawler, Fraction)
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_state_space_matches_hsdf_oracles(seed):
+    graph = random_sdfg(FAST_PARAMETERS, Random(seed), name=f"diff-{seed}")
+    _assert_oracles_agree(graph, enumeration_limit=100_000)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", HEAVY_SEEDS)
+def test_state_space_matches_hsdf_oracles_heavy(seed):
+    graph = random_sdfg(
+        HEAVY_PARAMETERS, Random(seed), name=f"diff-heavy-{seed}"
+    )
+    _assert_oracles_agree(graph, enumeration_limit=500_000)
+
+
+def test_differential_graphs_are_deterministic():
+    """The harness re-draws identical graphs for identical seeds."""
+    first = random_sdfg(FAST_PARAMETERS, Random(7), name="a")
+    second = random_sdfg(FAST_PARAMETERS, Random(7), name="a")
+    assert [a.name for a in first.actors] == [a.name for a in second.actors]
+    assert [
+        (c.name, c.src, c.dst, c.production, c.consumption, c.tokens)
+        for c in first.channels
+    ] == [
+        (c.name, c.src, c.dst, c.production, c.consumption, c.tokens)
+        for c in second.channels
+    ]

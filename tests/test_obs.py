@@ -1,0 +1,295 @@
+"""Unit tests for the repro.obs metrics layer."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonSink,
+    Metrics,
+    NULL_METRICS,
+    NullSink,
+    SummarySink,
+    collecting,
+    disable,
+    enable,
+    format_summary,
+    get_metrics,
+    to_json,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestCounters:
+    def test_counter_defaults_to_one(self):
+        metrics = Metrics()
+        metrics.counter("hits")
+        metrics.counter("hits")
+        assert metrics.snapshot()["counters"]["hits"] == 2
+
+    def test_counter_accumulates_values(self):
+        metrics = Metrics()
+        metrics.counter("states", 10)
+        metrics.counter("states", 32)
+        assert metrics.snapshot()["counters"]["states"] == 42
+
+    def test_gauge_keeps_last_value(self):
+        metrics = Metrics()
+        metrics.gauge("size", 5)
+        metrics.gauge("size", 3)
+        assert metrics.snapshot()["gauges"]["size"] == 3
+
+
+class TestTimers:
+    def test_timer_aggregates_count_and_total(self):
+        metrics = Metrics(clock=FakeClock(step=1.0))
+        with metrics.timer("phase"):
+            pass
+        with metrics.timer("phase"):
+            pass
+        stat = metrics.snapshot()["timers"]["phase"]
+        assert stat["count"] == 2
+        assert stat["total_seconds"] == pytest.approx(2.0)
+        assert stat["min_seconds"] == pytest.approx(1.0)
+        assert stat["max_seconds"] == pytest.approx(1.0)
+
+    def test_observe_feeds_timer_directly(self):
+        metrics = Metrics()
+        metrics.observe("engine", 0.25)
+        metrics.observe("engine", 0.75)
+        stat = metrics.snapshot()["timers"]["engine"]
+        assert stat["count"] == 2
+        assert stat["total_seconds"] == pytest.approx(1.0)
+        assert stat["min_seconds"] == pytest.approx(0.25)
+        assert stat["max_seconds"] == pytest.approx(0.75)
+
+    def test_nested_timers_are_independent(self):
+        metrics = Metrics(clock=FakeClock(step=1.0))
+        with metrics.timer("outer"):
+            with metrics.timer("inner"):
+                pass
+        timers = metrics.snapshot()["timers"]
+        assert timers["outer"]["count"] == 1
+        assert timers["inner"]["count"] == 1
+        # the fake clock ticks once per reading: outer spans 3 ticks
+        assert timers["outer"]["total_seconds"] > timers["inner"]["total_seconds"]
+
+
+class TestSpans:
+    def test_span_nesting_builds_a_tree(self):
+        metrics = Metrics()
+        with metrics.span("parent") as parent:
+            parent.set("k", "v")
+            with metrics.span("child"):
+                pass
+        spans = metrics.snapshot()["spans"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "parent"
+        assert spans[0]["attributes"] == {"k": "v"}
+        assert [c["name"] for c in spans[0]["children"]] == ["child"]
+
+    def test_sequential_spans_are_both_roots(self):
+        metrics = Metrics()
+        with metrics.span("first"):
+            pass
+        with metrics.span("second"):
+            pass
+        assert [s["name"] for s in metrics.snapshot()["spans"]] == [
+            "first",
+            "second",
+        ]
+
+    def test_span_attributes_via_kwargs(self):
+        metrics = Metrics()
+        with metrics.span("s", graph="g1"):
+            pass
+        assert metrics.snapshot()["spans"][0]["attributes"] == {"graph": "g1"}
+
+    def test_open_spans_are_not_exported(self):
+        metrics = Metrics()
+        span = metrics.span("open")
+        span.__enter__()
+        assert metrics.snapshot()["spans"] == []
+
+    def test_span_durations_use_the_clock(self):
+        metrics = Metrics(clock=FakeClock(step=2.0))
+        with metrics.span("timed"):
+            pass
+        assert metrics.snapshot()["spans"][0]["seconds"] == pytest.approx(2.0)
+
+
+class TestSnapshotExport:
+    def test_json_round_trip(self):
+        metrics = Metrics()
+        metrics.counter("c", 3)
+        metrics.gauge("g", 7)
+        metrics.observe("t", 0.5)
+        with metrics.span("s", key="value"):
+            pass
+        restored = json.loads(to_json(metrics.snapshot()))
+        assert restored["counters"] == {"c": 3}
+        assert restored["gauges"] == {"g": 7}
+        assert restored["timers"]["t"]["count"] == 1
+        assert restored["spans"][0]["name"] == "s"
+        assert restored["spans"][0]["attributes"] == {"key": "value"}
+
+    def test_non_json_values_are_stringified(self):
+        from fractions import Fraction
+
+        metrics = Metrics()
+        metrics.gauge("rate", Fraction(1, 3))
+        restored = json.loads(to_json(metrics.snapshot()))
+        assert restored["gauges"]["rate"] == "1/3"
+
+    def test_json_sink_writes_file(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        metrics = Metrics(sink=JsonSink(path))
+        metrics.counter("c")
+        metrics.flush()
+        assert json.load(open(path))["counters"] == {"c": 1}
+
+    def test_json_sink_writes_stream(self):
+        stream = io.StringIO()
+        JsonSink(stream).emit({"counters": {"x": 1}})
+        assert json.loads(stream.getvalue())["counters"] == {"x": 1}
+
+    def test_summary_sink_renders_names(self):
+        stream = io.StringIO()
+        metrics = Metrics(sink=SummarySink(stream))
+        metrics.counter("engine.states", 12)
+        metrics.observe("engine.run", 0.001)
+        with metrics.span("top"):
+            pass
+        metrics.flush()
+        text = stream.getvalue()
+        assert "engine.states: 12" in text
+        assert "engine.run" in text
+        assert "top" in text
+
+    def test_empty_summary_has_placeholder(self):
+        assert format_summary(Metrics().snapshot()) == "(no metrics recorded)"
+
+    def test_reset_clears_everything(self):
+        metrics = Metrics()
+        metrics.counter("c")
+        metrics.observe("t", 1.0)
+        with metrics.span("s"):
+            pass
+        metrics.reset()
+        assert metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "spans": [],
+        }
+
+
+class TestNullRegistry:
+    def test_default_registry_is_disabled(self):
+        metrics = get_metrics()
+        assert metrics is NULL_METRICS
+        assert not metrics.enabled
+
+    def test_null_operations_record_nothing(self):
+        null = NULL_METRICS
+        null.counter("c", 5)
+        null.gauge("g", 1)
+        null.observe("t", 1.0)
+        with null.timer("t"):
+            pass
+        with null.span("s", k=1) as span:
+            span.set("x", 2)
+        assert null.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "spans": [],
+        }
+
+    def test_null_sink_discards(self):
+        NullSink().emit({"counters": {"a": 1}})  # must not raise
+
+    def test_enable_disable_swaps_active_registry(self):
+        metrics = enable()
+        try:
+            assert get_metrics() is metrics
+            metrics.counter("c")
+        finally:
+            disable()
+        assert get_metrics() is NULL_METRICS
+        assert metrics.snapshot()["counters"] == {"c": 1}
+
+    def test_collecting_restores_on_exit(self):
+        with collecting() as metrics:
+            assert get_metrics() is metrics
+        assert get_metrics() is NULL_METRICS
+
+    def test_collecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert get_metrics() is NULL_METRICS
+
+    def test_flush_without_sink_is_safe(self):
+        Metrics().flush()  # default sink is the null sink
+
+
+class TestEngineIntegration:
+    def test_state_space_counters_recorded(self, simple_cycle_graph):
+        from repro.throughput.state_space import throughput
+
+        with collecting() as metrics:
+            result = throughput(simple_cycle_graph)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["state_space.executions"] == 1
+        assert (
+            snapshot["counters"]["state_space.states"]
+            == result.states_explored
+        )
+        assert snapshot["timers"]["state_space.execute"]["count"] == 1
+        span = snapshot["spans"][0]
+        assert span["name"] == "state_space.throughput"
+        assert span["attributes"]["states"] == result.states_explored
+
+    def test_disabled_collection_leaves_no_trace(self, simple_cycle_graph):
+        from repro.throughput.state_space import throughput
+
+        throughput(simple_cycle_graph)
+        assert get_metrics().snapshot()["counters"] == {}
+
+    def test_allocation_spans_and_phase_timers(self):
+        from repro.appmodel.example import (
+            paper_example_application,
+            paper_example_architecture,
+        )
+        from repro.core.strategy import ResourceAllocator
+
+        with collecting() as metrics:
+            ResourceAllocator().allocate(
+                paper_example_application(), paper_example_architecture()
+            )
+        snapshot = metrics.snapshot()
+        for phase in (
+            "allocate.binding",
+            "allocate.scheduling",
+            "allocate.slices",
+        ):
+            assert snapshot["timers"][phase]["count"] == 1
+        allocate_spans = [
+            s for s in snapshot["spans"] if s["name"] == "allocate"
+        ]
+        assert allocate_spans[0]["attributes"]["outcome"] == "allocated"
+        assert snapshot["counters"]["slices.throughput_checks"] >= 1

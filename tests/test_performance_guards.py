@@ -71,3 +71,101 @@ def test_example_allocation_stays_fast():
     elapsed = time.perf_counter() - started
     assert allocation.satisfied
     assert elapsed < 5.0
+
+
+class _CountingMetrics:
+    """Counts every instrumentation API call a workload makes.
+
+    Mimics the Metrics duck type with ``enabled = True`` so that even
+    the guarded (enabled-only) call sites are exercised — an upper
+    bound on the calls the disabled null registry would receive.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.calls = 0
+
+    def counter(self, name, value=1):
+        self.calls += 1
+
+    def gauge(self, name, value):
+        self.calls += 1
+
+    def observe(self, name, seconds):
+        self.calls += 1
+
+    def timer(self, name):
+        self.calls += 1
+        return self._noop()
+
+    def span(self, name, **attributes):
+        self.calls += 1
+        return self._noop()
+
+    class _noop:
+        def set(self, key, value):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            pass
+
+
+def test_disabled_instrumentation_overhead_under_five_percent():
+    """The permanently-wired obs layer must cost <5% when disabled.
+
+    Strategy: (1) time the paper-example allocation with instrumentation
+    off, (2) count how many obs calls that workload makes, (3) measure
+    the unit cost of a null-registry call, and (4) require the product
+    to stay below 5% of the measured run time.
+    """
+    from repro.obs import NULL_METRICS, get_metrics
+
+    assert get_metrics() is NULL_METRICS  # collection must be off
+
+    def workload():
+        return ResourceAllocator().allocate(
+            paper_example_application(), paper_example_architecture()
+        )
+
+    workload()  # warm imports and caches
+    baseline = min(
+        _timed(workload) for _ in range(3)
+    )
+
+    import repro.obs.metrics as obs_metrics
+
+    counting = _CountingMetrics()
+    previous = obs_metrics._active
+    obs_metrics._active = counting
+    try:
+        workload()
+    finally:
+        obs_metrics._active = previous
+    instrumentation_calls = counting.calls
+    assert instrumentation_calls > 0  # the workload is instrumented
+
+    null = NULL_METRICS
+    rounds = 50_000
+    started = time.perf_counter()
+    for _ in range(rounds):
+        null.counter("guard.counter")
+        with null.timer("guard.timer"):
+            pass
+    per_call = (time.perf_counter() - started) / (2 * rounds)
+
+    overhead = instrumentation_calls * per_call
+    assert overhead < 0.05 * baseline, (
+        f"{instrumentation_calls} null instrumentation calls at "
+        f"{per_call * 1e9:.0f} ns each = {overhead * 1e3:.3f} ms, over 5% "
+        f"of the {baseline * 1e3:.1f} ms baseline"
+    )
+
+
+def _timed(workload):
+    started = time.perf_counter()
+    workload()
+    return time.perf_counter() - started
