@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full experiments examples clean
+.PHONY: install test test-fast test-robustness bench bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,6 +13,11 @@ test:
 # Skip the @pytest.mark.slow cases (heavy differential comparisons).
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# The resilience layer: budgets, degradation ladder, fault injection,
+# transactional commits and the hardened CLI (docs/ROBUSTNESS.md).
+test-robustness:
+	$(PYTHON) -m pytest tests/test_resilience.py tests/test_faults.py tests/test_cli.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

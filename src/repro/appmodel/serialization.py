@@ -28,11 +28,15 @@ from __future__ import annotations
 
 import json
 from fractions import Fraction
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.appmodel.application import ApplicationGraph
 from repro.arch.tile import ProcessorType
-from repro.sdf.serialization import graph_from_dict, graph_to_dict
+from repro.sdf.serialization import (
+    SerializationError,
+    graph_from_dict,
+    graph_to_dict,
+)
 
 
 def application_to_dict(application: ApplicationGraph) -> Dict[str, Any]:
@@ -64,35 +68,81 @@ def application_to_dict(application: ApplicationGraph) -> Dict[str, Any]:
     }
 
 
-def application_from_dict(data: Dict[str, Any]) -> ApplicationGraph:
-    """Inverse of :func:`application_to_dict`."""
-    graph = graph_from_dict(data["graph"])
+def application_from_dict(
+    data: Dict[str, Any], source: Optional[str] = None
+) -> ApplicationGraph:
+    """Inverse of :func:`application_to_dict`.
+
+    Raises :class:`~repro.sdf.serialization.SerializationError` (with
+    file/field context) for malformed documents.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"application document must be a JSON object, "
+            f"got {type(data).__name__}",
+            source=source,
+        )
+    if "graph" not in data:
+        raise SerializationError(
+            "application document missing 'graph'",
+            source=source,
+            field="graph",
+        )
+    graph = graph_from_dict(data["graph"], source=source)
+    try:
+        constraint = Fraction(data.get("throughput_constraint", "0"))
+    except (TypeError, ValueError, ZeroDivisionError) as error:
+        raise SerializationError(
+            f"bad throughput constraint: {error}",
+            source=source,
+            field="throughput_constraint",
+        ) from error
     application = ApplicationGraph(
         graph,
-        throughput_constraint=Fraction(data.get("throughput_constraint", "0")),
+        throughput_constraint=constraint,
         output_actor=data.get("output_actor"),
     )
     for actor, options in data.get("actors", {}).items():
-        application.set_actor_requirements(
-            actor,
-            *(
-                (
-                    ProcessorType(processor),
-                    int(entry["execution_time"]),
-                    int(entry.get("memory", 0)),
-                )
-                for processor, entry in options.items()
-            ),
-        )
+        try:
+            application.set_actor_requirements(
+                actor,
+                *(
+                    (
+                        ProcessorType(processor),
+                        int(entry["execution_time"]),
+                        int(entry.get("memory", 0)),
+                    )
+                    for processor, entry in options.items()
+                ),
+            )
+        except KeyError as error:
+            raise SerializationError(
+                f"actor requirements missing key {error}",
+                source=source,
+                field=f"actors[{actor}]",
+            ) from error
+        except (TypeError, ValueError) as error:
+            raise SerializationError(
+                f"bad actor requirements: {error}",
+                source=source,
+                field=f"actors[{actor}]",
+            ) from error
     for channel, entry in data.get("channels", {}).items():
-        application.set_channel_requirements(
-            channel,
-            token_size=int(entry.get("token_size", 1)),
-            buffer_tile=entry.get("buffer_tile"),
-            buffer_src=entry.get("buffer_src"),
-            buffer_dst=entry.get("buffer_dst"),
-            bandwidth=int(entry.get("bandwidth", 0)),
-        )
+        try:
+            application.set_channel_requirements(
+                channel,
+                token_size=int(entry.get("token_size", 1)),
+                buffer_tile=entry.get("buffer_tile"),
+                buffer_src=entry.get("buffer_src"),
+                buffer_dst=entry.get("buffer_dst"),
+                bandwidth=int(entry.get("bandwidth", 0)),
+            )
+        except (KeyError, AttributeError, TypeError, ValueError) as error:
+            raise SerializationError(
+                f"bad channel requirements: {error}",
+                source=source,
+                field=f"channels[{channel}]",
+            ) from error
     return application
 
 
@@ -100,5 +150,13 @@ def application_to_json(application: ApplicationGraph, indent: int = 2) -> str:
     return json.dumps(application_to_dict(application), indent=indent)
 
 
-def application_from_json(text: str) -> ApplicationGraph:
-    return application_from_dict(json.loads(text))
+def application_from_json(
+    text: str, source: Optional[str] = None
+) -> ApplicationGraph:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(
+            f"invalid JSON: {error}", source=source
+        ) from error
+    return application_from_dict(data, source=source)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.arch.architecture import ArchitectureGraph
+from repro.resilience.faults import fault_point
 
 
 class InsufficientResourcesError(RuntimeError):
@@ -66,22 +67,42 @@ class ResourceReservation:
         return True
 
     def commit(self, architecture: ArchitectureGraph) -> None:
-        """Permanently occupy the claimed resources.
+        """Permanently occupy the claimed resources (transactionally).
 
         Raises :class:`InsufficientResourcesError` (leaving the
-        architecture untouched) when anything does not fit.
+        architecture untouched) when anything does not fit.  The commit
+        is validate-then-apply: all tiles are resolved and checked
+        before the first occupancy field changes, and if applying any
+        tile's claim fails part-way the already-applied tiles are
+        rolled back, so the architecture is never left half-committed.
         """
+        # validate: resolve every tile and check capacity before any write
+        resolved = [
+            (architecture.tile(name), claim)
+            for name, claim in self.tiles.items()
+        ]
         if not self.fits(architecture):
             raise InsufficientResourcesError(
                 "reservation exceeds remaining capacity"
             )
-        for name, claim in self.tiles.items():
-            tile = architecture.tile(name)
-            tile.wheel_occupied += claim.time_slice
-            tile.memory_occupied += claim.memory
-            tile.connections_occupied += claim.connections
-            tile.bandwidth_in_occupied += claim.bandwidth_in
-            tile.bandwidth_out_occupied += claim.bandwidth_out
+        applied = 0
+        try:
+            for index, (tile, claim) in enumerate(resolved):
+                fault_point("commit.apply", tile=tile.name, index=index)
+                tile.wheel_occupied += claim.time_slice
+                tile.memory_occupied += claim.memory
+                tile.connections_occupied += claim.connections
+                tile.bandwidth_in_occupied += claim.bandwidth_in
+                tile.bandwidth_out_occupied += claim.bandwidth_out
+                applied += 1
+        except BaseException:
+            for tile, claim in resolved[:applied]:
+                tile.wheel_occupied -= claim.time_slice
+                tile.memory_occupied -= claim.memory
+                tile.connections_occupied -= claim.connections
+                tile.bandwidth_in_occupied -= claim.bandwidth_in
+                tile.bandwidth_out_occupied -= claim.bandwidth_out
+            raise
 
     def rollback(self, architecture: ArchitectureGraph) -> None:
         """Release a previously committed reservation."""

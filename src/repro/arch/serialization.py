@@ -22,10 +22,11 @@ between allocation sessions.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.arch.architecture import ArchitectureGraph
 from repro.arch.tile import ProcessorType, Tile
+from repro.sdf.serialization import SerializationError
 
 
 def architecture_to_dict(architecture: ArchitectureGraph) -> Dict[str, Any]:
@@ -60,36 +61,74 @@ def architecture_to_dict(architecture: ArchitectureGraph) -> Dict[str, Any]:
     }
 
 
-def architecture_from_dict(data: Dict[str, Any]) -> ArchitectureGraph:
-    """Inverse of :func:`architecture_to_dict`."""
+def architecture_from_dict(
+    data: Dict[str, Any], source: Optional[str] = None
+) -> ArchitectureGraph:
+    """Inverse of :func:`architecture_to_dict`.
+
+    Raises :class:`~repro.sdf.serialization.SerializationError` (with
+    file/field context) for malformed documents.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"architecture document must be a JSON object, "
+            f"got {type(data).__name__}",
+            source=source,
+        )
     architecture = ArchitectureGraph(data.get("name", "architecture"))
-    for entry in data.get("tiles", []):
-        architecture.add_tile(
-            Tile(
-                name=entry["name"],
-                processor_type=ProcessorType(entry["processor_type"]),
-                wheel=int(entry["wheel"]),
-                memory=int(entry.get("memory", 0)),
-                max_connections=int(entry.get("max_connections", 0)),
-                bandwidth_in=int(entry.get("bandwidth_in", 0)),
-                bandwidth_out=int(entry.get("bandwidth_out", 0)),
-                wheel_occupied=int(entry.get("wheel_occupied", 0)),
-                memory_occupied=int(entry.get("memory_occupied", 0)),
-                connections_occupied=int(
-                    entry.get("connections_occupied", 0)
-                ),
-                bandwidth_in_occupied=int(
-                    entry.get("bandwidth_in_occupied", 0)
-                ),
-                bandwidth_out_occupied=int(
-                    entry.get("bandwidth_out_occupied", 0)
-                ),
+    for index, entry in enumerate(data.get("tiles", [])):
+        field = f"tiles[{index}]"
+        if not isinstance(entry, dict):
+            raise SerializationError(
+                "tile entry must be an object", source=source, field=field
             )
-        )
-    for entry in data.get("connections", []):
-        architecture.add_connection(
-            entry["src"], entry["dst"], int(entry.get("latency", 1))
-        )
+        try:
+            architecture.add_tile(
+                Tile(
+                    name=entry["name"],
+                    processor_type=ProcessorType(entry["processor_type"]),
+                    wheel=int(entry["wheel"]),
+                    memory=int(entry.get("memory", 0)),
+                    max_connections=int(entry.get("max_connections", 0)),
+                    bandwidth_in=int(entry.get("bandwidth_in", 0)),
+                    bandwidth_out=int(entry.get("bandwidth_out", 0)),
+                    wheel_occupied=int(entry.get("wheel_occupied", 0)),
+                    memory_occupied=int(entry.get("memory_occupied", 0)),
+                    connections_occupied=int(
+                        entry.get("connections_occupied", 0)
+                    ),
+                    bandwidth_in_occupied=int(
+                        entry.get("bandwidth_in_occupied", 0)
+                    ),
+                    bandwidth_out_occupied=int(
+                        entry.get("bandwidth_out_occupied", 0)
+                    ),
+                )
+            )
+        except KeyError as error:
+            raise SerializationError(
+                f"tile entry missing key {error}", source=source, field=field
+            ) from error
+        except (TypeError, ValueError) as error:
+            raise SerializationError(
+                f"bad tile entry: {error}", source=source, field=field
+            ) from error
+    for index, entry in enumerate(data.get("connections", [])):
+        field = f"connections[{index}]"
+        try:
+            architecture.add_connection(
+                entry["src"], entry["dst"], int(entry.get("latency", 1))
+            )
+        except KeyError as error:
+            raise SerializationError(
+                f"connection entry missing key {error}",
+                source=source,
+                field=field,
+            ) from error
+        except (TypeError, ValueError) as error:
+            raise SerializationError(
+                f"bad connection entry: {error}", source=source, field=field
+            ) from error
     return architecture
 
 
@@ -99,5 +138,13 @@ def architecture_to_json(
     return json.dumps(architecture_to_dict(architecture), indent=indent)
 
 
-def architecture_from_json(text: str) -> ArchitectureGraph:
-    return architecture_from_dict(json.loads(text))
+def architecture_from_json(
+    text: str, source: Optional[str] = None
+) -> ArchitectureGraph:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(
+            f"invalid JSON: {error}", source=source
+        ) from error
+    return architecture_from_dict(data, source=source)

@@ -11,15 +11,22 @@ and therefore needs fewer resources.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.appmodel.binding_aware import BindingAwareGraph
-from repro.throughput.state_space import ThroughputResult, throughput
+from repro.resilience.budget import Budget
+from repro.throughput.state_space import (
+    DEFAULT_MAX_STATES,
+    ThroughputResult,
+    throughput,
+)
 
 
 def tdma_inflated_throughput(
     bag: BindingAwareGraph,
     slices: Dict[str, int],
+    max_states: int = DEFAULT_MAX_STATES,
+    budget: Optional[Budget] = None,
 ) -> ThroughputResult:
     """Throughput of a binding-aware graph under the [4] TDMA model.
 
@@ -37,4 +44,9 @@ def tdma_inflated_throughput(
     for actor_name, tile_name in bag.binding.assignment.items():
         tile = bag.architecture.tile(tile_name)
         inflated[actor_name] += tile.wheel - slices[tile_name]
-    return throughput(bag.graph, execution_times=inflated)
+    return throughput(
+        bag.graph,
+        execution_times=inflated,
+        max_states=max_states,
+        budget=budget,
+    )

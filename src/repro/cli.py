@@ -12,6 +12,12 @@ Every sub-command accepts ``--metrics PATH`` to dump the observability
 snapshot (see ``docs/OBSERVABILITY.md``) collected during the run.
 Graphs are exchanged in the JSON dialect of
 :mod:`repro.sdf.serialization`.
+
+Exit codes (see ``docs/ROBUSTNESS.md``): 0 success, 2 user error
+(missing file, malformed input, infeasible allocation — one-line
+diagnostic on stderr), 3 resource budget exhausted (``--deadline`` /
+``--max-states`` hit, or the state space exploded).  ``--debug``
+re-raises the underlying exception with its full traceback instead.
 """
 
 from __future__ import annotations
@@ -23,18 +29,26 @@ from typing import List, Optional
 
 from repro.arch.presets import benchmark_architectures
 from repro.core.flow import allocate_until_failure
-from repro.core.strategy import ResourceAllocator
+from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.core.tile_cost import CostWeights
 from repro.generate.benchmark import generate_benchmark_set
 from repro.obs import JsonSink, collecting, format_summary, to_json
+from repro.resilience.budget import Budget, BudgetExceededError
 from repro.sdf.serialization import graph_from_json, graph_to_dict
-from repro.throughput.state_space import throughput
+from repro.throughput.state_space import (
+    StateSpaceExplosionError,
+    throughput,
+)
 
 
 def _cmd_analyse(args: argparse.Namespace) -> int:
     with open(args.graph) as handle:
-        graph = graph_from_json(handle.read())
-    result = throughput(graph, auto_concurrency=not args.no_auto_concurrency)
+        graph = graph_from_json(handle.read(), source=args.graph)
+    result = throughput(
+        graph,
+        auto_concurrency=not args.no_auto_concurrency,
+        budget=args.budget,
+    )
     print(f"graph: {graph.name}")
     print(f"actors: {len(graph)}  channels: {len(graph.channels)}")
     print(f"iteration rate: {result.iteration_rate}")
@@ -61,16 +75,34 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     )
     weights = CostWeights(*args.weights)
     result = allocate_until_failure(
-        architecture, applications, weights=weights
+        architecture,
+        applications,
+        weights=weights,
+        budget=args.budget,
+        degrade=args.degrade,
     )
     print(f"architecture: {architecture.name}")
     print(f"cost weights: {weights}")
     print(f"applications bound: {result.applications_bound}")
+    if result.degraded_applications:
+        print(f"degraded allocations: {result.degraded_applications}")
     print(f"throughput checks: {result.total_throughput_checks}")
     for key, value in result.utilisation().items():
         print(f"  {key}: {value:.2f}")
     if result.failed_application:
         print(f"stopped at: {result.failed_application}")
+    exhausted = [
+        record
+        for record in result.application_stats
+        if record["outcome"] == "budget-exhausted"
+    ]
+    if exhausted:
+        print(
+            f"budget exhausted at: {exhausted[0]['application']} "
+            "(re-run with --degrade for a conservative fallback)",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -82,11 +114,17 @@ def _cmd_allocate_file(args: argparse.Namespace) -> int:
     )
 
     with open(args.application) as handle:
-        application = application_from_json(handle.read())
+        application = application_from_json(
+            handle.read(), source=args.application
+        )
     with open(args.architecture) as handle:
-        architecture = architecture_from_json(handle.read())
+        architecture = architecture_from_json(
+            handle.read(), source=args.architecture
+        )
     allocator = ResourceAllocator(weights=CostWeights(*args.weights))
-    allocation = allocator.allocate(application, architecture)
+    allocation = allocator.allocate(
+        application, architecture, budget=args.budget
+    )
     print(f"application: {application.name}")
     print("binding:")
     for actor, tile in allocation.binding.assignment.items():
@@ -154,8 +192,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     with collecting() as metrics:
         if args.graph:
             with open(args.graph) as handle:
-                graph = graph_from_json(handle.read())
-            result = throughput(graph)
+                graph = graph_from_json(handle.read(), source=args.graph)
+            result = throughput(graph, budget=args.budget)
             summary = {
                 "mode": "analyse",
                 "graph": graph.name,
@@ -173,7 +211,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 seed=args.seed,
             )
             flow = allocate_until_failure(
-                architecture, applications, weights=CostWeights(*args.weights)
+                architecture,
+                applications,
+                weights=CostWeights(*args.weights),
+                budget=args.budget,
             )
             summary = {
                 "mode": "flow",
@@ -188,7 +229,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
             application, architecture, _ = paper_example()
             allocator = ResourceAllocator(weights=CostWeights(*args.weights))
-            allocation = allocator.allocate(application, architecture)
+            allocation = allocator.allocate(
+                application, architecture, budget=args.budget
+            )
             summary = {
                 "mode": "example",
                 "application": application.name,
@@ -213,7 +256,9 @@ def _cmd_example(args: argparse.Namespace) -> int:
 
     application, architecture, _ = paper_example()
     allocator = ResourceAllocator(weights=CostWeights(*args.weights))
-    allocation = allocator.allocate(application, architecture)
+    allocation = allocator.allocate(
+        application, architecture, budget=args.budget
+    )
     print("binding:")
     for actor, tile in sorted(allocation.binding.assignment.items()):
         print(f"  {actor} -> {tile}")
@@ -246,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect instrumentation during the run and write the "
         "JSON snapshot to PATH",
     )
+    _add_robustness_flags(common)
 
     analyse = sub.add_parser(
         "analyse", help="compute SDFG throughput", parents=[common]
@@ -296,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.0, 1.0, 2.0],
         metavar=("C1", "C2", "C3"),
         help="tile cost weights (processing, memory, communication)",
+    )
+    allocate.add_argument(
+        "--degrade",
+        action="store_true",
+        help="on budget exhaustion or state-space explosion, retry with "
+        "cheaper strategy knobs and fall back to the conservative TDMA "
+        "baseline instead of failing",
     )
     allocate.set_defaults(func=_cmd_allocate)
 
@@ -415,21 +468,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a human-readable summary instead of the JSON report",
     )
+    _add_robustness_flags(profile)
     profile.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for the run; exhausting it exits with "
+        "status 3",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        metavar="N",
+        help="state budget for the exploration engines (summed across "
+        "all engine calls); exhausting it exits with status 3",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="show full tracebacks instead of one-line diagnostics",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    metrics_path = getattr(args, "metrics", None)
-    if metrics_path:
-        with collecting() as metrics:
-            status = args.func(args)
-            snapshot = metrics.snapshot()
-        JsonSink(metrics_path).emit(snapshot)
-        return status
-    return args.func(args)
+    debug = getattr(args, "debug", False)
+    deadline = getattr(args, "deadline", None)
+    max_states = getattr(args, "max_states", None)
+    args.budget = (
+        Budget(deadline=deadline, max_states=max_states)
+        if deadline is not None or max_states is not None
+        else None
+    )
+    try:
+        metrics_path = getattr(args, "metrics", None)
+        if metrics_path:
+            with collecting() as metrics:
+                status = args.func(args)
+                snapshot = metrics.snapshot()
+            JsonSink(metrics_path).emit(snapshot)
+            return status
+        return args.func(args)
+    except (BudgetExceededError, StateSpaceExplosionError) as error:
+        if debug:
+            raise
+        print(f"repro-alloc: budget exhausted: {error}", file=sys.stderr)
+        return 3
+    except AllocationError as error:
+        if debug:
+            raise
+        if isinstance(error.__cause__, StateSpaceExplosionError):
+            print(f"repro-alloc: budget exhausted: {error}", file=sys.stderr)
+            return 3
+        print(f"repro-alloc: error: {error}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as error:
+        if debug:
+            raise
+        print(f"repro-alloc: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

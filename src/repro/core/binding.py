@@ -24,6 +24,7 @@ from repro.core.constraints import binding_violations, check_binding_constraints
 from repro.core.criticality import binding_order
 from repro.core.tile_cost import CostWeights, tile_cost
 from repro.obs import get_metrics
+from repro.resilience.budget import Budget
 
 
 class BindingError(RuntimeError):
@@ -49,13 +50,14 @@ def bind_application(
     weights: CostWeights,
     optimise: bool = True,
     cycle_limit: Optional[int] = 20000,
+    budget: Optional[Budget] = None,
 ) -> Binding:
     """Bind every actor of ``application`` to a tile (Section 9.1).
 
     Raises :class:`BindingError` when some actor cannot be placed
     without violating the resource constraints.  ``optimise=False``
     skips the reverse-order rebinding pass (used by the ablation
-    benchmarks).
+    benchmarks).  A :class:`Budget` deadline is checked once per actor.
     """
     application.check_complete()
     obs = get_metrics()
@@ -64,6 +66,8 @@ def bind_application(
     retries = 0
 
     for actor in order:
+        if budget is not None:
+            budget.checkpoint()
         candidates = _candidate_tiles(application, architecture, actor)
         if not candidates:
             raise BindingError(
@@ -109,7 +113,9 @@ def bind_application(
         obs.counter("binding.actors_bound", len(order))
         obs.counter("binding.retries", retries)
     if optimise:
-        _rebalance(application, architecture, binding, order, weights)
+        _rebalance(
+            application, architecture, binding, order, weights, budget=budget
+        )
     return binding
 
 
@@ -119,12 +125,15 @@ def _rebalance(
     binding: Binding,
     order: List[str],
     weights: CostWeights,
+    budget: Optional[Budget] = None,
 ) -> None:
     """Reverse-order rebinding pass (always succeeds)."""
     obs = get_metrics()
     moves = 0
     tile_order = {name: i for i, name in enumerate(architecture.tile_names)}
     for actor in reversed(order):
+        if budget is not None:
+            budget.checkpoint()
         original = binding.tile_of(actor)
         binding.unbind(actor)
         candidates = _candidate_tiles(application, architecture, actor)

@@ -6,13 +6,20 @@ so later applications only see the remaining capacity.  The number of
 applications placed is the paper's quality metric (Table 4), and the
 total occupied resources at the stopping point its efficiency metric
 (Table 5).
+
+The flow is hardened for long batch runs: a shared
+:class:`~repro.resilience.budget.Budget` bounds the whole run,
+``degrade=True`` walks the :mod:`repro.resilience.policy` ladder
+instead of failing outright when the exact strategy runs out of search
+resources, and an unexpected exception from one application is isolated
+as an ``"error"`` outcome rather than aborting the batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.appmodel.application import ApplicationGraph
 from repro.appmodel.binding import Allocation
@@ -20,6 +27,8 @@ from repro.arch.architecture import ArchitectureGraph
 from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.core.tile_cost import CostWeights
 from repro.obs import get_metrics
+from repro.resilience.budget import Budget, BudgetExceededError
+from repro.resilience.policy import DEFAULT_LADDER, Rung, resilient_allocate
 
 
 @dataclass
@@ -33,13 +42,25 @@ class FlowResult:
     resource_usage: Dict[str, int] = field(default_factory=dict)
     #: architecture capacity summed over tiles (for utilisation ratios)
     resource_capacity: Dict[str, int] = field(default_factory=dict)
-    #: per-application outcome records: name, outcome ("allocated" /
-    #: "failed"), wall-clock seconds, throughput checks, achieved rate
+    #: one record per attempted application, uniform schema (see
+    #: :func:`_stat`): every record has the same keys, with ``None``
+    #: where a key does not apply to the outcome.  ``outcome`` is one of
+    #: ``"allocated"``, ``"degraded"``, ``"failed"``,
+    #: ``"budget-exhausted"`` or ``"error"``.
     application_stats: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def applications_bound(self) -> int:
         return len(self.allocations)
+
+    @property
+    def degraded_applications(self) -> int:
+        """Applications placed by a fallback rung, not the exact strategy."""
+        return sum(
+            1
+            for record in self.application_stats
+            if record["outcome"] == "degraded"
+        )
 
     @property
     def total_throughput_checks(self) -> int:
@@ -57,12 +78,38 @@ class FlowResult:
         }
 
 
+def _stat(
+    application: str,
+    outcome: str,
+    seconds: float,
+    reason: Optional[str] = None,
+    throughput_checks: Optional[int] = None,
+    achieved_throughput: Optional[str] = None,
+    tiles_used: Optional[int] = None,
+    rung: Optional[str] = None,
+) -> Dict[str, object]:
+    """One ``application_stats`` record; every key always present."""
+    return {
+        "application": application,
+        "outcome": outcome,
+        "seconds": seconds,
+        "reason": reason,
+        "throughput_checks": throughput_checks,
+        "achieved_throughput": achieved_throughput,
+        "tiles_used": tiles_used,
+        "rung": rung,
+    }
+
+
 def allocate_until_failure(
     architecture: ArchitectureGraph,
     applications: Iterable[ApplicationGraph],
     allocator: Optional[ResourceAllocator] = None,
     weights: Optional[CostWeights] = None,
     continue_after_failure: bool = False,
+    budget: Optional[Budget] = None,
+    degrade: bool = False,
+    ladder: Sequence[Rung] = DEFAULT_LADDER,
 ) -> FlowResult:
     """Allocate ``applications`` in order on ``architecture``.
 
@@ -71,49 +118,121 @@ def allocate_until_failure(
     at the first failure (the paper's conservative estimate);
     ``continue_after_failure=True`` keeps trying the remaining
     applications (the improvement the paper suggests in §10.1).
+
+    A ``budget`` is shared by the whole run.  With ``degrade=False`` an
+    exhausted budget records a ``"budget-exhausted"`` outcome (treated
+    like a failure for the stopping rule); with ``degrade=True`` each
+    application descends ``ladder`` instead, so a tight deadline yields
+    conservative-but-complete allocations (``"degraded"`` outcomes)
+    rather than a truncated flow.  An unexpected exception from one
+    application — a bug, a malformed graph, an injected fault — is
+    recorded as ``"error"`` and isolated from the other applications.
     """
     if allocator is None:
         allocator = ResourceAllocator(weights=weights or CostWeights(1, 1, 1))
     elif weights is not None:
         raise ValueError("pass either an allocator or weights, not both")
+    if budget is not None:
+        budget.start()
 
     obs = get_metrics()
     result = FlowResult()
+
+    def record_failure(
+        application: ApplicationGraph, record: Dict[str, object]
+    ) -> bool:
+        """Append a non-success record; True when the flow should stop."""
+        result.application_stats.append(record)
+        if result.failed_application is None:
+            result.failed_application = application.name
+            result.failure_reason = record["reason"]  # type: ignore[assignment]
+        return not continue_after_failure
+
     for application in applications:
         started = perf_counter()
         with obs.span("flow.application", application=application.name) as span:
             try:
-                allocation = allocator.allocate(application, architecture)
+                if degrade:
+                    resilient = resilient_allocate(
+                        application,
+                        architecture,
+                        allocator=allocator,
+                        budget=budget,
+                        ladder=ladder,
+                    )
+                    allocation = resilient.allocation
+                    rung: Optional[str] = resilient.rung
+                    outcome = "degraded" if resilient.degraded else "allocated"
+                else:
+                    allocation = allocator.allocate(
+                        application, architecture, budget=budget
+                    )
+                    rung = None
+                    outcome = "allocated"
+                allocation.reservation.commit(architecture)
             except AllocationError as error:
                 obs.counter("flow.failures")
                 span.set("outcome", "failed")
-                result.application_stats.append(
-                    {
-                        "application": application.name,
-                        "outcome": "failed",
-                        "seconds": perf_counter() - started,
-                        "reason": str(error),
-                    }
+                stop = record_failure(
+                    application,
+                    _stat(
+                        application.name,
+                        "failed",
+                        perf_counter() - started,
+                        reason=str(error),
+                    ),
                 )
-                if result.failed_application is None:
-                    result.failed_application = application.name
-                    result.failure_reason = str(error)
-                if not continue_after_failure:
+                if stop:
                     break
                 continue
-            allocation.reservation.commit(architecture)
+            except BudgetExceededError as error:
+                obs.counter("flow.budget_exhausted")
+                span.set("outcome", "budget-exhausted")
+                stop = record_failure(
+                    application,
+                    _stat(
+                        application.name,
+                        "budget-exhausted",
+                        perf_counter() - started,
+                        reason=str(error),
+                    ),
+                )
+                if stop:
+                    break
+                continue
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                obs.counter("flow.errors")
+                span.set("outcome", "error")
+                span.set("error_type", type(error).__name__)
+                stop = record_failure(
+                    application,
+                    _stat(
+                        application.name,
+                        "error",
+                        perf_counter() - started,
+                        reason=f"{type(error).__name__}: {error}",
+                    ),
+                )
+                if stop:
+                    break
+                continue
             result.allocations.append(allocation)
             obs.counter("flow.allocated")
-            span.set("outcome", "allocated")
+            if outcome == "degraded":
+                obs.counter("flow.degraded")
+            span.set("outcome", outcome)
+            if rung is not None:
+                span.set("rung", rung)
             result.application_stats.append(
-                {
-                    "application": application.name,
-                    "outcome": "allocated",
-                    "seconds": perf_counter() - started,
-                    "throughput_checks": allocation.throughput_checks,
-                    "achieved_throughput": str(allocation.achieved_throughput),
-                    "tiles_used": len(allocation.binding.used_tiles()),
-                }
+                _stat(
+                    application.name,
+                    outcome,
+                    perf_counter() - started,
+                    throughput_checks=allocation.throughput_checks,
+                    achieved_throughput=str(allocation.achieved_throughput),
+                    tiles_used=len(allocation.binding.used_tiles()),
+                    rung=rung,
+                )
             )
     result.resource_usage = architecture.total_usage()
     result.resource_capacity = architecture.total_capacity()

@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.appmodel.binding_aware import BindingAwareGraph
+from repro.resilience.budget import Budget, BudgetExceededError
+from repro.resilience.faults import fault_point
 from repro.throughput.constrained import (
     StaticOrderSchedule,
     busy_time,
@@ -71,12 +73,17 @@ def build_static_order_schedules(
     bag: BindingAwareGraph,
     slices: Optional[Dict[str, int]] = None,
     max_states: int = DEFAULT_MAX_STATES,
+    budget: Optional[Budget] = None,
 ) -> Dict[str, StaticOrderSchedule]:
     """List-schedule the binding-aware graph; one schedule per used tile.
 
     ``slices`` defaults to the 50%-of-remaining-wheel assumption the
-    binding-aware graph was built with (``bag.slices``).
+    binding-aware graph was built with (``bag.slices``).  A
+    :class:`Budget` bounds the list-scheduling execution cooperatively.
     """
+    fault_point("scheduling.build", graph=bag.graph.name)
+    if budget is not None:
+        budget.checkpoint()
     if slices is None:
         slices = dict(bag.slices)
     bag.update_slices(slices)
@@ -159,6 +166,13 @@ def build_static_order_schedules(
                     progress = True
 
     while True:
+        if budget is not None:
+            try:
+                budget.tick()
+            except BudgetExceededError as error:
+                error.partial.setdefault("graph", bag.graph.name)
+                error.partial.setdefault("states_explored", len(seen))
+                raise
         dispatch()
         key = (
             tuple(tokens),

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.appmodel.binding_aware import BindingAwareGraph
 from repro.appmodel.binding import SchedulingFunction
 from repro.core.tile_cost import tile_loads
 from repro.obs import get_metrics
+from repro.resilience.budget import Budget, BudgetExceededError
 from repro.throughput.constrained import (
     StaticOrderSchedule,
     constrained_throughput,
@@ -52,12 +53,18 @@ def allocate_time_slices(
     relaxation: float = 0.1,
     refine: bool = True,
     max_states: int = DEFAULT_MAX_STATES,
+    budget: Optional[Budget] = None,
 ) -> SliceAllocationResult:
     """Find minimal TDMA slices meeting the application's constraint.
 
     ``relaxation`` is the paper's 10% early-stop band; ``refine=False``
     skips phase 2 (used by the ablation benchmarks).  Raises
     :class:`SliceAllocationError` when the constraint is unreachable.
+    A :class:`Budget` charges one throughput check per evaluation (its
+    ``max_throughput_checks`` limit) and bounds the underlying
+    constrained explorations; on a breach the raised
+    :class:`~repro.resilience.budget.BudgetExceededError` carries the
+    best slices found so far as partial progress.
     """
     application = bag.application
     constraint = application.throughput_constraint
@@ -82,12 +89,18 @@ def allocate_time_slices(
         nonlocal checks
         checks += 1
         obs.counter("slices.throughput_checks")
+        if budget is not None:
+            budget.charge_check()
         for name in tile_names:
             scheduling.set_slice(name, slices[name])
         constraints = bag.tile_constraints(scheduling)
-        result = constrained_throughput(
-            bag.graph, constraints, max_states=max_states
-        )
+        try:
+            result = constrained_throughput(
+                bag.graph, constraints, max_states=max_states, budget=budget
+            )
+        except BudgetExceededError as error:
+            error.partial.setdefault("throughput_checks", checks)
+            raise
         return result.of(output_actor)
 
     def shared(f: int) -> Dict[str, int]:
@@ -104,52 +117,58 @@ def allocate_time_slices(
         )
     best_f = high
     best_throughput = achieved
-    low = 1
-    while low < high:
-        mid = (low + high) // 2
-        throughput_mid = evaluate(shared(mid))
-        if throughput_mid >= constraint:
-            best_f, best_throughput = mid, throughput_mid
-            high = mid
-            if constraint > 0 and throughput_mid <= (1 + relaxation) * constraint:
-                break
-        else:
-            low = mid + 1
-    slices = shared(best_f)
-    achieved = best_throughput
-    phase1_checks = checks
-    if obs.enabled:
-        obs.counter("slices.phase1_checks", phase1_checks)
-        obs.gauge("slices.shared_slice", best_f)
-
-    # -- phase 2: per-tile refinement ----------------------------------
-    if refine and len(tile_names) > 0:
-        loads = {
-            name: tile_loads(
-                application, bag.architecture, bag.binding, name
-            ).processing
-            for name in tile_names
-        }
-        max_load = max(loads.values())
-        for name in tile_names:
-            upper = slices[name]
-            if max_load > 0:
-                lower = int(loads[name] * upper / max_load)
+    try:
+        low = 1
+        while low < high:
+            mid = (low + high) // 2
+            throughput_mid = evaluate(shared(mid))
+            if throughput_mid >= constraint:
+                best_f, best_throughput = mid, throughput_mid
+                high = mid
+                if constraint > 0 and throughput_mid <= (1 + relaxation) * constraint:
+                    break
             else:
-                lower = 1
-            lower = max(lower, 1)
-            low_t, high_t = lower, upper
-            while low_t < high_t:
-                mid = (low_t + high_t) // 2
-                candidate = dict(slices)
-                candidate[name] = mid
-                throughput_mid = evaluate(candidate)
-                if throughput_mid >= constraint:
-                    slices = candidate
-                    achieved = throughput_mid
-                    high_t = mid
+                low = mid + 1
+        slices = shared(best_f)
+        achieved = best_throughput
+        phase1_checks = checks
+        if obs.enabled:
+            obs.counter("slices.phase1_checks", phase1_checks)
+            obs.gauge("slices.shared_slice", best_f)
+
+        # -- phase 2: per-tile refinement ------------------------------
+        if refine and len(tile_names) > 0:
+            loads = {
+                name: tile_loads(
+                    application, bag.architecture, bag.binding, name
+                ).processing
+                for name in tile_names
+            }
+            max_load = max(loads.values())
+            for name in tile_names:
+                upper = slices[name]
+                if max_load > 0:
+                    lower = int(loads[name] * upper / max_load)
                 else:
-                    low_t = mid + 1
+                    lower = 1
+                lower = max(lower, 1)
+                low_t, high_t = lower, upper
+                while low_t < high_t:
+                    mid = (low_t + high_t) // 2
+                    candidate = dict(slices)
+                    candidate[name] = mid
+                    throughput_mid = evaluate(candidate)
+                    if throughput_mid >= constraint:
+                        slices = candidate
+                        achieved = throughput_mid
+                        high_t = mid
+                    else:
+                        low_t = mid + 1
+    except BudgetExceededError as error:
+        # the last confirmed-feasible slices are genuine partial progress
+        error.partial.setdefault("feasible_slices", dict(shared(best_f)))
+        error.partial.setdefault("achieved_throughput", str(best_throughput))
+        raise
 
     if obs.enabled:
         obs.counter("slices.phase2_checks", checks - phase1_checks)

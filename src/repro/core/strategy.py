@@ -25,6 +25,7 @@ from repro.core.scheduling import SchedulingError, build_static_order_schedules
 from repro.core.slices import SliceAllocationError, allocate_time_slices
 from repro.core.tile_cost import CostWeights
 from repro.obs import get_metrics
+from repro.resilience.budget import Budget, BudgetExceededError
 from repro.throughput.state_space import (
     DEFAULT_MAX_STATES,
     StateSpaceExplosionError,
@@ -65,6 +66,7 @@ class ResourceAllocator:
         application: ApplicationGraph,
         architecture: ArchitectureGraph,
         binding: Optional[Binding] = None,
+        budget: Optional[Budget] = None,
     ) -> Allocation:
         """Run the strategy for one application.
 
@@ -73,8 +75,15 @@ class ResourceAllocator:
         returned allocation is *not* committed; call
         ``allocation.reservation.commit(architecture)`` to occupy the
         resources (as :mod:`repro.core.flow` does).
+
+        A :class:`Budget` is threaded through every step; on exhaustion
+        the raised :class:`BudgetExceededError` propagates *unwrapped*
+        (it is not an :class:`AllocationError` — the allocation is
+        neither proven feasible nor infeasible, merely unfinished).
         """
         obs = get_metrics()
+        if budget is not None:
+            budget.start()
         with obs.span("allocate", application=application.name) as span:
             try:
                 if binding is None:
@@ -85,6 +94,7 @@ class ResourceAllocator:
                             self.weights,
                             optimise=self.optimise_binding,
                             cycle_limit=self.cycle_limit,
+                            budget=budget,
                         )
                 with obs.timer("allocate.binding_aware"):
                     bag = build_binding_aware_graph(
@@ -92,7 +102,7 @@ class ResourceAllocator:
                     )
                 with obs.timer("allocate.scheduling"):
                     schedules = build_static_order_schedules(
-                        bag, max_states=self.max_states
+                        bag, max_states=self.max_states, budget=budget
                     )
                 with obs.timer("allocate.slices"):
                     slice_result = allocate_time_slices(
@@ -101,7 +111,14 @@ class ResourceAllocator:
                         relaxation=self.relaxation,
                         refine=self.refine_slices,
                         max_states=self.max_states,
+                        budget=budget,
                     )
+            except BudgetExceededError as error:
+                if obs.enabled:
+                    obs.counter("allocate.budget_exceeded")
+                    span.set("outcome", "budget-exhausted")
+                    span.set("reason", error.reason)
+                raise
             except (
                 BindingError,
                 InfeasibleBindingError,

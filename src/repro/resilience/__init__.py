@@ -1,0 +1,65 @@
+"""``repro.resilience`` — budgets, graceful degradation, fault injection.
+
+Three cooperating pieces keep the allocation flow alive on pathological
+inputs (see ``docs/ROBUSTNESS.md``):
+
+* :mod:`repro.resilience.budget` — a cooperative :class:`Budget`
+  (wall-clock deadline + state budget + throughput-check budget)
+  threaded through every exploration loop; breaches raise the typed
+  :class:`BudgetExceededError` carrying partial progress.
+* :mod:`repro.resilience.policy` — the degradation ladder: retry an
+  allocation with progressively cheaper knobs and finally fall back to
+  the conservative TDMA-inflation baseline, a sound lower throughput
+  bound.
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  fault-injection harness proving every rung and the commit-rollback
+  path are actually exercised.
+
+``budget`` and ``faults`` are dependency-free leaves (the throughput
+engines import them); the ladder in ``policy`` sits *above* the
+allocation strategy and is loaded lazily to keep the import graph
+acyclic.
+"""
+
+from repro.resilience.budget import Budget, BudgetExceededError
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFaultError,
+    active_injector,
+    fault_point,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "DEFAULT_LADDER",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFaultError",
+    "ResilientResult",
+    "Rung",
+    "active_injector",
+    "fault_point",
+    "resilient_allocate",
+    "tdma_baseline_allocate",
+]
+
+_POLICY_EXPORTS = (
+    "DEFAULT_LADDER",
+    "ResilientResult",
+    "Rung",
+    "resilient_allocate",
+    "tdma_baseline_allocate",
+)
+
+
+def __getattr__(name: str):
+    # Lazy so that `repro.throughput` can import the budget/fault leaves
+    # while `policy` (which imports the strategy, which imports the
+    # throughput engines) only loads on first use.
+    if name in _POLICY_EXPORTS:
+        from repro.resilience import policy
+
+        return getattr(policy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

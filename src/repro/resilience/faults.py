@@ -1,0 +1,162 @@
+"""Deterministic, seeded fault injection for the allocation stack.
+
+The resilience layer's promise — every degradation rung is reachable
+and a mid-commit failure never corrupts the architecture — is only
+testable when the failure modes can be provoked on demand.  The engines
+and the commit path therefore call :func:`fault_point` at well-defined
+instants; the call is a no-op (one module-global ``is None`` test)
+unless a :class:`FaultInjector` is active.
+
+Fault points currently wired in:
+
+========================  ====================================================
+``state_space.execute``   start of one self-timed execution
+``constrained.run``       start of one constrained (TDMA/static-order) run
+``scheduling.build``      start of one list-scheduling execution
+``commit.apply``          before applying one tile's claim during
+                          ``ResourceReservation.commit`` (context: ``tile``,
+                          ``index``)
+========================  ====================================================
+
+Injection is deterministic by default (count-based: skip the first
+``after`` matching visits, then fail the next ``times``); a seeded
+``probability`` mode exists for randomised soak tests.  Every injected
+fault is recorded on ``injector.injected`` so tests can assert exactly
+what fired.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class InjectedFaultError(RuntimeError):
+    """A generic runtime fault raised by the injector (``error="runtime"``)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    ``point`` matches fault points by prefix (``""`` matches all).
+    ``error`` selects what is raised:
+
+    * ``"explosion"`` — :class:`~repro.throughput.state_space.StateSpaceExplosionError`
+      (the engine's own give-up signal),
+    * ``"deadline"`` — :class:`~repro.resilience.budget.BudgetExceededError`
+      with ``reason="deadline"`` (a simulated overrun),
+    * ``"runtime"`` — :class:`InjectedFaultError` (an unexpected crash,
+      e.g. mid-commit).
+
+    Count semantics: the first ``after`` matching visits pass through,
+    the following ``times`` visits raise (``times=None``: every later
+    visit raises).  With ``probability`` set, each otherwise-eligible
+    visit raises only with that (seeded) probability.
+    """
+
+    point: str
+    error: str = "explosion"
+    times: Optional[int] = 1
+    after: int = 0
+    probability: Optional[float] = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.error not in ("explosion", "deadline", "runtime"):
+            raise ValueError(f"unknown fault error kind {self.error!r}")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.times is not None and self.times < 0:
+            raise ValueError("times must be >= 0 or None")
+
+
+@dataclass
+class FaultInjector:
+    """Context manager activating a set of :class:`FaultSpec` rules.
+
+    Deterministic given its specs and ``seed``.  Not reentrant: nesting
+    two injectors is a usage error and raises immediately.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    #: every visit of any fault point: (point, context)
+    visits: List[Tuple[str, Dict[str, Any]]] = field(default_factory=list)
+    #: every fault actually raised: (point, error kind, context)
+    injected: List[Tuple[str, str, Dict[str, Any]]] = field(
+        default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(self.specs)
+        self._random = random.Random(self.seed)
+        self._matched = [0] * len(self.specs)
+
+    def __enter__(self) -> "FaultInjector":
+        global _active
+        if _active is not None:
+            raise RuntimeError("fault injectors do not nest")
+        _active = self
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _active
+        _active = None
+
+    # -- the injection decision ---------------------------------------
+    def visit(self, point: str, **context: Any) -> None:
+        self.visits.append((point, context))
+        for index, spec in enumerate(self.specs):
+            if not point.startswith(spec.point):
+                continue
+            self._matched[index] += 1
+            eligible = self._matched[index] - spec.after
+            if eligible < 1:
+                continue
+            if spec.times is not None and eligible > spec.times:
+                continue
+            if (
+                spec.probability is not None
+                and self._random.random() >= spec.probability
+            ):
+                continue
+            self.injected.append((point, spec.error, context))
+            self._raise(spec, point)
+
+    def _raise(self, spec: FaultSpec, point: str) -> None:
+        message = spec.message or f"injected {spec.error} fault at {point!r}"
+        if spec.error == "explosion":
+            # deferred import: faults must stay importable before the
+            # throughput package (state_space imports this module)
+            from repro.throughput.state_space import StateSpaceExplosionError
+
+            raise StateSpaceExplosionError(message)
+        if spec.error == "deadline":
+            from repro.resilience.budget import BudgetExceededError
+
+            raise BudgetExceededError(
+                message,
+                reason="deadline",
+                partial={"injected": True, "point": point},
+            )
+        raise InjectedFaultError(message)
+
+
+_active: Optional[FaultInjector] = None
+
+
+def fault_point(point: str, **context: Any) -> None:
+    """Give an active injector the chance to fail at ``point``.
+
+    No-op (one global load + ``is None`` test) when no injector is
+    active, so the hooks can stay permanently wired into the engines.
+    """
+    if _active is not None:
+        _active.visit(point, **context)
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The currently active injector (None outside injection blocks)."""
+    return _active

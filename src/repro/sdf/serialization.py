@@ -4,15 +4,47 @@ The JSON form is the native interchange format of this library (used by
 the CLI); the XML form mirrors the structure of the SDF3 tool's ``.xml``
 files closely enough that graphs are easy to port by hand, without
 claiming byte compatibility.
+
+Malformed input raises :class:`SerializationError` — a
+:class:`ValueError` subclass carrying the offending file (``source``)
+and field (``field``) so CLI users get a one-line diagnostic instead of
+a traceback.
 """
 
 from __future__ import annotations
 
 import json
 import xml.etree.ElementTree as ElementTree
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.sdf.graph import SDFGraph
+
+
+class SerializationError(ValueError):
+    """Malformed serialised input (JSON or XML).
+
+    ``source`` names the file (or other origin) being parsed, ``field``
+    the offending entry (e.g. ``"channels[2].production"``); both are
+    optional and folded into the message when present.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: Optional[str] = None,
+        field: Optional[str] = None,
+    ) -> None:
+        context = []
+        if source is not None:
+            context.append(f"in {source}")
+        if field is not None:
+            context.append(f"at {field}")
+        if context:
+            message = f"{message} ({', '.join(context)})"
+        super().__init__(message)
+        self.source = source
+        self.field = field
 
 
 def graph_to_dict(graph: SDFGraph) -> Dict[str, Any]:
@@ -37,20 +69,60 @@ def graph_to_dict(graph: SDFGraph) -> Dict[str, Any]:
     }
 
 
-def graph_from_dict(data: Dict[str, Any]) -> SDFGraph:
-    """Inverse of :func:`graph_to_dict`."""
-    graph = SDFGraph(data.get("name", "sdfg"))
-    for actor in data.get("actors", []):
-        graph.add_actor(actor["name"], int(actor.get("execution_time", 1)))
-    for channel in data.get("channels", []):
-        graph.add_channel(
-            channel["name"],
-            channel["src"],
-            channel["dst"],
-            int(channel.get("production", 1)),
-            int(channel.get("consumption", 1)),
-            int(channel.get("tokens", 0)),
+def graph_from_dict(
+    data: Dict[str, Any], source: Optional[str] = None
+) -> SDFGraph:
+    """Inverse of :func:`graph_to_dict`.
+
+    Raises :class:`SerializationError` (naming the offending field and,
+    when given, the ``source`` file) for malformed documents.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"graph document must be a JSON object, "
+            f"got {type(data).__name__}",
+            source=source,
         )
+    graph = SDFGraph(data.get("name", "sdfg"))
+    for index, actor in enumerate(data.get("actors", [])):
+        field = f"actors[{index}]"
+        if not isinstance(actor, dict) or "name" not in actor:
+            raise SerializationError(
+                "actor entry must be an object with a 'name'",
+                source=source,
+                field=field,
+            )
+        try:
+            graph.add_actor(actor["name"], int(actor.get("execution_time", 1)))
+        except (TypeError, ValueError) as error:
+            raise SerializationError(
+                f"bad actor entry: {error}", source=source, field=field
+            ) from error
+    for index, channel in enumerate(data.get("channels", [])):
+        field = f"channels[{index}]"
+        if not isinstance(channel, dict):
+            raise SerializationError(
+                "channel entry must be an object", source=source, field=field
+            )
+        try:
+            graph.add_channel(
+                channel["name"],
+                channel["src"],
+                channel["dst"],
+                int(channel.get("production", 1)),
+                int(channel.get("consumption", 1)),
+                int(channel.get("tokens", 0)),
+            )
+        except KeyError as error:
+            raise SerializationError(
+                f"channel entry missing key {error}",
+                source=source,
+                field=field,
+            ) from error
+        except (TypeError, ValueError) as error:
+            raise SerializationError(
+                f"bad channel entry: {error}", source=source, field=field
+            ) from error
     return graph
 
 
@@ -59,9 +131,15 @@ def graph_to_json(graph: SDFGraph, indent: int = 2) -> str:
     return json.dumps(graph_to_dict(graph), indent=indent)
 
 
-def graph_from_json(text: str) -> SDFGraph:
+def graph_from_json(text: str, source: Optional[str] = None) -> SDFGraph:
     """Parse a graph from JSON text produced by :func:`graph_to_json`."""
-    return graph_from_dict(json.loads(text))
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(
+            f"invalid JSON: {error}", source=source
+        ) from error
+    return graph_from_dict(data, source=source)
 
 
 def graph_to_sdf3_xml(graph: SDFGraph) -> str:
@@ -127,46 +205,77 @@ def graph_to_sdf3_xml(graph: SDFGraph) -> str:
     return ElementTree.tostring(root, encoding="unicode")
 
 
-def graph_from_sdf3_xml(text: str) -> SDFGraph:
+def graph_from_sdf3_xml(text: str, source: Optional[str] = None) -> SDFGraph:
     """Parse a graph from the XML dialect of :func:`graph_to_sdf3_xml`.
 
     Also accepts hand-written files as long as every channel references
-    ports whose rates are defined on the endpoint actors.
+    ports whose rates are defined on the endpoint actors.  Raises
+    :class:`SerializationError` for unparsable XML or malformed
+    elements.
     """
-    root = ElementTree.fromstring(text)
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as error:
+        raise SerializationError(
+            f"invalid XML: {error}", source=source
+        ) from error
     app = root.find("applicationGraph")
     if app is None:
-        raise ValueError("missing <applicationGraph> element")
+        raise SerializationError(
+            "missing <applicationGraph> element", source=source
+        )
     sdf = app.find("sdf")
     if sdf is None:
-        raise ValueError("missing <sdf> element")
+        raise SerializationError(
+            "missing <sdf> element", source=source, field="applicationGraph"
+        )
     graph = SDFGraph(app.get("name", sdf.get("name", "sdfg")))
 
     port_rates: Dict[str, Dict[str, int]] = {}
     for actor_element in sdf.findall("actor"):
         actor_name = actor_element.get("name")
         if actor_name is None:
-            raise ValueError("<actor> without name")
+            raise SerializationError(
+                "<actor> without name", source=source, field="sdf.actor"
+            )
         graph.add_actor(actor_name)
-        port_rates[actor_name] = {
-            port.get("name", ""): int(port.get("rate", "1"))
-            for port in actor_element.findall("port")
-        }
+        try:
+            port_rates[actor_name] = {
+                port.get("name", ""): int(port.get("rate", "1"))
+                for port in actor_element.findall("port")
+            }
+        except (TypeError, ValueError) as error:
+            raise SerializationError(
+                f"bad port rate: {error}",
+                source=source,
+                field=f"actor[{actor_name}]",
+            ) from error
 
     for channel_element in sdf.findall("channel"):
         src = channel_element.get("srcActor")
         dst = channel_element.get("dstActor")
         name = channel_element.get("name")
         if not (src and dst and name):
-            raise ValueError("<channel> missing name/srcActor/dstActor")
+            raise SerializationError(
+                "<channel> missing name/srcActor/dstActor",
+                source=source,
+                field="sdf.channel",
+            )
         production = port_rates.get(src, {}).get(
             channel_element.get("srcPort", ""), 1
         )
         consumption = port_rates.get(dst, {}).get(
             channel_element.get("dstPort", ""), 1
         )
-        tokens = int(channel_element.get("initialTokens", "0"))
-        graph.add_channel(name, src, dst, production, consumption, tokens)
+        try:
+            tokens = int(channel_element.get("initialTokens", "0"))
+            graph.add_channel(name, src, dst, production, consumption, tokens)
+        except (TypeError, ValueError) as error:
+            raise SerializationError(
+                f"bad channel: {error}",
+                source=source,
+                field=f"channel[{name}]",
+            ) from error
 
     properties = app.find("sdfProperties")
     if properties is not None:
@@ -177,7 +286,14 @@ def graph_from_sdf3_xml(text: str) -> SDFGraph:
             for processor in actor_properties.findall("processor"):
                 timing = processor.find("executionTime")
                 if timing is not None and processor.get("default") == "true":
-                    graph.actor(actor_name).execution_time = int(
-                        timing.get("time", "1")
-                    )
+                    try:
+                        graph.actor(actor_name).execution_time = int(
+                            timing.get("time", "1")
+                        )
+                    except (TypeError, ValueError) as error:
+                        raise SerializationError(
+                            f"bad executionTime: {error}",
+                            source=source,
+                            field=f"actorProperties[{actor_name}]",
+                        ) from error
     return graph

@@ -32,6 +32,8 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import get_metrics
+from repro.resilience.budget import Budget, BudgetExceededError
+from repro.resilience.faults import fault_point
 from repro.sdf.graph import SDFGraph
 from repro.throughput.state_space import (
     DEFAULT_MAX_STATES,
@@ -202,11 +204,13 @@ class _ConstrainedEngine:
         tiles: Sequence[TileConstraints],
         max_states: int,
         trace: Optional[List[TraceEvent]] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.graph = graph
         self.tiles = list(tiles)
         self.max_states = max_states
         self.trace = trace
+        self.budget = budget
 
         self._actors = graph.actor_names
         self._index = {a: i for i, a in enumerate(self._actors)}
@@ -273,7 +277,11 @@ class _ConstrainedEngine:
 
     def run(self) -> ConstrainedThroughputResult:
         obs = get_metrics()
+        fault_point("constrained.run", graph=self.graph.name)
         started = perf_counter() if obs.enabled else 0.0
+        budget = self.budget
+        if budget is not None:
+            budget.checkpoint()
         zero_firings = 0
         tokens = list(self._initial_tokens)
         # remaining *work* per active firing; unscheduled actors may have
@@ -350,6 +358,13 @@ class _ConstrainedEngine:
                         progress = True
 
         while True:
+            if budget is not None:
+                try:
+                    budget.tick()
+                except BudgetExceededError as error:
+                    error.partial.setdefault("graph", self.graph.name)
+                    error.partial.setdefault("states_explored", len(seen))
+                    raise
             start_enabled()
             key = (
                 tuple(tokens),
@@ -470,6 +485,7 @@ def constrained_throughput(
     tiles: Sequence[TileConstraints],
     max_states: int = DEFAULT_MAX_STATES,
     trace: Optional[List[TraceEvent]] = None,
+    budget: Optional[Budget] = None,
 ) -> ConstrainedThroughputResult:
     """Throughput of ``graph`` under static-order + TDMA constraints.
 
@@ -495,4 +511,6 @@ def constrained_throughput(
                 states_explored=0,
                 deadlocked=True,
             )
-    return _ConstrainedEngine(graph, tiles, max_states, trace=trace).run()
+    return _ConstrainedEngine(
+        graph, tiles, max_states, trace=trace, budget=budget
+    ).run()

@@ -27,6 +27,7 @@ from time import perf_counter
 from typing import List, Optional, Tuple, Union
 
 from repro.obs import get_metrics
+from repro.resilience.budget import Budget
 from repro.sdf.analysis import strongly_connected_components
 from repro.sdf.graph import SDFGraph
 
@@ -123,11 +124,15 @@ def _evaluate_policy(
     return lam, bias, None  # type: ignore[return-value]
 
 
-def _howard_component(component: _Component) -> Ratio:
+def _howard_component(
+    component: _Component, budget: Optional[Budget] = None
+) -> Ratio:
     obs = get_metrics()
     rounds = 0
     policy = [0] * len(component.nodes)
     while True:
+        if budget is not None:
+            budget.checkpoint()
         rounds += 1
         lam, bias, infinite = _evaluate_policy(component, policy)
         if infinite is not None:
@@ -173,7 +178,9 @@ def _howard_component(component: _Component) -> Ratio:
             return max(lam)  # type: ignore[arg-type]
 
 
-def howard_max_cycle_ratio(graph: SDFGraph) -> Optional[Ratio]:
+def howard_max_cycle_ratio(
+    graph: SDFGraph, budget: Optional[Budget] = None
+) -> Optional[Ratio]:
     """Maximum cycle ratio of an HSDF-style graph via Howard iteration.
 
     Weight of a cycle = execution times of its actors; denominator =
@@ -193,7 +200,7 @@ def howard_max_cycle_ratio(graph: SDFGraph) -> Optional[Ratio]:
                 continue
         component = _Component(graph, nodes)
         analysed += 1
-        ratio = _howard_component(component)
+        ratio = _howard_component(component, budget=budget)
         if best is None or ratio > best:
             best = ratio
     if obs.enabled:

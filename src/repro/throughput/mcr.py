@@ -26,6 +26,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.obs import get_metrics
+from repro.resilience.budget import Budget
 from repro.sdf.cycles import max_cycle_ratio as _enumerated_max_cycle_ratio
 from repro.sdf.graph import SDFGraph
 
@@ -96,6 +97,7 @@ def _has_positive_cycle(
 def max_cycle_ratio_numeric(
     hsdf: SDFGraph,
     tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> Optional[Ratio]:
     """Maximum cycle ratio via parametric binary search (large graphs).
 
@@ -135,6 +137,8 @@ def max_cycle_ratio_numeric(
     low, high = 0.0, max(total_time, 1.0)
     iterations = 0
     while high - low > tolerance:
+        if budget is not None:
+            budget.checkpoint()
         iterations += 1
         mid = (low + high) / 2.0
         if _has_positive_cycle(
@@ -157,6 +161,7 @@ def hsdf_iteration_rate(
     exact: bool = True,
     limit: Optional[int] = 20000,
     method: Optional[str] = None,
+    budget: Optional[Budget] = None,
 ) -> Ratio:
     """Self-timed iteration rate of an HSDFG (reciprocal of its MCR).
 
@@ -164,17 +169,19 @@ def hsdf_iteration_rate(
     the graph deadlock.  ``method`` selects the MCR algorithm explicitly
     (``"enumerate"``, ``"numeric"`` or ``"howard"``); by default
     ``exact`` picks between enumeration and the numeric search.
+    A :class:`Budget` deadline is honoured by the numeric and Howard
+    oracles (the enumeration oracle is bounded by ``limit`` instead).
     """
     if method is None:
         method = "enumerate" if exact else "numeric"
     if method == "enumerate":
         ratio = max_cycle_ratio_exact(hsdf, limit=limit)
     elif method == "numeric":
-        ratio = max_cycle_ratio_numeric(hsdf)
+        ratio = max_cycle_ratio_numeric(hsdf, budget=budget)
     elif method == "howard":
         from repro.throughput.howard import howard_max_cycle_ratio
 
-        ratio = howard_max_cycle_ratio(hsdf)
+        ratio = howard_max_cycle_ratio(hsdf, budget=budget)
     else:
         raise ValueError(f"unknown MCR method {method!r}")
     if ratio is None:

@@ -25,6 +25,8 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import get_metrics
+from repro.resilience.budget import Budget, BudgetExceededError
+from repro.resilience.faults import fault_point
 from repro.sdf.analysis import strongly_connected_components
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import repetition_vector
@@ -110,10 +112,12 @@ class SelfTimedExecution:
         execution_times: Optional[Dict[str, int]] = None,
         auto_concurrency: bool = True,
         max_states: int = DEFAULT_MAX_STATES,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.graph = graph
         self.auto_concurrency = auto_concurrency
         self.max_states = max_states
+        self.budget = budget
         #: firing starts observed so far (the zero-time guard counter,
         #: accumulated across phases; exported when metrics are enabled)
         self.firing_starts = 0
@@ -219,6 +223,10 @@ class SelfTimedExecution:
         first.
         """
         get_metrics().counter("state_space.execute_until_calls")
+        fault_point("state_space.execute", graph=self.graph.name)
+        budget = self.budget
+        if budget is not None:
+            budget.checkpoint()
         target = self._actor_index[actor]
         tokens = list(self._initial_tokens)
         active: List[List[int]] = [[] for _ in self._actor_names]
@@ -226,6 +234,13 @@ class SelfTimedExecution:
         time = 0
         steps = 0
         while completed[target] < firings:
+            if budget is not None:
+                try:
+                    budget.tick()
+                except BudgetExceededError as error:
+                    error.partial.setdefault("graph", self.graph.name)
+                    error.partial.setdefault("events", steps)
+                    raise
             self._start_phase(tokens, active, completed)
             if completed[target] >= firings:
                 break
@@ -255,7 +270,11 @@ class SelfTimedExecution:
     def execute(self) -> ExecutionResult:
         """Run until a recurrent state (or deadlock) and report the period."""
         obs = get_metrics()
+        fault_point("state_space.execute", graph=self.graph.name)
         started = perf_counter() if obs.enabled else 0.0
+        budget = self.budget
+        if budget is not None:
+            budget.checkpoint()
         tokens = list(self._initial_tokens)
         active: List[List[int]] = [[] for _ in self._actor_names]
         completed = [0] * len(self._actor_names)
@@ -263,6 +282,13 @@ class SelfTimedExecution:
         seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
 
         while True:
+            if budget is not None:
+                try:
+                    budget.tick()
+                except BudgetExceededError as error:
+                    error.partial.setdefault("graph", self.graph.name)
+                    error.partial.setdefault("states_explored", len(seen))
+                    raise
             self._start_phase(tokens, active, completed)
             key = (
                 tuple(tokens),
@@ -340,18 +366,21 @@ def throughput(
     execution_times: Optional[Dict[str, int]] = None,
     auto_concurrency: bool = True,
     max_states: int = DEFAULT_MAX_STATES,
+    budget: Optional[Budget] = None,
 ) -> ThroughputResult:
     """Self-timed throughput of ``graph`` via SCC-wise state-space analysis.
 
     Returns a :class:`ThroughputResult`; ``result.of(actor)`` is the
     steady-state firing rate of an actor.  Graphs without any cycle are
     reported as unbounded (``float('inf')``); a deadlocking component
-    makes the whole graph rate 0.
+    makes the whole graph rate 0.  A :class:`Budget` bounds the
+    exploration cooperatively (states charged across all components).
     """
     obs = get_metrics()
     with obs.span("state_space.throughput", graph=graph.name) as span:
         return _throughput_body(
-            graph, execution_times, auto_concurrency, max_states, obs, span
+            graph, execution_times, auto_concurrency, max_states, budget,
+            obs, span,
         )
 
 
@@ -360,6 +389,7 @@ def _throughput_body(
     execution_times: Optional[Dict[str, int]],
     auto_concurrency: bool,
     max_states: int,
+    budget: Optional[Budget],
     obs,
     span,
 ) -> ThroughputResult:
@@ -392,6 +422,7 @@ def _throughput_body(
             ),
             auto_concurrency=auto_concurrency,
             max_states=max_states,
+            budget=budget,
         )
         result = engine.execute()
         states += result.states_explored

@@ -76,9 +76,82 @@ def test_unknown_command_rejected():
         main(["bogus"])
 
 
-def test_missing_graph_file_errors(tmp_path):
+def test_missing_graph_file_exits_2(tmp_path, capsys):
+    assert main(["analyse", str(tmp_path / "missing.json")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro-alloc: error:")
+    assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+
+def test_missing_graph_file_reraises_with_debug(tmp_path):
     with pytest.raises(FileNotFoundError):
-        main(["analyse", str(tmp_path / "missing.json")])
+        main(["analyse", str(tmp_path / "missing.json"), "--debug"])
+
+
+def test_malformed_json_exits_2(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    assert main(["analyse", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "invalid JSON" in err
+    assert str(path) in err
+
+
+def test_deadline_zero_exits_3(graph_file, capsys):
+    assert main(["analyse", graph_file, "--deadline", "0"]) == 3
+    assert "budget exhausted" in capsys.readouterr().err
+
+
+def test_max_states_budget_exits_3(graph_file, capsys):
+    assert main(["analyse", graph_file, "--max-states", "1"]) == 3
+    assert "budget exhausted" in capsys.readouterr().err
+
+
+def test_allocate_degrade_completes_under_tiny_deadline(capsys):
+    assert (
+        main(
+            [
+                "allocate",
+                "--set",
+                "processing",
+                "-n",
+                "2",
+                "--seed",
+                "4",
+                "--architecture",
+                "2",
+                "--deadline",
+                "0",
+                "--degrade",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "applications bound: 2" in out
+    assert "degraded allocations: 2" in out
+
+
+def test_allocate_without_degrade_exits_3_on_deadline(capsys):
+    assert (
+        main(
+            [
+                "allocate",
+                "--set",
+                "processing",
+                "-n",
+                "2",
+                "--seed",
+                "4",
+                "--architecture",
+                "2",
+                "--deadline",
+                "0",
+            ]
+        )
+        == 3
+    )
+    assert "budget exhausted" in capsys.readouterr().err
 
 
 def test_dot_command(graph_file, capsys):

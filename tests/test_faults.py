@@ -1,0 +1,272 @@
+"""Fault-injection tests (``pytest -m faults``, ``make test-robustness``).
+
+Drives the seeded :class:`~repro.resilience.faults.FaultInjector`
+through the permanently-wired fault points to prove the resilience
+promises: every degradation rung is reachable, a mid-commit crash never
+corrupts tile occupancy, and an unexpected error in one application is
+isolated from the rest of a flow.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example,
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.core.flow import allocate_until_failure
+from repro.core.strategy import AllocationError, ResourceAllocator
+from repro.resilience import (
+    Budget,
+    BudgetExceededError,
+    FaultInjector,
+    FaultSpec,
+    InjectedFaultError,
+    active_injector,
+    fault_point,
+)
+from repro.resilience.policy import DEFAULT_LADDER, resilient_allocate
+from repro.throughput.state_space import StateSpaceExplosionError
+
+pytestmark = pytest.mark.faults
+
+
+# -- spec and injector mechanics ------------------------------------------
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(point="x", error="bogus")
+    with pytest.raises(ValueError):
+        FaultSpec(point="x", after=-1)
+    with pytest.raises(ValueError):
+        FaultSpec(point="x", times=-1)
+
+
+def test_fault_point_is_noop_without_injector():
+    assert active_injector() is None
+    fault_point("state_space.execute", graph="g")  # must not raise
+
+
+def test_injectors_do_not_nest():
+    with FaultInjector():
+        with pytest.raises(RuntimeError):
+            with FaultInjector():
+                pass
+    assert active_injector() is None
+
+
+def test_injector_deactivates_after_exception():
+    with pytest.raises(InjectedFaultError):
+        with FaultInjector(specs=[FaultSpec(point="p", error="runtime")]):
+            fault_point("p")
+    assert active_injector() is None
+
+
+def test_count_semantics_after_and_times():
+    spec = FaultSpec(point="p", error="runtime", after=2, times=2)
+    with FaultInjector(specs=[spec]) as injector:
+        fault_point("p")  # visit 1: passes
+        fault_point("p")  # visit 2: passes
+        for _ in range(2):  # visits 3 and 4: raise
+            with pytest.raises(InjectedFaultError):
+                fault_point("p")
+        fault_point("p")  # visit 5: budget of faults spent, passes
+    assert len(injector.visits) == 5
+    assert len(injector.injected) == 2
+
+
+def test_prefix_matching_and_context_recording():
+    spec = FaultSpec(point="commit.", error="runtime")
+    with FaultInjector(specs=[spec]) as injector:
+        fault_point("state_space.execute", graph="g")  # no match
+        with pytest.raises(InjectedFaultError):
+            fault_point("commit.apply", tile="t1", index=0)
+    assert injector.injected == [
+        ("commit.apply", "runtime", {"tile": "t1", "index": 0})
+    ]
+
+
+def test_probability_mode_is_seed_deterministic():
+    def run(seed):
+        spec = FaultSpec(
+            point="p", error="runtime", times=None, probability=0.5
+        )
+        fired = []
+        with FaultInjector(specs=[spec], seed=seed):
+            for i in range(50):
+                try:
+                    fault_point("p")
+                    fired.append(False)
+                except InjectedFaultError:
+                    fired.append(True)
+        return fired
+
+    assert run(7) == run(7)
+    assert any(run(7)) and not all(run(7))
+    assert run(7) != run(8)
+
+
+def test_injected_deadline_fault_is_typed():
+    spec = FaultSpec(point="p", error="deadline")
+    with FaultInjector(specs=[spec]):
+        with pytest.raises(BudgetExceededError) as info:
+            fault_point("p")
+    assert info.value.reason == "deadline"
+    assert info.value.partial["injected"] is True
+
+
+# -- every degradation rung is reachable ----------------------------------
+
+
+def test_injected_explosion_fails_exact_strategy():
+    application, architecture, _ = paper_example()
+    spec = FaultSpec(point="scheduling.build", error="explosion")
+    with FaultInjector(specs=[spec]):
+        with pytest.raises(AllocationError) as info:
+            ResourceAllocator().allocate(application, architecture)
+    assert isinstance(info.value.__cause__, StateSpaceExplosionError)
+
+
+@pytest.mark.parametrize(
+    "failures,expected_rung",
+    [
+        (1, "no-refinement"),
+        (2, "capped-search"),
+        (3, "tdma-baseline"),
+    ],
+)
+def test_ladder_descends_one_rung_per_injected_explosion(
+    failures, expected_rung
+):
+    """Each strategy rung starts with one list-scheduling run, so
+    failing the first N ``scheduling.build`` visits lands the ladder
+    exactly N rungs down (the TDMA baseline never builds schedules)."""
+    application, architecture, _ = paper_example()
+    spec = FaultSpec(point="scheduling.build", error="explosion", times=failures)
+    with FaultInjector(specs=[spec]) as injector:
+        result = resilient_allocate(application, architecture)
+    assert result.rung == expected_rung
+    assert result.degraded
+    assert len(result.attempts) == failures
+    assert len(injector.injected) == failures
+    assert result.allocation.satisfied
+
+
+def test_injected_deadline_skips_to_baseline():
+    """A simulated overrun in the first rung expires the real budget
+    path: the remaining strategy rungs are skipped."""
+    application, architecture, _ = paper_example()
+    spec = FaultSpec(point="scheduling.build", error="deadline")
+    with FaultInjector(specs=[spec]):
+        result = resilient_allocate(
+            application, architecture, budget=Budget(deadline=1000.0)
+        )
+    assert result.degraded
+    assert result.allocation.satisfied
+    assert result.attempts[0][0] == "exact"
+
+
+# -- transactional commit under injected crashes --------------------------
+
+
+def _occupancy(architecture):
+    return [
+        (
+            tile.name,
+            tile.wheel_occupied,
+            tile.memory_occupied,
+            tile.connections_occupied,
+            tile.bandwidth_in_occupied,
+            tile.bandwidth_out_occupied,
+        )
+        for tile in architecture.tiles
+    ]
+
+
+def test_mid_commit_fault_rolls_back_bit_identically():
+    application, architecture, _ = paper_example()
+    allocation = ResourceAllocator().allocate(application, architecture)
+    assert len(allocation.reservation.tiles) >= 2  # multi-tile transaction
+    before = _occupancy(architecture)
+    # let the first tile apply, crash on the second
+    spec = FaultSpec(point="commit.apply", error="runtime", after=1)
+    with FaultInjector(specs=[spec]) as injector:
+        with pytest.raises(InjectedFaultError):
+            allocation.reservation.commit(architecture)
+    assert injector.injected[0][2]["index"] == 1
+    assert _occupancy(architecture) == before
+    # the transaction is retryable once the fault is gone
+    allocation.reservation.commit(architecture)
+    assert _occupancy(architecture) != before
+
+
+def test_commit_fault_on_first_tile_applies_nothing():
+    application, architecture, _ = paper_example()
+    allocation = ResourceAllocator().allocate(application, architecture)
+    before = _occupancy(architecture)
+    spec = FaultSpec(point="commit.apply", error="runtime")
+    with FaultInjector(specs=[spec]):
+        with pytest.raises(InjectedFaultError):
+            allocation.reservation.commit(architecture)
+    assert _occupancy(architecture) == before
+
+
+# -- flow-level isolation --------------------------------------------------
+
+
+def test_flow_isolates_injected_runtime_error():
+    applications = [paper_example_application(), paper_example_application()]
+    architecture = paper_example_architecture()
+    spec = FaultSpec(point="scheduling.build", error="runtime")
+    with FaultInjector(specs=[spec]):
+        result = allocate_until_failure(
+            architecture, applications, continue_after_failure=True
+        )
+    outcomes = [r["outcome"] for r in result.application_stats]
+    assert outcomes == ["error", "allocated"]
+    assert "InjectedFaultError" in result.application_stats[0]["reason"]
+    assert result.applications_bound == 1
+
+
+def test_flow_isolates_mid_commit_fault():
+    """A commit crash costs only its own application; tile occupancy
+    stays consistent for the next one."""
+    applications = [paper_example_application(), paper_example_application()]
+    architecture = paper_example_architecture()
+    clean = _occupancy(architecture)
+    spec = FaultSpec(point="commit.apply", error="runtime")
+    with FaultInjector(specs=[spec]):
+        result = allocate_until_failure(
+            architecture, applications, continue_after_failure=True
+        )
+    outcomes = [r["outcome"] for r in result.application_stats]
+    assert outcomes == ["error", "allocated"]
+    # first app rolled back fully; usage reflects only the second
+    assert _occupancy(architecture) != clean
+    assert result.applications_bound == 1
+
+
+def test_degraded_flow_survives_randomised_faults():
+    """Seeded soak: random explosions must never lose an application
+    when degradation is on — only efficiency may suffer."""
+    spec = FaultSpec(
+        point="scheduling.build",
+        error="explosion",
+        times=None,
+        probability=0.5,
+    )
+    for seed in range(3):
+        application = paper_example_application()
+        architecture = paper_example_architecture()
+        with FaultInjector(specs=[spec], seed=seed):
+            result = allocate_until_failure(
+                architecture, [application], degrade=True
+            )
+        assert result.applications_bound == 1
+        record = result.application_stats[0]
+        assert record["outcome"] in ("allocated", "degraded")
+        achieved = Fraction(record["achieved_throughput"])
+        assert achieved >= application.throughput_constraint

@@ -104,3 +104,96 @@ def test_self_loop_roundtrip():
     graph.add_channel("s", "a", "a", 2, 2, 2)
     assert graphs_equal(graph, graph_from_json(graph_to_json(graph)))
     assert graphs_equal(graph, graph_from_sdf3_xml(graph_to_sdf3_xml(graph)))
+
+
+# -- typed SerializationError (docs/ROBUSTNESS.md) ------------------------
+
+from repro.sdf.serialization import SerializationError  # noqa: E402
+
+
+def test_invalid_json_raises_serialization_error():
+    with pytest.raises(SerializationError) as info:
+        graph_from_json("{not json", source="broken.json")
+    assert "invalid JSON" in str(info.value)
+    assert info.value.source == "broken.json"
+
+
+def test_serialization_error_is_a_value_error():
+    assert issubclass(SerializationError, ValueError)
+
+
+def test_non_object_document_rejected():
+    with pytest.raises(SerializationError):
+        graph_from_dict([1, 2, 3])
+
+
+def test_actor_entry_without_name_names_the_field():
+    with pytest.raises(SerializationError) as info:
+        graph_from_dict({"actors": [{"execution_time": 1}]})
+    assert info.value.field == "actors[0]"
+
+
+def test_channel_entry_missing_key_names_the_field():
+    data = {
+        "actors": [{"name": "a"}, {"name": "b"}],
+        "channels": [{"name": "c", "src": "a"}],  # no dst
+    }
+    with pytest.raises(SerializationError) as info:
+        graph_from_dict(data, source="g.json")
+    assert info.value.field == "channels[0]"
+    assert "g.json" in str(info.value)
+
+
+def test_bad_execution_time_reported_with_context():
+    with pytest.raises(SerializationError) as info:
+        graph_from_dict(
+            {"actors": [{"name": "a", "execution_time": "many"}]}
+        )
+    assert info.value.field == "actors[0]"
+
+
+def test_unparsable_xml_raises_serialization_error():
+    with pytest.raises(SerializationError) as info:
+        graph_from_sdf3_xml("<sdf3><unclosed", source="g.xml")
+    assert "invalid XML" in str(info.value)
+
+
+def test_bad_xml_rate_raises_serialization_error():
+    text = (
+        '<sdf3><applicationGraph name="g"><sdf name="g">'
+        '<actor name="a"><port name="p" type="out" rate="lots"/></actor>'
+        "</sdf></applicationGraph></sdf3>"
+    )
+    with pytest.raises(SerializationError) as info:
+        graph_from_sdf3_xml(text)
+    assert info.value.field == "actor[a]"
+
+
+def test_architecture_bad_tile_names_the_field():
+    from repro.arch.serialization import architecture_from_json
+
+    payload = json.dumps({"tiles": [{"name": "t1"}]})  # missing keys
+    with pytest.raises(SerializationError) as info:
+        architecture_from_json(payload, source="arch.json")
+    assert info.value.field == "tiles[0]"
+    assert info.value.source == "arch.json"
+
+
+def test_application_bad_constraint_names_the_field():
+    from repro.appmodel.serialization import application_from_json
+
+    payload = json.dumps(
+        {"graph": {"actors": [], "channels": []},
+         "throughput_constraint": "fast"}
+    )
+    with pytest.raises(SerializationError) as info:
+        application_from_json(payload)
+    assert info.value.field == "throughput_constraint"
+
+
+def test_application_missing_graph_rejected():
+    from repro.appmodel.serialization import application_from_dict
+
+    with pytest.raises(SerializationError) as info:
+        application_from_dict({"name": "app"})
+    assert info.value.field == "graph"
