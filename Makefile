@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-robustness bench bench-full experiments examples clean
+.PHONY: install test test-fast test-robustness test-verify bench bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,10 @@ test-fast:
 # transactional commits and the hardened CLI (docs/ROBUSTNESS.md).
 test-robustness:
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_faults.py tests/test_cli.py
+
+# Checkpoint/resume and the independent verifier (docs/VERIFICATION.md).
+test-verify:
+	$(PYTHON) -m pytest tests/test_checkpoint.py tests/test_verify.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.arch.resources import ResourceReservation
 from repro.throughput.constrained import StaticOrderSchedule
@@ -95,6 +95,10 @@ class Allocation:
     reservation: ResourceReservation
     achieved_throughput: Fraction
     throughput_checks: int = 0
+    #: periodic-phase certificate backing ``achieved_throughput``
+    #: (``repro.verify`` replays it independently); None for
+    #: baseline-rung allocations, whose bound is structural
+    certificate: Optional[Dict[str, Any]] = None
 
     @property
     def satisfied(self) -> bool:

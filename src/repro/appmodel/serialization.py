@@ -160,3 +160,174 @@ def application_from_json(
             f"invalid JSON: {error}", source=source
         ) from error
     return application_from_dict(data, source=source)
+
+
+# ---------------------------------------------------------------------------
+# Allocations and allocation bundles (the unit `repro.verify` certifies)
+
+BUNDLE_FORMAT = "repro-allocation-bundle"
+BUNDLE_VERSION = 1
+
+
+def allocation_to_dict(
+    allocation: "Allocation", rung: Optional[str] = None
+) -> Dict[str, Any]:
+    """One allocation (plus the ladder rung that produced it) as a dict."""
+    return {
+        "application": application_to_dict(allocation.application),
+        "binding": dict(allocation.binding.assignment),
+        "slices": dict(allocation.scheduling.slices),
+        "schedules": {
+            tile: {
+                "transient": list(schedule.transient),
+                "periodic": list(schedule.periodic),
+            }
+            for tile, schedule in allocation.scheduling.schedules.items()
+        },
+        "reservation": {
+            tile: {
+                "time_slice": claim.time_slice,
+                "memory": claim.memory,
+                "connections": claim.connections,
+                "bandwidth_in": claim.bandwidth_in,
+                "bandwidth_out": claim.bandwidth_out,
+            }
+            for tile, claim in allocation.reservation.tiles.items()
+        },
+        "achieved_throughput": str(Fraction(allocation.achieved_throughput)),
+        "throughput_checks": allocation.throughput_checks,
+        "rung": rung,
+        "certificate": allocation.certificate,
+    }
+
+
+def allocation_from_dict(
+    data: Dict[str, Any], source: Optional[str] = None
+) -> "Allocation":
+    """Inverse of :func:`allocation_to_dict` (the rung rides separately)."""
+    # deferred imports: binding pulls in the throughput engines, which
+    # this module's application half does not need
+    from repro.appmodel.binding import (
+        Allocation,
+        Binding,
+        SchedulingFunction,
+    )
+    from repro.arch.resources import ResourceReservation, TileReservation
+    from repro.throughput.constrained import StaticOrderSchedule
+
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"allocation must be a JSON object, got {type(data).__name__}",
+            source=source,
+        )
+    try:
+        application = application_from_dict(data["application"], source=source)
+        binding = Binding(dict(data["binding"]))
+        scheduling = SchedulingFunction()
+        for tile, size in data.get("slices", {}).items():
+            scheduling.set_slice(tile, int(size))
+        for tile, entry in data.get("schedules", {}).items():
+            scheduling.set_schedule(
+                tile,
+                StaticOrderSchedule(
+                    periodic=tuple(entry["periodic"]),
+                    transient=tuple(entry.get("transient", ())),
+                ),
+            )
+        reservation = ResourceReservation()
+        for tile, claim in data.get("reservation", {}).items():
+            reservation.tiles[tile] = TileReservation(
+                time_slice=int(claim.get("time_slice", 0)),
+                memory=int(claim.get("memory", 0)),
+                connections=int(claim.get("connections", 0)),
+                bandwidth_in=int(claim.get("bandwidth_in", 0)),
+                bandwidth_out=int(claim.get("bandwidth_out", 0)),
+            )
+        achieved = Fraction(data["achieved_throughput"])
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError, ZeroDivisionError) as error:
+        raise SerializationError(
+            f"bad allocation: {type(error).__name__}: {error}", source=source
+        ) from error
+    return Allocation(
+        application=application,
+        binding=binding,
+        scheduling=scheduling,
+        reservation=reservation,
+        achieved_throughput=achieved,
+        throughput_checks=int(data.get("throughput_checks", 0)),
+        certificate=data.get("certificate"),
+    )
+
+
+def bundle_to_dict(
+    architecture: "ArchitectureGraph",
+    allocations: Any,
+    rungs: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """A verifiable bundle: pre-flow architecture + committed allocations.
+
+    ``architecture`` must be the architecture *before* the flow committed
+    anything (the verifier checks claims against the then-remaining
+    capacity); ``rungs`` optionally names the ladder rung per allocation.
+    """
+    from repro.arch.serialization import architecture_to_dict
+
+    allocations = list(allocations)
+    rungs = list(rungs) if rungs is not None else [None] * len(allocations)
+    if len(rungs) != len(allocations):
+        raise ValueError("rungs and allocations differ in length")
+    return {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "architecture": architecture_to_dict(architecture),
+        "allocations": [
+            allocation_to_dict(allocation, rung=rung)
+            for allocation, rung in zip(allocations, rungs)
+        ],
+    }
+
+
+def bundle_from_dict(
+    data: Dict[str, Any], source: Optional[str] = None
+) -> Dict[str, Any]:
+    """Validate the bundle envelope; returns the (still plain) dict.
+
+    The verifier deliberately works on the plain-dict form — it must not
+    trust the library's own object model — so this only checks the
+    envelope and leaves the payload untouched.
+    """
+    if not isinstance(data, dict) or data.get("format") != BUNDLE_FORMAT:
+        raise SerializationError(
+            "not a repro allocation bundle", source=source, field="format"
+        )
+    if data.get("version") != BUNDLE_VERSION:
+        raise SerializationError(
+            f"unsupported bundle version {data.get('version')!r} "
+            f"(this build reads version {BUNDLE_VERSION})",
+            source=source,
+            field="version",
+        )
+    return data
+
+
+def bundle_to_json(
+    architecture: "ArchitectureGraph",
+    allocations: Any,
+    rungs: Optional[Any] = None,
+    indent: int = 2,
+) -> str:
+    return json.dumps(
+        bundle_to_dict(architecture, allocations, rungs=rungs), indent=indent
+    )
+
+
+def bundle_from_json(text: str, source: Optional[str] = None) -> Dict[str, Any]:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(
+            f"invalid JSON: {error}", source=source
+        ) from error
+    return bundle_from_dict(data, source=source)

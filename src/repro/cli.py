@@ -7,17 +7,20 @@ Sub-commands::
     repro-alloc allocate --set processing ... # run the full flow
     repro-alloc example                       # the paper's running example
     repro-alloc profile GRAPH.json            # instrumented run + JSON report
+    repro-alloc verify BUNDLE.json            # certify a saved allocation
 
 Every sub-command accepts ``--metrics PATH`` to dump the observability
-snapshot (see ``docs/OBSERVABILITY.md``) collected during the run.
-Graphs are exchanged in the JSON dialect of
-:mod:`repro.sdf.serialization`.
+snapshot (see ``docs/OBSERVABILITY.md``) collected during the run, and
+``--checkpoint PATH`` / ``--resume PATH`` to persist and continue
+interrupted explorations (see ``docs/VERIFICATION.md``).  Graphs are
+exchanged in the JSON dialect of :mod:`repro.sdf.serialization`.
 
 Exit codes (see ``docs/ROBUSTNESS.md``): 0 success, 2 user error
 (missing file, malformed input, infeasible allocation — one-line
 diagnostic on stderr), 3 resource budget exhausted (``--deadline`` /
-``--max-states`` hit, or the state space exploded).  ``--debug``
-re-raises the underlying exception with its full traceback instead.
+``--max-states`` hit, or the state space exploded), 4 verification
+refuted an allocation (``verify``).  ``--debug`` re-raises the
+underlying exception with its full traceback instead.
 """
 
 from __future__ import annotations
@@ -44,11 +47,25 @@ from repro.throughput.state_space import (
 def _cmd_analyse(args: argparse.Namespace) -> int:
     with open(args.graph) as handle:
         graph = graph_from_json(handle.read(), source=args.graph)
-    result = throughput(
-        graph,
-        auto_concurrency=not args.no_auto_concurrency,
-        budget=args.budget,
-    )
+    if args.resume:
+        from repro.resilience.checkpoint import (
+            read_checkpoint,
+            resume_from_checkpoint,
+        )
+
+        data = read_checkpoint(args.resume)
+        if data.get("kind") != "state-space":
+            raise ValueError(
+                f"cannot resume a {data.get('kind')!r} checkpoint with "
+                "'analyse' (expected a state-space checkpoint)"
+            )
+        result = resume_from_checkpoint(data, budget=args.budget)
+    else:
+        result = throughput(
+            graph,
+            auto_concurrency=not args.no_auto_concurrency,
+            budget=args.budget,
+        )
     print(f"graph: {graph.name}")
     print(f"actors: {len(graph)}  channels: {len(graph.channels)}")
     print(f"iteration rate: {result.iteration_rate}")
@@ -74,13 +91,33 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
         args.set, args.count, architecture.processor_types(), seed=args.seed
     )
     weights = CostWeights(*args.weights)
+    pre_flow = None
+    if args.save_allocation:
+        from repro.arch.serialization import (
+            architecture_from_dict,
+            architecture_to_dict,
+        )
+
+        pre_flow = architecture_from_dict(architecture_to_dict(architecture))
     result = allocate_until_failure(
         architecture,
         applications,
         weights=weights,
         budget=args.budget,
         degrade=args.degrade,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
+    if args.save_allocation:
+        from repro.appmodel.serialization import bundle_to_json
+
+        with open(args.save_allocation, "w") as handle:
+            handle.write(
+                bundle_to_json(
+                    pre_flow, result.allocations, rungs=result.rungs
+                )
+            )
+        print(f"allocation bundle written to {args.save_allocation}")
     print(f"architecture: {architecture.name}")
     print(f"cost weights: {weights}")
     print(f"applications bound: {result.applications_bound}")
@@ -259,6 +296,12 @@ def _cmd_example(args: argparse.Namespace) -> int:
     allocation = allocator.allocate(
         application, architecture, budget=args.budget
     )
+    if args.save_allocation:
+        from repro.appmodel.serialization import bundle_to_json
+
+        with open(args.save_allocation, "w") as handle:
+            handle.write(bundle_to_json(architecture, [allocation]))
+        print(f"allocation bundle written to {args.save_allocation}")
     print("binding:")
     for actor, tile in sorted(allocation.binding.assignment.items()):
         print(f"  {actor} -> {tile}")
@@ -273,6 +316,27 @@ def _cmd_example(args: argparse.Namespace) -> int:
         f"(constraint {application.throughput_constraint})"
     )
     print(f"throughput checks: {allocation.throughput_checks}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.appmodel.serialization import bundle_from_json
+    from repro.verify import certify_allocation
+
+    with open(args.bundle) as handle:
+        bundle = bundle_from_json(handle.read(), source=args.bundle)
+    report = certify_allocation(bundle)
+    summary = report.summary()
+    if summary:
+        print(summary)
+    else:
+        print("bundle contains no allocations")
+    if not report.certified:
+        print(
+            f"repro-alloc: refuted {len(report.refuted)} allocation(s)",
+            file=sys.stderr,
+        )
+        return 4
     return 0
 
 
@@ -350,6 +414,12 @@ def build_parser() -> argparse.ArgumentParser:
         "cheaper strategy knobs and fall back to the conservative TDMA "
         "baseline instead of failing",
     )
+    allocate.add_argument(
+        "--save-allocation",
+        metavar="PATH",
+        help="write the committed allocations as a verifiable bundle "
+        "(see 'repro-alloc verify')",
+    )
     allocate.set_defaults(func=_cmd_allocate)
 
     example = sub.add_parser(
@@ -361,6 +431,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=3,
         default=[1.0, 1.0, 1.0],
         metavar=("C1", "C2", "C3"),
+    )
+    example.add_argument(
+        "--save-allocation",
+        metavar="PATH",
+        help="write the allocation as a verifiable bundle "
+        "(see 'repro-alloc verify')",
     )
     example.set_defaults(func=_cmd_example)
 
@@ -423,6 +499,18 @@ def build_parser() -> argparse.ArgumentParser:
     dimension.add_argument("--seed", type=int, default=0)
     dimension.add_argument("--max-tiles", type=int, default=12)
     dimension.set_defaults(func=_cmd_dimension)
+
+    verify = sub.add_parser(
+        "verify",
+        help="independently certify a saved allocation bundle",
+        description="Replay the periodic-phase certificates and re-sum "
+        "the resource claims of a bundle written with --save-allocation. "
+        "Exits 0 when every allocation is certified (or is a declared "
+        "sound lower bound), 4 when any allocation is refuted.",
+        parents=[common],
+    )
+    verify.add_argument("bundle", help="allocation bundle JSON file")
+    verify.set_defaults(func=_cmd_verify)
 
     profile = sub.add_parser(
         "profile",
@@ -489,6 +577,17 @@ def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
         "all engine calls); exhausting it exits with status 3",
     )
     parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="on budget exhaustion, persist the interrupted exploration "
+        "frontier to PATH so the run can be continued with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="continue a run from a checkpoint written via --checkpoint",
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help="show full tracebacks instead of one-line diagnostics",
@@ -515,7 +614,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             JsonSink(metrics_path).emit(snapshot)
             return status
         return args.func(args)
-    except (BudgetExceededError, StateSpaceExplosionError) as error:
+    except BudgetExceededError as error:
+        if debug:
+            raise
+        checkpoint_path = getattr(args, "checkpoint", None)
+        payload = (error.partial or {}).get("checkpoint")
+        if checkpoint_path and payload:
+            from repro.resilience.checkpoint import write_checkpoint
+
+            write_checkpoint(checkpoint_path, payload)
+            print(
+                f"repro-alloc: checkpoint written to {checkpoint_path} "
+                f"(continue with --resume {checkpoint_path})",
+                file=sys.stderr,
+            )
+        print(f"repro-alloc: budget exhausted: {error}", file=sys.stderr)
+        return 3
+    except StateSpaceExplosionError as error:
         if debug:
             raise
         print(f"repro-alloc: budget exhausted: {error}", file=sys.stderr)

@@ -17,9 +17,10 @@ as an ``"error"`` outcome rather than aborting the batch.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.appmodel.application import ApplicationGraph
 from repro.appmodel.binding import Allocation
@@ -36,6 +37,9 @@ class FlowResult:
     """Outcome of one allocate-until-failure run."""
 
     allocations: List[Allocation] = field(default_factory=list)
+    #: ladder rung per committed allocation (parallel to ``allocations``;
+    #: None when the exact strategy ran without the degradation ladder)
+    rungs: List[Optional[str]] = field(default_factory=list)
     failed_application: Optional[str] = None
     failure_reason: Optional[str] = None
     #: occupied resources summed over tiles when the flow stopped
@@ -110,6 +114,8 @@ def allocate_until_failure(
     budget: Optional[Budget] = None,
     degrade: bool = False,
     ladder: Sequence[Rung] = DEFAULT_LADDER,
+    checkpoint_path: Optional[str] = None,
+    resume: Optional[Union[str, Dict[str, Any]]] = None,
 ) -> FlowResult:
     """Allocate ``applications`` in order on ``architecture``.
 
@@ -127,6 +133,16 @@ def allocate_until_failure(
     rather than a truncated flow.  An unexpected exception from one
     application — a bug, a malformed graph, an injected fault — is
     recorded as ``"error"`` and isolated from the other applications.
+
+    With ``checkpoint_path`` set the flow is crash-safe: after every
+    successful commit a flow checkpoint (kind ``"flow"``, the committed
+    allocations in full) is atomically rewritten at that path, and an
+    application interrupted mid-exploration leaves its engine frontier
+    in the name-scoped file ``{checkpoint_path}.{application}.json``
+    (removed again once that application eventually commits).  Passing
+    a previously written flow checkpoint as ``resume`` re-applies the
+    recorded commits without re-running their searches and continues
+    with the remaining applications.
     """
     if allocator is None:
         allocator = ResourceAllocator(weights=weights or CostWeights(1, 1, 1))
@@ -137,6 +153,51 @@ def allocate_until_failure(
 
     obs = get_metrics()
     result = FlowResult()
+
+    completed: List[str] = []  # committed application names, in order
+    #: per name, how many upcoming occurrences were already committed by
+    #: the resumed run and must be skipped (count-based so flows with
+    #: repeated application names resume correctly)
+    skip_restored: Dict[str, int] = {}
+    committed_bundles: List[Dict[str, Any]] = []
+    committed_stats: List[Dict[str, object]] = []
+    if resume is not None:
+        from repro.appmodel.serialization import allocation_from_dict
+        from repro.resilience.checkpoint import CheckpointError, read_checkpoint
+
+        data = read_checkpoint(resume) if isinstance(resume, str) else resume
+        if data.get("kind") != "flow":
+            raise CheckpointError(
+                f"expected a flow checkpoint, got kind {data.get('kind')!r}",
+                field="kind",
+            )
+        obs.counter("checkpoint.flow_resumes")
+        for entry, stat in zip(data["allocations"], data["stats"]):
+            allocation = allocation_from_dict(entry)
+            allocation.reservation.commit(architecture)
+            result.allocations.append(allocation)
+            result.rungs.append(entry.get("rung"))
+            result.application_stats.append(dict(stat))
+            name = allocation.application.name
+            completed.append(name)
+            skip_restored[name] = skip_restored.get(name, 0) + 1
+            committed_bundles.append(entry)
+            committed_stats.append(dict(stat))
+
+    def write_flow_checkpoint() -> None:
+        from repro.resilience.checkpoint import write_checkpoint
+
+        write_checkpoint(
+            checkpoint_path,
+            {
+                "format": "repro-checkpoint",
+                "version": 1,
+                "kind": "flow",
+                "completed": list(completed),
+                "allocations": committed_bundles,
+                "stats": committed_stats,
+            },
+        )
 
     def record_failure(
         application: ApplicationGraph, record: Dict[str, object]
@@ -149,7 +210,15 @@ def allocate_until_failure(
         return not continue_after_failure
 
     for application in applications:
+        if skip_restored.get(application.name, 0) > 0:
+            skip_restored[application.name] -= 1
+            continue
         started = perf_counter()
+        app_checkpoint = (
+            f"{checkpoint_path}.{application.name}.json"
+            if checkpoint_path is not None
+            else None
+        )
         with obs.span("flow.application", application=application.name) as span:
             try:
                 if degrade:
@@ -159,6 +228,7 @@ def allocate_until_failure(
                         allocator=allocator,
                         budget=budget,
                         ladder=ladder,
+                        checkpoint_path=app_checkpoint,
                     )
                     allocation = resilient.allocation
                     rung: Optional[str] = resilient.rung
@@ -188,6 +258,12 @@ def allocate_until_failure(
             except BudgetExceededError as error:
                 obs.counter("flow.budget_exhausted")
                 span.set("outcome", "budget-exhausted")
+                if app_checkpoint and error.partial.get("checkpoint"):
+                    from repro.resilience.checkpoint import write_checkpoint
+
+                    write_checkpoint(
+                        app_checkpoint, error.partial["checkpoint"]
+                    )
                 stop = record_failure(
                     application,
                     _stat(
@@ -217,23 +293,38 @@ def allocate_until_failure(
                     break
                 continue
             result.allocations.append(allocation)
+            result.rungs.append(rung)
             obs.counter("flow.allocated")
             if outcome == "degraded":
                 obs.counter("flow.degraded")
             span.set("outcome", outcome)
             if rung is not None:
                 span.set("rung", rung)
-            result.application_stats.append(
-                _stat(
-                    application.name,
-                    outcome,
-                    perf_counter() - started,
-                    throughput_checks=allocation.throughput_checks,
-                    achieved_throughput=str(allocation.achieved_throughput),
-                    tiles_used=len(allocation.binding.used_tiles()),
-                    rung=rung,
-                )
+            record = _stat(
+                application.name,
+                outcome,
+                perf_counter() - started,
+                throughput_checks=allocation.throughput_checks,
+                achieved_throughput=str(allocation.achieved_throughput),
+                tiles_used=len(allocation.binding.used_tiles()),
+                rung=rung,
             )
+            result.application_stats.append(record)
+            completed.append(application.name)
+            if checkpoint_path is not None:
+                from repro.appmodel.serialization import allocation_to_dict
+
+                # the committed allocation supersedes any frontier left
+                # behind by an earlier interrupted attempt
+                try:
+                    os.unlink(app_checkpoint)
+                except OSError:
+                    pass
+                committed_bundles.append(
+                    allocation_to_dict(allocation, rung=rung)
+                )
+                committed_stats.append(dict(record))
+                write_flow_checkpoint()
     result.resource_usage = architecture.total_usage()
     result.resource_capacity = architecture.total_capacity()
     if obs.enabled:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.appmodel.binding_aware import BindingAwareGraph
 from repro.appmodel.binding import SchedulingFunction
@@ -45,6 +45,10 @@ class SliceAllocationResult:
     slices: Dict[str, int]
     achieved_throughput: Fraction
     throughput_checks: int
+    #: periodic-phase certificate of the constrained exploration that
+    #: produced ``achieved_throughput`` (the accepted evaluation, not
+    #: necessarily the last one the binary search tried)
+    certificate: Optional[Dict[str, Any]] = None
 
 
 def allocate_time_slices(
@@ -85,6 +89,10 @@ def allocate_time_slices(
 
     obs = get_metrics()
 
+    # certificate of the most recent evaluation (index 0), copied into
+    # best_certificate whenever that evaluation's slices are accepted
+    last_certificate: list = [None]
+
     def evaluate(slices: Dict[str, int]) -> Fraction:
         nonlocal checks
         checks += 1
@@ -101,6 +109,7 @@ def allocate_time_slices(
         except BudgetExceededError as error:
             error.partial.setdefault("throughput_checks", checks)
             raise
+        last_certificate[0] = result.certificate
         return result.of(output_actor)
 
     def shared(f: int) -> Dict[str, int]:
@@ -117,6 +126,7 @@ def allocate_time_slices(
         )
     best_f = high
     best_throughput = achieved
+    best_certificate = last_certificate[0]
     try:
         low = 1
         while low < high:
@@ -124,6 +134,7 @@ def allocate_time_slices(
             throughput_mid = evaluate(shared(mid))
             if throughput_mid >= constraint:
                 best_f, best_throughput = mid, throughput_mid
+                best_certificate = last_certificate[0]
                 high = mid
                 if constraint > 0 and throughput_mid <= (1 + relaxation) * constraint:
                     break
@@ -161,6 +172,7 @@ def allocate_time_slices(
                     if throughput_mid >= constraint:
                         slices = candidate
                         achieved = throughput_mid
+                        best_certificate = last_certificate[0]
                         high_t = mid
                     else:
                         low_t = mid + 1
@@ -173,5 +185,8 @@ def allocate_time_slices(
     if obs.enabled:
         obs.counter("slices.phase2_checks", checks - phase1_checks)
     return SliceAllocationResult(
-        slices=slices, achieved_throughput=achieved, throughput_checks=checks
+        slices=slices,
+        achieved_throughput=achieved,
+        throughput_checks=checks,
+        certificate=best_certificate,
     )

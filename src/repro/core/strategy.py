@@ -142,6 +142,7 @@ class ResourceAllocator:
 
             achieved = slice_result.achieved_throughput
             checks = slice_result.throughput_checks
+            certificate = slice_result.certificate
             if self.trim_buffers:
                 # deferred import: extensions sit above core in the layering
                 from repro.extensions.buffer_sizing import minimise_buffers
@@ -156,6 +157,7 @@ class ResourceAllocator:
                     )
                 achieved = sizing.achieved_throughput
                 checks += sizing.throughput_checks
+                certificate = sizing.certificate
 
             reservation = reservation_for(
                 application, architecture, binding, slice_result.slices
@@ -174,4 +176,5 @@ class ResourceAllocator:
                 reservation=reservation,
                 achieved_throughput=achieved,
                 throughput_checks=checks,
+                certificate=certificate,
             )

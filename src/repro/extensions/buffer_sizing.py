@@ -50,6 +50,9 @@ class BufferSizingResult:
     original: Dict[str, ChannelRequirements]
     achieved_throughput: Fraction
     throughput_checks: int
+    #: periodic-phase certificate of the final evaluation (the one that
+    #: produced ``achieved_throughput`` with the minimised buffers)
+    certificate: Optional[dict] = None
 
     @property
     def memory_saved(self) -> int:
@@ -75,18 +78,18 @@ def _evaluate(
     binding: Binding,
     scheduling: SchedulingFunction,
     max_states: int,
-) -> Fraction:
-    """Constrained throughput of the output actor with current Theta."""
+):
+    """Constrained throughput of the output actor (rate, certificate)."""
     try:
         bag = build_binding_aware_graph(
             application, architecture, binding, slices=dict(scheduling.slices)
         )
     except InfeasibleBindingError:
-        return Fraction(0)
+        return Fraction(0), None
     result = constrained_throughput(
         bag.graph, bag.tile_constraints(scheduling), max_states=max_states
     )
-    return result.of(application.output_actor)
+    return result.of(application.output_actor), result.certificate
 
 
 def minimise_buffers(
@@ -116,7 +119,7 @@ def minimise_buffers(
     def meets() -> bool:
         nonlocal checks
         checks += 1
-        achieved = _evaluate(
+        achieved, _ = _evaluate(
             application, architecture, binding, scheduling, max_states
         )
         return achieved >= constraint and achieved > 0
@@ -149,7 +152,7 @@ def minimise_buffers(
                 application.channel_requirements[name], **{field: high}
             )
 
-    achieved = _evaluate(
+    achieved, certificate = _evaluate(
         application, architecture, binding, scheduling, max_states
     )
     checks += 1
@@ -160,6 +163,7 @@ def minimise_buffers(
         original=original,
         achieved_throughput=achieved,
         throughput_checks=checks,
+        certificate=certificate,
     )
 
 
@@ -204,7 +208,7 @@ def buffer_throughput_tradeoff(
                 )
                 application.channel_requirements[name] = new
                 total += new.buffer_tile + new.buffer_src + new.buffer_dst
-            achieved = _evaluate(
+            achieved, _ = _evaluate(
                 application, architecture, binding, scheduling, max_states
             )
             points.append((total, achieved))

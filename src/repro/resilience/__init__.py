@@ -14,11 +14,15 @@ inputs (see ``docs/ROBUSTNESS.md``):
 * :mod:`repro.resilience.faults` — a deterministic, seeded
   fault-injection harness proving every rung and the commit-rollback
   path are actually exercised.
+* :mod:`repro.resilience.checkpoint` — crash-safe (atomic-rename)
+  persistence of interrupted explorations and
+  :func:`resume_from_checkpoint`, which continues them bit-identically
+  (see ``docs/VERIFICATION.md``).
 
 ``budget`` and ``faults`` are dependency-free leaves (the throughput
-engines import them); the ladder in ``policy`` sits *above* the
-allocation strategy and is loaded lazily to keep the import graph
-acyclic.
+engines import them); the ladder in ``policy`` and the checkpoint
+module sit *above* the throughput engines and are loaded lazily to
+keep the import graph acyclic.
 """
 
 from repro.resilience.budget import Budget, BudgetExceededError
@@ -33,6 +37,7 @@ from repro.resilience.faults import (
 __all__ = [
     "Budget",
     "BudgetExceededError",
+    "CheckpointError",
     "DEFAULT_LADDER",
     "FaultInjector",
     "FaultSpec",
@@ -41,8 +46,11 @@ __all__ = [
     "Rung",
     "active_injector",
     "fault_point",
+    "read_checkpoint",
     "resilient_allocate",
+    "resume_from_checkpoint",
     "tdma_baseline_allocate",
+    "write_checkpoint",
 ]
 
 _POLICY_EXPORTS = (
@@ -53,13 +61,25 @@ _POLICY_EXPORTS = (
     "tdma_baseline_allocate",
 )
 
+_CHECKPOINT_EXPORTS = (
+    "CheckpointError",
+    "read_checkpoint",
+    "resume_from_checkpoint",
+    "write_checkpoint",
+)
+
 
 def __getattr__(name: str):
     # Lazy so that `repro.throughput` can import the budget/fault leaves
     # while `policy` (which imports the strategy, which imports the
-    # throughput engines) only loads on first use.
+    # throughput engines) and `checkpoint` (which resumes through the
+    # state-space driver) only load on first use.
     if name in _POLICY_EXPORTS:
         from repro.resilience import policy
 
         return getattr(policy, name)
+    if name in _CHECKPOINT_EXPORTS:
+        from repro.resilience import checkpoint
+
+        return getattr(checkpoint, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,182 @@
+"""Crash-safe checkpointing of interrupted explorations.
+
+When a :class:`~repro.resilience.budget.Budget` fires inside the
+state-space driver, the raised ``BudgetExceededError`` carries
+``error.partial["checkpoint"]``: a JSON-ready payload holding the graph,
+the rates of the components finished so far, and the interrupted
+engine's full frontier (visited-state map plus current state).  This
+module persists that payload and turns it back into a running analysis:
+
+* :func:`write_checkpoint` / :func:`read_checkpoint` — atomic,
+  versioned JSON files (write-to-temp + ``os.replace``, so a crash or
+  injected fault mid-write never leaves a truncated checkpoint behind);
+* :func:`resume_from_checkpoint` — rebuilds the graph and continues the
+  exploration **bit-identically**: the resumed
+  :class:`~repro.throughput.state_space.ThroughputResult` has the same
+  iteration rate, per-SCC rates, certificates and ``states_explored``
+  as an uninterrupted run.
+
+Flow-level checkpoints (kind ``"flow"``, written by
+:func:`repro.core.flow.allocate_until_failure`) record committed
+allocations and are resumed by the flow itself, not by this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional, Union
+
+from repro.obs import get_metrics
+from repro.resilience.budget import Budget
+from repro.resilience.faults import fault_point
+from repro.sdf.serialization import SerializationError
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(SerializationError):
+    """A checkpoint file is missing, malformed or of an unknown version."""
+
+
+def write_checkpoint(path: str, data: Dict[str, Any]) -> str:
+    """Atomically persist a checkpoint payload as JSON; returns ``path``.
+
+    The payload is written to ``path + ".tmp"`` first and renamed into
+    place, so readers only ever observe a complete file.  The payload
+    must carry the standard envelope (``format``/``version``); payloads
+    taken from ``error.partial["checkpoint"]`` already do.
+    """
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"refusing to write payload without the {CHECKPOINT_FORMAT!r} "
+            "envelope",
+            source=path,
+            field="format",
+        )
+    text = json.dumps(data, indent=2)
+    temp = path + ".tmp"
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+            # after the bytes are durable but before the rename: a fault
+            # here must leave `path` untouched (tests/test_faults.py)
+            fault_point("checkpoint.write", path=path)
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    obs = get_metrics()
+    obs.counter("checkpoint.writes")
+    obs.counter("checkpoint.bytes", len(text))
+    return path
+
+
+def read_checkpoint(path: str) -> Dict[str, Any]:
+    """Load and validate a checkpoint file written by :func:`write_checkpoint`."""
+    fault_point("checkpoint.read", path=path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint: {error}", source=path
+        ) from error
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"checkpoint is not valid JSON: {error}", source=path
+        ) from error
+    if not isinstance(data, dict) or data.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            "not a repro checkpoint file", source=path, field="format"
+        )
+    if data.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {data.get('version')!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})",
+            source=path,
+            field="version",
+        )
+    get_metrics().counter("checkpoint.reads")
+    return data
+
+
+def resume_from_checkpoint(
+    checkpoint: Union[str, Dict[str, Any]],
+    budget: Optional[Budget] = None,
+    max_states: Optional[int] = None,
+):
+    """Continue an interrupted state-space analysis bit-identically.
+
+    ``checkpoint`` is a path to a checkpoint file or an already-loaded
+    payload (e.g. ``error.partial["checkpoint"]``).  ``budget`` bounds
+    the *remaining* exploration (pass a fresh :class:`Budget`; the spent
+    one is exhausted by definition); ``max_states`` overrides the cap
+    recorded in the checkpoint.  Returns the completed
+    :class:`~repro.throughput.state_space.ThroughputResult` for
+    ``"state-space"`` checkpoints and the completed
+    :class:`~repro.throughput.constrained.ConstrainedThroughputResult`
+    for ``"constrained"`` ones.
+    """
+    # deferred imports: this module is a resilience leaf, the throughput
+    # engines import the budget/fault siblings at module load
+    from repro.sdf.serialization import graph_from_dict
+    from repro.throughput.constrained import (
+        StaticOrderSchedule,
+        TileConstraints,
+        constrained_throughput,
+    )
+    from repro.throughput.state_space import throughput
+
+    if isinstance(checkpoint, str):
+        checkpoint = read_checkpoint(checkpoint)
+    kind = checkpoint.get("kind")
+    if kind == "flow":
+        raise CheckpointError(
+            "flow checkpoints are resumed by "
+            "repro.core.flow.allocate_until_failure(resume=...), not by "
+            "resume_from_checkpoint",
+            field="kind",
+        )
+    if kind not in ("state-space", "constrained"):
+        raise CheckpointError(
+            f"unknown checkpoint kind {kind!r}", field="kind"
+        )
+    graph = graph_from_dict(checkpoint["graph"])
+    cap = max_states if max_states is not None else checkpoint["max_states"]
+    get_metrics().counter("checkpoint.resumes")
+    if kind == "constrained":
+        tiles = [
+            TileConstraints(
+                name=entry["name"],
+                wheel=entry["wheel"],
+                slice_size=entry["slice_size"],
+                slice_start=entry.get("slice_start", 0),
+                schedule=StaticOrderSchedule(
+                    periodic=tuple(entry["periodic"]),
+                    transient=tuple(entry.get("transient", ())),
+                ),
+            )
+            for entry in checkpoint["tiles"]
+        ]
+        return constrained_throughput(
+            graph,
+            tiles,
+            max_states=cap,
+            budget=budget,
+            resume=checkpoint,
+        )
+    return throughput(
+        graph,
+        execution_times=checkpoint["execution_times"],
+        auto_concurrency=checkpoint["auto_concurrency"],
+        max_states=cap,
+        budget=budget,
+        resume=checkpoint,
+    )

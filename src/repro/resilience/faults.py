@@ -16,6 +16,12 @@ Fault points currently wired in:
 ``commit.apply``          before applying one tile's claim during
                           ``ResourceReservation.commit`` (context: ``tile``,
                           ``index``)
+``checkpoint.write``      after the checkpoint temp file is written but
+                          before the atomic rename (context: ``path``) —
+                          a fault here must never leave a truncated
+                          checkpoint behind
+``checkpoint.read``       before reading a checkpoint file (context:
+                          ``path``)
 ========================  ====================================================
 
 Injection is deterministic by default (count-based: skip the first

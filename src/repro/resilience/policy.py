@@ -187,6 +187,7 @@ def resilient_allocate(
     allocator: Optional[ResourceAllocator] = None,
     budget: Optional[Budget] = None,
     ladder: Sequence[Rung] = DEFAULT_LADDER,
+    checkpoint_path: Optional[str] = None,
 ) -> ResilientResult:
     """Allocate ``application``, degrading through ``ladder`` on trouble.
 
@@ -199,6 +200,12 @@ def resilient_allocate(
     immediately.  Raises the last rung's error when the whole ladder
     fails (no baseline rung, or the baseline itself is infeasible), and
     :class:`ValueError` for an empty ladder.
+
+    With ``checkpoint_path`` set, a rung that exhausts its budget
+    mid-exploration persists the exploration frontier the error carries
+    (``error.partial["checkpoint"]``) to that file before the ladder
+    descends, so the interrupted search can later be resumed via
+    :func:`repro.resilience.checkpoint.resume_from_checkpoint`.
     """
     if not ladder:
         raise ValueError("degradation ladder is empty")
@@ -231,6 +238,12 @@ def resilient_allocate(
             attempts.append((rung.name, f"budget exhausted ({error.reason})"))
             if obs.enabled:
                 obs.counter("resilience.rung_budget_exhausted")
+            if checkpoint_path and error.partial.get("checkpoint"):
+                from repro.resilience.checkpoint import write_checkpoint
+
+                write_checkpoint(
+                    checkpoint_path, error.partial["checkpoint"]
+                )
             continue
         except AllocationError as error:
             if not _degradable(error):

@@ -29,16 +29,44 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import get_metrics
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.resilience.faults import fault_point
 from repro.sdf.graph import SDFGraph
+from repro.sdf.serialization import graph_to_dict
 from repro.throughput.state_space import (
     DEFAULT_MAX_STATES,
     StateSpaceExplosionError,
 )
+
+
+def _ckey_to_jsonable(key: Tuple) -> List:
+    """One hashed constrained-execution state as JSON-ready nested lists."""
+    tokens, unscheduled, tile_active, positions, phases = key
+    return [
+        list(tokens),
+        [[i, list(remaining)] for i, remaining in unscheduled],
+        [list(firing) if firing is not None else None for firing in tile_active],
+        list(positions),
+        list(phases),
+    ]
+
+
+def _ckey_from_jsonable(data: Sequence) -> Tuple:
+    """Inverse of :func:`_ckey_to_jsonable`."""
+    tokens, unscheduled, tile_active, positions, phases = data
+    return (
+        tuple(tokens),
+        tuple((i, tuple(remaining)) for i, remaining in unscheduled),
+        tuple(
+            tuple(firing) if firing is not None else None
+            for firing in tile_active
+        ),
+        tuple(positions),
+        tuple(phases),
+    )
 
 
 def busy_time(
@@ -171,6 +199,9 @@ class ConstrainedThroughputResult:
     transient_time: int
     states_explored: int
     deadlocked: bool = False
+    #: compact, independently replayable evidence of the periodic phase
+    #: (see ``docs/VERIFICATION.md``); None for deadlocked executions
+    certificate: Optional[Dict[str, Any]] = None
 
     def of(self, actor: str) -> Fraction:
         """Firings of ``actor`` per time unit in the periodic phase."""
@@ -275,26 +306,76 @@ class _ConstrainedEngine:
             obs.counter("constrained.deadlocks")
         obs.observe("constrained.execute", perf_counter() - started)
 
-    def run(self) -> ConstrainedThroughputResult:
+    def _snapshot(
+        self,
+        time: int,
+        tokens: List[int],
+        unscheduled_active: List[List[int]],
+        tile_active: List[Optional[Tuple[int, int]]],
+        schedule_pos: List[int],
+        completed: List[int],
+        zero_firings: int,
+        seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]],
+    ) -> Dict[str, Any]:
+        """The full frontier as a JSON-serialisable dict (see state_space)."""
+        return {
+            "time": time,
+            "tokens": list(tokens),
+            "unscheduled_active": [list(r) for r in unscheduled_active],
+            "tile_active": [
+                list(firing) if firing is not None else None
+                for firing in tile_active
+            ],
+            "schedule_pos": list(schedule_pos),
+            "completed": list(completed),
+            "zero_firings": zero_firings,
+            "seen": [
+                [_ckey_to_jsonable(key), [when, list(counts)]]
+                for key, (when, counts) in seen.items()
+            ],
+        }
+
+    def run(
+        self, resume: Optional[Dict[str, Any]] = None
+    ) -> ConstrainedThroughputResult:
         obs = get_metrics()
         fault_point("constrained.run", graph=self.graph.name)
         started = perf_counter() if obs.enabled else 0.0
         budget = self.budget
         if budget is not None:
             budget.checkpoint()
-        zero_firings = 0
-        tokens = list(self._initial_tokens)
-        # remaining *work* per active firing; unscheduled actors may have
-        # several concurrent firings, tiles at most one.
-        unscheduled_active: List[List[int]] = [[] for _ in self._actors]
-        tile_active: List[Optional[Tuple[int, int]]] = [None] * len(self.tiles)
-        schedule_pos = [0] * len(self.tiles)
-        completed = [0] * len(self._actors)
-        time = 0
-        seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+        if resume is None:
+            zero_firings = 0
+            tokens = list(self._initial_tokens)
+            # remaining *work* per active firing; unscheduled actors may
+            # have several concurrent firings, tiles at most one.
+            unscheduled_active: List[List[int]] = [[] for _ in self._actors]
+            tile_active: List[Optional[Tuple[int, int]]] = (
+                [None] * len(self.tiles)
+            )
+            schedule_pos = [0] * len(self.tiles)
+            completed = [0] * len(self._actors)
+            time = 0
+            seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+        else:
+            zero_firings = resume["zero_firings"]
+            tokens = list(resume["tokens"])
+            unscheduled_active = [list(r) for r in resume["unscheduled_active"]]
+            tile_active = [
+                tuple(firing) if firing is not None else None
+                for firing in resume["tile_active"]
+            ]
+            schedule_pos = list(resume["schedule_pos"])
+            completed = list(resume["completed"])
+            time = resume["time"]
+            seen = {
+                _ckey_from_jsonable(key): (when, tuple(counts))
+                for key, (when, counts) in resume["seen"]
+            }
         # trace bookkeeping lives outside the hashed state: firings of
         # one actor all take the same time, so FIFO start matching is
-        # exact for concurrent unscheduled firings.
+        # exact for concurrent unscheduled firings.  (Traces do not
+        # survive a checkpoint/resume; resumed runs pass trace=None.)
         unscheduled_starts: List[List[int]] = [[] for _ in self._actors]
         tile_started: List[int] = [0] * len(self.tiles)
 
@@ -364,6 +445,16 @@ class _ConstrainedEngine:
                 except BudgetExceededError as error:
                     error.partial.setdefault("graph", self.graph.name)
                     error.partial.setdefault("states_explored", len(seen))
+                    error.partial["engine_state"] = self._snapshot(
+                        time,
+                        tokens,
+                        unscheduled_active,
+                        tile_active,
+                        schedule_pos,
+                        completed,
+                        zero_firings,
+                        seen,
+                    )
                     raise
             start_enabled()
             key = (
@@ -392,6 +483,41 @@ class _ConstrainedEngine:
                     period_firings=firings,
                     transient_time=first_time,
                     states_explored=len(seen),
+                    certificate={
+                        "format": "repro-certificate",
+                        "version": 1,
+                        "kind": "constrained",
+                        "graph": self.graph.name,
+                        "actors": list(self._actors),
+                        "channels": list(self.graph.channel_names),
+                        "execution_times": list(self._times),
+                        "tiles": [
+                            {
+                                "name": tile.name,
+                                "wheel": tile.wheel,
+                                "slice_size": tile.slice_size,
+                                "slice_start": tile.slice_start,
+                                "transient": list(tile.schedule.transient),
+                                "periodic": list(tile.schedule.periodic),
+                                "position": tile.schedule.canonical_position(
+                                    schedule_pos[i]
+                                ),
+                            }
+                            for i, tile in enumerate(self.tiles)
+                        ],
+                        "window_start": time,
+                        "period": period,
+                        "firings": dict(firings),
+                        "tokens": list(tokens),
+                        "unscheduled_active": [
+                            sorted(remaining)
+                            for remaining in unscheduled_active
+                        ],
+                        "tile_active": [
+                            list(firing) if firing is not None else None
+                            for firing in tile_active
+                        ],
+                    },
                 )
                 if obs.enabled:
                     self._record(result, started, zero_firings)
@@ -486,6 +612,7 @@ def constrained_throughput(
     max_states: int = DEFAULT_MAX_STATES,
     trace: Optional[List[TraceEvent]] = None,
     budget: Optional[Budget] = None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> ConstrainedThroughputResult:
     """Throughput of ``graph`` under static-order + TDMA constraints.
 
@@ -500,6 +627,14 @@ def constrained_throughput(
     Passing a list as ``trace`` records every firing as a
     :class:`TraceEvent` (transient plus one full period), which
     :mod:`repro.extensions.tracing` renders as a Gantt chart.
+
+    On a budget breach the raised
+    :class:`~repro.resilience.budget.BudgetExceededError` carries
+    ``error.partial["checkpoint"]`` (kind ``"constrained"``); passing
+    that payload back as ``resume`` — normally via
+    :func:`repro.resilience.checkpoint.resume_from_checkpoint` —
+    continues the interrupted exploration bit-identically.  Traces do
+    not survive a resume.
     """
     for tile in tiles:
         if tile.slice_size == 0 and tile.schedule.actors:
@@ -511,6 +646,36 @@ def constrained_throughput(
                 states_explored=0,
                 deadlocked=True,
             )
-    return _ConstrainedEngine(
+    engine = _ConstrainedEngine(
         graph, tiles, max_states, trace=trace, budget=budget
-    ).run()
+    )
+    try:
+        return engine.run(resume=resume.get("engine_state") if resume else None)
+    except BudgetExceededError as error:
+        error.partial["checkpoint"] = {
+            "format": "repro-checkpoint",
+            "version": 1,
+            "kind": "constrained",
+            "graph": graph_to_dict(graph),
+            "tiles": [
+                {
+                    "name": tile.name,
+                    "wheel": tile.wheel,
+                    "slice_size": tile.slice_size,
+                    "slice_start": tile.slice_start,
+                    "transient": list(tile.schedule.transient),
+                    "periodic": list(tile.schedule.periodic),
+                }
+                for tile in tiles
+            ],
+            "max_states": max_states,
+            "engine_state": error.partial.get("engine_state"),
+            "budget": {
+                "states_charged": budget.states_charged,
+                "checks_charged": budget.checks_charged,
+                "elapsed": budget.elapsed(),
+            }
+            if budget is not None
+            else None,
+        }
+        raise

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from fractions import Fraction
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import get_metrics
 from repro.resilience.budget import Budget, BudgetExceededError
@@ -30,6 +30,7 @@ from repro.resilience.faults import fault_point
 from repro.sdf.analysis import strongly_connected_components
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import repetition_vector
+from repro.sdf.serialization import graph_to_dict
 
 Rate = Union[Fraction, float]
 
@@ -41,6 +42,35 @@ _ZERO_TIME_GUARD = 1_000_000
 
 class StateSpaceExplosionError(RuntimeError):
     """Raised when exploration exceeds the configured state budget."""
+
+
+def _state_key_to_jsonable(key: Tuple) -> List:
+    """One hashed exploration state as JSON-serialisable nested lists."""
+    tokens, active = key
+    return [list(tokens), [[i, list(remaining)] for i, remaining in active]]
+
+
+def _state_key_from_jsonable(data: Sequence) -> Tuple:
+    """Inverse of :func:`_state_key_to_jsonable`."""
+    tokens, active = data
+    return (
+        tuple(tokens),
+        tuple((i, tuple(remaining)) for i, remaining in active),
+    )
+
+
+def rate_to_str(rate: Rate) -> str:
+    """A rate as an exact, JSON-safe string (``"p/q"``, ``"inf"``)."""
+    if rate == float("inf"):
+        return "inf"
+    return str(Fraction(rate))
+
+
+def rate_from_str(text: str) -> Rate:
+    """Inverse of :func:`rate_to_str`."""
+    if text == "inf":
+        return float("inf")
+    return Fraction(text)
 
 
 @dataclass
@@ -57,6 +87,9 @@ class ExecutionResult:
     period_firings: Dict[str, int]
     states_explored: int
     deadlocked: bool = False
+    #: compact, independently replayable evidence of the periodic phase
+    #: (see ``docs/VERIFICATION.md``); None for deadlocked executions
+    certificate: Optional[Dict[str, Any]] = None
 
     def actor_throughput(self, actor: str) -> Fraction:
         """Firings of ``actor`` per time unit in the steady state."""
@@ -78,6 +111,10 @@ class ThroughputResult:
     gamma: Dict[str, int]
     scc_rates: Dict[Tuple[str, ...], Rate] = field(default_factory=dict)
     states_explored: int = 0
+    #: per-SCC periodic-phase certificates (see ``docs/VERIFICATION.md``)
+    certificates: Dict[Tuple[str, ...], Dict[str, Any]] = field(
+        default_factory=dict
+    )
 
     def of(self, actor: str) -> Rate:
         """Steady-state firings per time unit of ``actor``.
@@ -126,6 +163,7 @@ class SelfTimedExecution:
         self._actor_index = {a: i for i, a in enumerate(self._actor_names)}
         self._times = [times[a] for a in self._actor_names]
         channel_names = graph.channel_names
+        self._channel_names = channel_names
         channel_index = {c: i for i, c in enumerate(channel_names)}
         self._initial_tokens = [graph.channel(c).tokens for c in channel_names]
         # per actor: [(channel index, rate), ...]
@@ -267,19 +305,62 @@ class SelfTimedExecution:
                 )
         return time
 
-    def execute(self) -> ExecutionResult:
-        """Run until a recurrent state (or deadlock) and report the period."""
+    def _snapshot(
+        self,
+        time: int,
+        tokens: List[int],
+        active: List[List[int]],
+        completed: List[int],
+        seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]],
+    ) -> Dict[str, Any]:
+        """The full exploration frontier as a JSON-serialisable dict.
+
+        Restoring it via ``execute(resume=...)`` continues the run
+        bit-identically (same recurrent state, period and state count).
+        """
+        return {
+            "time": time,
+            "tokens": list(tokens),
+            "active": [list(firing) for firing in active],
+            "completed": list(completed),
+            "firing_starts": self.firing_starts,
+            "seen": [
+                [_state_key_to_jsonable(key), [when, list(counts)]]
+                for key, (when, counts) in seen.items()
+            ],
+        }
+
+    def execute(
+        self, resume: Optional[Dict[str, Any]] = None
+    ) -> ExecutionResult:
+        """Run until a recurrent state (or deadlock) and report the period.
+
+        ``resume`` restores a frontier previously captured on
+        :class:`BudgetExceededError` (``error.partial["engine_state"]``)
+        and continues the interrupted exploration bit-identically.
+        """
         obs = get_metrics()
         fault_point("state_space.execute", graph=self.graph.name)
         started = perf_counter() if obs.enabled else 0.0
         budget = self.budget
         if budget is not None:
             budget.checkpoint()
-        tokens = list(self._initial_tokens)
-        active: List[List[int]] = [[] for _ in self._actor_names]
-        completed = [0] * len(self._actor_names)
-        time = 0
-        seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+        if resume is None:
+            tokens = list(self._initial_tokens)
+            active: List[List[int]] = [[] for _ in self._actor_names]
+            completed = [0] * len(self._actor_names)
+            time = 0
+            seen: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+        else:
+            tokens = list(resume["tokens"])
+            active = [list(firing) for firing in resume["active"]]
+            completed = list(resume["completed"])
+            time = resume["time"]
+            self.firing_starts = resume["firing_starts"]
+            seen = {
+                _state_key_from_jsonable(key): (when, tuple(counts))
+                for key, (when, counts) in resume["seen"]
+            }
 
         while True:
             if budget is not None:
@@ -288,6 +369,9 @@ class SelfTimedExecution:
                 except BudgetExceededError as error:
                     error.partial.setdefault("graph", self.graph.name)
                     error.partial.setdefault("states_explored", len(seen))
+                    error.partial["engine_state"] = self._snapshot(
+                        time, tokens, active, completed, seen
+                    )
                     raise
             self._start_phase(tokens, active, completed)
             key = (
@@ -310,6 +394,21 @@ class SelfTimedExecution:
                     period=period,
                     period_firings=firings,
                     states_explored=len(seen),
+                    certificate={
+                        "format": "repro-certificate",
+                        "version": 1,
+                        "kind": "self-timed",
+                        "graph": self.graph.name,
+                        "actors": list(self._actor_names),
+                        "channels": list(self._channel_names),
+                        "execution_times": list(self._times),
+                        "auto_concurrency": self.auto_concurrency,
+                        "window_start": time,
+                        "period": period,
+                        "firings": dict(firings),
+                        "tokens": list(tokens),
+                        "active": [sorted(firing) for firing in active],
+                    },
                 )
                 if obs.enabled:
                     self._record(result, started)
@@ -367,6 +466,7 @@ def throughput(
     auto_concurrency: bool = True,
     max_states: int = DEFAULT_MAX_STATES,
     budget: Optional[Budget] = None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> ThroughputResult:
     """Self-timed throughput of ``graph`` via SCC-wise state-space analysis.
 
@@ -375,12 +475,20 @@ def throughput(
     reported as unbounded (``float('inf')``); a deadlocking component
     makes the whole graph rate 0.  A :class:`Budget` bounds the
     exploration cooperatively (states charged across all components).
+
+    When the budget fires the raised :class:`BudgetExceededError`
+    carries ``error.partial["checkpoint"]``: a versioned, JSON-ready
+    payload with the finished components' rates and the interrupted
+    engine's frontier.  Passing that payload back as ``resume``
+    (normally via
+    :func:`repro.resilience.checkpoint.resume_from_checkpoint`)
+    continues the analysis bit-identically.
     """
     obs = get_metrics()
     with obs.span("state_space.throughput", graph=graph.name) as span:
         return _throughput_body(
             graph, execution_times, auto_concurrency, max_states, budget,
-            obs, span,
+            obs, span, resume,
         )
 
 
@@ -392,13 +500,44 @@ def _throughput_body(
     budget: Optional[Budget],
     obs,
     span,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> ThroughputResult:
     gamma = repetition_vector(graph)
     rates: Dict[Tuple[str, ...], Rate] = {}
+    certificates: Dict[Tuple[str, ...], Dict[str, Any]] = {}
     states = 0
     overall: Rate = float("inf")
     components = strongly_connected_components(graph)
-    for component in components:
+    resume_index = -1
+    engine_resume = None
+    restored: Dict[Tuple[str, ...], Tuple[Rate, Optional[Dict[str, Any]]]] = {}
+    if resume is not None:
+        resume_index = resume["component_index"]
+        if not 0 <= resume_index < len(components):
+            raise ValueError(
+                "checkpoint does not match the graph: component index "
+                f"{resume_index} outside [0, {len(components)})"
+            )
+        states = resume["states"]
+        for entry in resume["scc_rates"]:
+            restored[tuple(entry[0])] = (
+                rate_from_str(entry[1]),
+                entry[2] if len(entry) > 2 else None,
+            )
+        engine_resume = resume.get("engine_state")
+        get_metrics().counter("checkpoint.components_skipped", resume_index)
+    for index, component in enumerate(components):
+        key = tuple(component)
+        if index < resume_index:
+            # finished before the checkpoint: restore instead of re-running
+            if key in restored:
+                rate, certificate = restored[key]
+                rates[key] = rate
+                if certificate is not None:
+                    certificates[key] = certificate
+                if rate < overall:
+                    overall = rate
+            continue
         subgraph = _scc_subgraph_with_cycles(graph, component)
         if subgraph is None:
             if not auto_concurrency:
@@ -409,7 +548,7 @@ def _throughput_body(
                 duration = times.get(actor, graph.actor(actor).execution_time)
                 if duration > 0:
                     rate = Fraction(1, duration * gamma[actor])
-                    rates[tuple(component)] = rate
+                    rates[key] = rate
                     if rate < overall:
                         overall = rate
             continue
@@ -424,7 +563,39 @@ def _throughput_body(
             max_states=max_states,
             budget=budget,
         )
-        result = engine.execute()
+        try:
+            result = engine.execute(
+                resume=engine_resume if index == resume_index else None
+            )
+        except BudgetExceededError as error:
+            error.partial["checkpoint"] = {
+                "format": "repro-checkpoint",
+                "version": 1,
+                "kind": "state-space",
+                "graph": graph_to_dict(graph),
+                "execution_times": execution_times,
+                "auto_concurrency": auto_concurrency,
+                "max_states": max_states,
+                "component_index": index,
+                "scc_rates": [
+                    [
+                        list(done),
+                        rate_to_str(rate),
+                        certificates.get(done),
+                    ]
+                    for done, rate in rates.items()
+                ],
+                "states": states,
+                "engine_state": error.partial.get("engine_state"),
+                "budget": {
+                    "states_charged": budget.states_charged,
+                    "checks_charged": budget.checks_charged,
+                    "elapsed": budget.elapsed(),
+                }
+                if budget is not None
+                else None,
+            }
+            raise
         states += result.states_explored
         representative = component[0]
         rate: Rate
@@ -432,7 +603,9 @@ def _throughput_body(
             rate = Fraction(0)
         else:
             rate = result.actor_throughput(representative) / gamma[representative]
-        rates[tuple(component)] = rate
+        rates[key] = rate
+        if result.certificate is not None:
+            certificates[key] = result.certificate
         if rate < overall:
             overall = rate
     if obs.enabled:
@@ -446,4 +619,5 @@ def _throughput_body(
         gamma=gamma,
         scc_rates=rates,
         states_explored=states,
+        certificates=certificates,
     )

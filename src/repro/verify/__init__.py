@@ -1,0 +1,62 @@
+"""Independent verification of allocation results (``repro.verify``).
+
+The allocator's outputs carry compact evidence — periodic-phase
+certificates emitted by the throughput engines and resource claims per
+tile — and this package checks that evidence without trusting the code
+that produced it: certificates are replayed with independently written
+semantics (:mod:`repro.verify.replay`), resource demands are re-summed
+from the declarations (:mod:`repro.verify.allocation`).
+
+Entry points:
+
+* :func:`certify_allocation` — certify a saved allocation bundle;
+* :func:`certify_flow` — certify a live flow result;
+* :func:`replay_certificate` / :func:`replay_self_timed` /
+  :func:`replay_constrained` — replay one certificate;
+* ``repro-alloc verify`` — the CLI front end (exit 0 certified,
+  4 refuted).
+
+See ``docs/VERIFICATION.md`` for formats and the trust model.
+"""
+
+from repro.verify.allocation import (
+    VERDICT_CERTIFIED,
+    VERDICT_REFUTED,
+    VERDICT_SOUND_LOWER_BOUND,
+    AllocationVerdict,
+    CertificationReport,
+    certify_allocation,
+    certify_flow,
+)
+from repro.verify.certificate import (
+    CERTIFICATE_FORMAT,
+    CERTIFICATE_VERSION,
+    CertificateFormatError,
+    validate_certificate,
+)
+from repro.verify.replay import (
+    RefutationError,
+    check_window_reachable,
+    replay_certificate,
+    replay_constrained,
+    replay_self_timed,
+)
+
+__all__ = [
+    "AllocationVerdict",
+    "CERTIFICATE_FORMAT",
+    "CERTIFICATE_VERSION",
+    "CertificateFormatError",
+    "CertificationReport",
+    "RefutationError",
+    "VERDICT_CERTIFIED",
+    "VERDICT_REFUTED",
+    "VERDICT_SOUND_LOWER_BOUND",
+    "certify_allocation",
+    "certify_flow",
+    "check_window_reachable",
+    "replay_certificate",
+    "replay_constrained",
+    "replay_self_timed",
+    "validate_certificate",
+]

@@ -1,0 +1,558 @@
+"""Independent certification of allocation bundles.
+
+:func:`certify_allocation` takes the plain-dict bundle written by
+``repro-alloc`` (``--save-allocation`` / :func:`bundle_to_dict`) and
+re-derives every guarantee the allocator claims, from scratch:
+
+* the application SDFG is consistent (a repetition vector exists, by
+  this module's own rate propagation);
+* the binding covers exactly the graph's actors and respects each
+  tile's resource 6-tuple — memory, NI connections, in/out bandwidth
+  and time slice are re-summed here, not read back from the library;
+* cross-tile channels have bandwidth and an existing connection;
+* the static-order schedules cover exactly the bound actors per tile
+  with repetition-vector multiplicity;
+* the per-tile slice claims fit the TDMA wheels *across the whole
+  bundle*, replaying the commits in order against the recorded
+  occupancy;
+* the claimed throughput meets the constraint and is backed by the
+  periodic-phase certificate, replayed by :mod:`repro.verify.replay`
+  against a freshly rebuilt binding-aware graph.
+
+Allocations produced by the degradation ladder's TDMA-inflation
+baseline carry no schedules and no certificate; their throughput comes
+from a worst-case model that never over-promises, so they receive the
+verdict ``"sound_lower_bound"`` (structural checks only) instead of
+``"certified"``.  Any failed check yields ``"refuted"`` plus reasons.
+
+Trust model: the checks share the repository's *data model* (graph and
+application parsing, binding-aware graph construction) with the
+allocator, but none of its *analysis* code — resource summation,
+repetition vectors, schedule accounting and the timing replay are all
+implemented independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import gcd
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import get_metrics
+from repro.verify.certificate import CertificateFormatError
+from repro.verify.replay import (
+    RefutationError,
+    check_window_reachable,
+    replay_constrained,
+)
+
+VERDICT_CERTIFIED = "certified"
+VERDICT_SOUND_LOWER_BOUND = "sound_lower_bound"
+VERDICT_REFUTED = "refuted"
+
+#: reservation claim key -> architecture tile capacity/occupancy keys
+_RESOURCE_KINDS: Tuple[Tuple[str, str, str], ...] = (
+    ("time_slice", "wheel", "wheel_occupied"),
+    ("memory", "memory", "memory_occupied"),
+    ("connections", "max_connections", "connections_occupied"),
+    ("bandwidth_in", "bandwidth_in", "bandwidth_in_occupied"),
+    ("bandwidth_out", "bandwidth_out", "bandwidth_out_occupied"),
+)
+
+
+@dataclass
+class AllocationVerdict:
+    """The verifier's judgement on one allocation of a bundle."""
+
+    application: str
+    rung: Optional[str]
+    verdict: str
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict != VERDICT_REFUTED
+
+
+@dataclass
+class CertificationReport:
+    """Per-allocation verdicts for one bundle."""
+
+    verdicts: List[AllocationVerdict] = field(default_factory=list)
+
+    @property
+    def certified(self) -> bool:
+        """True when no allocation was refuted."""
+        return all(verdict.ok for verdict in self.verdicts)
+
+    @property
+    def refuted(self) -> List[AllocationVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    def summary(self) -> str:
+        lines = []
+        for verdict in self.verdicts:
+            rung = f" [{verdict.rung}]" if verdict.rung else ""
+            lines.append(f"{verdict.application}{rung}: {verdict.verdict}")
+            for reason in verdict.reasons:
+                lines.append(f"  - {reason}")
+        return "\n".join(lines)
+
+
+def _repetition_vector(graph_data: Dict[str, Any]) -> Optional[Dict[str, int]]:
+    """Smallest positive integer repetition vector, or None if none exists.
+
+    Own implementation (rate propagation with exact fractions), used
+    instead of :mod:`repro.sdf.repetition` so the verifier does not
+    inherit its bugs.
+    """
+    actors = [entry["name"] for entry in graph_data.get("actors", [])]
+    if not actors or len(set(actors)) != len(actors):
+        return None
+    neighbours: Dict[str, List[Tuple[str, Fraction]]] = {
+        name: [] for name in actors
+    }
+    for channel in graph_data.get("channels", []):
+        src, dst = channel.get("src"), channel.get("dst")
+        production = channel.get("production", 0)
+        consumption = channel.get("consumption", 0)
+        if (
+            src not in neighbours
+            or dst not in neighbours
+            or production < 1
+            or consumption < 1
+        ):
+            return None
+        neighbours[src].append((dst, Fraction(production, consumption)))
+        neighbours[dst].append((src, Fraction(consumption, production)))
+    rates: Dict[str, Fraction] = {}
+    for root in actors:
+        if root in rates:
+            continue
+        rates[root] = Fraction(1)
+        stack = [root]
+        while stack:
+            actor = stack.pop()
+            for other, ratio in neighbours[actor]:
+                expected = rates[actor] * ratio
+                if other in rates:
+                    if rates[other] != expected:
+                        return None
+                else:
+                    rates[other] = expected
+                    stack.append(other)
+    scale = 1
+    for value in rates.values():
+        scale = scale * value.denominator // gcd(scale, value.denominator)
+    counts = {actor: int(value * scale) for actor, value in rates.items()}
+    common = 0
+    for value in counts.values():
+        common = gcd(common, value)
+    if common > 1:
+        counts = {actor: value // common for actor, value in counts.items()}
+    return counts
+
+
+def _check_entry(
+    entry: Dict[str, Any],
+    tiles: Dict[str, Dict[str, Any]],
+    connections: set,
+    occupancy: Dict[str, Dict[str, int]],
+    architecture_data: Dict[str, Any],
+) -> AllocationVerdict:
+    """All checks for one allocation; commits its claims to ``occupancy``."""
+    reasons: List[str] = []
+
+    def flag(message: str) -> None:
+        reasons.append(message)
+
+    app_data = entry.get("application") or {}
+    name = app_data.get("name", "<unnamed>")
+    rung = entry.get("rung")
+    graph_data = app_data.get("graph") or {}
+    actor_names = [a.get("name") for a in graph_data.get("actors", [])]
+
+    gamma = _repetition_vector(graph_data)
+    if gamma is None:
+        flag("application graph has no repetition vector (inconsistent)")
+
+    # -- binding covers exactly the graph's actors ---------------------
+    binding: Dict[str, str] = entry.get("binding") or {}
+    if set(binding) != set(actor_names):
+        flag("binding does not cover exactly the application's actors")
+    bad_tiles = sorted(
+        {tile for tile in binding.values() if tile not in tiles}
+    )
+    if bad_tiles:
+        flag(f"binding targets unknown tiles {bad_tiles}")
+    if reasons:
+        return AllocationVerdict(name, rung, VERDICT_REFUTED, reasons)
+
+    used = []
+    for actor, tile in binding.items():
+        if tile not in used:
+            used.append(tile)
+    bound_on: Dict[str, List[str]] = {tile: [] for tile in used}
+    for actor in actor_names:  # graph order, like the binder
+        bound_on[binding[actor]].append(actor)
+
+    # -- per-tile resource demand, re-summed from the declarations -----
+    requirements = app_data.get("actors") or {}
+    channel_reqs = app_data.get("channels") or {}
+    demand = {
+        tile: {
+            "memory": 0,
+            "connections": 0,
+            "bandwidth_in": 0,
+            "bandwidth_out": 0,
+        }
+        for tile in used
+    }
+    for tile in used:
+        processor = tiles[tile].get("processor_type")
+        for actor in bound_on[tile]:
+            option = (requirements.get(actor) or {}).get(processor)
+            if option is None:
+                flag(
+                    f"actor {actor!r} cannot run on processor type "
+                    f"{processor!r} of tile {tile!r}"
+                )
+                continue
+            demand[tile]["memory"] += int(option.get("memory", 0))
+    for channel in graph_data.get("channels", []):
+        req = channel_reqs.get(channel["name"]) or {}
+        token_size = int(req.get("token_size", 1))
+        bandwidth = int(req.get("bandwidth", 0))
+        src_tile = binding[channel["src"]]
+        dst_tile = binding[channel["dst"]]
+        if src_tile == dst_tile:
+            demand[src_tile]["memory"] += (
+                int(req.get("buffer_tile", 0)) * token_size
+            )
+            continue
+        demand[src_tile]["memory"] += (
+            int(req.get("buffer_src", 0)) * token_size
+        )
+        demand[dst_tile]["memory"] += (
+            int(req.get("buffer_dst", 0)) * token_size
+        )
+        demand[src_tile]["connections"] += 1
+        demand[dst_tile]["connections"] += 1
+        demand[src_tile]["bandwidth_out"] += bandwidth
+        demand[dst_tile]["bandwidth_in"] += bandwidth
+        if bandwidth < 1:
+            flag(
+                f"channel {channel['name']!r} crosses tiles without "
+                "bandwidth (beta = 0)"
+            )
+        if (src_tile, dst_tile) not in connections:
+            flag(
+                f"channel {channel['name']!r} needs a connection "
+                f"{src_tile!r} -> {dst_tile!r} that does not exist"
+            )
+
+    # -- claims cover the demand and fit the remaining capacity --------
+    slices: Dict[str, int] = {
+        tile: int(size) for tile, size in (entry.get("slices") or {}).items()
+    }
+    claims: Dict[str, Dict[str, int]] = {
+        tile: {key: int(value) for key, value in claim.items()}
+        for tile, claim in (entry.get("reservation") or {}).items()
+    }
+    if set(claims) != set(used):
+        flag("reservation does not claim exactly the used tiles")
+    if set(slices) != set(used):
+        flag("slice table does not cover exactly the used tiles")
+    for tile in used:
+        claim = claims.get(tile)
+        if claim is None:
+            continue
+        size = slices.get(tile, 0)
+        if size < 1:
+            flag(f"tile {tile!r}: empty time slice")
+        if claim.get("time_slice", 0) != size:
+            flag(
+                f"tile {tile!r}: reserved time slice "
+                f"{claim.get('time_slice', 0)} does not match the slice "
+                f"table ({size})"
+            )
+        for kind in ("memory", "connections", "bandwidth_in", "bandwidth_out"):
+            if claim.get(kind, 0) < demand[tile][kind]:
+                flag(
+                    f"tile {tile!r}: {kind} claim {claim.get(kind, 0)} "
+                    f"below the re-computed demand {demand[tile][kind]}"
+                )
+    # commit the claims in bundle order even when refuted: later
+    # allocations are judged against the occupancy the bundle asserts
+    for tile, claim in claims.items():
+        if tile not in tiles:
+            flag(f"reservation claims unknown tile {tile!r}")
+            continue
+        for claim_key, capacity_key, _ in _RESOURCE_KINDS:
+            occupancy[tile][capacity_key] += claim.get(claim_key, 0)
+            if occupancy[tile][capacity_key] > tiles[tile].get(
+                capacity_key, 0
+            ):
+                flag(
+                    f"tile {tile!r}: committed {capacity_key} "
+                    f"{occupancy[tile][capacity_key]} exceeds capacity "
+                    f"{tiles[tile].get(capacity_key, 0)}"
+                )
+
+    # -- schedules: exactly the bound actors, gamma multiplicity -------
+    schedules: Dict[str, Any] = entry.get("schedules") or {}
+    if schedules:
+        if set(schedules) != set(used):
+            flag("schedules do not cover exactly the used tiles")
+        for tile, schedule in schedules.items():
+            expected = set(bound_on.get(tile, ()))
+            periodic = list((schedule or {}).get("periodic") or [])
+            transient = list((schedule or {}).get("transient") or [])
+            if not periodic:
+                flag(f"tile {tile!r}: empty periodic schedule")
+                continue
+            if set(periodic) != expected or not set(transient) <= expected:
+                flag(
+                    f"tile {tile!r}: schedule does not cover exactly the "
+                    "actors bound to it"
+                )
+                continue
+            if gamma is None:
+                continue
+            counts = {actor: periodic.count(actor) for actor in expected}
+            anchor = periodic[0]
+            for actor, count in counts.items():
+                if count * gamma[anchor] != counts[anchor] * gamma[actor]:
+                    flag(
+                        f"tile {tile!r}: periodic schedule fires "
+                        f"{actor!r} {count}x, not in repetition-vector "
+                        "proportion"
+                    )
+
+    # -- throughput claim ----------------------------------------------
+    claimed: Optional[Fraction] = None
+    constraint: Optional[Fraction] = None
+    try:
+        claimed = Fraction(entry.get("achieved_throughput", ""))
+        constraint = Fraction(app_data.get("throughput_constraint", "0"))
+    except (TypeError, ValueError, ZeroDivisionError):
+        flag("unreadable throughput claim or constraint")
+    if claimed is not None and constraint is not None and claimed < constraint:
+        flag(
+            f"claimed throughput {claimed} is below the constraint "
+            f"{constraint}"
+        )
+    output_actor = app_data.get("output_actor")
+    if output_actor not in set(actor_names):
+        flag(f"output actor {output_actor!r} is not in the graph")
+
+    if not schedules:
+        # TDMA-inflation baseline: no schedule, no certificate — the
+        # claim rests on the worst-case model, a sound lower bound
+        if entry.get("certificate") is not None:
+            flag("schedule-less allocation carries a certificate")
+        verdict = VERDICT_REFUTED if reasons else VERDICT_SOUND_LOWER_BOUND
+        return AllocationVerdict(name, rung, verdict, reasons)
+
+    # -- certificate replay --------------------------------------------
+    obs = get_metrics()
+    certificate = entry.get("certificate")
+    if certificate is None:
+        flag("allocation claims a scheduled throughput but has no certificate")
+        return AllocationVerdict(name, rung, VERDICT_REFUTED, reasons)
+    obs.counter("verify.certificates_checked")
+    try:
+        rate = _replay_allocation_certificate(
+            entry, certificate, architecture_data, used, slices, tiles
+        )
+    except (RefutationError, CertificateFormatError) as error:
+        obs.counter("verify.certificates_refuted")
+        flag(f"certificate refuted: {error}")
+        return AllocationVerdict(name, rung, VERDICT_REFUTED, reasons)
+    if claimed is not None and rate is not None and claimed > rate:
+        obs.counter("verify.certificates_refuted")
+        flag(
+            f"claimed throughput {claimed} exceeds the certificate's "
+            f"replayed rate {rate}"
+        )
+    verdict = VERDICT_REFUTED if reasons else VERDICT_CERTIFIED
+    return AllocationVerdict(name, rung, verdict, reasons)
+
+
+def _replay_allocation_certificate(
+    entry: Dict[str, Any],
+    certificate: Dict[str, Any],
+    architecture_data: Dict[str, Any],
+    used: List[str],
+    slices: Dict[str, int],
+    tiles: Dict[str, Dict[str, Any]],
+) -> Optional[Fraction]:
+    """Match the certificate against a rebuilt binding-aware graph and
+    replay it; returns the replayed rate of the output actor.
+
+    Raises :class:`RefutationError` on any mismatch.  Only the *data
+    model* (graph construction) is shared with the allocator here; all
+    timing arithmetic lives in :mod:`repro.verify.replay`.
+    """
+    # deferred imports keep repro.verify importable without the full
+    # allocator stack loaded
+    from repro.appmodel.binding import Binding
+    from repro.appmodel.binding_aware import (
+        InfeasibleBindingError,
+        build_binding_aware_graph,
+    )
+    from repro.appmodel.serialization import application_from_dict
+    from repro.arch.serialization import architecture_from_dict
+    from repro.sdf.serialization import SerializationError
+
+    try:
+        application = application_from_dict(entry["application"])
+        architecture = architecture_from_dict(architecture_data)
+        binding = Binding(dict(entry["binding"]))
+        bag = build_binding_aware_graph(
+            application, architecture, binding, slices=dict(slices)
+        )
+    except (
+        SerializationError,
+        InfeasibleBindingError,
+        KeyError,
+        ValueError,
+    ) as error:
+        raise RefutationError(
+            f"cannot rebuild the binding-aware graph: {error}"
+        ) from error
+
+    graph = bag.graph
+    if certificate.get("kind") != "constrained":
+        raise RefutationError(
+            f"expected a constrained certificate, got "
+            f"{certificate.get('kind')!r}"
+        )
+    if list(certificate.get("actors", [])) != list(graph.actor_names):
+        raise RefutationError(
+            "certificate actors do not match the binding-aware graph"
+        )
+    if list(certificate.get("channels", [])) != list(graph.channel_names):
+        raise RefutationError(
+            "certificate channels do not match the binding-aware graph"
+        )
+    expected_times = [
+        graph.actor(actor).execution_time for actor in graph.actor_names
+    ]
+    if list(certificate.get("execution_times", [])) != expected_times:
+        raise RefutationError(
+            "certificate execution times do not match the binding-aware "
+            "graph (wrong processor assignment or slice table)"
+        )
+
+    cert_tiles = {
+        tile.get("name"): tile for tile in certificate.get("tiles", [])
+    }
+    if set(cert_tiles) != set(used):
+        raise RefutationError(
+            "certificate tiles do not match the tiles the binding uses"
+        )
+    schedules = entry.get("schedules") or {}
+    for tile_name in used:
+        cert_tile = cert_tiles[tile_name]
+        schedule = schedules.get(tile_name) or {}
+        if cert_tile.get("wheel") != tiles[tile_name].get("wheel"):
+            raise RefutationError(
+                f"tile {tile_name!r}: certificate wheel differs from the "
+                "architecture"
+            )
+        if cert_tile.get("slice_size") != slices.get(tile_name):
+            raise RefutationError(
+                f"tile {tile_name!r}: certificate slice differs from the "
+                "allocation's slice table"
+            )
+        if list(cert_tile.get("periodic", [])) != list(
+            schedule.get("periodic") or []
+        ) or list(cert_tile.get("transient", [])) != list(
+            schedule.get("transient") or []
+        ):
+            raise RefutationError(
+                f"tile {tile_name!r}: certificate schedule differs from "
+                "the allocation's static order"
+            )
+
+    topology = {
+        name: {
+            "src": graph.channel(name).src,
+            "dst": graph.channel(name).dst,
+            "production": graph.channel(name).production,
+            "consumption": graph.channel(name).consumption,
+            "tokens": graph.channel(name).tokens,
+        }
+        for name in graph.channel_names
+    }
+    replayed = replay_constrained(certificate, topology)
+    check_window_reachable(certificate, topology)
+    output = entry["application"].get("output_actor")
+    return Fraction(
+        replayed["firings"].get(output, 0), replayed["period"]
+    )
+
+
+def certify_allocation(bundle: Dict[str, Any]) -> CertificationReport:
+    """Certify every allocation of a bundle (plain-dict form).
+
+    ``bundle`` is the document :func:`repro.appmodel.serialization.
+    bundle_to_dict` writes: the architecture *before* the flow committed
+    anything, plus the committed allocations in order.  Returns a
+    :class:`CertificationReport`; ``report.certified`` is False as soon
+    as one allocation is refuted.
+    """
+    from repro.appmodel.serialization import bundle_from_dict
+
+    bundle = bundle_from_dict(bundle)
+    obs = get_metrics()
+    architecture_data = bundle.get("architecture") or {}
+    tiles = {
+        tile.get("name"): tile
+        for tile in architecture_data.get("tiles", [])
+    }
+    connections = {
+        (link.get("src"), link.get("dst"))
+        for link in architecture_data.get("connections", [])
+    }
+    # running occupancy, seeded with what the platform already carried
+    occupancy = {
+        name: {
+            capacity_key: int(tile.get(occupied_key, 0))
+            for _, capacity_key, occupied_key in _RESOURCE_KINDS
+        }
+        for name, tile in tiles.items()
+    }
+    report = CertificationReport()
+    for entry in bundle.get("allocations", []):
+        verdict = _check_entry(
+            entry, tiles, connections, occupancy, architecture_data
+        )
+        report.verdicts.append(verdict)
+        if verdict.verdict == VERDICT_CERTIFIED:
+            obs.counter("verify.allocations_certified")
+        elif verdict.verdict == VERDICT_SOUND_LOWER_BOUND:
+            obs.counter("verify.allocations_sound_lower_bound")
+        else:
+            obs.counter("verify.allocations_refuted")
+    return report
+
+
+def certify_flow(architecture, result) -> CertificationReport:
+    """Certify a live :class:`~repro.core.flow.FlowResult`.
+
+    ``architecture`` must be the architecture *before* the flow ran
+    (e.g. a copy taken beforehand); the flow mutates the one it is given.
+    Serialises to the bundle form and delegates to
+    :func:`certify_allocation`, so live results and reloaded files take
+    the identical code path.
+    """
+    from repro.appmodel.serialization import bundle_to_dict
+
+    return certify_allocation(
+        bundle_to_dict(
+            architecture, result.allocations, rungs=result.rungs
+        )
+    )

@@ -249,6 +249,93 @@ def test_flow_isolates_mid_commit_fault():
     assert result.applications_bound == 1
 
 
+# -- checkpoint fault points ----------------------------------------------
+
+
+def _payload(**extra):
+    return {
+        "format": "repro-checkpoint",
+        "version": 1,
+        "kind": "state-space",
+        **extra,
+    }
+
+
+def test_fault_mid_checkpoint_write_preserves_the_previous_file(tmp_path):
+    """A crash between the temp write and the atomic rename must leave
+    the previous complete checkpoint untouched — and no temp debris."""
+    from repro.resilience.checkpoint import read_checkpoint, write_checkpoint
+
+    path = str(tmp_path / "ck.json")
+    write_checkpoint(path, _payload(generation=1))
+    spec = FaultSpec(point="checkpoint.write", error="runtime")
+    with FaultInjector(specs=[spec]) as injector:
+        with pytest.raises(InjectedFaultError):
+            write_checkpoint(path, _payload(generation=2))
+    assert injector.injected[0][2]["path"] == path
+    assert read_checkpoint(path)["generation"] == 1
+    assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+
+def test_fault_on_first_checkpoint_write_leaves_no_file(tmp_path):
+    from repro.resilience.checkpoint import write_checkpoint
+
+    path = str(tmp_path / "ck.json")
+    spec = FaultSpec(point="checkpoint.write", error="runtime")
+    with FaultInjector(specs=[spec]):
+        with pytest.raises(InjectedFaultError):
+            write_checkpoint(path, _payload())
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_fault_on_checkpoint_read_is_injectable(tmp_path):
+    from repro.resilience.checkpoint import read_checkpoint, write_checkpoint
+
+    path = str(tmp_path / "ck.json")
+    write_checkpoint(path, _payload())
+    spec = FaultSpec(point="checkpoint.read", error="runtime")
+    with FaultInjector(specs=[spec]) as injector:
+        with pytest.raises(InjectedFaultError):
+            read_checkpoint(path)
+    assert injector.injected[0][2]["path"] == path
+    read_checkpoint(path)  # unharmed once the fault is gone
+
+
+def test_flow_checkpoint_crash_leaves_resumable_state(tmp_path):
+    """Crashing the flow checkpoint write after the second commit leaves
+    the first commit's checkpoint on disk, and resuming from it redoes
+    only the uncommitted work."""
+    from repro.resilience.checkpoint import read_checkpoint
+
+    def named_apps():
+        apps = [paper_example_application(), paper_example_application()]
+        for index, app in enumerate(apps):
+            # the flow's completed-set is keyed by name
+            app.name = app.graph.name = f"flow-app-{index}"
+        return apps
+
+    path = str(tmp_path / "flow.json")
+    spec = FaultSpec(point="checkpoint.write", error="runtime", after=1)
+    with FaultInjector(specs=[spec]):
+        with pytest.raises(InjectedFaultError):
+            allocate_until_failure(
+                paper_example_architecture(),
+                named_apps(),
+                checkpoint_path=path,
+            )
+    on_disk = read_checkpoint(path)
+    assert on_disk["kind"] == "flow"
+    assert len(on_disk["allocations"]) == 1
+    resumed = allocate_until_failure(
+        paper_example_architecture(),
+        named_apps(),
+        checkpoint_path=path,
+        resume=path,
+    )
+    assert resumed.applications_bound == 2
+    assert len(read_checkpoint(path)["allocations"]) == 2
+
+
 def test_degraded_flow_survives_randomised_faults():
     """Seeded soak: random explosions must never lose an application
     when degradation is on — only efficiency may suffer."""

@@ -1,0 +1,417 @@
+"""Independent allocation certification (``make test-verify``).
+
+The verifier (:mod:`repro.verify`) must certify everything the
+allocator legitimately produces — the paper example, multi-application
+flows, every degradation-ladder rung — and refute any tampering with
+the claims: inflated throughput, shrunken resource claims, reordered
+schedules, forged certificates.
+"""
+
+import copy
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import paper_example
+from repro.appmodel.serialization import bundle_to_dict, bundle_to_json
+from repro.core.strategy import ResourceAllocator
+from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.resilience.policy import (
+    resilient_allocate,
+    tdma_baseline_allocate,
+)
+from repro.verify import (
+    VERDICT_CERTIFIED,
+    VERDICT_REFUTED,
+    VERDICT_SOUND_LOWER_BOUND,
+    CertificateFormatError,
+    certify_allocation,
+    certify_flow,
+    replay_certificate,
+    validate_certificate,
+)
+
+
+@pytest.fixture(scope="module")
+def example_bundle():
+    """The paper example's allocation as a JSON-round-tripped bundle."""
+    application, architecture, _ = paper_example()
+    allocation = ResourceAllocator().allocate(application, architecture)
+    bundle = bundle_to_dict(architecture, [allocation])
+    return json.loads(json.dumps(bundle))
+
+
+def _mutated(bundle, mutate):
+    clone = copy.deepcopy(bundle)
+    mutate(clone["allocations"][0], clone)
+    return clone
+
+
+def _verdict(bundle):
+    report = certify_allocation(bundle)
+    assert len(report.verdicts) == len(bundle["allocations"])
+    return report.verdicts[0]
+
+
+# -- legitimate outputs certify --------------------------------------------
+
+
+def test_paper_example_is_certified(example_bundle):
+    report = certify_allocation(example_bundle)
+    assert report.certified
+    assert not report.refuted
+    assert report.verdicts[0].verdict == VERDICT_CERTIFIED
+    assert "certified" in report.summary()
+
+
+def test_certify_flow_on_live_result():
+    from repro.arch.presets import benchmark_architectures
+    from repro.arch.serialization import (
+        architecture_from_dict,
+        architecture_to_dict,
+    )
+    from repro.core.flow import allocate_until_failure
+    from repro.generate.benchmark import generate_benchmark_set
+
+    architecture = benchmark_architectures()[0]
+    pre_flow = architecture_from_dict(architecture_to_dict(architecture))
+    applications = generate_benchmark_set(
+        "mixed", 3, architecture.processor_types(), seed=0
+    )
+    result = allocate_until_failure(architecture, applications)
+    assert result.applications_bound == 3
+    report = certify_flow(pre_flow, result)
+    assert report.certified
+    assert all(v.verdict == VERDICT_CERTIFIED for v in report.verdicts)
+
+
+@pytest.mark.parametrize(
+    "failures,expected_rung",
+    [(0, "exact"), (1, "no-refinement"), (2, "capped-search")],
+)
+def test_every_strategy_rung_output_certifies(failures, expected_rung):
+    """Each ladder rung's allocation must hold up to independent replay."""
+    application, architecture, _ = paper_example()
+    if failures:
+        spec = FaultSpec(
+            point="scheduling.build", error="explosion", times=failures
+        )
+        with FaultInjector(specs=[spec]):
+            result = resilient_allocate(application, architecture)
+        assert result.rung == expected_rung
+        allocation, rung = result.allocation, result.rung
+    else:
+        allocation = ResourceAllocator().allocate(application, architecture)
+        rung = None
+    bundle = json.loads(
+        json.dumps(bundle_to_dict(architecture, [allocation], rungs=[rung]))
+    )
+    verdict = _verdict(bundle)
+    assert verdict.verdict == VERDICT_CERTIFIED, verdict.reasons
+
+
+def test_tdma_baseline_is_a_sound_lower_bound():
+    """The baseline rung has no schedules, hence no certificate: its
+    throughput claim is conservative by construction, not replayable."""
+    application, architecture, _ = paper_example()
+    allocation = tdma_baseline_allocate(
+        application, architecture, ResourceAllocator()
+    )
+    bundle = json.loads(
+        json.dumps(
+            bundle_to_dict(architecture, [allocation], rungs=["tdma-baseline"])
+        )
+    )
+    verdict = _verdict(bundle)
+    assert verdict.verdict == VERDICT_SOUND_LOWER_BOUND
+    assert not certify_allocation(bundle).refuted
+
+
+# -- tampering is refuted ---------------------------------------------------
+
+
+def test_refutes_inflated_throughput_claim(example_bundle):
+    def mutate(entry, bundle):
+        entry["achieved_throughput"] = str(
+            Fraction(entry["achieved_throughput"]) * 2
+        )
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+    assert any("exceeds" in reason for reason in verdict.reasons)
+
+
+def test_refutes_slice_sum_overflowing_the_wheel(example_bundle):
+    def mutate(entry, bundle):
+        tile = next(iter(entry["slices"]))
+        wheel = next(
+            t["wheel"]
+            for t in bundle["architecture"]["tiles"]
+            if t["name"] == tile
+        )
+        entry["slices"][tile] = wheel + 1
+        entry["reservation"][tile]["time_slice"] = wheel + 1
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+
+
+def test_refutes_reservation_slice_mismatch(example_bundle):
+    def mutate(entry, bundle):
+        tile = next(iter(entry["slices"]))
+        entry["reservation"][tile]["time_slice"] = (
+            entry["slices"][tile] - 1
+        )
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+
+
+def test_refutes_inadmissible_schedule_order(example_bundle):
+    def mutate(entry, bundle):
+        for tile, schedule in entry["schedules"].items():
+            if len(schedule["periodic"]) >= 2:
+                schedule["periodic"] = list(reversed(schedule["periodic"]))
+                return
+        pytest.skip("no multi-actor schedule in the example allocation")
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+
+
+def test_refutes_corrupted_certificate_tokens(example_bundle):
+    def mutate(entry, bundle):
+        entry["certificate"]["tokens"] = [
+            count + 1 for count in entry["certificate"]["tokens"]
+        ]
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+
+
+def test_refutes_shortened_period_with_same_firings(example_bundle):
+    def mutate(entry, bundle):
+        certificate = entry["certificate"]
+        certificate["period"] = max(1, certificate["period"] // 2)
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+
+
+def test_refutes_memory_claim_below_demand(example_bundle):
+    def mutate(entry, bundle):
+        for tile, claim in entry["reservation"].items():
+            if claim["memory"] > 0:
+                claim["memory"] = claim["memory"] - 1
+                return
+        pytest.skip("no memory demand in the example allocation")
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+
+
+def test_refutes_binding_to_unknown_tile(example_bundle):
+    def mutate(entry, bundle):
+        actor = next(iter(entry["binding"]))
+        entry["binding"][actor] = "no-such-tile"
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+
+
+def test_refutes_dropped_certificate(example_bundle):
+    """Schedules present but no certificate: nothing vouches for the
+    claimed rate, so the entry cannot certify."""
+
+    def mutate(entry, bundle):
+        entry["certificate"] = None
+
+    verdict = _verdict(_mutated(example_bundle, mutate))
+    assert verdict.verdict == VERDICT_REFUTED
+
+
+# -- certificate primitives -------------------------------------------------
+
+
+def test_validate_certificate_accepts_engine_output(example_bundle):
+    certificate = example_bundle["allocations"][0]["certificate"]
+    assert validate_certificate(certificate) is certificate
+
+
+def test_validate_certificate_rejects_malformed(example_bundle):
+    certificate = copy.deepcopy(
+        example_bundle["allocations"][0]["certificate"]
+    )
+    certificate["period"] = 0
+    with pytest.raises(CertificateFormatError):
+        validate_certificate(certificate)
+    with pytest.raises(CertificateFormatError):
+        validate_certificate({"format": "wrong"})
+
+
+def test_replay_self_timed_certificate():
+    """A multirate cycle's engine certificate replays to its exact rate."""
+    from repro.sdf.graph import SDFGraph
+    from repro.throughput.state_space import throughput
+
+    graph = SDFGraph("multirate")
+    graph.add_actor("a", 1)
+    graph.add_actor("b", 2)
+    graph.add_channel("ab", "a", "b", production=2, consumption=3)
+    graph.add_channel("ba", "b", "a", production=3, consumption=2, tokens=6)
+    result = throughput(graph)
+    assert result.certificates
+    topology = {
+        channel.name: {
+            "src": channel.src,
+            "dst": channel.dst,
+            "production": channel.production,
+            "consumption": channel.consumption,
+            "tokens": channel.tokens,
+        }
+        for channel in graph.channels
+    }
+    for component, certificate in result.certificates.items():
+        replayed = replay_certificate(
+            json.loads(json.dumps(certificate)), topology
+        )
+        for actor in component:
+            assert (
+                Fraction(replayed["firings"][actor], replayed["period"])
+                == result.of(actor)
+            )
+
+
+# -- observability ----------------------------------------------------------
+
+
+def test_verifier_threads_obs_metrics(example_bundle):
+    from repro.obs import collecting
+
+    with collecting() as metrics:
+        certify_allocation(example_bundle)
+        certify_allocation(
+            _mutated(
+                example_bundle,
+                lambda entry, bundle: entry["certificate"].update(
+                    {"period": 1}
+                ),
+            )
+        )
+        counters = metrics.snapshot()["counters"]
+    assert counters["verify.certificates_checked"] == 2
+    assert counters["verify.certificates_refuted"] == 1
+    assert counters["verify.allocations_certified"] == 1
+    assert counters["verify.allocations_refuted"] == 1
+
+
+def test_checkpoint_paths_thread_obs_metrics(tmp_path):
+    from repro.generate.random_sdf import random_sdfg
+    from repro.obs import collecting
+    from repro.resilience.budget import Budget, BudgetExceededError
+    from repro.resilience.checkpoint import (
+        resume_from_checkpoint,
+        write_checkpoint,
+    )
+    from repro.throughput.state_space import throughput
+
+    import random
+
+    checkpoint = None
+    for seed in range(1, 50):
+        graph = random_sdfg(rng=random.Random(seed), name=f"g{seed}")
+        try:
+            throughput(graph, budget=Budget(max_states=2))
+        except BudgetExceededError as error:
+            checkpoint = error.partial["checkpoint"]
+            break
+    assert checkpoint is not None
+    path = str(tmp_path / "ck.json")
+    with collecting() as metrics:
+        write_checkpoint(path, checkpoint)
+        resume_from_checkpoint(path)
+        counters = metrics.snapshot()["counters"]
+    assert counters["checkpoint.writes"] == 1
+    assert counters["checkpoint.bytes"] > 0
+    assert counters["checkpoint.reads"] == 1
+    assert counters["checkpoint.resumes"] == 1
+
+
+# -- CLI exit codes ---------------------------------------------------------
+
+
+def _corruptions():
+    """Named tampering recipes; each must drive the CLI to exit 4."""
+
+    def inflate_throughput(entry):
+        entry["achieved_throughput"] = str(
+            Fraction(entry["achieved_throughput"]) * 2
+        )
+
+    def overflow_slice_sum(entry):
+        tile = next(iter(entry["slices"]))
+        entry["slices"][tile] += 1000
+        entry["reservation"][tile]["time_slice"] += 1000
+
+    def reorder_schedule(entry):
+        for schedule in entry["schedules"].values():
+            if len(schedule["periodic"]) >= 2:
+                schedule["periodic"] = list(reversed(schedule["periodic"]))
+                return
+        raise AssertionError("example has no multi-actor schedule")
+
+    def forge_certificate_tokens(entry):
+        entry["certificate"]["tokens"] = [
+            count + 1 for count in entry["certificate"]["tokens"]
+        ]
+
+    def shrink_memory_claim(entry):
+        for claim in entry["reservation"].values():
+            if claim["memory"] > 0:
+                claim["memory"] -= 1
+                return
+        raise AssertionError("example claims no memory")
+
+    def halve_certificate_period(entry):
+        entry["certificate"]["period"] = max(
+            1, entry["certificate"]["period"] // 2
+        )
+
+    return [
+        ("inflated-throughput", inflate_throughput),
+        ("slice-sum-overflow", overflow_slice_sum),
+        ("schedule-reorder", reorder_schedule),
+        ("forged-cert-tokens", forge_certificate_tokens),
+        ("shrunken-memory", shrink_memory_claim),
+        ("halved-cert-period", halve_certificate_period),
+    ]
+
+
+def test_cli_verify_certifies_the_paper_example(tmp_path):
+    from repro.cli import main
+
+    application, architecture, _ = paper_example()
+    allocation = ResourceAllocator().allocate(application, architecture)
+    good = tmp_path / "good.json"
+    good.write_text(bundle_to_json(architecture, [allocation]))
+    assert main(["verify", str(good)]) == 0
+
+    not_a_bundle = tmp_path / "nope.json"
+    not_a_bundle.write_text("{}")
+    assert main(["verify", str(not_a_bundle)]) == 2
+
+
+@pytest.mark.parametrize(
+    "name,corrupt", _corruptions(), ids=[n for n, _ in _corruptions()]
+)
+def test_cli_verify_refutes_corrupted_bundles(
+    tmp_path, example_bundle, name, corrupt
+):
+    from repro.cli import main
+
+    bundle = copy.deepcopy(example_bundle)
+    corrupt(bundle["allocations"][0])
+    bad = tmp_path / f"{name}.json"
+    bad.write_text(json.dumps(bundle))
+    assert main(["verify", str(bad)]) == 4
