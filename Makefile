@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-robustness test-verify bench bench-full experiments examples clean
+.PHONY: install test test-fast test-robustness test-verify bench bench-tables bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,7 +23,13 @@ test-robustness:
 test-verify:
 	$(PYTHON) -m pytest tests/test_checkpoint.py tests/test_verify.py
 
+# Curated perf workloads, checked against the committed baseline
+# (BENCH_seed.json); a deterministic regression exits 5.
 bench:
+	$(PYTHON) -m repro.cli bench --label run --compare BENCH_seed.json
+
+# pytest-benchmark tables reproducing the paper's result tables.
+bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # The paper's full grid: 3 sequences x 3 architecture variants.

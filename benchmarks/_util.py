@@ -1,4 +1,15 @@
-"""Plain-text table formatting shared by the benchmark reports."""
+"""Plain-text table formatting shared by the benchmark reports.
+
+With ``REPRO_BENCH_JSON=PATH`` set, every formatted table is also
+appended to ``PATH`` as one JSON line (``{"title", "headers", "rows"}``),
+so the paper-table benchmarks leave a machine-readable record next to
+their console output.  The curated perf trajectory lives elsewhere:
+``repro-alloc bench`` writes schema-versioned ``BENCH_<label>.json``
+run reports (see ``docs/OBSERVABILITY.md``).
+"""
+
+import json
+import os
 
 
 def format_table(headers, rows, title=""):
@@ -12,4 +23,18 @@ def format_table(headers, rows, title=""):
     lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
     for row in rows:
         lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    _record_json(headers, rows, title)
     return "\n".join(lines)
+
+
+def _record_json(headers, rows, title):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    record = {
+        "title": title,
+        "headers": [str(h) for h in headers],
+        "rows": [[str(c) for c in row] for row in rows],
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record) + "\n")

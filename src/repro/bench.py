@@ -1,0 +1,242 @@
+"""Curated benchmark harness behind ``repro-alloc bench``.
+
+The harness runs a fixed set of workloads — the paper's running example
+(fig. 5), the classic DSP models, the H.263 decoder and a seeded
+random-SDFG allocation flow — with instrumentation enabled, and emits
+one ``BENCH_<label>.json`` file in the schema-versioned run-report
+format of :mod:`repro.obs.report`.  Each workload records
+
+* ``wall_seconds`` — machine-dependent, compared only against a ratio
+  threshold (CI boxes are noisy);
+* ``states_explored`` / ``throughput_checks`` — deterministic engine
+  work counters, compared exactly: any increase is a regression;
+* ``facts`` — deterministic result values (throughputs, applications
+  bound), compared exactly: any difference is a correctness regression.
+
+:func:`compare_reports` implements the thresholded regression check
+used by ``bench --compare`` (exit code 5 on a hard regression) and the
+CI bench job (see ``.github/workflows/ci.yml`` and ``make bench``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import Metrics, collecting
+from repro.obs.report import build_report
+
+#: wall-time slack factor: ``new > old * DEFAULT_MAX_TIME_RATIO`` warns
+DEFAULT_MAX_TIME_RATIO = 2.0
+
+__all__ = [
+    "DEFAULT_MAX_TIME_RATIO",
+    "ComparisonResult",
+    "compare_reports",
+    "run_bench",
+    "workload_names",
+]
+
+
+def _bench_fig5(fast: bool, seed: int) -> Dict[str, Any]:
+    from repro.appmodel.example import (
+        paper_example_application,
+        paper_example_architecture,
+    )
+    from repro.core.strategy import ResourceAllocator
+
+    allocation = ResourceAllocator().allocate(
+        paper_example_application(), paper_example_architecture()
+    )
+    return {
+        "achieved_throughput": str(allocation.achieved_throughput),
+        "throughput_checks": allocation.throughput_checks,
+        "tiles_used": len(allocation.binding.used_tiles()),
+    }
+
+
+def _bench_classic(fast: bool, seed: int) -> Dict[str, Any]:
+    from repro.generate.classic import (
+        modem,
+        samplerate_converter,
+        satellite_receiver,
+    )
+    from repro.throughput.state_space import throughput
+
+    facts: Dict[str, Any] = {}
+    for application in (samplerate_converter(), modem(), satellite_receiver()):
+        result = throughput(application.graph)
+        facts[application.graph.name] = {
+            "iteration_rate": str(result.iteration_rate),
+            "states": result.states_explored,
+        }
+    return facts
+
+
+def _bench_h263(fast: bool, seed: int) -> Dict[str, Any]:
+    from repro.generate.multimedia import h263_decoder
+    from repro.throughput.state_space import throughput
+
+    result = throughput(h263_decoder().graph)
+    return {
+        "iteration_rate": str(result.iteration_rate),
+        "states": result.states_explored,
+    }
+
+
+def _bench_random_flow(fast: bool, seed: int) -> Dict[str, Any]:
+    from repro.arch.presets import benchmark_architectures
+    from repro.core.flow import allocate_until_failure
+    from repro.core.tile_cost import CostWeights
+    from repro.generate.benchmark import generate_benchmark_set
+
+    architecture = benchmark_architectures()[0]
+    applications = generate_benchmark_set(
+        "mixed",
+        4 if fast else 12,
+        architecture.processor_types(),
+        seed=seed,
+    )
+    result = allocate_until_failure(
+        architecture,
+        applications,
+        weights=CostWeights(0.0, 1.0, 2.0),
+        continue_after_failure=not fast,
+    )
+    return {
+        "applications_bound": result.applications_bound,
+        "throughput_checks": result.total_throughput_checks,
+        "failed_application": result.failed_application,
+    }
+
+
+#: name -> workload body; bodies return the deterministic ``facts`` dict
+_WORKLOADS: Tuple[Tuple[str, Callable[[bool, int], Dict[str, Any]]], ...] = (
+    ("fig5-example", _bench_fig5),
+    ("classic-models", _bench_classic),
+    ("h263-analysis", _bench_h263),
+    ("random-flow", _bench_random_flow),
+)
+
+
+def workload_names() -> List[str]:
+    """The curated workload labels, in run order."""
+    return [name for name, _ in _WORKLOADS]
+
+
+def _work_counters(snapshot: Dict[str, Any]) -> Dict[str, int]:
+    """Deterministic engine-work totals from a metrics snapshot."""
+    counters = snapshot.get("counters", {})
+    return {
+        "states_explored": int(
+            counters.get("state_space.states", 0)
+            + counters.get("constrained.states", 0)
+        ),
+        "throughput_checks": int(
+            counters.get("slices.throughput_checks", 0)
+        ),
+    }
+
+
+def run_bench(
+    label: str, fast: bool = True, seed: int = 0
+) -> Dict[str, Any]:
+    """Run the curated workloads; return a versioned run report.
+
+    ``fast`` (the default, used by CI and ``make bench``) keeps the
+    random flow small; ``fast=False`` is the fuller nightly variant.
+    The report's ``workloads`` list holds one record per workload with
+    ``wall_seconds``, the deterministic work counters, and the
+    workload's result ``facts``.
+    """
+    workloads: List[Dict[str, Any]] = []
+    for name, body in _WORKLOADS:
+        with collecting(Metrics()) as metrics:
+            started = perf_counter()
+            facts = body(fast, seed)
+            wall = perf_counter() - started
+            snapshot = metrics.snapshot()
+        record: Dict[str, Any] = {"name": name, "wall_seconds": wall}
+        record.update(_work_counters(snapshot))
+        record["facts"] = facts
+        workloads.append(record)
+    return build_report(
+        label,
+        result={"mode": "fast" if fast else "full"},
+        seed=seed,
+        workloads=workloads,
+    )
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of :func:`compare_reports`.
+
+    ``regressions`` fail the comparison (``bench --compare`` exits 5);
+    ``warnings`` are reported but non-fatal (wall-time drift under the
+    default policy, workloads only present in the new report).
+    """
+
+    regressions: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    max_time_ratio: float = DEFAULT_MAX_TIME_RATIO,
+    strict_time: bool = False,
+) -> ComparisonResult:
+    """Thresholded regression check between two bench reports.
+
+    Deterministic measures are compared exactly: more states explored,
+    more throughput checks, different result facts or a workload that
+    vanished are all hard regressions.  Wall time is compared against
+    ``max_time_ratio`` and yields a warning unless ``strict_time`` is
+    set (machine noise makes hard wall-time gates flaky off-CI).
+    """
+    if max_time_ratio <= 0:
+        raise ValueError("max_time_ratio must be positive")
+    outcome = ComparisonResult()
+    old_by_name = {w["name"]: w for w in old.get("workloads", [])}
+    new_by_name = {w["name"]: w for w in new.get("workloads", [])}
+    for name, before in old_by_name.items():
+        after = new_by_name.get(name)
+        if after is None:
+            outcome.regressions.append(
+                f"{name}: workload missing from the new report"
+            )
+            continue
+        for key in ("states_explored", "throughput_checks"):
+            if after.get(key, 0) > before.get(key, 0):
+                outcome.regressions.append(
+                    f"{name}: {key} grew {before.get(key, 0)} -> "
+                    f"{after.get(key, 0)}"
+                )
+        if after.get("facts") != before.get("facts"):
+            outcome.regressions.append(
+                f"{name}: result facts changed "
+                f"({before.get('facts')!r} -> {after.get('facts')!r})"
+            )
+        old_wall = before.get("wall_seconds") or 0.0
+        new_wall = after.get("wall_seconds") or 0.0
+        if old_wall > 0 and new_wall > old_wall * max_time_ratio:
+            message = (
+                f"{name}: wall time {old_wall:.3f}s -> {new_wall:.3f}s "
+                f"(over the {max_time_ratio:g}x threshold)"
+            )
+            if strict_time:
+                outcome.regressions.append(message)
+            else:
+                outcome.warnings.append(message)
+    for name in new_by_name:
+        if name not in old_by_name:
+            outcome.warnings.append(
+                f"{name}: new workload (no baseline to compare)"
+            )
+    return outcome

@@ -8,19 +8,26 @@ Sub-commands::
     repro-alloc example                       # the paper's running example
     repro-alloc profile GRAPH.json            # instrumented run + JSON report
     repro-alloc verify BUNDLE.json            # certify a saved allocation
+    repro-alloc bench --out BENCH.json        # curated perf workloads
+    repro-alloc bench --compare OLD.json      # regression check
 
 Every sub-command accepts ``--metrics PATH`` to dump the observability
-snapshot (see ``docs/OBSERVABILITY.md``) collected during the run, and
-``--checkpoint PATH`` / ``--resume PATH`` to persist and continue
-interrupted explorations (see ``docs/VERIFICATION.md``).  Graphs are
-exchanged in the JSON dialect of :mod:`repro.sdf.serialization`.
+snapshot (see ``docs/OBSERVABILITY.md``) collected during the run,
+``--trace PATH`` to record event-level tracing as a Chrome/Perfetto
+trace file, and ``--checkpoint PATH`` / ``--resume PATH`` to persist
+and continue interrupted explorations (see ``docs/VERIFICATION.md``).
+Both the metrics snapshot and the trace are written even when the run
+fails, so a budget-exhausted run still leaves its evidence behind.
+Graphs are exchanged in the JSON dialect of
+:mod:`repro.sdf.serialization`.
 
 Exit codes (see ``docs/ROBUSTNESS.md``): 0 success, 2 user error
 (missing file, malformed input, infeasible allocation — one-line
 diagnostic on stderr), 3 resource budget exhausted (``--deadline`` /
 ``--max-states`` hit, or the state space exploded), 4 verification
-refuted an allocation (``verify``).  ``--debug`` re-raises the
-underlying exception with its full traceback instead.
+refuted an allocation (``verify``), 5 benchmark regression detected
+(``bench --compare``).  ``--debug`` re-raises the underlying exception
+with its full traceback instead.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 from repro.arch.presets import benchmark_architectures
@@ -35,7 +43,14 @@ from repro.core.flow import allocate_until_failure
 from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.core.tile_cost import CostWeights
 from repro.generate.benchmark import generate_benchmark_set
-from repro.obs import JsonSink, collecting, format_summary, to_json
+from repro.obs import (
+    JsonSink,
+    collecting,
+    format_summary,
+    to_json,
+    tracing,
+    write_chrome_trace,
+)
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.sdf.serialization import graph_from_json, graph_to_dict
 from repro.throughput.state_space import (
@@ -319,6 +334,45 @@ def _cmd_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the curated benchmark workloads; optionally compare reports."""
+    from repro.bench import compare_reports, run_bench
+    from repro.obs.report import read_report, write_report
+
+    report = run_bench(args.label, fast=not args.full, seed=args.seed)
+    out = args.out or f"BENCH_{args.label}.json"
+    write_report(out, report)
+    print(f"bench report written to {out}")
+    for workload in report["workloads"]:
+        print(
+            f"  {workload['name']}: {workload['wall_seconds']:.3f}s, "
+            f"{workload['states_explored']} states, "
+            f"{workload['throughput_checks']} throughput checks"
+        )
+    if not args.compare:
+        return 0
+    baseline = read_report(args.compare)
+    outcome = compare_reports(
+        baseline,
+        report,
+        max_time_ratio=args.max_time_ratio,
+        strict_time=args.strict_time,
+    )
+    for warning in outcome.warnings:
+        print(f"bench warning: {warning}", file=sys.stderr)
+    if not outcome.ok:
+        for regression in outcome.regressions:
+            print(f"bench regression: {regression}", file=sys.stderr)
+        print(
+            f"repro-alloc: {len(outcome.regressions)} benchmark "
+            f"regression(s) against {args.compare}",
+            file=sys.stderr,
+        )
+        return 5
+    print(f"no regressions against {args.compare}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.appmodel.serialization import bundle_from_json
     from repro.verify import certify_allocation
@@ -354,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="collect instrumentation during the run and write the "
         "JSON snapshot to PATH",
+    )
+    common.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record event-level tracing during the run and write a "
+        "Chrome/Perfetto trace file to PATH",
     )
     _add_robustness_flags(common)
 
@@ -556,8 +616,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a human-readable summary instead of the JSON report",
     )
+    profile.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also record event-level tracing and write a "
+        "Chrome/Perfetto trace file to PATH",
+    )
     _add_robustness_flags(profile)
     profile.set_defaults(func=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run curated perf workloads; compare against a baseline",
+        description="Run the curated benchmark workloads (paper example, "
+        "classic DSP models, H.263 decoder, seeded random flow) with "
+        "instrumentation on and write a schema-versioned BENCH_<label>"
+        ".json report.  With --compare, check the fresh run against a "
+        "previous report: deterministic regressions (more states, more "
+        "throughput checks, changed results) exit with status 5; wall-"
+        "time drift only warns unless --strict-time.",
+    )
+    bench.add_argument(
+        "--label",
+        default="run",
+        help="report label; the default output file is BENCH_<label>.json",
+    )
+    bench.add_argument(
+        "--full",
+        action="store_true",
+        help="run the fuller (slower) workload variants",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the report here instead of BENCH_<label>.json",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="PATH",
+        help="check this run against a previous bench report; exit 5 on "
+        "regression",
+    )
+    bench.add_argument(
+        "--max-time-ratio",
+        type=float,
+        default=2.0,
+        metavar="RATIO",
+        help="wall-time slack factor for --compare (default 2.0)",
+    )
+    bench.add_argument(
+        "--strict-time",
+        action="store_true",
+        help="treat wall-time drift over the threshold as a hard "
+        "regression instead of a warning",
+    )
+    bench.add_argument(
+        "--debug",
+        action="store_true",
+        help="show full tracebacks instead of one-line diagnostics",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -605,15 +724,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if deadline is not None or max_states is not None
         else None
     )
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
     try:
-        metrics_path = getattr(args, "metrics", None)
-        if metrics_path:
-            with collecting() as metrics:
-                status = args.func(args)
-                snapshot = metrics.snapshot()
-            JsonSink(metrics_path).emit(snapshot)
-            return status
-        return args.func(args)
+        with ExitStack() as stack:
+            metrics = (
+                stack.enter_context(collecting()) if metrics_path else None
+            )
+            trace = stack.enter_context(tracing()) if trace_path else None
+            try:
+                return args.func(args)
+            finally:
+                # evidence survives failed runs: the snapshot and trace
+                # are written before any exception reaches the handlers
+                if metrics is not None:
+                    JsonSink(metrics_path).emit(metrics.snapshot())
+                if trace is not None:
+                    write_chrome_trace(trace_path, trace)
     except BudgetExceededError as error:
         if debug:
             raise

@@ -28,6 +28,7 @@ from repro.arch.architecture import ArchitectureGraph
 from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.core.tile_cost import CostWeights
 from repro.obs import get_metrics
+from repro.obs.trace import get_trace
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.resilience.policy import DEFAULT_LADDER, Rung, resilient_allocate
 
@@ -152,6 +153,7 @@ def allocate_until_failure(
         budget.start()
 
     obs = get_metrics()
+    tr = get_trace()
     result = FlowResult()
 
     completed: List[str] = []  # committed application names, in order
@@ -204,6 +206,16 @@ def allocate_until_failure(
     ) -> bool:
         """Append a non-success record; True when the flow should stop."""
         result.application_stats.append(record)
+        if tr.enabled:
+            tr.complete(
+                "flow",
+                "application",
+                trace_started,
+                tr.now(),
+                application=application.name,
+                outcome=record["outcome"],
+                reason=record["reason"],
+            )
         if result.failed_application is None:
             result.failed_application = application.name
             result.failure_reason = record["reason"]  # type: ignore[assignment]
@@ -214,6 +226,7 @@ def allocate_until_failure(
             skip_restored[application.name] -= 1
             continue
         started = perf_counter()
+        trace_started = tr.now() if tr.enabled else 0.0
         app_checkpoint = (
             f"{checkpoint_path}.{application.name}.json"
             if checkpoint_path is not None
@@ -310,6 +323,16 @@ def allocate_until_failure(
                 rung=rung,
             )
             result.application_stats.append(record)
+            if tr.enabled:
+                tr.complete(
+                    "flow",
+                    "application",
+                    trace_started,
+                    tr.now(),
+                    application=application.name,
+                    outcome=outcome,
+                    rung=rung,
+                )
             completed.append(application.name)
             if checkpoint_path is not None:
                 from repro.appmodel.serialization import allocation_to_dict

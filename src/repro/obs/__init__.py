@@ -5,19 +5,21 @@ permanently instrumented against this package.  Collection is off by
 default: :func:`get_metrics` then returns the shared
 :data:`NULL_METRICS` no-op, whose cost is one attribute lookup plus an
 empty call (guarded by ``tests/test_performance_guards.py`` to stay
-under 5% of engine run time).
+under 5% of engine run time).  Event-level tracing
+(:mod:`repro.obs.trace`) and the run-report schema
+(:mod:`repro.obs.report`) follow the same null-by-default pattern.
 
 Typical use::
 
-    from repro.obs import collecting
-    from repro.obs.sinks import format_summary
+    from repro.obs import collecting, tracing, write_chrome_trace
 
-    with collecting() as metrics:
+    with collecting() as metrics, tracing() as trace:
         result = throughput(graph)
     print(format_summary(metrics.snapshot()))
+    write_chrome_trace("trace.json", trace)   # open in Perfetto
 
-See ``docs/OBSERVABILITY.md`` for the metric names and the snapshot
-schema.
+See ``docs/OBSERVABILITY.md`` for the metric names, the trace-event
+catalogue and the snapshot/report schemas.
 """
 
 from repro.obs.metrics import (
@@ -32,6 +34,15 @@ from repro.obs.metrics import (
     enable,
     get_metrics,
 )
+from repro.obs.report import (
+    REPORT_FORMAT,
+    REPORT_VERSION,
+    ReportError,
+    build_report,
+    environment_fingerprint,
+    read_report,
+    write_report,
+)
 from repro.obs.sinks import (
     JsonSink,
     NULL_SINK,
@@ -41,6 +52,18 @@ from repro.obs.sinks import (
     format_summary,
     to_json,
 )
+from repro.obs.trace import (
+    NULL_TRACE,
+    NullTraceBuffer,
+    TraceBuffer,
+    TraceEvent,
+    chrome_trace,
+    disable_trace,
+    enable_trace,
+    get_trace,
+    tracing,
+    write_chrome_trace,
+)
 
 __all__ = [
     "JsonSink",
@@ -48,16 +71,33 @@ __all__ = [
     "MetricsLike",
     "NULL_METRICS",
     "NULL_SINK",
+    "NULL_TRACE",
     "NullMetrics",
     "NullSink",
+    "NullTraceBuffer",
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "ReportError",
     "Sink",
     "Span",
     "SummarySink",
     "TimerStat",
+    "TraceBuffer",
+    "TraceEvent",
+    "build_report",
+    "chrome_trace",
     "collecting",
     "disable",
+    "disable_trace",
     "enable",
+    "enable_trace",
+    "environment_fingerprint",
     "format_summary",
     "get_metrics",
+    "get_trace",
+    "read_report",
     "to_json",
+    "tracing",
+    "write_chrome_trace",
+    "write_report",
 ]

@@ -29,6 +29,7 @@ and, on hot paths, guards non-trivial bookkeeping behind the
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -156,7 +157,7 @@ class NullMetrics:
     def counter(self, name: str, value: Number = 1) -> None:
         pass
 
-    def gauge(self, name: str, value: Number) -> None:
+    def gauge(self, name: str, value: Any) -> None:
         pass
 
     def observe(self, name: str, seconds: float) -> None:
@@ -184,6 +185,10 @@ class Metrics:
     ``sink`` receives the snapshot on :meth:`flush`; ``clock`` is
     injectable for deterministic tests (defaults to
     :func:`time.perf_counter`).
+
+    All recording paths and the span stack take a single internal lock,
+    so several worker threads may share one registry without corrupting
+    snapshots.  The null registry stays lock-free.
     """
 
     enabled = True
@@ -195,6 +200,7 @@ class Metrics:
     ) -> None:
         self.sink: Sink = sink if sink is not None else NULL_SINK
         self._clock = clock
+        self._lock = threading.Lock()
         self._counters: Dict[str, Number] = {}
         self._gauges: Dict[str, Any] = {}
         self._timers: Dict[str, TimerStat] = {}
@@ -204,18 +210,21 @@ class Metrics:
     # -- recording -----------------------------------------------------
     def counter(self, name: str, value: Number = 1) -> None:
         """Add ``value`` (default 1) to the named counter."""
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def gauge(self, name: str, value: Any) -> None:
         """Record the last-seen value of the named gauge."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, seconds: float) -> None:
         """Feed one duration into the named timer aggregate."""
-        stat = self._timers.get(name)
-        if stat is None:
-            stat = self._timers[name] = TimerStat()
-        stat.add(seconds)
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.add(seconds)
 
     def timer(self, name: str) -> _Timer:
         """Context manager timing its body into :meth:`observe`."""
@@ -227,18 +236,20 @@ class Metrics:
 
     # -- span stack (called by Span) -----------------------------------
     def _push(self, span: Span) -> None:
-        self._stack.append(span)
+        with self._lock:
+            self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
-        # tolerate out-of-order exits: unwind to the matching span
-        while self._stack:
-            top = self._stack.pop()
-            if top is span:
-                break
-        if self._stack:
-            self._stack[-1].children.append(span)
-        else:
-            self._roots.append(span)
+        with self._lock:
+            # tolerate out-of-order exits: unwind to the matching span
+            while self._stack:
+                top = self._stack.pop()
+                if top is span:
+                    break
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self._roots.append(span)
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -246,14 +257,15 @@ class Metrics:
 
         Open (unfinished) spans are not included.
         """
-        return {
-            "counters": dict(self._counters),
-            "gauges": dict(self._gauges),
-            "timers": {
-                name: stat.to_dict() for name, stat in self._timers.items()
-            },
-            "spans": [span.to_dict() for span in self._roots],
-        }
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: stat.to_dict() for name, stat in self._timers.items()
+                },
+                "spans": [span.to_dict() for span in self._roots],
+            }
 
     def flush(self) -> None:
         """Emit the current snapshot to the configured sink."""
@@ -261,11 +273,12 @@ class Metrics:
 
     def reset(self) -> None:
         """Drop everything recorded so far."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._timers.clear()
-        self._roots.clear()
-        self._stack.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._roots.clear()
+            self._stack.clear()
 
 
 MetricsLike = Union[Metrics, NullMetrics]

@@ -29,6 +29,8 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Dict, Optional
 
+from repro.obs.trace import get_trace
+
 
 class BudgetExceededError(RuntimeError):
     """A cooperative budget was exhausted mid-exploration.
@@ -143,6 +145,7 @@ class Budget:
             self.max_states is not None
             and self.states_charged > self.max_states
         ):
+            self._trace_exhausted("states")
             raise BudgetExceededError(
                 f"state budget of {self.max_states} states exhausted",
                 reason="states",
@@ -164,6 +167,7 @@ class Budget:
         self.start()
         elapsed = self.elapsed()
         if elapsed > self.deadline:
+            self._trace_exhausted("deadline")
             raise BudgetExceededError(
                 f"deadline of {self.deadline:g}s exceeded "
                 f"({elapsed:.3f}s elapsed)",
@@ -180,6 +184,7 @@ class Budget:
             self.max_throughput_checks is not None
             and self.checks_charged > self.max_throughput_checks
         ):
+            self._trace_exhausted("throughput-checks")
             raise BudgetExceededError(
                 f"throughput-check budget of {self.max_throughput_checks} "
                 "exhausted",
@@ -189,6 +194,19 @@ class Budget:
                 checks=self.checks_charged,
             )
         self.checkpoint()
+
+    def _trace_exhausted(self, reason: str) -> None:
+        """Record the breach in the active trace (off the hot path)."""
+        tr = get_trace()
+        if tr.enabled:
+            tr.instant(
+                "resilience",
+                "budget.exhausted",
+                reason=reason,
+                states=self.states_charged,
+                checks=self.checks_charged,
+                elapsed_seconds=self.elapsed(),
+            )
 
     def __repr__(self) -> str:
         return (

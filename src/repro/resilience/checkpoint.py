@@ -28,6 +28,7 @@ import os
 from typing import Any, Dict, Optional, Union
 
 from repro.obs import get_metrics
+from repro.obs.trace import get_trace
 from repro.resilience.budget import Budget
 from repro.resilience.faults import fault_point
 from repro.sdf.serialization import SerializationError
@@ -75,6 +76,15 @@ def write_checkpoint(path: str, data: Dict[str, Any]) -> str:
     obs = get_metrics()
     obs.counter("checkpoint.writes")
     obs.counter("checkpoint.bytes", len(text))
+    tr = get_trace()
+    if tr.enabled:
+        tr.instant(
+            "checkpoint",
+            "write",
+            path=path,
+            bytes=len(text),
+            kind=data.get("kind"),
+        )
     return path
 
 
@@ -104,6 +114,9 @@ def read_checkpoint(path: str) -> Dict[str, Any]:
             field="version",
         )
     get_metrics().counter("checkpoint.reads")
+    tr = get_trace()
+    if tr.enabled:
+        tr.instant("checkpoint", "read", path=path, kind=data.get("kind"))
     return data
 
 

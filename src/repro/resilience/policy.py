@@ -34,6 +34,7 @@ from repro.core.binding import bind_application
 from repro.core.constraints import reservation_for
 from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.obs import get_metrics
+from repro.obs.trace import get_trace
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.throughput.state_space import StateSpaceExplosionError
 
@@ -215,6 +216,7 @@ def resilient_allocate(
         budget.start()
 
     obs = get_metrics()
+    tr = get_trace()
     attempts: List[Tuple[str, str]] = []
     for position, rung in enumerate(ladder):
         if rung.baseline:
@@ -224,11 +226,28 @@ def resilient_allocate(
             if obs.enabled and attempts:
                 obs.counter("resilience.degraded")
                 obs.gauge("resilience.rung", position)
+            if tr.enabled:
+                tr.instant(
+                    "resilience",
+                    "rung.accepted",
+                    application=application.name,
+                    rung=rung.name,
+                    position=position,
+                    degraded=bool(attempts),
+                )
             return ResilientResult(
                 allocation=allocation, rung=rung.name, attempts=attempts
             )
         if budget is not None and budget.expired():
             attempts.append((rung.name, "deadline already expired"))
+            if tr.enabled:
+                tr.instant(
+                    "resilience",
+                    "rung.skipped",
+                    application=application.name,
+                    rung=rung.name,
+                    position=position,
+                )
             continue
         try:
             allocation = rung.configure(allocator).allocate(
@@ -238,6 +257,15 @@ def resilient_allocate(
             attempts.append((rung.name, f"budget exhausted ({error.reason})"))
             if obs.enabled:
                 obs.counter("resilience.rung_budget_exhausted")
+            if tr.enabled:
+                tr.instant(
+                    "resilience",
+                    "rung.abandoned",
+                    application=application.name,
+                    rung=rung.name,
+                    position=position,
+                    reason=f"budget exhausted ({error.reason})",
+                )
             if checkpoint_path and error.partial.get("checkpoint"):
                 from repro.resilience.checkpoint import write_checkpoint
 
@@ -251,10 +279,28 @@ def resilient_allocate(
             attempts.append((rung.name, str(error)))
             if obs.enabled:
                 obs.counter("resilience.rung_exploded")
+            if tr.enabled:
+                tr.instant(
+                    "resilience",
+                    "rung.abandoned",
+                    application=application.name,
+                    rung=rung.name,
+                    position=position,
+                    reason="state-space explosion",
+                )
             continue
         if obs.enabled and attempts:
             obs.counter("resilience.degraded")
             obs.gauge("resilience.rung", position)
+        if tr.enabled:
+            tr.instant(
+                "resilience",
+                "rung.accepted",
+                application=application.name,
+                rung=rung.name,
+                position=position,
+                degraded=bool(attempts),
+            )
         return ResilientResult(
             allocation=allocation, rung=rung.name, attempts=attempts
         )

@@ -32,6 +32,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import get_metrics
+from repro.obs.trace import get_trace
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.resilience.faults import fault_point
 from repro.sdf.graph import SDFGraph
@@ -339,8 +340,10 @@ class _ConstrainedEngine:
         self, resume: Optional[Dict[str, Any]] = None
     ) -> ConstrainedThroughputResult:
         obs = get_metrics()
+        tr = get_trace()
         fault_point("constrained.run", graph=self.graph.name)
         started = perf_counter() if obs.enabled else 0.0
+        trace_started = tr.now() if tr.enabled else 0.0
         budget = self.budget
         if budget is not None:
             budget.checkpoint()
@@ -521,6 +524,17 @@ class _ConstrainedEngine:
                 )
                 if obs.enabled:
                     self._record(result, started, zero_firings)
+                if tr.enabled:
+                    tr.complete(
+                        "engine",
+                        "constrained.execute",
+                        trace_started,
+                        tr.now(),
+                        graph=self.graph.name,
+                        states=len(seen),
+                        period=period,
+                        transient_time=first_time,
+                    )
                 return result
             seen[key] = (time, tuple(completed))
             if len(seen) > self.max_states:
@@ -561,7 +575,31 @@ class _ConstrainedEngine:
                 )
                 if obs.enabled:
                     self._record(result, started, zero_firings)
+                if tr.enabled:
+                    tr.complete(
+                        "engine",
+                        "constrained.execute",
+                        trace_started,
+                        tr.now(),
+                        graph=self.graph.name,
+                        states=len(seen),
+                        deadlocked=True,
+                    )
                 return result
+
+            if tr.enabled:
+                # one instant per tile whose TDMA wheel completes at
+                # least one rotation inside this event-to-event step
+                for tile in self.tiles:
+                    rotations = next_event // tile.wheel - time // tile.wheel
+                    if rotations > 0:
+                        tr.instant(
+                            "tdma",
+                            "wheel.rotation",
+                            tile=tile.name,
+                            rotations=rotations,
+                            model_time=next_event,
+                        )
 
             step = next_event - time
             for actor, active in enumerate(unscheduled_active):
@@ -639,6 +677,14 @@ def constrained_throughput(
     for tile in tiles:
         if tile.slice_size == 0 and tile.schedule.actors:
             get_metrics().counter("constrained.zero_slice_shortcuts")
+            tr = get_trace()
+            if tr.enabled:
+                tr.instant(
+                    "tdma",
+                    "zero_slice_shortcut",
+                    graph=graph.name,
+                    tile=tile.name,
+                )
             return ConstrainedThroughputResult(
                 period=None,
                 period_firings={},

@@ -25,6 +25,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import get_metrics
+from repro.obs.trace import get_trace
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.resilience.faults import fault_point
 from repro.sdf.analysis import strongly_connected_components
@@ -340,8 +341,10 @@ class SelfTimedExecution:
         and continues the interrupted exploration bit-identically.
         """
         obs = get_metrics()
+        tr = get_trace()
         fault_point("state_space.execute", graph=self.graph.name)
         started = perf_counter() if obs.enabled else 0.0
+        trace_started = tr.now() if tr.enabled else 0.0
         budget = self.budget
         if budget is not None:
             budget.checkpoint()
@@ -412,6 +415,17 @@ class SelfTimedExecution:
                 )
                 if obs.enabled:
                     self._record(result, started)
+                if tr.enabled:
+                    tr.complete(
+                        "engine",
+                        "state_space.execute",
+                        trace_started,
+                        tr.now(),
+                        graph=self.graph.name,
+                        states=len(seen),
+                        period=period,
+                        transient_time=first_time,
+                    )
                 return result
             seen[key] = (time, tuple(completed))
             if len(seen) > self.max_states:
@@ -432,6 +446,16 @@ class SelfTimedExecution:
                 )
                 if obs.enabled:
                     self._record(result, started)
+                if tr.enabled:
+                    tr.complete(
+                        "engine",
+                        "state_space.execute",
+                        trace_started,
+                        tr.now(),
+                        graph=self.graph.name,
+                        states=len(seen),
+                        deadlocked=True,
+                    )
                 return result
             step = min(remaining_values)
             time += step
@@ -485,11 +509,24 @@ def throughput(
     continues the analysis bit-identically.
     """
     obs = get_metrics()
+    tr = get_trace()
+    trace_started = tr.now() if tr.enabled else 0.0
     with obs.span("state_space.throughput", graph=graph.name) as span:
-        return _throughput_body(
+        result = _throughput_body(
             graph, execution_times, auto_concurrency, max_states, budget,
             obs, span, resume,
         )
+    if tr.enabled:
+        tr.complete(
+            "engine",
+            "state_space.throughput",
+            trace_started,
+            tr.now(),
+            graph=graph.name,
+            states=result.states_explored,
+            iteration_rate=str(result.iteration_rate),
+        )
+    return result
 
 
 def _throughput_body(

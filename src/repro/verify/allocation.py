@@ -40,6 +40,7 @@ from math import gcd
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import get_metrics
+from repro.obs.trace import get_trace
 from repro.verify.certificate import CertificateFormatError
 from repro.verify.replay import (
     RefutationError,
@@ -525,12 +526,20 @@ def certify_allocation(bundle: Dict[str, Any]) -> CertificationReport:
         }
         for name, tile in tiles.items()
     }
+    tr = get_trace()
     report = CertificationReport()
     for entry in bundle.get("allocations", []):
         verdict = _check_entry(
             entry, tiles, connections, occupancy, architecture_data
         )
         report.verdicts.append(verdict)
+        if tr.enabled:
+            tr.instant(
+                "verify",
+                "verdict",
+                application=verdict.application,
+                verdict=verdict.verdict,
+            )
         if verdict.verdict == VERDICT_CERTIFIED:
             obs.counter("verify.allocations_certified")
         elif verdict.verdict == VERDICT_SOUND_LOWER_BOUND:

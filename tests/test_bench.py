@@ -1,0 +1,140 @@
+"""Unit tests for the bench harness and its regression comparator."""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    ComparisonResult,
+    compare_reports,
+    run_bench,
+    workload_names,
+)
+from repro.obs.report import REPORT_FORMAT, read_report, write_report
+
+
+@pytest.fixture(scope="module")
+def bench_report():
+    """One fast bench run shared by the module's tests."""
+    return run_bench("test", fast=True, seed=0)
+
+
+class TestRunBench:
+    def test_report_is_schema_versioned(self, bench_report):
+        assert bench_report["format"] == REPORT_FORMAT
+        assert bench_report["label"] == "test"
+        assert bench_report["environment"]["seed"] == 0
+
+    def test_all_curated_workloads_present(self, bench_report):
+        names = [w["name"] for w in bench_report["workloads"]]
+        assert names == workload_names()
+        assert "fig5-example" in names
+        assert "random-flow" in names
+
+    def test_workloads_carry_measurements_and_facts(self, bench_report):
+        for workload in bench_report["workloads"]:
+            assert workload["wall_seconds"] >= 0.0
+            assert workload["states_explored"] >= 0
+            assert workload["throughput_checks"] >= 0
+            assert isinstance(workload["facts"], dict)
+
+    def test_deterministic_measures_are_reproducible(self, bench_report):
+        again = run_bench("test", fast=True, seed=0)
+        for before, after in zip(
+            bench_report["workloads"], again["workloads"]
+        ):
+            assert before["states_explored"] == after["states_explored"]
+            assert before["throughput_checks"] == after["throughput_checks"]
+            assert before["facts"] == after["facts"]
+
+    def test_report_survives_write_read(self, bench_report, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        write_report(path, bench_report)
+        assert read_report(path) == bench_report
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self, bench_report):
+        outcome = compare_reports(bench_report, bench_report)
+        assert outcome.ok
+        assert outcome.regressions == []
+        assert outcome.warnings == []
+
+    def test_more_states_is_a_hard_regression(self, bench_report):
+        worse = copy.deepcopy(bench_report)
+        worse["workloads"][0]["states_explored"] += 1
+        outcome = compare_reports(bench_report, worse)
+        assert not outcome.ok
+        assert "states_explored" in outcome.regressions[0]
+
+    def test_more_throughput_checks_is_a_hard_regression(self, bench_report):
+        worse = copy.deepcopy(bench_report)
+        worse["workloads"][0]["throughput_checks"] += 5
+        assert not compare_reports(bench_report, worse).ok
+
+    def test_fewer_states_is_an_improvement_not_a_regression(
+        self, bench_report
+    ):
+        better = copy.deepcopy(bench_report)
+        better["workloads"][0]["states_explored"] = 0
+        assert compare_reports(bench_report, better).ok
+
+    def test_changed_facts_are_a_hard_regression(self, bench_report):
+        worse = copy.deepcopy(bench_report)
+        worse["workloads"][0]["facts"]["achieved_throughput"] = "0"
+        outcome = compare_reports(bench_report, worse)
+        assert not outcome.ok
+        assert "facts" in outcome.regressions[0]
+
+    def test_missing_workload_is_a_hard_regression(self, bench_report):
+        worse = copy.deepcopy(bench_report)
+        worse["workloads"].pop()
+        outcome = compare_reports(bench_report, worse)
+        assert not outcome.ok
+        assert "missing" in outcome.regressions[0]
+
+    def test_new_workload_only_warns(self, bench_report):
+        extended = copy.deepcopy(bench_report)
+        extended["workloads"].append(
+            {
+                "name": "extra",
+                "wall_seconds": 0.1,
+                "states_explored": 1,
+                "throughput_checks": 0,
+                "facts": {},
+            }
+        )
+        outcome = compare_reports(bench_report, extended)
+        assert outcome.ok
+        assert "extra" in outcome.warnings[0]
+
+    def test_wall_time_drift_warns_by_default(self, bench_report):
+        old = copy.deepcopy(bench_report)
+        old["workloads"][0]["wall_seconds"] = 1.0
+        slow = copy.deepcopy(bench_report)
+        slow["workloads"][0]["wall_seconds"] = 10.0
+        outcome = compare_reports(old, slow)
+        assert outcome.ok
+        assert "wall time" in outcome.warnings[0]
+
+    def test_wall_time_drift_fails_under_strict_time(self, bench_report):
+        old = copy.deepcopy(bench_report)
+        old["workloads"][0]["wall_seconds"] = 1.0
+        slow = copy.deepcopy(bench_report)
+        slow["workloads"][0]["wall_seconds"] = 10.0
+        assert not compare_reports(old, slow, strict_time=True).ok
+
+    def test_wall_time_within_ratio_is_silent(self, bench_report):
+        old = copy.deepcopy(bench_report)
+        old["workloads"][0]["wall_seconds"] = 1.0
+        near = copy.deepcopy(bench_report)
+        near["workloads"][0]["wall_seconds"] = 1.5
+        outcome = compare_reports(old, near)
+        assert outcome.ok and outcome.warnings == []
+
+    def test_time_ratio_must_be_positive(self, bench_report):
+        with pytest.raises(ValueError):
+            compare_reports(bench_report, bench_report, max_time_ratio=0)
+
+    def test_empty_result_is_ok(self):
+        assert ComparisonResult().ok

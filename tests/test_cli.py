@@ -276,3 +276,112 @@ def test_metrics_collection_is_scoped_to_the_command(graph_file, tmp_path):
     metrics_path = tmp_path / "metrics.json"
     assert main(["analyse", graph_file, "--metrics", str(metrics_path)]) == 0
     assert get_metrics() is NULL_METRICS  # collection disabled again
+
+
+def test_trace_flag_writes_chrome_trace(graph_file, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main(["analyse", graph_file, "--trace", str(trace_path)]) == 0
+    assert "1/5" in capsys.readouterr().out  # normal output is untouched
+    document = json.loads(trace_path.read_text())
+    events = document["traceEvents"]
+    assert events[0]["ph"] == "M"  # process-name metadata
+    assert any(event.get("cat") == "engine" for event in events)
+
+
+def test_trace_flag_on_allocate_covers_the_event_categories(tmp_path, capsys):
+    """One traced allocate run must hit >=4 of the documented categories."""
+    trace_path = tmp_path / "trace.json"
+    checkpoint = tmp_path / "flow.ck.json"
+    assert (
+        main(
+            [
+                "allocate",
+                "-n",
+                "3",
+                "--degrade",
+                "--max-states",
+                "30000",
+                "--checkpoint",
+                str(checkpoint),
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    document = json.loads(trace_path.read_text())
+    categories = {
+        event["cat"]
+        for event in document["traceEvents"]
+        if "cat" in event
+    }
+    assert {"engine", "tdma", "checkpoint", "resilience"} <= categories
+
+
+def test_trace_is_written_even_when_the_budget_fires(graph_file, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    status = main(
+        ["analyse", graph_file, "--deadline", "0", "--trace", str(trace_path)]
+    )
+    assert status == 3
+    document = json.loads(trace_path.read_text())  # evidence survives
+    assert document["traceEvents"][0]["ph"] == "M"
+
+
+def test_tracing_is_scoped_to_the_command(graph_file, tmp_path):
+    from repro.obs.trace import NULL_TRACE, get_trace
+
+    trace_path = tmp_path / "trace.json"
+    assert main(["analyse", graph_file, "--trace", str(trace_path)]) == 0
+    assert get_trace() is NULL_TRACE  # tracing disabled again
+
+
+def test_bench_writes_schema_versioned_report(tmp_path, capsys):
+    from repro.obs.report import read_report
+
+    out = tmp_path / "BENCH_ci.json"
+    assert main(["bench", "--label", "ci", "--out", str(out)]) == 0
+    assert "bench report written" in capsys.readouterr().out
+    report = read_report(str(out))
+    assert report["label"] == "ci"
+    assert [w["name"] for w in report["workloads"]] == [
+        "fig5-example",
+        "classic-models",
+        "h263-analysis",
+        "random-flow",
+    ]
+
+
+def test_bench_compare_accepts_its_own_baseline(tmp_path, capsys):
+    baseline = tmp_path / "old.json"
+    fresh = tmp_path / "new.json"
+    assert main(["bench", "--out", str(baseline)]) == 0
+    assert (
+        main(["bench", "--out", str(fresh), "--compare", str(baseline)]) == 0
+    )
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_bench_compare_exits_5_on_regression(tmp_path, capsys):
+    import json as json_module
+
+    from repro.obs.report import read_report, write_report
+
+    baseline = tmp_path / "old.json"
+    assert main(["bench", "--out", str(baseline)]) == 0
+    doctored = read_report(str(baseline))
+    doctored["workloads"][0]["states_explored"] = -1  # any growth regresses
+    write_report(str(baseline), doctored)
+    fresh = tmp_path / "new.json"
+    status = main(["bench", "--out", str(fresh), "--compare", str(baseline)])
+    assert status == 5
+    assert "bench regression" in capsys.readouterr().err
+
+
+def test_bench_compare_missing_baseline_exits_2(tmp_path, capsys):
+    status = main(
+        ["bench", "--out", str(tmp_path / "n.json"), "--compare", "/absent"]
+    )
+    assert status == 2
+    assert "error" in capsys.readouterr().err

@@ -293,3 +293,84 @@ class TestEngineIntegration:
         ]
         assert allocate_spans[0]["attributes"]["outcome"] == "allocated"
         assert snapshot["counters"]["slices.throughput_checks"] >= 1
+
+
+class TestSinkEdgeCases:
+    def test_format_summary_on_the_empty_null_snapshot(self):
+        from repro.obs import NULL_METRICS
+
+        assert format_summary(NULL_METRICS.snapshot()) == (
+            "(no metrics recorded)"
+        )
+
+    def test_format_summary_with_only_gauges(self):
+        metrics = Metrics()
+        metrics.gauge("flow.applications_bound", 4)
+        text = format_summary(metrics.snapshot())
+        assert "flow.applications_bound" in text
+        assert "4" in text
+
+    def test_fraction_gauges_survive_to_json_and_back(self):
+        from fractions import Fraction
+
+        metrics = Metrics()
+        metrics.gauge("rate.exact", Fraction(7, 12))
+        metrics.gauge("rate.whole", Fraction(3, 1))
+        restored = json.loads(to_json(metrics.snapshot()))
+        assert restored["gauges"]["rate.exact"] == "7/12"
+        assert restored["gauges"]["rate.whole"] == "3"
+
+    def test_infinite_timer_min_is_never_exported(self):
+        metrics = Metrics()
+        stat = metrics.snapshot()
+        metrics.observe("t", 0.5)
+        stat = metrics.snapshot()["timers"]["t"]
+        assert stat["min_seconds"] == 0.5
+        json.dumps(stat)
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_is_not_lost(self):
+        import threading
+
+        metrics = Metrics()
+
+        def record():
+            for _ in range(1000):
+                metrics.counter("shared")
+                metrics.observe("timer", 0.001)
+                metrics.gauge("last", 1)
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["shared"] == 4000
+        assert snapshot["timers"]["timer"]["count"] == 4000
+
+    def test_concurrent_spans_all_reach_the_tree(self):
+        import threading
+
+        metrics = Metrics()
+
+        def record(index):
+            for _ in range(100):
+                with metrics.span(f"worker-{index}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=record, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        # interleaved exits may nest spans under a concurrent sibling,
+        # but no span may be silently dropped
+        def count(spans):
+            return sum(1 + count(s.get("children", [])) for s in spans)
+
+        assert count(snapshot["spans"]) == 400

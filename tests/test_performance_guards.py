@@ -165,6 +165,82 @@ def test_disabled_instrumentation_overhead_under_five_percent():
     )
 
 
+class _CountingTrace:
+    """Counts every trace API call a workload makes.
+
+    ``enabled = True`` so even the guarded (enabled-only) trace call
+    sites are exercised — an upper bound on the calls the disabled
+    null buffer would receive.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.calls = 0
+
+    def now(self):
+        self.calls += 1
+        return 0.0
+
+    def instant(self, category, name, **args):
+        self.calls += 1
+
+    def complete(self, category, name, started, ended, **args):
+        self.calls += 1
+
+    def span(self, category, name, **args):
+        self.calls += 1
+        return _CountingMetrics._noop()
+
+
+def test_disabled_trace_overhead_under_five_percent():
+    """The permanently-wired trace call sites must cost <5% when off.
+
+    Same strategy as the metrics guard: time the workload untraced,
+    count the trace calls it would make with tracing on, measure the
+    null buffer's unit cost, and bound the product.
+    """
+    from repro.obs.trace import NULL_TRACE, get_trace
+
+    assert get_trace() is NULL_TRACE  # tracing must be off
+
+    def workload():
+        return ResourceAllocator().allocate(
+            paper_example_application(), paper_example_architecture()
+        )
+
+    workload()  # warm imports and caches
+    baseline = min(_timed(workload) for _ in range(3))
+
+    import repro.obs.trace as obs_trace
+
+    counting = _CountingTrace()
+    previous = obs_trace._active
+    obs_trace._active = counting
+    try:
+        workload()
+    finally:
+        obs_trace._active = previous
+    trace_calls = counting.calls
+    assert trace_calls > 0  # the workload hits trace call sites
+
+    null = NULL_TRACE
+    rounds = 50_000
+    started = time.perf_counter()
+    for _ in range(rounds):
+        null.now()
+        null.instant("guard", "instant")
+        null.complete("guard", "complete", 0.0, 0.0)
+    per_call = (time.perf_counter() - started) / (3 * rounds)
+
+    overhead = trace_calls * per_call
+    assert overhead < 0.05 * baseline, (
+        f"{trace_calls} null trace calls at {per_call * 1e9:.0f} ns "
+        f"each = {overhead * 1e3:.3f} ms, over 5% of the "
+        f"{baseline * 1e3:.1f} ms baseline"
+    )
+
+
 def _timed(workload):
     started = time.perf_counter()
     workload()
