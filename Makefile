@@ -2,10 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-robustness test-verify bench bench-tables bench-full experiments examples clean
+.PHONY: install lint test test-fast test-robustness test-verify bench bench-tables bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+# Repository invariants (fault points, trace catalogue, wall-clock use)
+# plus mypy when it is available (CI installs it; see pyproject.toml
+# for the configuration).
+lint:
+	$(PYTHON) tools/check_invariants.py
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping type check"; \
+	fi
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -1,0 +1,65 @@
+"""``repro.analysis`` — rule-based static diagnostics (lint).
+
+Decides, without firing a single actor, whether a model is malformed
+or provably doomed: SDF/CSDF structure (``SDF0xx``/``CSD0xx``),
+architecture sanity (``ARC0xx``), application-level feasibility against
+cheap static throughput bounds (``APP0xx``), and allocation-bundle
+integrity (``ALLOC0xx``).  Exposed on the command line as
+``repro-alloc lint`` (text/JSON/SARIF output, exit code 6 on errors)
+and wired into the allocation flow as a pre-flight gate
+(:func:`preflight_check`) that short-circuits statically infeasible
+applications before any state-space exploration.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and output schemas.
+"""
+
+from repro.analysis.bounds import (
+    minimal_execution_times,
+    serialisation_bound,
+    static_throughput_bound,
+    utilisation_bound,
+)
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    SEVERITY_ORDER,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+    Location,
+)
+from repro.analysis.engine import (
+    analyse_application,
+    analyse_architecture,
+    analyse_bundle,
+    analyse_csdf,
+    analyse_graph,
+    preflight_check,
+)
+from repro.analysis.rules import RULES, Rule, rules_for
+from repro.analysis.sarif import SARIF_VERSION, to_sarif
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "RULES",
+    "SARIF_VERSION",
+    "SEVERITY_ORDER",
+    "WARNING",
+    "AnalysisReport",
+    "Diagnostic",
+    "Location",
+    "Rule",
+    "analyse_application",
+    "analyse_architecture",
+    "analyse_bundle",
+    "analyse_csdf",
+    "analyse_graph",
+    "minimal_execution_times",
+    "preflight_check",
+    "rules_for",
+    "serialisation_bound",
+    "static_throughput_bound",
+    "to_sarif",
+    "utilisation_bound",
+]

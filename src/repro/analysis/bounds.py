@@ -1,0 +1,114 @@
+"""Cheap static upper bounds on achievable throughput.
+
+The paper's flow decides feasibility by state-space exploration, which
+is exact but expensive.  Long before firing a single actor, two
+structural arguments already bound what *any* allocation can deliver
+(in the spirit of Skelin et al.'s parametric worst-case throughput
+analysis); a throughput constraint above either bound is statically
+infeasible and the pre-flight gate rejects it with zero states
+explored.
+
+Both bounds are *sound*: they use each actor's fastest supported
+execution time (``tau_min``), so every committed allocation — whatever
+its binding, schedule and slices — satisfies them.
+
+* **Serialisation bound** — every actor is bound to exactly one tile,
+  so its firings serialise: in steady state actor ``a`` fires
+  ``lambda * gamma(a) / gamma(out)`` times per time unit and each
+  firing occupies its tile for at least ``tau_min(a)``, giving
+  ``lambda <= gamma(out) / (gamma(a) * tau_min(a))``.  A self-loop
+  with ``t`` initial tokens and consumption ``q`` caps the actor's
+  concurrent firings at ``t/q`` — since firings serialise on a tile
+  anyway this only tightens the bound when ``t < q`` (handled as a
+  deadlock by the rules, not here).
+* **Utilisation bound** — one graph iteration needs at least
+  ``W = sum_a gamma(a) * tau_min(a)`` processor time, and the platform
+  supplies at most ``C = sum_t wheel_remaining(t) / wheel(t)``
+  processor time per time unit, so
+  ``lambda <= gamma(out) * C / W``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+from repro.appmodel.application import ApplicationGraph
+from repro.arch.architecture import ArchitectureGraph
+
+
+def minimal_execution_times(
+    application: ApplicationGraph,
+) -> Dict[str, int]:
+    """Per actor, the fastest execution time over its supported types.
+
+    Actors with no supported processor type are omitted (the ``APP001``
+    rule reports those; omitting them keeps the bounds sound, merely
+    looser).
+    """
+    times: Dict[str, int] = {}
+    for actor, requirements in application.actor_requirements.items():
+        if requirements.options:
+            times[actor] = min(
+                tau for tau, _ in requirements.options.values()
+            )
+    return times
+
+
+def serialisation_bound(
+    application: ApplicationGraph,
+) -> Tuple[Optional[Fraction], Optional[str]]:
+    """The per-actor serialisation bound and the limiting actor.
+
+    Returns ``(None, None)`` when no actor has requirements (nothing to
+    bound against).
+    """
+    gamma = application.gamma
+    gamma_out = gamma[application.output_actor]
+    tau_min = minimal_execution_times(application)
+    bound: Optional[Fraction] = None
+    limiting: Optional[str] = None
+    for actor, tau in tau_min.items():
+        if tau < 1:
+            continue
+        candidate = Fraction(gamma_out, gamma[actor] * tau)
+        if bound is None or candidate < bound:
+            bound = candidate
+            limiting = actor
+    return bound, limiting
+
+
+def utilisation_bound(
+    application: ApplicationGraph,
+    architecture: ArchitectureGraph,
+) -> Optional[Fraction]:
+    """The platform-capacity bound ``gamma(out) * C / W``.
+
+    ``C`` sums the *remaining* TDMA wheel fraction of every tile, so in
+    a multi-application flow the bound tightens as earlier applications
+    commit their reservations.  Returns ``None`` when the application
+    carries no execution-time requirements.
+    """
+    gamma = application.gamma
+    tau_min = minimal_execution_times(application)
+    work = sum(gamma[actor] * tau for actor, tau in tau_min.items())
+    if work <= 0:
+        return None
+    capacity = Fraction(0)
+    for tile in architecture.tiles:
+        remaining = max(0, tile.wheel_remaining)
+        capacity += Fraction(remaining, tile.wheel)
+    return Fraction(gamma[application.output_actor]) * capacity / work
+
+
+def static_throughput_bound(
+    application: ApplicationGraph,
+    architecture: Optional[ArchitectureGraph] = None,
+) -> Optional[Fraction]:
+    """The tightest of the available static bounds (None if unbounded)."""
+    bound, _ = serialisation_bound(application)
+    if architecture is not None:
+        platform = utilisation_bound(application, architecture)
+        if platform is not None and (bound is None or platform < bound):
+            bound = platform
+    return bound

@@ -1,0 +1,217 @@
+"""Diagnostic records produced by the static analysis engine.
+
+A :class:`Diagnostic` is one finding of one rule: a stable rule ID
+(``SDF001``, ``ARC002``, ...), a severity, a human message, a
+:class:`Location` threaded from the serializers' file/field context,
+and an optional fix-it hint.  An :class:`AnalysisReport` is an ordered
+collection of diagnostics with the filtering operations the ``lint``
+command exposes (``--select`` / ``--ignore`` / ``--baseline``).
+
+Severities follow the usual lint ladder:
+
+* ``error`` — the model is malformed or provably doomed: no resource
+  allocation can exist.  ``repro-alloc lint`` exits 6 when any error
+  survives filtering, and the flow pre-flight gate rejects the
+  application without exploring a single state.
+* ``warning`` — suspicious but not fatal (a dead actor, an isolated
+  tile): allocation may still succeed.
+* ``info`` — noteworthy structure (a concurrency-limiting self-loop).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: ordering for "worst finding" style queries (lower sorts worse)
+SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points.
+
+    ``source`` is the file the model was parsed from (None for models
+    built through the API), ``field`` the serializer field within that
+    file (``"channels[2]"``, ``"tiles[0]"``), and ``element`` the
+    model-level element (``"channel 'd2'"``) that is meaningful even
+    without a file.
+    """
+
+    source: Optional[str] = None
+    field: Optional[str] = None
+    element: Optional[str] = None
+
+    def render(self) -> str:
+        """Compact human form: ``file:field (element)`` with gaps elided."""
+        origin = ":".join(p for p in (self.source, self.field) if p)
+        if origin and self.element:
+            return f"{origin} ({self.element})"
+        return origin or self.element or "<model>"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        if self.source is not None:
+            payload["source"] = self.source
+        if self.field is not None:
+            payload["field"] = self.field
+        if self.element is not None:
+            payload["element"] = self.element
+        return payload
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule."""
+
+    rule_id: str
+    severity: str
+    message: str
+    location: Location = field(default_factory=Location)
+    hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITY_ORDER:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by ``--baseline`` suppression files.
+
+        Deliberately excludes the message text so reworded messages do
+        not invalidate a baseline; includes rule, file and element so
+        the same defect in two places yields two fingerprints.
+        """
+        basis = "|".join(
+            (
+                self.rule_id,
+                self.location.source or "",
+                self.location.field or "",
+                self.location.element or "",
+            )
+        )
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        text = (
+            f"{self.location.render()}: {self.severity} "
+            f"{self.rule_id}: {self.message}"
+        )
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location.to_dict(),
+            "fingerprint": self.fingerprint,
+        }
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        return payload
+
+
+class AnalysisReport:
+    """An ordered collection of diagnostics with lint-style filtering."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+
+    # -- collection ----------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "AnalysisReport") -> "AnalysisReport":
+        """A new report holding this report's findings then ``other``'s."""
+        return AnalysisReport(self.diagnostics + other.diagnostics)
+
+    # -- queries -------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        totals = {ERROR: 0, WARNING: 0, INFO: 0}
+        for diagnostic in self.diagnostics:
+            totals[diagnostic.severity] += 1
+        return totals
+
+    def summary(self) -> str:
+        """One line naming the worst finding (empty when clean)."""
+        if not self.diagnostics:
+            return ""
+        worst = min(
+            self.diagnostics, key=lambda d: SEVERITY_ORDER[d.severity]
+        )
+        more = len(self.diagnostics) - 1
+        suffix = f" (+{more} more finding{'s' if more != 1 else ''})" if more else ""
+        return f"{worst.rule_id}: {worst.message}{suffix}"
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    # -- filtering (the CLI's --select / --ignore / --baseline) --------
+    def select(self, prefixes: Sequence[str]) -> "AnalysisReport":
+        """Keep only findings whose rule ID starts with any prefix."""
+        prefixes = tuple(prefixes)
+        return AnalysisReport(
+            d for d in self.diagnostics if d.rule_id.startswith(prefixes)
+        )
+
+    def ignore(self, prefixes: Sequence[str]) -> "AnalysisReport":
+        """Drop findings whose rule ID starts with any prefix."""
+        prefixes = tuple(prefixes)
+        if not prefixes:
+            return AnalysisReport(self.diagnostics)
+        return AnalysisReport(
+            d for d in self.diagnostics if not d.rule_id.startswith(prefixes)
+        )
+
+    def without(self, fingerprints: Iterable[str]) -> "AnalysisReport":
+        """Drop findings whose fingerprint is in ``fingerprints``."""
+        suppressed = set(fingerprints)
+        return AnalysisReport(
+            d for d in self.diagnostics if d.fingerprint not in suppressed
+        )
+
+    # -- rendering -----------------------------------------------------
+    def render_text(self) -> str:
+        """The human report: one line per finding plus a totals line."""
+        lines = [d.render() for d in self.diagnostics]
+        totals = self.counts()
+        lines.append(
+            f"{totals[ERROR]} error(s), {totals[WARNING]} warning(s), "
+            f"{totals[INFO]} info"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON report schema (``repro-alloc lint --format json``)."""
+        return {
+            "format": "repro-lint-report",
+            "version": 1,
+            "findings": [d.to_dict() for d in self.diagnostics],
+            "summary": self.counts(),
+        }

@@ -1,0 +1,106 @@
+"""Run the rule catalogue over models and gate the allocation flow.
+
+``analyse_*`` functions run every registered rule of the matching kind
+and return an :class:`~repro.analysis.diagnostics.AnalysisReport`.
+:func:`preflight_check` is the flow-facing entry point: it runs the
+error-severity application rules (plus the underlying SDF structure
+rules) against the *current* architecture state and reports through the
+``lint.*`` obs counters and the ``lint`` trace category, so a rejected
+application is visible in metrics snapshots and Chrome traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.rules import rules_for
+from repro.appmodel.application import ApplicationGraph
+from repro.arch.architecture import ArchitectureGraph
+from repro.csdf.graph import CSDFGraph
+from repro.obs import get_metrics
+from repro.obs.trace import get_trace
+from repro.sdf.graph import SDFGraph
+
+
+def analyse_graph(graph: SDFGraph) -> AnalysisReport:
+    """All ``SDF0xx`` findings for one SDF graph."""
+    report = AnalysisReport()
+    for rule in rules_for("sdf"):
+        report.extend(rule.check(graph))
+    return report
+
+
+def analyse_csdf(graph: CSDFGraph) -> AnalysisReport:
+    """All ``CSD0xx`` findings for one CSDF graph."""
+    report = AnalysisReport()
+    for rule in rules_for("csdf"):
+        report.extend(rule.check(graph))
+    return report
+
+
+def analyse_architecture(architecture: ArchitectureGraph) -> AnalysisReport:
+    """All ``ARC0xx`` findings for one architecture graph."""
+    report = AnalysisReport()
+    for rule in rules_for("arch"):
+        report.extend(rule.check(architecture))
+    return report
+
+
+def analyse_application(
+    application: ApplicationGraph,
+    architecture: Optional[ArchitectureGraph] = None,
+) -> AnalysisReport:
+    """``SDF0xx`` + ``APP0xx`` findings for one application.
+
+    Platform-dependent rules (``APP003``/``APP004``) only run when an
+    architecture is supplied.
+    """
+    report = analyse_graph(application.graph)
+    for rule in rules_for("app"):
+        report.extend(rule.check(application, architecture))
+    return report
+
+
+def analyse_bundle(
+    bundle: Dict[str, Any], source: Optional[str] = None
+) -> AnalysisReport:
+    """All ``ALLOC0xx`` findings for one allocation bundle (plain dict)."""
+    report = AnalysisReport()
+    for rule in rules_for("bundle"):
+        report.extend(rule.check(bundle, source))
+    return report
+
+
+def preflight_check(
+    application: ApplicationGraph,
+    architecture: Optional[ArchitectureGraph] = None,
+) -> AnalysisReport:
+    """The flow's static gate: error findings only.
+
+    Runs the application analysis and keeps error-severity findings —
+    each one proves no allocation can exist, so the flow can reject the
+    application without exploring a single state.  Emits ``lint.*``
+    counters and a ``lint`` trace event either way.
+    """
+    obs = get_metrics()
+    tr = get_trace()
+    report = analyse_application(application, architecture)
+    errors = AnalysisReport(report.errors)
+    if obs.enabled:
+        obs.counter("lint.preflight_runs")
+        if errors:
+            obs.counter("lint.preflight_rejects")
+            obs.counter("lint.findings", len(errors))
+    if tr.enabled:
+        if errors:
+            tr.instant(
+                "lint",
+                "preflight.reject",
+                application=application.name,
+                findings=len(errors),
+                rules=sorted({d.rule_id for d in errors}),
+            )
+        else:
+            tr.instant("lint", "preflight.pass", application=application.name)
+    return errors

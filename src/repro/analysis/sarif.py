@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output for lint reports.
+
+Emits the minimal conforming subset of the Static Analysis Results
+Interchange Format: one run, a ``tool.driver`` carrying the full rule
+catalogue as ``reportingDescriptor`` objects, and one ``result`` per
+finding with rule ID, level, message and location.  Severities map to
+SARIF levels as ``error -> error``, ``warning -> warning``,
+``info -> note``.  Fingerprints ride in ``partialFingerprints`` under
+the ``reproLint/v1`` key so SARIF viewers can match findings across
+runs the same way ``--baseline`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+from repro.analysis.rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {ERROR: "error", WARNING: "warning", INFO: "note"}
+
+
+def _rule_descriptor(rule_id: str, severity: str, title: str) -> Dict[str, Any]:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": title},
+        "defaultConfiguration": {"level": _LEVELS[severity]},
+    }
+
+
+def _result(diagnostic: Diagnostic) -> Dict[str, Any]:
+    location: Dict[str, Any] = {}
+    if diagnostic.location.source is not None:
+        physical: Dict[str, Any] = {
+            "artifactLocation": {"uri": diagnostic.location.source}
+        }
+        location["physicalLocation"] = physical
+    logical_name = diagnostic.location.element or diagnostic.location.field
+    if logical_name is not None:
+        logical: Dict[str, Any] = {"name": logical_name}
+        if diagnostic.location.field is not None:
+            logical["fullyQualifiedName"] = diagnostic.location.field
+        location["logicalLocations"] = [logical]
+    result: Dict[str, Any] = {
+        "ruleId": diagnostic.rule_id,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "partialFingerprints": {"reproLint/v1": diagnostic.fingerprint},
+    }
+    if location:
+        result["locations"] = [location]
+    return result
+
+
+def to_sarif(report: AnalysisReport) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for ``report`` (JSON-serialisable)."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-alloc lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-alloc/docs/ANALYSIS.md"
+                        ),
+                        "rules": [
+                            _rule_descriptor(
+                                rule.rule_id, rule.severity, rule.title
+                            )
+                            for rule in RULES
+                        ],
+                    }
+                },
+                "results": [_result(d) for d in report],
+            }
+        ],
+    }

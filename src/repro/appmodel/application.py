@@ -105,6 +105,11 @@ class ApplicationGraph:
         self.graph = graph
         self.name = graph.name
         self.throughput_constraint = throughput_constraint
+        # Parse origin for lint locations, stamped by the serializer
+        # (None for API-built applications).  Keys are
+        # ("application", field) / ("requirements", actor-or-channel).
+        self.source: Optional[str] = None
+        self.provenance: Dict[Tuple[str, str], str] = {}
         self.output_actor = output_actor or graph.actor_names[-1]
         if not graph.has_actor(self.output_actor):
             raise KeyError(f"unknown output actor {self.output_actor!r}")
@@ -216,6 +221,8 @@ class ApplicationGraph:
             throughput_constraint=self.throughput_constraint,
             output_actor=self.output_actor,
         )
+        clone.source = self.source
+        clone.provenance = dict(self.provenance)
         for actor, requirements in self.actor_requirements.items():
             clone.actor_requirements[actor] = ActorRequirements(
                 dict(requirements.options)

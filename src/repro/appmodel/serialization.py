@@ -102,6 +102,10 @@ def application_from_dict(
         throughput_constraint=constraint,
         output_actor=data.get("output_actor"),
     )
+    application.source = source
+    application.provenance[("application", "throughput_constraint")] = (
+        "throughput_constraint"
+    )
     for actor, options in data.get("actors", {}).items():
         try:
             application.set_actor_requirements(
@@ -127,6 +131,7 @@ def application_from_dict(
                 source=source,
                 field=f"actors[{actor}]",
             ) from error
+        application.provenance[("requirements", actor)] = f"actors[{actor}]"
     for channel, entry in data.get("channels", {}).items():
         try:
             application.set_channel_requirements(
@@ -143,6 +148,9 @@ def application_from_dict(
                 source=source,
                 field=f"channels[{channel}]",
             ) from error
+        application.provenance[("requirements", channel)] = (
+            f"channels[{channel}]"
+        )
     return application
 
 

@@ -34,6 +34,11 @@ class ArchitectureGraph:
         self.name = name
         self._tiles: Dict[str, Tile] = {}
         self._connections: Dict[Tuple[str, str], Connection] = {}
+        # Parse origin for lint locations, stamped by the serializer
+        # (None for API-built architectures).  Keys are ("tile", name)
+        # / ("connection", "src->dst").
+        self.source: Optional[str] = None
+        self.provenance: Dict[Tuple[str, str], str] = {}
 
     # -- construction ---------------------------------------------------
     def add_tile(self, tile: Tile) -> Tile:
@@ -105,6 +110,8 @@ class ArchitectureGraph:
     def copy(self, name: Optional[str] = None) -> "ArchitectureGraph":
         """Deep copy including per-tile occupancy."""
         clone = ArchitectureGraph(name or self.name)
+        clone.source = self.source
+        clone.provenance = dict(self.provenance)
         for tile in self.tiles:
             clone.add_tile(tile.copy())
         for connection in self.connections:

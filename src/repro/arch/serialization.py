@@ -76,6 +76,7 @@ def architecture_from_dict(
             source=source,
         )
     architecture = ArchitectureGraph(data.get("name", "architecture"))
+    architecture.source = source
     for index, entry in enumerate(data.get("tiles", [])):
         field = f"tiles[{index}]"
         if not isinstance(entry, dict):
@@ -113,6 +114,7 @@ def architecture_from_dict(
             raise SerializationError(
                 f"bad tile entry: {error}", source=source, field=field
             ) from error
+        architecture.provenance[("tile", entry["name"])] = field
     for index, entry in enumerate(data.get("connections", [])):
         field = f"connections[{index}]"
         try:
@@ -129,6 +131,9 @@ def architecture_from_dict(
             raise SerializationError(
                 f"bad connection entry: {error}", source=source, field=field
             ) from error
+        architecture.provenance[
+            ("connection", f"{entry['src']}->{entry['dst']}")
+        ] = field
     return architecture
 
 

@@ -1,8 +1,10 @@
 """Curated benchmark harness behind ``repro-alloc bench``.
 
 The harness runs a fixed set of workloads — the paper's running example
-(fig. 5), the classic DSP models, the H.263 decoder and a seeded
-random-SDFG allocation flow — with instrumentation enabled, and emits
+(fig. 5), the classic DSP models, the H.263 decoder, a seeded
+random-SDFG allocation flow and a statically infeasible application
+exercising the lint pre-flight gate — with instrumentation enabled, and
+emits
 one ``BENCH_<label>.json`` file in the schema-versioned run-report
 format of :mod:`repro.obs.report`.  Each workload records
 
@@ -111,12 +113,48 @@ def _bench_random_flow(fast: bool, seed: int) -> Dict[str, Any]:
     }
 
 
+def _bench_infeasible(fast: bool, seed: int) -> Dict[str, Any]:
+    """The pre-flight gate: a doomed application must cost zero states.
+
+    Takes the paper's running example and doubles its throughput
+    constraint past the static bound of :mod:`repro.analysis.bounds` —
+    provably unallocatable.  The flow's lint gate rejects it before any
+    exploration, so the workload's ``states_explored`` is exactly 0;
+    before the gate existed the same input burned a full (futile)
+    search.
+    """
+    from repro.analysis import static_throughput_bound
+    from repro.appmodel.example import (
+        paper_example_application,
+        paper_example_architecture,
+    )
+    from repro.core.flow import allocate_until_failure
+    from repro.core.tile_cost import CostWeights
+
+    architecture = paper_example_architecture()
+    application = paper_example_application()
+    bound = static_throughput_bound(application, architecture)
+    assert bound is not None
+    application.throughput_constraint = bound * 2
+    result = allocate_until_failure(
+        architecture,
+        [application],
+        weights=CostWeights(0.0, 1.0, 2.0),
+    )
+    outcomes = [s["outcome"] for s in result.application_stats]
+    return {
+        "applications_bound": result.applications_bound,
+        "outcomes": outcomes,
+    }
+
+
 #: name -> workload body; bodies return the deterministic ``facts`` dict
 _WORKLOADS: Tuple[Tuple[str, Callable[[bool, int], Dict[str, Any]]], ...] = (
     ("fig5-example", _bench_fig5),
     ("classic-models", _bench_classic),
     ("h263-analysis", _bench_h263),
     ("random-flow", _bench_random_flow),
+    ("infeasible", _bench_infeasible),
 )
 
 

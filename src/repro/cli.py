@@ -10,6 +10,7 @@ Sub-commands::
     repro-alloc verify BUNDLE.json            # certify a saved allocation
     repro-alloc bench --out BENCH.json        # curated perf workloads
     repro-alloc bench --compare OLD.json      # regression check
+    repro-alloc lint MODEL.json ...           # static diagnostics (SARIF)
 
 Every sub-command accepts ``--metrics PATH`` to dump the observability
 snapshot (see ``docs/OBSERVABILITY.md``) collected during the run,
@@ -26,8 +27,9 @@ Exit codes (see ``docs/ROBUSTNESS.md``): 0 success, 2 user error
 diagnostic on stderr), 3 resource budget exhausted (``--deadline`` /
 ``--max-states`` hit, or the state space exploded), 4 verification
 refuted an allocation (``verify``), 5 benchmark regression detected
-(``bench --compare``).  ``--debug`` re-raises the underlying exception
-with its full traceback instead.
+(``bench --compare``), 6 lint found error-severity diagnostics
+(``lint``; see ``docs/ANALYSIS.md``).  ``--debug`` re-raises the
+underlying exception with its full traceback instead.
 """
 
 from __future__ import annotations
@@ -36,7 +38,11 @@ import argparse
 import json
 import sys
 from contextlib import ExitStack
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.analysis import AnalysisReport
+    from repro.arch.architecture import ArchitectureGraph
 
 from repro.arch.presets import benchmark_architectures
 from repro.core.flow import allocate_until_failure
@@ -394,6 +400,165 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_document(
+    text: str, path: str, architecture: "Optional[ArchitectureGraph]"
+) -> "AnalysisReport":
+    """Sniff one JSON document's kind and run the matching rules.
+
+    Recognises, in order: a list (linted element-wise, the shape
+    ``generate`` emits), an allocation bundle (``format`` envelope), an
+    application (``graph`` key), an architecture (``tiles`` key), a
+    CSDF graph (phase-sequence rates), and plain SDF graphs otherwise.
+    """
+    from repro.analysis import (
+        AnalysisReport,
+        analyse_application,
+        analyse_bundle,
+        analyse_csdf,
+        analyse_graph,
+    )
+    from repro.appmodel.serialization import (
+        BUNDLE_FORMAT,
+        application_from_dict,
+        bundle_from_dict,
+    )
+    from repro.csdf.serialization import csdf_from_dict
+    from repro.sdf.serialization import SerializationError, graph_from_dict
+
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}", source=path)
+
+    def lint_one(document: object) -> AnalysisReport:
+        if isinstance(document, list):
+            report = AnalysisReport()
+            for entry in document:
+                report.extend(lint_one(entry))
+            return report
+        if not isinstance(document, dict):
+            raise SerializationError(
+                f"expected a JSON object, got {type(document).__name__}",
+                source=path,
+            )
+        if document.get("format") == BUNDLE_FORMAT:
+            return analyse_bundle(bundle_from_dict(document, source=path),
+                                  source=path)
+        if "graph" in document:
+            graph = graph_from_dict(document["graph"], source=path)
+            graph_report = analyse_graph(graph)
+            try:
+                application = application_from_dict(document, source=path)
+            except SerializationError:
+                raise
+            except (KeyError, ValueError):
+                # the application cannot even be constructed; the graph
+                # findings explain why (inconsistent, invalid, ...)
+                if graph_report.has_errors:
+                    return graph_report
+                raise
+            return analyse_application(application, architecture)
+        if "tiles" in document:
+            from repro.analysis import analyse_architecture
+            from repro.arch.serialization import architecture_from_dict
+
+            return analyse_architecture(
+                architecture_from_dict(document, source=path)
+            )
+        entries = document.get("channels", []) or document.get("actors", [])
+        is_csdf = any(
+            isinstance(entry, dict)
+            and ("productions" in entry or "execution_times" in entry)
+            for entry in entries
+        )
+        if is_csdf:
+            try:
+                return analyse_csdf(csdf_from_dict(document, source=path))
+            except (KeyError, TypeError, ValueError) as error:
+                raise SerializationError(
+                    f"bad CSDF document: {error}", source=path
+                ) from error
+        return analyse_graph(graph_from_dict(document, source=path))
+
+    return lint_one(data)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import AnalysisReport, analyse_architecture, to_sarif
+    from repro.obs import get_metrics
+
+    architecture = None
+    if args.architecture:
+        from repro.arch.serialization import architecture_from_json
+
+        with open(args.architecture) as handle:
+            architecture = architecture_from_json(
+                handle.read(), source=args.architecture
+            )
+    report = AnalysisReport()
+    if architecture is not None:
+        report.extend(analyse_architecture(architecture))
+    for path in args.inputs:
+        with open(path) as handle:
+            report.extend(_lint_document(handle.read(), path, architecture))
+    if args.select:
+        report = report.select(args.select)
+    if args.ignore:
+        report = report.ignore(args.ignore)
+    if args.update_baseline:
+        if not args.baseline:
+            raise ValueError("--update-baseline requires --baseline PATH")
+        with open(args.baseline, "w") as handle:
+            json.dump(
+                {
+                    "format": "repro-lint-baseline",
+                    "version": 1,
+                    "fingerprints": sorted(
+                        {d.fingerprint for d in report}
+                    ),
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        print(
+            f"baseline with {len(report)} finding(s) written to "
+            f"{args.baseline}"
+        )
+        return 0
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        if baseline.get("format") != "repro-lint-baseline":
+            raise ValueError(
+                f"{args.baseline} is not a repro lint baseline file"
+            )
+        report = report.without(baseline.get("fingerprints", []))
+    obs = get_metrics()
+    if obs.enabled:
+        obs.counter("lint.files", len(args.inputs))
+        obs.counter("lint.findings", len(report))
+    if args.format == "sarif":
+        rendered = json.dumps(to_sarif(report), indent=2)
+    elif args.format == "json":
+        rendered = json.dumps(report.to_dict(), indent=2)
+    else:
+        rendered = report.render_text()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"lint report written to {args.out}")
+    else:
+        print(rendered)
+    if report.has_errors:
+        print(
+            f"repro-alloc: lint found {len(report.errors)} error(s)",
+            file=sys.stderr,
+        )
+        return 6
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-alloc",
@@ -624,6 +789,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_robustness_flags(profile)
     profile.set_defaults(func=_cmd_profile)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static diagnostics over graphs, applications and bundles",
+        description="Run the rule-based static analyser (docs/ANALYSIS.md) "
+        "over JSON models: SDF/CSDF graphs, applications, architectures "
+        "and allocation bundles (kind is sniffed per document).  Exits 0 "
+        "when no error-severity finding survives filtering, 6 otherwise.",
+        parents=[common],
+    )
+    lint.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="MODEL",
+        help="model JSON files (graph, application, architecture, bundle, "
+        "or a list of graphs)",
+    )
+    lint.add_argument(
+        "--architecture",
+        metavar="PATH",
+        help="architecture JSON to lint and to enable platform-aware "
+        "application rules (APP003/APP004)",
+    )
+    lint.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json", "sarif"],
+        help="output format (SARIF 2.1.0 for code-review tooling)",
+    )
+    lint.add_argument(
+        "--out", metavar="PATH", help="write the report to PATH instead of stdout"
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="PREFIX",
+        help="keep only findings whose rule ID starts with PREFIX "
+        "(repeatable, e.g. --select SDF --select APP0)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="PREFIX",
+        help="drop findings whose rule ID starts with PREFIX (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="suppress findings whose fingerprints appear in this "
+        "baseline file (see --update-baseline)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings' fingerprints to --baseline "
+        "and exit 0 (accepting today's findings as the baseline)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     bench = sub.add_parser(
         "bench",

@@ -50,7 +50,7 @@ class FlowResult:
     #: one record per attempted application, uniform schema (see
     #: :func:`_stat`): every record has the same keys, with ``None``
     #: where a key does not apply to the outcome.  ``outcome`` is one of
-    #: ``"allocated"``, ``"degraded"``, ``"failed"``,
+    #: ``"allocated"``, ``"degraded"``, ``"rejected"``, ``"failed"``,
     #: ``"budget-exhausted"`` or ``"error"``.
     application_stats: List[Dict[str, object]] = field(default_factory=list)
 
@@ -117,6 +117,7 @@ def allocate_until_failure(
     ladder: Sequence[Rung] = DEFAULT_LADDER,
     checkpoint_path: Optional[str] = None,
     resume: Optional[Union[str, Dict[str, Any]]] = None,
+    preflight: bool = True,
 ) -> FlowResult:
     """Allocate ``applications`` in order on ``architecture``.
 
@@ -144,6 +145,15 @@ def allocate_until_failure(
     a previously written flow checkpoint as ``resume`` re-applies the
     recorded commits without re-running their searches and continues
     with the remaining applications.
+
+    With ``preflight=True`` (default) every application first passes
+    through the static analyser (:func:`repro.analysis.preflight_check`)
+    against the architecture's *current* occupancy.  An error-severity
+    finding — inconsistent rates, structural deadlock, an actor without
+    a Γ entry, a throughput constraint above the static bounds — proves
+    no allocation exists, so the application is recorded as
+    ``"rejected"`` without exploring a single state (treated like a
+    failure for the stopping rule).
     """
     if allocator is None:
         allocator = ResourceAllocator(weights=weights or CostWeights(1, 1, 1))
@@ -233,6 +243,25 @@ def allocate_until_failure(
             else None
         )
         with obs.span("flow.application", application=application.name) as span:
+            if preflight:
+                from repro.analysis.engine import preflight_check
+
+                gate = preflight_check(application, architecture)
+                if gate.has_errors:
+                    obs.counter("flow.rejected")
+                    span.set("outcome", "rejected")
+                    stop = record_failure(
+                        application,
+                        _stat(
+                            application.name,
+                            "rejected",
+                            perf_counter() - started,
+                            reason=f"statically infeasible: {gate.summary()}",
+                        ),
+                    )
+                    if stop:
+                        break
+                    continue
             try:
                 if degrade:
                     resilient = resilient_allocate(
@@ -242,6 +271,7 @@ def allocate_until_failure(
                         budget=budget,
                         ladder=ladder,
                         checkpoint_path=app_checkpoint,
+                        preflight=False,
                     )
                     allocation = resilient.allocation
                     rung: Optional[str] = resilient.rung

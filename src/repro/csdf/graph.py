@@ -12,7 +12,7 @@ used (checked by validation, not construction).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -94,6 +94,10 @@ class CSDFGraph:
         self._channels: Dict[str, CSDFChannel] = {}
         self._out: Dict[str, List[str]] = {}
         self._in: Dict[str, List[str]] = {}
+        # Parse origin for lint locations, stamped by the serializer
+        # (None for API-built graphs).
+        self.source: Optional[str] = None
+        self.provenance: Dict[Tuple[str, str], str] = {}
 
     def add_actor(
         self, name: str, execution_times: Sequence[int]

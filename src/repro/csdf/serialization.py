@@ -7,7 +7,7 @@ sequences and per-channel rate sequences are stored as JSON arrays.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.csdf.graph import CSDFGraph
 
@@ -34,14 +34,23 @@ def csdf_to_dict(graph: CSDFGraph) -> Dict[str, Any]:
     }
 
 
-def csdf_from_dict(data: Dict[str, Any]) -> CSDFGraph:
-    """Inverse of :func:`csdf_to_dict`."""
+def csdf_from_dict(
+    data: Dict[str, Any], source: Optional[str] = None
+) -> CSDFGraph:
+    """Inverse of :func:`csdf_to_dict`.
+
+    ``source`` (the file being parsed, when known) is stamped onto the
+    graph together with per-element field provenance so lint findings
+    can point back into the document.
+    """
     graph = CSDFGraph(data.get("name", "csdf"))
-    for actor in data.get("actors", []):
+    graph.source = source
+    for index, actor in enumerate(data.get("actors", [])):
         graph.add_actor(
             actor["name"], [int(t) for t in actor["execution_times"]]
         )
-    for channel in data.get("channels", []):
+        graph.provenance[("actor", actor["name"])] = f"actors[{index}]"
+    for index, channel in enumerate(data.get("channels", [])):
         graph.add_channel(
             channel["name"],
             channel["src"],
@@ -50,6 +59,7 @@ def csdf_from_dict(data: Dict[str, Any]) -> CSDFGraph:
             [int(r) for r in channel["consumptions"]],
             int(channel.get("tokens", 0)),
         )
+        graph.provenance[("channel", channel["name"])] = f"channels[{index}]"
     return graph
 
 
@@ -57,5 +67,5 @@ def csdf_to_json(graph: CSDFGraph, indent: int = 2) -> str:
     return json.dumps(csdf_to_dict(graph), indent=indent)
 
 
-def csdf_from_json(text: str) -> CSDFGraph:
-    return csdf_from_dict(json.loads(text))
+def csdf_from_json(text: str, source: Optional[str] = None) -> CSDFGraph:
+    return csdf_from_dict(json.loads(text), source=source)

@@ -38,6 +38,20 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 
+#: Every fault point wired into the codebase, in the order of the table
+#: above.  ``tools/check_invariants.py`` cross-checks that each
+#: ``fault_point("...")`` call site in ``src/`` names a registered
+#: point, so a typo'd hook cannot silently never fire.
+KNOWN_FAULT_POINTS: Tuple[str, ...] = (
+    "state_space.execute",
+    "constrained.run",
+    "scheduling.build",
+    "commit.apply",
+    "checkpoint.write",
+    "checkpoint.read",
+)
+
+
 class InjectedFaultError(RuntimeError):
     """A generic runtime fault raised by the injector (``error="runtime"``)."""
 

@@ -189,8 +189,16 @@ def resilient_allocate(
     budget: Optional[Budget] = None,
     ladder: Sequence[Rung] = DEFAULT_LADDER,
     checkpoint_path: Optional[str] = None,
+    preflight: bool = True,
 ) -> ResilientResult:
     """Allocate ``application``, degrading through ``ladder`` on trouble.
+
+    With ``preflight=True`` (default) the static analyser
+    (:func:`repro.analysis.preflight_check`) runs first; an
+    error-severity finding proves no allocation can exist on any rung,
+    so the ladder is not entered at all and a *non-degradable*
+    :class:`AllocationError` is raised immediately.  Callers that
+    already gated (like the flow) pass ``preflight=False``.
 
     Each non-baseline rung runs the full strategy with that rung's
     knobs under the shared ``budget``.  A rung is abandoned when it
@@ -210,6 +218,18 @@ def resilient_allocate(
     """
     if not ladder:
         raise ValueError("degradation ladder is empty")
+    if preflight:
+        from repro.analysis.engine import preflight_check
+
+        gate = preflight_check(application, architecture)
+        if gate.has_errors:
+            # deliberately no StateSpaceExplosionError cause: the gate's
+            # verdict is a genuine negative answer, so _degradable() is
+            # False and no caller descends the ladder over it
+            raise AllocationError(
+                f"statically infeasible allocation for "
+                f"{application.name!r}: {gate.summary()}"
+            )
     if allocator is None:
         allocator = ResourceAllocator()
     if budget is not None:

@@ -15,7 +15,7 @@ time on the bound processor type.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -105,6 +105,11 @@ class SDFGraph:
         self._channels: Dict[str, Channel] = {}
         self._out: Dict[str, List[str]] = {}
         self._in: Dict[str, List[str]] = {}
+        # Where the graph was parsed from, stamped by the serializers so
+        # lint findings can point at file and field (None for API-built
+        # graphs).  Keys are ("actor", name) / ("channel", name).
+        self.source: Optional[str] = None
+        self.provenance: Dict[Tuple[str, str], str] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -248,6 +253,8 @@ class SDFGraph:
     def copy(self, name: Optional[str] = None) -> "SDFGraph":
         """A structural deep copy of this graph."""
         clone = SDFGraph(name or self.name)
+        clone.source = self.source
+        clone.provenance = dict(self.provenance)
         for actor in self.actors:
             clone.add_actor(actor.name, actor.execution_time)
         for channel in self.channels:

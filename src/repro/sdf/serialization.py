@@ -84,6 +84,7 @@ def graph_from_dict(
             source=source,
         )
     graph = SDFGraph(data.get("name", "sdfg"))
+    graph.source = source
     for index, actor in enumerate(data.get("actors", [])):
         field = f"actors[{index}]"
         if not isinstance(actor, dict) or "name" not in actor:
@@ -98,6 +99,7 @@ def graph_from_dict(
             raise SerializationError(
                 f"bad actor entry: {error}", source=source, field=field
             ) from error
+        graph.provenance[("actor", actor["name"])] = field
     for index, channel in enumerate(data.get("channels", [])):
         field = f"channels[{index}]"
         if not isinstance(channel, dict):
@@ -123,6 +125,7 @@ def graph_from_dict(
             raise SerializationError(
                 f"bad channel entry: {error}", source=source, field=field
             ) from error
+        graph.provenance[("channel", channel["name"])] = field
     return graph
 
 

@@ -350,6 +350,7 @@ def test_bench_writes_schema_versioned_report(tmp_path, capsys):
         "classic-models",
         "h263-analysis",
         "random-flow",
+        "infeasible",
     ]
 
 

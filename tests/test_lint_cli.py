@@ -1,0 +1,342 @@
+"""The ``repro-alloc lint`` command: exit codes, formats, filters.
+
+Covers the acceptance surface of docs/ANALYSIS.md: exit 0 on clean
+models, exit 6 on error findings, valid SARIF 2.1.0 and JSON output,
+``--select`` / ``--ignore`` rule filters, baseline write + suppression
+round-trip, and serializer-threaded file/field locations.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN_GRAPH = {
+    "name": "clean",
+    "actors": [
+        {"name": "a", "execution_time": 1},
+        {"name": "b", "execution_time": 1},
+    ],
+    "channels": [
+        {
+            "name": "d0",
+            "src": "a",
+            "dst": "b",
+            "production": 1,
+            "consumption": 1,
+            "tokens": 0,
+        },
+        {
+            "name": "d1",
+            "src": "b",
+            "dst": "a",
+            "production": 1,
+            "consumption": 1,
+            "tokens": 1,
+        },
+    ],
+}
+
+INCONSISTENT_GRAPH = {
+    "name": "broken",
+    "actors": [
+        {"name": "a", "execution_time": 1},
+        {"name": "b", "execution_time": 1},
+    ],
+    "channels": [
+        {
+            "name": "d0",
+            "src": "a",
+            "dst": "b",
+            "production": 2,
+            "consumption": 3,
+            "tokens": 0,
+        },
+        {
+            "name": "d1",
+            "src": "a",
+            "dst": "b",
+            "production": 1,
+            "consumption": 1,
+            "tokens": 0,
+        },
+    ],
+}
+
+
+def write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_graph_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "clean.json", CLEAN_GRAPH)
+        assert main(["lint", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 info" in out
+
+    def test_error_findings_exit_six(self, tmp_path, capsys):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        assert main(["lint", path]) == 6
+        captured = capsys.readouterr()
+        assert "SDF001" in captured.out
+        assert "lint found 1 error(s)" in captured.err
+
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        document = {
+            "name": "dead",
+            "actors": [
+                {"name": "a", "execution_time": 1},
+                {"name": "b", "execution_time": 1},
+                {"name": "lonely", "execution_time": 1},
+            ],
+            "channels": [
+                {
+                    "name": "d0",
+                    "src": "a",
+                    "dst": "b",
+                    "production": 1,
+                    "consumption": 1,
+                    "tokens": 1,
+                },
+            ],
+        }
+        path = write(tmp_path, "dead.json", document)
+        assert main(["lint", path]) == 0
+        assert "SDF003" in capsys.readouterr().out
+
+    def test_unreadable_input_is_a_user_error(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        assert main(["lint", str(path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_location_carries_file_and_field(self, tmp_path, capsys):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        main(["lint", path])
+        out = capsys.readouterr().out
+        assert f"{path}:channels[1] (channel 'd1')" in out
+
+
+class TestFormats:
+    def test_json_report_schema(self, tmp_path, capsys):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        assert main(["lint", path, "--format", "json"]) == 6
+        report = json.loads(capsys.readouterr().out)
+        assert report["format"] == "repro-lint-report"
+        assert report["version"] == 1
+        assert report["summary"] == {"error": 1, "warning": 0, "info": 0}
+        (finding,) = report["findings"]
+        assert finding["rule"] == "SDF001"
+        assert finding["severity"] == "error"
+        assert finding["location"]["source"] == path
+        assert finding["location"]["field"] == "channels[1]"
+        assert finding["fingerprint"]
+
+    def test_sarif_output_is_valid_2_1_0(self, tmp_path, capsys):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        assert main(["lint", path, "--format", "sarif"]) == 6
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-alloc lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert "SDF001" in rule_ids and "ALLOC003" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "SDF001"
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        (location,) = result["locations"]
+        physical = location["physicalLocation"]["artifactLocation"]["uri"]
+        assert physical == path
+        assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_sarif_written_to_file(self, tmp_path, capsys):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        out = tmp_path / "lint.sarif"
+        assert (
+            main(["lint", path, "--format", "sarif", "--out", str(out)]) == 6
+        )
+        assert "lint report written to" in capsys.readouterr().out
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+
+
+class TestFilters:
+    def test_select_keeps_only_matching_rules(self, tmp_path, capsys):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        assert main(["lint", path, "--select", "ARC"]) == 0
+        assert "SDF001" not in capsys.readouterr().out
+
+    def test_ignore_drops_matching_rules(self, tmp_path, capsys):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        assert main(["lint", path, "--ignore", "SDF001"]) == 0
+        assert "SDF001" not in capsys.readouterr().out
+
+    def test_baseline_round_trip_suppresses_known_findings(
+        self, tmp_path, capsys
+    ):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    path,
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert "baseline with 1 finding(s)" in capsys.readouterr().out
+        stored = json.loads(baseline.read_text())
+        assert stored["format"] == "repro-lint-baseline"
+        assert len(stored["fingerprints"]) == 1
+        # suppressed on the next run ...
+        assert main(["lint", path, "--baseline", str(baseline)]) == 0
+        assert "SDF001" not in capsys.readouterr().out
+        # ... but a NEW defect still fails
+        fresh = write(tmp_path, "fresh.json", INCONSISTENT_GRAPH)
+        assert main(["lint", fresh, "--baseline", str(baseline)]) == 6
+
+    def test_update_baseline_requires_baseline_path(self, tmp_path, capsys):
+        path = write(tmp_path, "clean.json", CLEAN_GRAPH)
+        assert main(["lint", path, "--update-baseline"]) == 2
+        assert "requires --baseline" in capsys.readouterr().err
+
+    def test_non_baseline_file_rejected(self, tmp_path, capsys):
+        path = write(tmp_path, "clean.json", CLEAN_GRAPH)
+        bogus = write(tmp_path, "bogus.json", {"hello": 1})
+        assert main(["lint", path, "--baseline", bogus]) == 2
+        assert "not a repro lint baseline" in capsys.readouterr().err
+
+
+class TestDocumentSniffing:
+    def test_architecture_document(self, tmp_path, capsys):
+        document = {
+            "name": "arch",
+            "tiles": [
+                {
+                    "name": "t1",
+                    "processor_type": "risc",
+                    "wheel": 10,
+                    "memory": 100,
+                    "max_connections": 2,
+                    "bandwidth_in": 10,
+                    "bandwidth_out": 10,
+                    "wheel_occupied": 10,
+                },
+            ],
+            "connections": [],
+        }
+        path = write(tmp_path, "arch.json", document)
+        assert main(["lint", path]) == 0
+        assert "ARC003" in capsys.readouterr().out
+
+    def test_csdf_document(self, tmp_path, capsys):
+        document = {
+            "name": "csdf",
+            "actors": [
+                {"name": "a", "execution_times": [1, 1]},
+                {"name": "b", "execution_times": [1]},
+            ],
+            "channels": [
+                {
+                    "name": "d0",
+                    "src": "a",
+                    "dst": "b",
+                    "productions": [1, 2],
+                    "consumptions": [3],
+                    "tokens": 0,
+                },
+                {
+                    "name": "d1",
+                    "src": "a",
+                    "dst": "b",
+                    "productions": [1, 1],
+                    "consumptions": [1],
+                    "tokens": 0,
+                },
+            ],
+        }
+        path = write(tmp_path, "csdf.json", document)
+        assert main(["lint", path]) == 6
+        assert "CSD001" in capsys.readouterr().out
+
+    def test_list_document_lints_each_element(self, tmp_path, capsys):
+        path = write(tmp_path, "both.json", [CLEAN_GRAPH, INCONSISTENT_GRAPH])
+        assert main(["lint", path]) == 6
+        assert "SDF001" in capsys.readouterr().out
+
+    def test_bundle_document(self, tmp_path, capsys):
+        from repro.appmodel.serialization import BUNDLE_FORMAT
+
+        document = {
+            "format": BUNDLE_FORMAT,
+            "version": 1,
+            "architecture": {
+                "name": "arch",
+                "tiles": [
+                    {
+                        "name": "t1",
+                        "processor_type": "risc",
+                        "wheel": 10,
+                        "memory": 100,
+                        "max_connections": 2,
+                        "bandwidth_in": 10,
+                        "bandwidth_out": 10,
+                    },
+                ],
+                "connections": [],
+            },
+            "allocations": [
+                {"reservation": {"t1": {"time_slice": 99}}},
+            ],
+        }
+        path = write(tmp_path, "bundle.json", document)
+        assert main(["lint", path]) == 6
+        assert "ALLOC001" in capsys.readouterr().out
+
+    def test_multiple_inputs_accumulate(self, tmp_path, capsys):
+        clean = write(tmp_path, "clean.json", CLEAN_GRAPH)
+        broken = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        assert main(["lint", clean, broken]) == 6
+
+    def test_architecture_flag_is_linted_too(self, tmp_path, capsys):
+        arch = {
+            "name": "arch",
+            "tiles": [
+                {
+                    "name": "t1",
+                    "processor_type": "risc",
+                    "wheel": 10,
+                    "memory": 100,
+                    "max_connections": 2,
+                    "bandwidth_in": 10,
+                    "bandwidth_out": 10,
+                    "wheel_occupied": 10,
+                },
+            ],
+            "connections": [],
+        }
+        arch_path = write(tmp_path, "arch.json", arch)
+        clean = write(tmp_path, "clean.json", CLEAN_GRAPH)
+        assert main(["lint", clean, "--architecture", arch_path]) == 0
+        assert "ARC003" in capsys.readouterr().out
+
+
+class TestMetrics:
+    def test_lint_counters_under_metrics_flag(self, tmp_path):
+        path = write(tmp_path, "broken.json", INCONSISTENT_GRAPH)
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["lint", path, "--metrics", str(metrics_path)]) == 6
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["lint.files"] == 1
+        assert snapshot["counters"]["lint.findings"] == 1

@@ -1,0 +1,59 @@
+"""Property: generated models are always lint-clean at error severity.
+
+The generators of :mod:`repro.generate` promise consistent, live
+graphs, and the benchmark generator scales constraints from the
+measured ideal throughput — so the analyser's error rules (which claim
+to be *proofs* of infeasibility) must never fire on them.  A failure
+here means either a generator emits broken models or a lint rule
+over-approximates (a false positive the pre-flight gate would turn
+into a wrongly rejected application).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyse_application, analyse_graph, preflight_check
+from repro.arch.presets import benchmark_architectures
+from repro.generate.benchmark import generate_benchmark_set
+from repro.generate.random_sdf import RandomSDFParameters, random_sdfg
+
+
+@st.composite
+def generated_sdfgs(draw):
+    seed = draw(st.integers(0, 10_000))
+    actors = draw(st.integers(2, 6))
+    parameters = RandomSDFParameters(
+        actors_min=actors,
+        actors_max=actors,
+        repetition_min=1,
+        repetition_max=draw(st.integers(1, 3)),
+        extra_channel_fraction=draw(st.floats(0.0, 1.0)),
+        back_edge_probability=draw(st.floats(0.0, 1.0)),
+        self_edge_fraction=draw(st.floats(0.0, 0.7)),
+    )
+    return random_sdfg(parameters, random.Random(seed))
+
+
+@settings(max_examples=60, deadline=None)
+@given(generated_sdfgs())
+def test_random_sdfgs_have_no_error_findings(graph):
+    report = analyse_graph(graph)
+    assert not report.has_errors, report.render_text()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    set_name=st.sampled_from(["processing", "memory", "communication", "mixed"]),
+)
+def test_generated_applications_pass_the_preflight_gate(seed, set_name):
+    architecture = benchmark_architectures()[0]
+    applications = generate_benchmark_set(
+        set_name, 2, architecture.processor_types(), seed=seed
+    )
+    for application in applications:
+        report = analyse_application(application, architecture)
+        assert not report.has_errors, report.render_text()
+        gate = preflight_check(application, architecture)
+        assert len(gate) == 0, gate.render_text()

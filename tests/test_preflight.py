@@ -1,0 +1,183 @@
+"""The static pre-flight gate in the flow and the degradation ladder.
+
+The contract (docs/ANALYSIS.md, "Gate semantics"): a statically
+infeasible application is rejected *before* any state-space
+exploration — outcome ``"rejected"``, zero states explored, visible
+through the ``lint.*`` counters and the ``lint`` trace category — and
+the rejection is a genuine negative answer, so ``resilient_allocate``
+must not descend its ladder over it.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import preflight_check, static_throughput_bound
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.core.flow import allocate_until_failure
+from repro.core.strategy import AllocationError
+from repro.obs import Metrics, collecting
+from repro.obs.trace import tracing
+from repro.resilience.policy import _degradable, resilient_allocate
+from repro.throughput.state_space import StateSpaceExplosionError
+
+
+def doomed_application():
+    """The paper example with its constraint pushed past the static bound."""
+    application = paper_example_application()
+    bound = static_throughput_bound(
+        application, paper_example_architecture()
+    )
+    assert bound is not None
+    application.throughput_constraint = bound * 2
+    return application
+
+
+class TestPreflightCheck:
+    def test_feasible_application_passes(self):
+        gate = preflight_check(
+            paper_example_application(), paper_example_architecture()
+        )
+        assert len(gate) == 0
+
+    def test_infeasible_constraint_is_rejected(self):
+        gate = preflight_check(
+            doomed_application(), paper_example_architecture()
+        )
+        assert gate.has_errors
+        assert {d.rule_id for d in gate} <= {"APP002", "APP003"}
+
+    def test_gate_reports_errors_only(self):
+        # a serialised self-loop is only an info finding: the full
+        # analysis reports it, the gate stays silent
+        from repro.analysis import analyse_application
+        from repro.appmodel.application import ApplicationGraph
+        from repro.arch.tile import ProcessorType
+        from repro.sdf.graph import SDFGraph
+
+        graph = SDFGraph("noted")
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.add_channel("d0", "a", "b")
+        graph.add_channel("d1", "b", "a", tokens=1)
+        graph.add_channel("loop", "a", "a", tokens=1)
+        application = ApplicationGraph(graph, output_actor="b")
+        for actor in graph.actor_names:
+            application.set_actor_requirements(
+                actor, (ProcessorType("risc"), 1, 1)
+            )
+        assert len(analyse_application(application)) == 1
+        assert len(preflight_check(application)) == 0
+
+    def test_counters_and_trace_events(self):
+        architecture = paper_example_architecture()
+        with collecting(Metrics()) as metrics, tracing() as trace:
+            preflight_check(paper_example_application(), architecture)
+            preflight_check(doomed_application(), architecture)
+        counters = metrics.snapshot()["counters"]
+        assert counters["lint.preflight_runs"] == 2
+        assert counters["lint.preflight_rejects"] == 1
+        assert counters["lint.findings"] >= 1
+        events = [(e.category, e.name) for e in trace.events()]
+        assert ("lint", "preflight.pass") in events
+        assert ("lint", "preflight.reject") in events
+
+
+class TestFlowGate:
+    def test_infeasible_application_rejected_with_zero_states(self):
+        architecture = paper_example_architecture()
+        with collecting(Metrics()) as metrics:
+            result = allocate_until_failure(
+                architecture, [doomed_application()]
+            )
+        assert result.applications_bound == 0
+        (stats,) = result.application_stats
+        assert stats["outcome"] == "rejected"
+        assert "statically infeasible" in stats["reason"]
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("state_space.states", 0) == 0
+        assert counters.get("constrained.states", 0) == 0
+        assert counters["flow.rejected"] == 1
+        assert counters["lint.preflight_rejects"] == 1
+
+    def test_rejection_stops_the_flow_like_any_failure(self):
+        architecture = paper_example_architecture()
+        result = allocate_until_failure(
+            architecture,
+            [doomed_application(), paper_example_application()],
+        )
+        # the doomed application fails first; the feasible one is never
+        # attempted without continue_after_failure
+        assert result.applications_bound == 0
+        assert len(result.application_stats) == 1
+
+    def test_continue_after_failure_skips_past_rejection(self):
+        architecture = paper_example_architecture()
+        result = allocate_until_failure(
+            architecture,
+            [doomed_application(), paper_example_application()],
+            continue_after_failure=True,
+        )
+        assert result.applications_bound == 1
+        outcomes = [s["outcome"] for s in result.application_stats]
+        assert outcomes[0] == "rejected"
+        assert outcomes[1] in ("allocated", "degraded")
+
+    def test_preflight_false_disables_the_gate(self):
+        architecture = paper_example_architecture()
+        with collecting(Metrics()) as metrics:
+            result = allocate_until_failure(
+                architecture, [doomed_application()], preflight=False
+            )
+        assert result.applications_bound == 0
+        (stats,) = result.application_stats
+        # without the gate the flow pays for a real (failing) search
+        assert stats["outcome"] != "rejected"
+        counters = metrics.snapshot()["counters"]
+        assert "lint.preflight_runs" not in counters
+
+    def test_feasible_application_unaffected_by_gate(self):
+        architecture = paper_example_architecture()
+        result = allocate_until_failure(
+            architecture, [paper_example_application()]
+        )
+        assert result.applications_bound == 1
+        (stats,) = result.application_stats
+        assert stats["outcome"] == "allocated"
+
+
+class TestResilientGate:
+    def test_raises_non_degradable_allocation_error(self):
+        with pytest.raises(AllocationError) as excinfo:
+            resilient_allocate(
+                doomed_application(), paper_example_architecture()
+            )
+        error = excinfo.value
+        assert "statically infeasible" in str(error)
+        assert not isinstance(error.__cause__, StateSpaceExplosionError)
+        assert not _degradable(error)
+
+    def test_gate_runs_before_any_ladder_rung(self):
+        with collecting(Metrics()) as metrics:
+            with pytest.raises(AllocationError):
+                resilient_allocate(
+                    doomed_application(), paper_example_architecture()
+                )
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("state_space.states", 0) == 0
+        assert counters.get("constrained.states", 0) == 0
+        assert counters.get("resilience.rung_exploded", 0) == 0
+
+    def test_preflight_false_reaches_the_ladder(self):
+        # with the gate off the exact rung genuinely tries (and fails
+        # at the throughput check, a non-degradable negative answer)
+        with pytest.raises(AllocationError) as excinfo:
+            resilient_allocate(
+                doomed_application(),
+                paper_example_architecture(),
+                preflight=False,
+            )
+        assert "statically infeasible" not in str(excinfo.value)

@@ -273,6 +273,23 @@ def test_flow_stats_schema_is_uniform():
 
 
 def test_flow_failure_record_has_uniform_schema():
+    # preflight off: the statically infeasible constraint must reach
+    # the strategy and fail there (the gated path is covered below)
+    application = paper_example_application(
+        throughput_constraint=Fraction(1, 1)
+    )
+    architecture = paper_example_architecture()
+    result = allocate_until_failure(
+        architecture, [application], preflight=False
+    )
+    record = result.application_stats[0]
+    assert set(record) == UNIFORM_KEYS
+    assert record["outcome"] == "failed"
+    assert record["reason"]
+    assert record["throughput_checks"] is None
+
+
+def test_flow_rejected_record_has_uniform_schema():
     application = paper_example_application(
         throughput_constraint=Fraction(1, 1)
     )
@@ -280,9 +297,8 @@ def test_flow_failure_record_has_uniform_schema():
     result = allocate_until_failure(architecture, [application])
     record = result.application_stats[0]
     assert set(record) == UNIFORM_KEYS
-    assert record["outcome"] == "failed"
-    assert record["reason"]
-    assert record["throughput_checks"] is None
+    assert record["outcome"] == "rejected"
+    assert "statically infeasible" in record["reason"]
 
 
 def test_tiny_deadline_flow_completes_degraded():

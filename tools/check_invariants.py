@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""AST-level repository invariants, run by ``make lint`` and CI.
+
+The checks pin down drift that neither the test suite nor mypy can
+notice, because nothing fails at runtime when they are violated — the
+broken hook just silently never fires or the docs silently rot:
+
+1. **Fault points are registered.**  Every ``fault_point("...")`` call
+   site in ``src/`` names a point listed in
+   ``repro.resilience.faults.KNOWN_FAULT_POINTS``.  A typo'd point
+   would otherwise compile, run, and simply never be injectable.
+2. **Trace events are documented.**  Every trace event emitted in
+   ``src/`` (an ``.instant`` / ``.complete`` / ``.span`` call whose
+   first two arguments are string literals — the ``(category, name)``
+   pair) appears in the event catalogue table of
+   ``docs/OBSERVABILITY.md``.
+3. **No wall-clock reads outside the obs layer.**  ``time.time()`` is
+   non-monotonic; engines and reports must use ``perf_counter`` or go
+   through ``repro.obs``.  Both ``time.time(...)`` calls and
+   ``from time import time`` imports are flagged outside
+   ``src/repro/obs/``.
+
+Everything is read from source with :mod:`ast` — the checker never
+imports the package, so it works on a broken tree and adds no import
+side effects.  Exit status: 0 when clean, 1 with one ``file:line:``
+diagnostic per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List, Set, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+FAULTS = SRC / "resilience" / "faults.py"
+OBSERVABILITY = REPO / "docs" / "OBSERVABILITY.md"
+
+#: methods whose leading (str, str) arguments form a trace event
+_TRACE_METHODS = ("instant", "complete", "span")
+
+
+def known_fault_points() -> Set[str]:
+    """``KNOWN_FAULT_POINTS`` parsed out of the faults module source."""
+    tree = ast.parse(FAULTS.read_text(), filename=str(FAULTS))
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "KNOWN_FAULT_POINTS"
+            ):
+                value = node.value
+                assert isinstance(value, (ast.Tuple, ast.List))
+                return {
+                    element.value
+                    for element in value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                }
+    raise SystemExit(f"KNOWN_FAULT_POINTS not found in {FAULTS}")
+
+
+def documented_events() -> Set[Tuple[str, str]]:
+    """(category, event) pairs from the OBSERVABILITY event catalogue.
+
+    The catalogue is the markdown table under "### Event catalogue":
+    the first cell is the backtick-quoted category, the second cell
+    lists the backtick-quoted event names.
+    """
+    text = OBSERVABILITY.read_text()
+    marker = "### Event catalogue"
+    start = text.index(marker)
+    events: Set[Tuple[str, str]] = set()
+    for line in text[start:].splitlines():
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        if len(cells) < 2 or not cells[0].startswith("`"):
+            continue
+        category = cells[0].strip("`")
+        for name in re.findall(r"`([^`]+)`", cells[1]):
+            events.add((category, name))
+    if not events:
+        raise SystemExit(f"no event catalogue table found in {OBSERVABILITY}")
+    return events
+
+
+def _string_args(call: ast.Call, count: int) -> List[str]:
+    """The first ``count`` positional args, when all are str literals."""
+    values = []
+    for argument in call.args[:count]:
+        if not (
+            isinstance(argument, ast.Constant)
+            and isinstance(argument.value, str)
+        ):
+            return []
+        values.append(argument.value)
+    return values if len(values) == count else []
+
+
+def check_file(
+    path: Path,
+    fault_points: Set[str],
+    events: Set[Tuple[str, str]],
+) -> List[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    relative = path.relative_to(REPO)
+    in_obs = SRC / "obs" in path.parents
+    problems: List[str] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if (
+                node.module == "time"
+                and any(alias.name == "time" for alias in node.names)
+                and not in_obs
+            ):
+                problems.append(
+                    f"{relative}:{node.lineno}: 'from time import time' "
+                    "outside repro.obs (use perf_counter or the obs layer)"
+                )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        function = node.func
+        if isinstance(function, ast.Name) and function.id == "fault_point":
+            names = _string_args(node, 1)
+            if names and names[0] not in fault_points:
+                problems.append(
+                    f"{relative}:{node.lineno}: fault_point "
+                    f"{names[0]!r} is not in KNOWN_FAULT_POINTS "
+                    "(repro/resilience/faults.py)"
+                )
+        elif isinstance(function, ast.Attribute):
+            if (
+                function.attr == "time"
+                and isinstance(function.value, ast.Name)
+                and function.value.id == "time"
+                and not in_obs
+            ):
+                problems.append(
+                    f"{relative}:{node.lineno}: time.time() outside "
+                    "repro.obs (use perf_counter or the obs layer)"
+                )
+            elif function.attr in _TRACE_METHODS:
+                pair = _string_args(node, 2)
+                if pair and tuple(pair) not in events:
+                    problems.append(
+                        f"{relative}:{node.lineno}: trace event "
+                        f"({pair[0]!r}, {pair[1]!r}) is not in the "
+                        "docs/OBSERVABILITY.md event catalogue"
+                    )
+    return problems
+
+
+def main() -> int:
+    fault_points = known_fault_points()
+    events = documented_events()
+    problems: List[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        problems.extend(check_file(path, fault_points, events))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} invariant violation(s)")
+        return 1
+    print("repository invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
