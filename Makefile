@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-fast test-robustness test-verify bench bench-tables bench-full experiments examples clean
+.PHONY: install lint test test-fast test-robustness test-verify test-exact bench bench-tables bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,11 @@ test-robustness:
 # Checkpoint/resume and the independent verifier (docs/VERIFICATION.md).
 test-verify:
 	$(PYTHON) -m pytest tests/test_checkpoint.py tests/test_verify.py
+
+# The exact branch-and-bound backend and its optimality-gap
+# differential harness against the greedy flow (docs/EXACT.md).
+test-exact:
+	$(PYTHON) -m pytest tests/ -m exact
 
 # Curated perf workloads, checked against the committed baseline
 # (BENCH_seed.json); a deterministic regression exits 5.

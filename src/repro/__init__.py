@@ -28,7 +28,7 @@ Quickstart::
     app.set_actor_requirements("sink", (proc, 3, 100))
     app.set_channel_requirements("d", token_size=32, bandwidth=64)
     platform = mesh_architecture(2, 2, [proc])
-    allocation = ResourceAllocator(weights=CostWeights(0, 1, 2)).allocate(
+    allocation = ResourceAllocator(weights=CostWeights.default()).allocate(
         app, platform
     )
 
@@ -79,6 +79,7 @@ from repro.core import (
     allocate_until_failure,
     bind_application,
 )
+from repro.exact import ExactSearchResult, allocation_cost, exact_search
 from repro.generate import (
     generate_benchmark_set,
     h263_decoder,
@@ -122,6 +123,9 @@ __all__ = [
     "ResourceAllocator",
     "allocate_until_failure",
     "bind_application",
+    "ExactSearchResult",
+    "allocation_cost",
+    "exact_search",
     "generate_benchmark_set",
     "h263_decoder",
     "mp3_decoder",

@@ -56,7 +56,7 @@ def maximize_throughput(
     maximum over all slice allocations for that binding and schedule.
     """
     binding = bind_application(
-        application, architecture, weights or CostWeights(0, 1, 2)
+        application, architecture, weights or CostWeights.default()
     )
     slices: Dict[str, int] = {}
     for tile_name in binding.used_tiles():

@@ -2,9 +2,9 @@
 
 The harness runs a fixed set of workloads — the paper's running example
 (fig. 5), the classic DSP models, the H.263 decoder, a seeded
-random-SDFG allocation flow and a statically infeasible application
-exercising the lint pre-flight gate — with instrumentation enabled, and
-emits
+random-SDFG allocation flow, a statically infeasible application
+exercising the lint pre-flight gate, and the exact branch-and-bound
+backend on fig. 5 — with instrumentation enabled, and emits
 one ``BENCH_<label>.json`` file in the schema-versioned run-report
 format of :mod:`repro.obs.report`.  Each workload records
 
@@ -103,7 +103,7 @@ def _bench_random_flow(fast: bool, seed: int) -> Dict[str, Any]:
     result = allocate_until_failure(
         architecture,
         applications,
-        weights=CostWeights(0.0, 1.0, 2.0),
+        weights=CostWeights.default(),
         continue_after_failure=not fast,
     )
     return {
@@ -139,12 +139,43 @@ def _bench_infeasible(fast: bool, seed: int) -> Dict[str, Any]:
     result = allocate_until_failure(
         architecture,
         [application],
-        weights=CostWeights(0.0, 1.0, 2.0),
+        weights=CostWeights.default(),
     )
     outcomes = [s["outcome"] for s in result.application_stats]
     return {
         "applications_bound": result.applications_bound,
         "outcomes": outcomes,
+    }
+
+
+def _bench_exact_small(fast: bool, seed: int) -> Dict[str, Any]:
+    """The exact backend on fig. 5: pins the branch-and-bound's work.
+
+    Runs :func:`repro.exact.search.exact_search` on the paper's running
+    example and records the nodes explored, nodes pruned, leaves and
+    throughput checks — all deterministic — plus the optimal cost.  A
+    change in any of them means the search order, the pruning bounds or
+    the objective changed; the cost in particular is the ground truth
+    the optimality-gap harness (``tests/test_differential_allocation.py``)
+    measures the greedy heuristic against.
+    """
+    from repro.appmodel.example import (
+        paper_example_application,
+        paper_example_architecture,
+    )
+    from repro.exact.search import exact_search
+
+    result = exact_search(
+        paper_example_application(), paper_example_architecture()
+    )
+    assert result.allocation is not None
+    return {
+        "cost": str(result.cost),
+        "achieved_throughput": str(result.allocation.achieved_throughput),
+        "nodes_explored": result.nodes_explored,
+        "nodes_pruned": result.nodes_pruned,
+        "leaves_evaluated": result.leaves_evaluated,
+        "tiles_used": len(result.allocation.binding.used_tiles()),
     }
 
 
@@ -155,6 +186,7 @@ _WORKLOADS: Tuple[Tuple[str, Callable[[bool, int], Dict[str, Any]]], ...] = (
     ("h263-analysis", _bench_h263),
     ("random-flow", _bench_random_flow),
     ("infeasible", _bench_infeasible),
+    ("exact-small", _bench_exact_small),
 )
 
 
@@ -173,6 +205,7 @@ def _work_counters(snapshot: Dict[str, Any]) -> Dict[str, int]:
         ),
         "throughput_checks": int(
             counters.get("slices.throughput_checks", 0)
+            + counters.get("exact.throughput_checks", 0)
         ),
     }
 

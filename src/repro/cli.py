@@ -112,6 +112,7 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
         args.set, args.count, architecture.processor_types(), seed=args.seed
     )
     weights = CostWeights(*args.weights)
+    allocator = ResourceAllocator(weights=weights, backend=args.backend)
     pre_flow = None
     if args.save_allocation:
         from repro.arch.serialization import (
@@ -123,7 +124,7 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     result = allocate_until_failure(
         architecture,
         applications,
-        weights=weights,
+        allocator=allocator,
         budget=args.budget,
         degrade=args.degrade,
         checkpoint_path=args.checkpoint,
@@ -179,7 +180,9 @@ def _cmd_allocate_file(args: argparse.Namespace) -> int:
         architecture = architecture_from_json(
             handle.read(), source=args.architecture
         )
-    allocator = ResourceAllocator(weights=CostWeights(*args.weights))
+    allocator = ResourceAllocator(
+        weights=CostWeights(*args.weights), backend=args.backend
+    )
     allocation = allocator.allocate(
         application, architecture, budget=args.budget
     )
@@ -313,7 +316,9 @@ def _cmd_example(args: argparse.Namespace) -> int:
     from repro.appmodel.example import paper_example
 
     application, architecture, _ = paper_example()
-    allocator = ResourceAllocator(weights=CostWeights(*args.weights))
+    allocator = ResourceAllocator(
+        weights=CostWeights(*args.weights), backend=args.backend
+    )
     allocation = allocator.allocate(
         application, architecture, budget=args.budget
     )
@@ -628,10 +633,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--weights",
         type=float,
         nargs=3,
-        default=[0.0, 1.0, 2.0],
+        default=list(CostWeights.default().as_tuple()),
         metavar=("C1", "C2", "C3"),
         help="tile cost weights (processing, memory, communication)",
     )
+    _add_backend_flag(allocate)
     allocate.add_argument(
         "--degrade",
         action="store_true",
@@ -657,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1.0, 1.0, 1.0],
         metavar=("C1", "C2", "C3"),
     )
+    _add_backend_flag(example)
     example.add_argument(
         "--save-allocation",
         metavar="PATH",
@@ -676,9 +683,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--weights",
         type=float,
         nargs=3,
-        default=[0.0, 1.0, 2.0],
+        default=list(CostWeights.default().as_tuple()),
         metavar=("C1", "C2", "C3"),
     )
+    _add_backend_flag(allocate_file)
     allocate_file.add_argument(
         "--commit",
         action="store_true",
@@ -770,7 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--weights",
         type=float,
         nargs=3,
-        default=[0.0, 1.0, 2.0],
+        default=list(CostWeights.default().as_tuple()),
         metavar=("C1", "C2", "C3"),
     )
     profile.add_argument(
@@ -901,6 +909,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=_cmd_bench)
     return parser
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["greedy", "exact"],
+        default="greedy",
+        help="allocation strategy: the paper's greedy heuristic "
+        "(default) or the branch-and-bound exact search "
+        "(provably cheapest, combinatorial cost; see docs/EXACT.md)",
+    )
 
 
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:

@@ -48,6 +48,16 @@ class ResourceAllocator:
     early-stop band of the slice search, whether the rebinding and
     slice-refinement optimisation passes run, and the state budget of
     the throughput engine.
+
+    ``backend`` selects the strategy implementation: ``"greedy"`` (the
+    paper's three-step heuristic, the default) or ``"exact"`` (the
+    :mod:`repro.exact` branch-and-bound search, which returns the
+    provably cheapest feasible allocation at combinatorial cost — see
+    ``docs/EXACT.md``).  The exact backend honours ``weights``,
+    ``cycle_limit`` and ``max_states``; the greedy-only knobs
+    (``relaxation``, ``optimise_binding``, ``refine_slices``,
+    ``trim_buffers``) do not apply to it, and ``slice_step`` coarsens
+    only the exact backend's slice grid.
     """
 
     weights: CostWeights = CostWeights(1, 1, 1)
@@ -60,6 +70,10 @@ class ResourceAllocator:
     trim_buffers: bool = False
     cycle_limit: Optional[int] = 20000
     max_states: int = DEFAULT_MAX_STATES
+    #: strategy implementation: "greedy" or "exact"
+    backend: str = "greedy"
+    #: slice-grid granularity of the exact backend (1 = every width)
+    slice_step: int = 1
 
     def allocate(
         self,
@@ -81,9 +95,18 @@ class ResourceAllocator:
         (it is not an :class:`AllocationError` — the allocation is
         neither proven feasible nor infeasible, merely unfinished).
         """
+        if self.backend not in ("greedy", "exact"):
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                "(expected 'greedy' or 'exact')"
+            )
         obs = get_metrics()
         if budget is not None:
             budget.start()
+        if self.backend == "exact":
+            return self._allocate_exact(
+                application, architecture, binding, budget
+            )
         with obs.span("allocate", application=application.name) as span:
             try:
                 if binding is None:
@@ -178,3 +201,50 @@ class ResourceAllocator:
                 throughput_checks=checks,
                 certificate=certificate,
             )
+
+    def _allocate_exact(
+        self,
+        application: ApplicationGraph,
+        architecture: ArchitectureGraph,
+        binding: Optional[Binding],
+        budget: Optional[Budget],
+    ) -> Allocation:
+        """The ``backend="exact"`` path: delegate to :mod:`repro.exact`.
+
+        Keeps the facade's contract: an infeasibility proof surfaces as
+        :class:`AllocationError`, a :class:`BudgetExceededError`
+        propagates unwrapped (the search is merely unfinished and
+        carries its incumbent as partial progress).
+        """
+        # deferred import: repro.exact sits above core in the layering
+        from repro.exact.search import exact_search
+
+        obs = get_metrics()
+        try:
+            result = exact_search(
+                application,
+                architecture,
+                weights=self.weights,
+                binding=binding,
+                slice_step=self.slice_step,
+                cycle_limit=self.cycle_limit,
+                max_states=self.max_states,
+                budget=budget,
+            )
+        except BudgetExceededError:
+            if obs.enabled:
+                obs.counter("allocate.budget_exceeded")
+            raise
+        if result.allocation is None:
+            if obs.enabled:
+                obs.counter("allocate.failures")
+            raise AllocationError(
+                f"no valid allocation for {application.name!r}: the exact "
+                f"search proved the constraint infeasible "
+                f"({result.nodes_explored} nodes, "
+                f"{result.throughput_checks} throughput checks)"
+            )
+        if obs.enabled:
+            obs.counter("allocate.successes")
+            obs.counter("allocate.throughput_checks", result.throughput_checks)
+        return result.allocation

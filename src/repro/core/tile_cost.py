@@ -39,6 +39,20 @@ class CostWeights:
     memory: float = 1.0
     communication: float = 1.0
 
+    @classmethod
+    def default(cls) -> "CostWeights":
+        """The repository-wide default ``(0, 1, 2)``.
+
+        The best-performing sweep point of the paper's Tables 3-5
+        (processing load is ignored, communication weighs double).
+        Every entry point — the CLI, the dimensioning and ordering
+        extensions, the throughput-frontier baseline, the bench
+        workloads — shares this single definition; a regression test
+        (``tests/test_cost_weights_default.py``) keeps literal copies
+        from creeping back in.
+        """
+        return cls(0.0, 1.0, 2.0)
+
     def as_tuple(self) -> tuple:
         return (self.processing, self.memory, self.communication)
 

@@ -71,7 +71,7 @@ def dimension_platform(
     Returns a result with ``found=False`` when even ``max_tiles`` tiles
     are insufficient.
     """
-    allocator = ResourceAllocator(weights=weights or CostWeights(0, 1, 2))
+    allocator = ResourceAllocator(weights=weights or CostWeights.default())
     attempts: List[Tuple[int, int, int]] = []
     applications = list(applications)
     for rows, cols in _mesh_shapes(max_tiles):

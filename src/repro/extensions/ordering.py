@@ -95,7 +95,7 @@ def compare_orderings(
     results: Dict[str, FlowResult] = {}
     for strategy in chosen:
         ordered = order_applications(applications, strategy)
-        allocator = ResourceAllocator(weights=weights or CostWeights(0, 1, 2))
+        allocator = ResourceAllocator(weights=weights or CostWeights.default())
         results[strategy] = allocate_until_failure(
             architecture.copy(),
             ordered,

@@ -49,6 +49,7 @@ KNOWN_FAULT_POINTS: Tuple[str, ...] = (
     "commit.apply",
     "checkpoint.write",
     "checkpoint.read",
+    "exact.search",
 )
 
 

@@ -351,6 +351,7 @@ def test_bench_writes_schema_versioned_report(tmp_path, capsys):
         "h263-analysis",
         "random-flow",
         "infeasible",
+        "exact-small",
     ]
 
 

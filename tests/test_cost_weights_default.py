@@ -1,0 +1,72 @@
+"""Regression guard for the shared ``CostWeights.default()`` point.
+
+The repository-wide default weight vector ``(0, 1, 2)`` used to be
+duplicated as a literal in four entry points (the CLI parsers, the
+dimensioning and ordering extensions, the throughput-frontier
+baseline and the bench workloads).  It now has a single definition,
+:meth:`repro.core.tile_cost.CostWeights.default`; these tests pin its
+value, verify every CLI entry point resolves to it, and scan the
+source tree so literal copies cannot creep back in.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core.tile_cost import CostWeights
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: any positional CostWeights(...) literal spelling of (0, 1, 2)
+_LITERAL = re.compile(
+    r"CostWeights\(\s*0(?:\.0)?\s*,\s*1(?:\.0)?\s*,\s*2(?:\.0)?\s*\)"
+)
+
+
+def test_default_is_the_paper_sweep_point():
+    assert CostWeights.default() == CostWeights(0.0, 1.0, 2.0)
+    assert CostWeights.default().as_tuple() == (0.0, 1.0, 2.0)
+
+
+def test_no_literal_copies_remain_in_the_package():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "tile_cost.py":  # the single definition site
+            continue
+        if _LITERAL.search(path.read_text()):
+            offenders.append(str(path.relative_to(SRC)))
+    assert not offenders, (
+        "CostWeights(0, 1, 2) literals found (use CostWeights.default()): "
+        f"{offenders}"
+    )
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["allocate"],
+        ["allocate-file", "app.json", "arch.json"],
+        ["profile"],
+    ],
+    ids=["allocate", "allocate-file", "profile"],
+)
+def test_cli_entry_points_share_the_default(argv):
+    args = build_parser().parse_args(argv)
+    assert CostWeights(*args.weights) == CostWeights.default()
+
+
+def test_library_entry_points_share_the_default():
+    import inspect
+
+    from repro import bench
+    from repro.baselines import max_throughput
+    from repro.extensions import dimensioning, ordering
+
+    # each entry point's weights fallback is the shared classmethod,
+    # not a re-spelled literal (the scan above catches the latter too)
+    for module in (bench, max_throughput, dimensioning, ordering):
+        assert "CostWeights.default()" in inspect.getsource(module), (
+            f"{module.__name__} no longer uses CostWeights.default()"
+        )

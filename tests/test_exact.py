@@ -1,0 +1,265 @@
+"""Unit tests for the exact branch-and-bound backend.
+
+The fig-5 paper example is small enough to pin the search's exact
+outcome: the optimum packs all three actors onto tile ``t1`` with a
+2-unit slice (cost 27/50 under the default weights), strictly cheaper
+than the greedy flow's two-tile allocation.  The remaining tests cover
+the facade knob, the platform layers (budget, metrics, tracing, fault
+injection) and the CLI flag.
+"""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example,
+    paper_example_binding,
+)
+from repro.appmodel.serialization import bundle_to_dict
+from repro.core.flow import allocate_until_failure
+from repro.core.strategy import AllocationError, ResourceAllocator
+from repro.core.tile_cost import CostWeights
+from repro.exact import (
+    allocation_cost,
+    binding_load_cost,
+    exact_search,
+    partial_throughput_bound,
+    slice_cost,
+)
+from repro.obs import collecting, tracing
+from repro.resilience.budget import Budget, BudgetExceededError
+from repro.verify import VERDICT_CERTIFIED, certify_allocation
+
+pytestmark = pytest.mark.exact
+
+WEIGHTS = CostWeights.default()
+
+
+def test_fig5_optimum_is_pinned():
+    application, architecture, _ = paper_example()
+    result = exact_search(application, architecture, weights=WEIGHTS)
+    assert result.feasible
+    assert result.cost == Fraction(27, 50)
+    allocation = result.allocation
+    assert allocation.binding.used_tiles() == ["t1"]
+    assert allocation.scheduling.slices == {"t1": 2}
+    assert allocation.satisfied
+    assert allocation.achieved_throughput >= application.throughput_constraint
+    assert result.nodes_explored > 0
+    assert result.leaves_evaluated >= 1
+    assert allocation.throughput_checks == result.throughput_checks
+
+
+def test_fig5_exact_beats_greedy():
+    application, architecture, _ = paper_example()
+    greedy = ResourceAllocator(weights=WEIGHTS).allocate(
+        application, architecture
+    )
+    greedy_cost = allocation_cost(
+        application,
+        architecture,
+        greedy.binding,
+        greedy.scheduling.slices,
+        WEIGHTS,
+    )
+    exact = exact_search(application, architecture, weights=WEIGHTS)
+    assert exact.cost < greedy_cost
+
+
+def test_exact_allocation_certificate_replays(example_architecture):
+    application, architecture, _ = paper_example()
+    result = exact_search(application, architecture, weights=WEIGHTS)
+    bundle = json.loads(
+        json.dumps(bundle_to_dict(architecture, [result.allocation]))
+    )
+    report = certify_allocation(bundle)
+    assert report.certified
+    assert report.verdicts[0].verdict == VERDICT_CERTIFIED
+
+
+def test_objective_decomposes():
+    application, architecture, _ = paper_example()
+    result = exact_search(application, architecture, weights=WEIGHTS)
+    allocation = result.allocation
+    assert result.cost == binding_load_cost(
+        application, architecture, allocation.binding, WEIGHTS
+    ) + slice_cost(architecture, allocation.scheduling.slices)
+    assert result.cost == allocation_cost(
+        application,
+        architecture,
+        allocation.binding,
+        allocation.scheduling.slices,
+        WEIGHTS,
+    )
+
+
+# -- the facade knob -------------------------------------------------------
+
+
+def test_backend_knob_dispatches_to_exact():
+    application, architecture, _ = paper_example()
+    allocator = ResourceAllocator(weights=WEIGHTS, backend="exact")
+    allocation = allocator.allocate(application, architecture)
+    assert allocation.binding.used_tiles() == ["t1"]
+    assert allocation.satisfied
+    # the reservation commits like any greedy allocation's
+    allocation.reservation.commit(architecture)
+    assert architecture.tile("t1").wheel_remaining == 8
+
+
+def test_unknown_backend_is_rejected():
+    application, architecture, _ = paper_example()
+    with pytest.raises(ValueError, match="unknown backend"):
+        ResourceAllocator(backend="simulated-annealing").allocate(
+            application, architecture
+        )
+
+
+def test_exact_backend_with_precomputed_binding():
+    application, architecture, _ = paper_example()
+    binding = paper_example_binding()
+    allocator = ResourceAllocator(weights=WEIGHTS, backend="exact")
+    allocation = allocator.allocate(application, architecture, binding=binding)
+    # the fixed binding is honoured; only slices were optimised
+    assert allocation.binding.assignment == binding.assignment
+    assert allocation.satisfied
+
+
+def test_exact_backend_in_flow():
+    application, architecture, _ = paper_example()
+    allocator = ResourceAllocator(weights=WEIGHTS, backend="exact")
+    result = allocate_until_failure(architecture, [application], allocator=allocator)
+    assert result.applications_bound == 1
+    # committed: the one-tile optimum occupies only t1's wheel
+    assert architecture.tile("t1").wheel_remaining == 8
+    assert architecture.tile("t2").wheel_remaining == 10
+
+
+def test_infeasible_constraint_is_proven():
+    application, architecture, _ = paper_example()
+    application.throughput_constraint = Fraction(1)  # above any bound
+    result = exact_search(application, architecture, weights=WEIGHTS)
+    assert not result.feasible
+    assert result.cost is None
+    # the static pre-gate rejects before any branching
+    assert result.nodes_explored == 0
+    with pytest.raises(AllocationError, match="proved the constraint"):
+        ResourceAllocator(weights=WEIGHTS, backend="exact").allocate(
+            application, architecture
+        )
+
+
+def test_infeasible_past_static_gate_is_proven_by_search():
+    application, architecture, _ = paper_example()
+    # 1/3 clears the static pre-gate (the serialisation bound is 1/2)
+    # but no actual allocation reaches it: the search must branch and
+    # exhaust the tree to prove infeasibility
+    application.throughput_constraint = Fraction(1, 3)
+    result = exact_search(application, architecture, weights=WEIGHTS)
+    assert not result.feasible
+    assert result.nodes_explored > 0
+
+
+# -- input validation ------------------------------------------------------
+
+
+def test_negative_weights_are_rejected():
+    application, architecture, _ = paper_example()
+    with pytest.raises(ValueError, match="non-negative"):
+        exact_search(
+            application, architecture, weights=CostWeights(-1.0, 1.0, 1.0)
+        )
+
+
+def test_bad_slice_step_is_rejected():
+    application, architecture, _ = paper_example()
+    with pytest.raises(ValueError, match="slice_step"):
+        exact_search(application, architecture, slice_step=0)
+
+
+def test_coarser_slice_grid_still_allocates():
+    application, architecture, _ = paper_example()
+    fine = exact_search(application, architecture, weights=WEIGHTS)
+    coarse = exact_search(
+        application, architecture, weights=WEIGHTS, slice_step=3
+    )
+    assert coarse.feasible
+    # every coarse slice is a grid point: a step multiple or the cap
+    for tile, width in coarse.allocation.scheduling.slices.items():
+        remaining = architecture.tile(tile).wheel_remaining
+        assert width % 3 == 0 or width == remaining
+    # a coarser grid can only do as well or worse
+    assert coarse.cost >= fine.cost
+
+
+# -- platform layers -------------------------------------------------------
+
+
+def test_budget_exhaustion_carries_partial_progress():
+    application, architecture, _ = paper_example()
+    budget = Budget(max_states=5)
+    with pytest.raises(BudgetExceededError) as excinfo:
+        exact_search(
+            application, architecture, weights=WEIGHTS, budget=budget
+        )
+    progress = excinfo.value.partial.get("exact")
+    assert progress is not None
+    assert progress["nodes_explored"] >= 1
+    assert "throughput_checks" in progress
+
+
+def test_budget_propagates_unwrapped_through_facade():
+    application, architecture, _ = paper_example()
+    allocator = ResourceAllocator(weights=WEIGHTS, backend="exact")
+    with pytest.raises(BudgetExceededError):
+        allocator.allocate(
+            application, architecture, budget=Budget(deadline=0.0)
+        )
+
+
+def test_search_emits_metrics_and_trace():
+    application, architecture, _ = paper_example()
+    with collecting() as metrics, tracing() as trace:
+        exact_search(application, architecture, weights=WEIGHTS)
+    counters = metrics.snapshot()["counters"]
+    assert counters["exact.searches"] == 1
+    assert counters["exact.nodes_explored"] > 0
+    assert counters["exact.throughput_checks"] > 0
+    assert counters["exact.incumbents"] >= 1
+    events = [(e.category, e.name) for e in trace.events()]
+    assert ("exact", "search") in events
+    assert ("exact", "incumbent") in events
+
+
+def test_fault_injection_reaches_the_search():
+    from repro.resilience.faults import (
+        FaultInjector,
+        FaultSpec,
+        InjectedFaultError,
+    )
+
+    application, architecture, _ = paper_example()
+    spec = FaultSpec(point="exact.search", error="runtime")
+    with pytest.raises(InjectedFaultError):
+        with FaultInjector(specs=[spec]):
+            exact_search(application, architecture, weights=WEIGHTS)
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_example_accepts_exact_backend(capsys):
+    from repro.cli import main
+
+    assert main(["example", "--backend", "exact"]) == 0
+    out = capsys.readouterr().out
+    assert "a1 -> t1" in out
+    assert "a3 -> t1" in out
+
+
+def test_cli_exact_deadline_exhaustion_exits_3(capsys):
+    from repro.cli import main
+
+    assert main(["example", "--backend", "exact", "--deadline", "0"]) == 3

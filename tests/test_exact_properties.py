@@ -1,0 +1,119 @@
+"""Property tests for the branch-and-bound core.
+
+Two properties protect the exact backend's claim to exactness:
+
+* **Pruning is conservative.**  The relaxation prunes (the refined
+  static bounds of :mod:`repro.exact.bounds` plus the admissible cost
+  lower bound) may only discard subtrees that cannot contain a
+  strictly better leaf than the incumbent.  Comparing the pruned
+  search against unpruned exhaustive enumeration (``prune=False``) on
+  generated tiny problems must therefore give the identical optimal
+  cost and the identical feasibility verdict — if pruning ever cut off
+  the optimum, the costs would differ.  (Ties may be resolved toward
+  different argmins, so only cost and feasibility are compared, plus
+  the sanity check that pruning never does *more* work.)
+* **Determinism.**  For a fixed seed the search visits nodes in a
+  fixed order: two runs return identical bindings, slices, costs and
+  work counters.  The ``exact-small`` bench workload and the
+  differential harness both rely on this.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.presets import mesh_architecture
+from repro.arch.tile import ProcessorType
+from repro.core.tile_cost import CostWeights
+from repro.exact import exact_search
+from repro.generate.benchmark import BenchmarkSetProfile, generate_application
+from repro.generate.random_sdf import RandomSDFParameters
+
+pytestmark = pytest.mark.exact
+
+TYPES = [ProcessorType("p1"), ProcessorType("p2")]
+
+TINY_PROFILE = BenchmarkSetProfile(
+    name="exact-prop",
+    structure=RandomSDFParameters(
+        actors_min=2,
+        actors_max=4,
+        repetition_max=2,
+        extra_channel_fraction=0.3,
+    ),
+    execution_time=(1, 3),
+    actor_memory=(5, 20),
+    token_size=(1, 3),
+    buffer_tokens=(1, 2),
+    bandwidth=(8, 40),
+    constraint_percent=(5, 40),
+)
+
+
+def _problem(seed, tiles):
+    architecture = mesh_architecture(
+        1,
+        tiles,
+        TYPES,
+        wheel=8,
+        memory=4_000,
+        max_connections=16,
+        bandwidth_in=2_000,
+        bandwidth_out=2_000,
+    )
+    application = generate_application(
+        TINY_PROFILE, TYPES, random.Random(seed), name=f"exact-prop-{seed}"
+    )
+    return application, architecture
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), tiles=st.integers(2, 3))
+def test_pruning_never_discards_the_optimum(seed, tiles):
+    application, architecture = _problem(seed, tiles)
+    pruned = exact_search(
+        application, architecture.copy(), weights=CostWeights.default()
+    )
+    exhaustive = exact_search(
+        application,
+        architecture.copy(),
+        weights=CostWeights.default(),
+        prune=False,
+    )
+    assert pruned.feasible == exhaustive.feasible
+    assert pruned.cost == exhaustive.cost
+    assert exhaustive.nodes_pruned == 0
+    # pruning may only remove work, never add it
+    assert pruned.nodes_explored <= exhaustive.nodes_explored
+    assert pruned.throughput_checks <= exhaustive.throughput_checks
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), tiles=st.integers(2, 3))
+def test_search_is_deterministic(seed, tiles):
+    application, architecture = _problem(seed, tiles)
+    first = exact_search(
+        application, architecture.copy(), weights=CostWeights.default()
+    )
+    second = exact_search(
+        application, architecture.copy(), weights=CostWeights.default()
+    )
+    assert first.feasible == second.feasible
+    assert first.cost == second.cost
+    assert first.nodes_explored == second.nodes_explored
+    assert first.nodes_pruned == second.nodes_pruned
+    assert first.throughput_checks == second.throughput_checks
+    if first.feasible:
+        assert (
+            first.allocation.binding.assignment
+            == second.allocation.binding.assignment
+        )
+        assert (
+            first.allocation.scheduling.slices
+            == second.allocation.scheduling.slices
+        )
+        assert (
+            first.allocation.achieved_throughput
+            == second.allocation.achieved_throughput
+        )
