@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-fast test-robustness test-verify test-exact bench bench-tables bench-full experiments examples clean
+.PHONY: install lint test test-fast test-robustness test-verify test-exact test-service bench bench-tables bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,12 @@ test-robustness:
 # Checkpoint/resume and the independent verifier (docs/VERIFICATION.md).
 test-verify:
 	$(PYTHON) -m pytest tests/test_checkpoint.py tests/test_verify.py
+
+# The fault-tolerant allocation service: durable queue, supervised
+# retry, crash recovery, verified result cache (docs/SERVICE.md).
+# The service soak additionally rides `pytest -m faults`.
+test-service:
+	$(PYTHON) -m pytest tests/ -m service
 
 # The exact branch-and-bound backend and its optimality-gap
 # differential harness against the greedy flow (docs/EXACT.md).

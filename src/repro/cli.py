@@ -11,6 +11,8 @@ Sub-commands::
     repro-alloc bench --out BENCH.json        # curated perf workloads
     repro-alloc bench --compare OLD.json      # regression check
     repro-alloc lint MODEL.json ...           # static diagnostics (SARIF)
+    repro-alloc serve --spool DIR             # allocation-as-a-service daemon
+    repro-alloc submit APP.json ARCH.json     # job submission client
 
 Every sub-command accepts ``--metrics PATH`` to dump the observability
 snapshot (see ``docs/OBSERVABILITY.md``) collected during the run,
@@ -28,8 +30,10 @@ diagnostic on stderr), 3 resource budget exhausted (``--deadline`` /
 ``--max-states`` hit, or the state space exploded), 4 verification
 refuted an allocation (``verify``), 5 benchmark regression detected
 (``bench --compare``), 6 lint found error-severity diagnostics
-(``lint``; see ``docs/ANALYSIS.md``).  ``--debug`` re-raises the
-underlying exception with its full traceback instead.
+(``lint``; see ``docs/ANALYSIS.md``), 7 the allocation service
+rejected a submission because its bounded queue is full (``submit``;
+see ``docs/SERVICE.md``).  ``--debug`` re-raises the underlying
+exception with its full traceback instead.
 """
 
 from __future__ import annotations
@@ -564,6 +568,129 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from repro.service import AllocationService, RetryPolicy
+    from repro.service.httpd import ServiceHTTPServer
+
+    service = AllocationService(
+        args.spool,
+        workers=args.workers,
+        max_queue_depth=args.max_queue,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        allocator=ResourceAllocator(backend=args.backend),
+        deadline=args.deadline,
+        max_states=args.max_states,
+    ).start()
+    server = ServiceHTTPServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    # announce the bound endpoint (port 0 binds ephemerally) where
+    # clients and tests can discover it: atomic, like everything else
+    endpoint_path = os.path.join(args.spool, "endpoint.json")
+    temp = endpoint_path + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump({"host": host, "port": port, "url": url}, handle)
+    os.replace(temp, endpoint_path)
+
+    def _graceful(signum: int, frame: object) -> None:
+        server.request_drain()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    print(
+        f"repro-alloc: serving on {url} (spool {args.spool}); "
+        "SIGTERM drains gracefully",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import os
+    import time
+    import urllib.error
+    import urllib.request
+
+    with open(args.application) as handle:
+        application = json.load(handle)
+    with open(args.architecture) as handle:
+        architecture = json.load(handle)
+    if args.server:
+        url = args.server.rstrip("/")
+    else:
+        if not args.spool:
+            raise ValueError("submit needs --server URL or --spool DIR")
+        endpoint_path = os.path.join(args.spool, "endpoint.json")
+        with open(endpoint_path) as handle:
+            url = json.load(handle)["url"].rstrip("/")
+    body = {"application": application, "architecture": architecture}
+    if args.deadline is not None:
+        body["deadline"] = args.deadline
+    if args.max_states is not None:
+        body["max_states"] = args.max_states
+    request = urllib.request.Request(
+        f"{url}/jobs",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            accepted = json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        detail = ""
+        try:
+            detail = json.loads(error.read()).get("error", "")
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            pass
+        if error.code == 429:
+            print(
+                f"repro-alloc: service overloaded: {detail or error}",
+                file=sys.stderr,
+            )
+            return 7
+        print(
+            f"repro-alloc: submission rejected ({error.code}): "
+            f"{detail or error}",
+            file=sys.stderr,
+        )
+        return 2
+    job_id = accepted["id"]
+    if not args.wait:
+        print(job_id)
+        return 0
+    waited = 0.0
+    while waited < args.timeout:
+        with urllib.request.urlopen(
+            f"{url}/jobs/{job_id}", timeout=30
+        ) as response:
+            record = json.loads(response.read())
+        if record["state"] in (
+            "certified",
+            "degraded",
+            "failed",
+            "quarantined",
+        ):
+            json.dump(record, sys.stdout, indent=2)
+            print()
+            return 0 if record["state"] in ("certified", "degraded") else 2
+        time.sleep(args.poll_interval)
+        waited += args.poll_interval
+    print(
+        f"repro-alloc: job {job_id} not finished after {args.timeout:g}s "
+        "(it keeps running; query the service for its state)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-alloc",
@@ -908,6 +1035,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="show full tracebacks instead of one-line diagnostics",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant allocation service daemon",
+        description="Long-running allocation-as-a-service daemon: a "
+        "durable job queue with supervised workers, retry/backoff, "
+        "admission control, checkpointed graceful drain (SIGTERM) and "
+        "a verified result cache.  See docs/SERVICE.md.",
+        parents=[common],
+    )
+    serve.add_argument(
+        "--spool",
+        required=True,
+        metavar="DIR",
+        help="spool directory holding the job journal, engine "
+        "checkpoints and result cache (created if missing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8571,
+        help="TCP port (0 binds an ephemeral port; the bound endpoint "
+        "is announced in <spool>/endpoint.json)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker threads"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded queue depth; submissions beyond it are rejected "
+        "with HTTP 429 (client exit code 7)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts before a repeatedly crashing job is quarantined",
+    )
+    _add_backend_flag(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one job to a running allocation service",
+        description="POST an (application, architecture) pair to a "
+        "repro-alloc serve daemon.  Prints the job id (or, with "
+        "--wait, the finished job record).  Exit codes: 0 accepted/"
+        "finished soundly, 7 service overloaded, 2 anything else.",
+        parents=[common],
+    )
+    submit.add_argument("application", help="application JSON file")
+    submit.add_argument("architecture", help="architecture JSON file")
+    submit.add_argument(
+        "--server",
+        metavar="URL",
+        help="service base URL (e.g. http://127.0.0.1:8571)",
+    )
+    submit.add_argument(
+        "--spool",
+        metavar="DIR",
+        help="discover the endpoint from DIR/endpoint.json instead of "
+        "--server",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job is terminal and print its record",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="give up waiting after this long (the job keeps running)",
+    )
+    submit.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="polling period for --wait",
+    )
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -183,6 +183,13 @@ def allocate_until_failure(
                 f"expected a flow checkpoint, got kind {data.get('kind')!r}",
                 field="kind",
             )
+        for key in ("allocations", "stats"):
+            if key not in data:
+                raise CheckpointError(
+                    f"flow checkpoint is missing required field {key!r} "
+                    "(truncated or hand-edited?)",
+                    field=key,
+                )
         obs.counter("checkpoint.flow_resumes")
         for entry, stat in zip(data["allocations"], data["stats"]):
             allocation = allocation_from_dict(entry)

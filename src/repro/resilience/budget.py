@@ -35,8 +35,10 @@ from repro.obs.trace import get_trace
 class BudgetExceededError(RuntimeError):
     """A cooperative budget was exhausted mid-exploration.
 
-    ``reason`` is one of ``"deadline"``, ``"states"`` or
-    ``"throughput-checks"``; ``partial`` carries whatever progress the
+    ``reason`` is one of ``"deadline"``, ``"states"``,
+    ``"throughput-checks"`` or ``"cancelled"`` (a cooperative
+    :meth:`Budget.cancel`, e.g. a draining service asking its workers
+    to stop); ``partial`` carries whatever progress the
     raising engine had made (states explored, best slices found, ...)
     so callers can degrade gracefully instead of starting from nothing.
     """
@@ -77,6 +79,7 @@ class Budget:
         "checks_charged",
         "_started",
         "_since_clock",
+        "_cancelled",
     )
 
     def __init__(
@@ -102,6 +105,7 @@ class Budget:
         self.checks_charged = 0
         self._started: Optional[float] = None
         self._since_clock = 0
+        self._cancelled = False
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "Budget":
@@ -133,6 +137,22 @@ class Budget:
         self.start()
         return self.elapsed() > self.deadline
 
+    def cancel(self) -> None:
+        """Cooperatively cancel whatever this budget is metering.
+
+        Thread-safe by construction (a single flag write).  The engine
+        holding the budget observes the flag at its next
+        :meth:`checkpoint` — at most ``check_interval`` states later —
+        and unwinds with ``BudgetExceededError(reason="cancelled")``,
+        attaching its exploration frontier exactly as it would for a
+        deadline breach, so the interrupted search stays resumable.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
     # -- charging ------------------------------------------------------
     def tick(self, states: int = 1) -> None:
         """Charge ``states`` explored states; raise on any breach.
@@ -153,7 +173,7 @@ class Budget:
                 states=self.states_charged,
                 checks=self.checks_charged,
             )
-        if self.deadline is None:
+        if self.deadline is None and not self._cancelled:
             return
         self._since_clock += states
         if self._since_clock >= self.check_interval:
@@ -161,7 +181,16 @@ class Budget:
             self.checkpoint()
 
     def checkpoint(self) -> None:
-        """Immediate wall-clock check (for coarse loop boundaries)."""
+        """Immediate cancellation + wall-clock check (coarse boundaries)."""
+        if self._cancelled:
+            self._trace_exhausted("cancelled")
+            raise BudgetExceededError(
+                "budget cancelled",
+                reason="cancelled",
+                elapsed=self.elapsed(),
+                states=self.states_charged,
+                checks=self.checks_charged,
+            )
         if self.deadline is None:
             return
         self.start()

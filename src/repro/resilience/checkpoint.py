@@ -98,9 +98,13 @@ def read_checkpoint(path: str) -> Dict[str, Any]:
         raise CheckpointError(
             f"cannot read checkpoint: {error}", source=path
         ) from error
-    except json.JSONDecodeError as error:
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        # truncated mid-write, or overwritten with binary garbage —
+        # either way a typed error with file context, never a bare
+        # decode exception (tests/test_checkpoint.py corrupts real
+        # checkpoints to pin this down)
         raise CheckpointError(
-            f"checkpoint is not valid JSON: {error}", source=path
+            f"checkpoint is truncated or corrupted: {error}", source=path
         ) from error
     if not isinstance(data, dict) or data.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(
@@ -161,10 +165,33 @@ def resume_from_checkpoint(
         raise CheckpointError(
             f"unknown checkpoint kind {kind!r}", field="kind"
         )
+    required = (
+        ("graph", "max_states", "tiles")
+        if kind == "constrained"
+        else ("graph", "max_states", "execution_times", "auto_concurrency")
+    )
+    for key in required:
+        # a checkpoint that passed the envelope check can still have
+        # been truncated by a partial copy or hand-edited: surface a
+        # typed error with the missing field, not a KeyError
+        if key not in checkpoint:
+            raise CheckpointError(
+                f"{kind} checkpoint is missing required field {key!r} "
+                "(truncated or hand-edited?)",
+                field=key,
+            )
     graph = graph_from_dict(checkpoint["graph"])
     cap = max_states if max_states is not None else checkpoint["max_states"]
     get_metrics().counter("checkpoint.resumes")
     if kind == "constrained":
+        for index, entry in enumerate(checkpoint["tiles"]):
+            for key in ("name", "wheel", "slice_size", "periodic"):
+                if key not in entry:
+                    raise CheckpointError(
+                        f"constrained checkpoint tile #{index} is missing "
+                        f"required field {key!r}",
+                        field=f"tiles[{index}].{key}",
+                    )
         tiles = [
             TileConstraints(
                 name=entry["name"],

@@ -22,6 +22,14 @@ Fault points currently wired in:
                           checkpoint behind
 ``checkpoint.read``       before reading a checkpoint file (context:
                           ``path``)
+``service.journal.write``  after a job record's temp file is durable but
+                          before the atomic rename (context: ``job``,
+                          ``state``) — a fault here must never leave a
+                          truncated record behind
+``service.worker.run``    start of one worker attempt at a job (context:
+                          ``job``, ``attempt``)
+``service.cache.read``    before reading a result-cache entry (context:
+                          ``key``)
 ========================  ====================================================
 
 Injection is deterministic by default (count-based: skip the first
@@ -50,6 +58,9 @@ KNOWN_FAULT_POINTS: Tuple[str, ...] = (
     "checkpoint.write",
     "checkpoint.read",
     "exact.search",
+    "service.journal.write",
+    "service.worker.run",
+    "service.cache.read",
 )
 
 

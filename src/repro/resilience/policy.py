@@ -215,6 +215,11 @@ def resilient_allocate(
     (``error.partial["checkpoint"]``) to that file before the ladder
     descends, so the interrupted search can later be resumed via
     :func:`repro.resilience.checkpoint.resume_from_checkpoint`.
+
+    A *cancelled* budget (:meth:`Budget.cancel`, ``reason="cancelled"``)
+    is different from an exhausted one: the caller asked for the work
+    to stop, so the frontier is checkpointed and the error re-raised —
+    the ladder never descends to the baseline over a cancellation.
     """
     if not ladder:
         raise ValueError("degradation ladder is empty")
@@ -274,6 +279,18 @@ def resilient_allocate(
                 application, architecture, budget=budget
             )
         except BudgetExceededError as error:
+            if error.reason == "cancelled":
+                # a cooperative cancellation (e.g. service drain) wants
+                # the work parked, not finished badly: persist the
+                # frontier for a later resume and surface the error
+                # instead of descending to the budget-exempt baseline
+                if checkpoint_path and error.partial.get("checkpoint"):
+                    from repro.resilience.checkpoint import write_checkpoint
+
+                    write_checkpoint(
+                        checkpoint_path, error.partial["checkpoint"]
+                    )
+                raise
             attempts.append((rung.name, f"budget exhausted ({error.reason})"))
             if obs.enabled:
                 obs.counter("resilience.rung_budget_exhausted")

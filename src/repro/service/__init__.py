@@ -1,0 +1,62 @@
+"""``repro.service`` — fault-tolerant allocation-as-a-service.
+
+The robustness spine on top of the paper's batch flow: a durable job
+queue with supervised workers (:mod:`repro.service.service`), an
+atomic-write journal (:mod:`repro.service.journal`), an
+isomorphism-stable canonical hash (:mod:`repro.service.canonical`), a
+verified result cache (:mod:`repro.service.cache`) and a thin stdlib
+HTTP front end (:mod:`repro.service.httpd`).  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.cache import CacheError, ResultCache
+from repro.service.canonical import (
+    CanonicalRequest,
+    canonicalise_request,
+    name_maps,
+    remap_allocation,
+    remap_certificate,
+)
+from repro.service.journal import (
+    JOB_STATES,
+    STATE_CERTIFIED,
+    STATE_DEGRADED,
+    STATE_FAILED,
+    STATE_QUARANTINED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    JobJournal,
+    JournalError,
+)
+from repro.service.service import (
+    AllocationService,
+    DrainingError,
+    OverloadError,
+    ResultRefutedError,
+    RetryPolicy,
+)
+
+__all__ = [
+    "AllocationService",
+    "CacheError",
+    "CanonicalRequest",
+    "DrainingError",
+    "JOB_STATES",
+    "JobJournal",
+    "JournalError",
+    "OverloadError",
+    "ResultCache",
+    "ResultRefutedError",
+    "RetryPolicy",
+    "STATE_CERTIFIED",
+    "STATE_DEGRADED",
+    "STATE_FAILED",
+    "STATE_QUARANTINED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "TERMINAL_STATES",
+    "canonicalise_request",
+    "name_maps",
+    "remap_allocation",
+    "remap_certificate",
+]

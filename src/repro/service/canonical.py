@@ -1,0 +1,562 @@
+"""Isomorphism-stable canonicalisation of allocation requests.
+
+The service's result cache (:mod:`repro.service.cache`) is
+content-addressed: two requests share a cache entry exactly when their
+canonical forms are identical.  A request is the triple the paper's
+flow consumes — an application (SDFG + Γ + Θ + λ), an architecture
+(tiles, occupancy, connections) — and its canonical form is computed
+by *canonical labelling*: actor, channel and tile names are replaced by
+indices chosen from graph structure and attributes alone, so renaming
+every actor of a graph consistently (a mode switch re-asking an
+isomorphic question, Jung/Oh/Ha style) maps to the same form and the
+same SHA-256 digest.
+
+The labelling is the classic refinement/individualisation scheme:
+
+1. every node starts with a colour hashing its local attributes
+   (execution times, Γ options, Θ entries, tile capacities *and
+   occupancy* — a half-full platform is a different question);
+2. Weisfeiler–Leman refinement mixes neighbour colours along
+   attributed edges until the partition stabilises;
+3. remaining ties are broken by individualising each candidate of the
+   first non-singleton colour class in turn and keeping the order whose
+   canonical serialisation is lexicographically smallest.
+
+Step 3 is exponential on highly symmetric graphs, so it runs under a
+refinement budget; when the budget is exhausted the canonicaliser falls
+back to breaking ties with the original names.  The fallback is still
+deterministic — the cache then only matches literally identical
+requests, never a wrong one.  Correctness never rests on this module:
+cache hits compare full canonical payloads (the digest is only the
+index) and are re-verified by :mod:`repro.verify` before being served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+CANONICAL_FORMAT = "repro-canonical-request"
+CANONICAL_VERSION = 1
+
+#: refinement passes the individualisation search may spend before the
+#: canonicaliser falls back to name-based tie-breaking
+DEFAULT_REFINEMENT_LIMIT = 2048
+
+
+def _digest_of(value: Any) -> str:
+    """SHA-256 over the compact, key-sorted JSON form of ``value``."""
+    text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CanonicalRequest:
+    """One request in canonical form.
+
+    ``payload`` is the name-free canonical document, ``digest`` its
+    SHA-256 (the cache key).  The three ``*_order`` tuples map each
+    canonical index back to the request's own name — the bridge the
+    cache uses to translate a stored answer into the vocabulary of an
+    isomorphic request.  ``exact_names`` is True when the tie-break
+    budget was exhausted and original names leaked into the ordering
+    (the form is then only stable under literal renames of nothing).
+    """
+
+    payload: Dict[str, Any]
+    digest: str
+    actor_order: Tuple[str, ...]
+    channel_order: Tuple[str, ...]
+    tile_order: Tuple[str, ...]
+    exact_names: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "payload": self.payload,
+            "digest": self.digest,
+            "actor_order": list(self.actor_order),
+            "channel_order": list(self.channel_order),
+            "tile_order": list(self.tile_order),
+            "exact_names": self.exact_names,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "CanonicalRequest":
+        return CanonicalRequest(
+            payload=data["payload"],
+            digest=data["digest"],
+            actor_order=tuple(data["actor_order"]),
+            channel_order=tuple(data["channel_order"]),
+            tile_order=tuple(data["tile_order"]),
+            exact_names=bool(data.get("exact_names", False)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# canonical labelling core (attribute-rich WL + individualisation)
+
+
+class _RefinementBudget:
+    __slots__ = ("left",)
+
+    def __init__(self, limit: int) -> None:
+        self.left = limit
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return True
+
+
+def _refine_once(
+    colors: Dict[str, str],
+    adjacency: Dict[str, List[Tuple[str, str]]],
+) -> Dict[str, str]:
+    return {
+        node: _digest_of(
+            [
+                colors[node],
+                sorted(
+                    (signature, colors[other])
+                    for signature, other in edges
+                ),
+            ]
+        )
+        for node, edges in adjacency.items()
+    }
+
+
+def _stable_colors(
+    colors: Dict[str, str],
+    adjacency: Dict[str, List[Tuple[str, str]]],
+) -> Dict[str, str]:
+    """WL refinement to a fixed point of the colour partition.
+
+    Each pass maps old colours injectively into new ones, so the
+    partition can only refine; an unchanged class count means the
+    partition itself is unchanged and the fixed point is reached.
+    """
+    current = dict(colors)
+    for _ in range(len(colors) + 1):
+        refined = _refine_once(current, adjacency)
+        if len(set(refined.values())) == len(set(current.values())):
+            return refined
+        current = refined
+    return current
+
+
+def _canonical_order(
+    nodes: Sequence[str],
+    colors: Dict[str, str],
+    adjacency: Dict[str, List[Tuple[str, str]]],
+    serialize: Callable[[Sequence[str]], str],
+    budget: _RefinementBudget,
+) -> Optional[List[str]]:
+    """A node order stable under isomorphism, or None on budget blow-up.
+
+    ``serialize`` renders a complete candidate order as the canonical
+    document text; among the individualisation branches the
+    lexicographically smallest rendering wins, which is exactly the
+    property that makes the winner independent of the original names.
+    """
+    if not budget.spend():
+        return None
+    stable = _stable_colors(colors, adjacency)
+    classes: Dict[str, List[str]] = {}
+    for node in nodes:
+        classes.setdefault(stable[node], []).append(node)
+    ordered_classes = [classes[color] for color in sorted(classes)]
+    first_tie = next(
+        (members for members in ordered_classes if len(members) > 1), None
+    )
+    if first_tie is None:
+        return [members[0] for members in ordered_classes]
+    best_order: Optional[List[str]] = None
+    best_key: Optional[str] = None
+    for candidate in sorted(first_tie):
+        branched = dict(stable)
+        branched[candidate] = _digest_of([stable[candidate], "pivot"])
+        order = _canonical_order(
+            nodes, branched, adjacency, serialize, budget
+        )
+        if order is None:
+            return None
+        key = serialize(order)
+        if best_key is None or key < best_key:
+            best_order, best_key = order, key
+    return best_order
+
+
+# ---------------------------------------------------------------------------
+# request-specific attribute extraction
+
+
+def _actor_attributes(
+    application: Dict[str, Any]
+) -> Dict[str, List[Any]]:
+    graph = application.get("graph", {})
+    requirements = application.get("actors", {})
+    output = application.get("output_actor")
+    attributes: Dict[str, List[Any]] = {}
+    for entry in graph.get("actors", []):
+        name = entry.get("name")
+        options = requirements.get(name, {})
+        attributes[name] = [
+            entry.get("execution_time"),
+            sorted(
+                (
+                    processor,
+                    option.get("execution_time"),
+                    option.get("memory", 0),
+                )
+                for processor, option in options.items()
+            ),
+            name == output,
+        ]
+    return attributes
+
+
+def _channel_attributes(application: Dict[str, Any]) -> List[Dict[str, Any]]:
+    graph = application.get("graph", {})
+    theta = application.get("channels", {})
+    channels = []
+    for entry in graph.get("channels", []):
+        requirements = theta.get(entry.get("name"), {})
+        channels.append(
+            {
+                "name": entry.get("name"),
+                "src": entry.get("src"),
+                "dst": entry.get("dst"),
+                "attrs": [
+                    entry.get("production", 1),
+                    entry.get("consumption", 1),
+                    entry.get("tokens", 0),
+                    requirements.get("token_size", 1),
+                    requirements.get("buffer_tile"),
+                    requirements.get("buffer_src"),
+                    requirements.get("buffer_dst"),
+                    requirements.get("bandwidth", 0),
+                ],
+            }
+        )
+    return channels
+
+
+def _tile_attributes(architecture: Dict[str, Any]) -> Dict[str, List[Any]]:
+    attributes: Dict[str, List[Any]] = {}
+    for entry in architecture.get("tiles", []):
+        attributes[entry.get("name")] = [
+            entry.get("processor_type"),
+            entry.get("wheel"),
+            entry.get("memory", 0),
+            entry.get("max_connections", 0),
+            entry.get("bandwidth_in", 0),
+            entry.get("bandwidth_out", 0),
+            entry.get("wheel_occupied", 0),
+            entry.get("memory_occupied", 0),
+            entry.get("connections_occupied", 0),
+            entry.get("bandwidth_in_occupied", 0),
+            entry.get("bandwidth_out_occupied", 0),
+        ]
+    return attributes
+
+
+def _order_channels(
+    channels: List[Dict[str, Any]], actor_index: Dict[str, int]
+) -> List[Dict[str, Any]]:
+    # parallel channels identical in every attribute are automorphic, so
+    # the final name tie-break never distinguishes isomorphic requests
+    return sorted(
+        channels,
+        key=lambda channel: (
+            actor_index[channel["src"]],
+            actor_index[channel["dst"]],
+            json.dumps(channel["attrs"]),
+            channel["name"],
+        ),
+    )
+
+
+def _application_section(
+    application: Dict[str, Any],
+    actor_order: Sequence[str],
+) -> Tuple[Dict[str, Any], List[str]]:
+    attributes = _actor_attributes(application)
+    actor_index = {name: i for i, name in enumerate(actor_order)}
+    channels = _order_channels(
+        _channel_attributes(application), actor_index
+    )
+    section = {
+        "constraint": str(application.get("throughput_constraint", "0")),
+        "actors": [attributes[name] for name in actor_order],
+        "channels": [
+            [actor_index[c["src"]], actor_index[c["dst"]], c["attrs"]]
+            for c in channels
+        ],
+    }
+    return section, [c["name"] for c in channels]
+
+
+def _architecture_section(
+    architecture: Dict[str, Any],
+    tile_order: Sequence[str],
+) -> Dict[str, Any]:
+    attributes = _tile_attributes(architecture)
+    tile_index = {name: i for i, name in enumerate(tile_order)}
+    connections = sorted(
+        (
+            tile_index[entry["src"]],
+            tile_index[entry["dst"]],
+            entry.get("latency", 1),
+        )
+        for entry in architecture.get("connections", [])
+    )
+    return {
+        "tiles": [attributes[name] for name in tile_order],
+        "connections": [list(connection) for connection in connections],
+    }
+
+
+def canonicalise_request(
+    application: Dict[str, Any],
+    architecture: Dict[str, Any],
+    refinement_limit: int = DEFAULT_REFINEMENT_LIMIT,
+) -> CanonicalRequest:
+    """Canonical form of one (application, architecture, λ) request.
+
+    ``application`` / ``architecture`` are the plain-dict forms of
+    :func:`repro.appmodel.serialization.application_to_dict` and
+    :func:`repro.arch.serialization.architecture_to_dict`.
+    """
+    budget = _RefinementBudget(refinement_limit)
+    exact_names = False
+
+    # -- actors --------------------------------------------------------
+    actor_attrs = _actor_attributes(application)
+    actors = list(actor_attrs)
+    adjacency: Dict[str, List[Tuple[str, str]]] = {
+        name: [] for name in actors
+    }
+    for channel in _channel_attributes(application):
+        signature = json.dumps(channel["attrs"])
+        adjacency[channel["src"]].append((f"out:{signature}", channel["dst"]))
+        adjacency[channel["dst"]].append((f"in:{signature}", channel["src"]))
+    actor_colors = {
+        name: _digest_of(attrs) for name, attrs in actor_attrs.items()
+    }
+
+    def actor_signature(order: Sequence[str]) -> str:
+        section, _ = _application_section(application, order)
+        return json.dumps(section, sort_keys=True, separators=(",", ":"))
+
+    actor_order = _canonical_order(
+        actors, actor_colors, adjacency, actor_signature, budget
+    )
+    if actor_order is None:
+        exact_names = True
+        stable = _stable_colors(actor_colors, adjacency)
+        actor_order = sorted(actors, key=lambda name: (stable[name], name))
+
+    # -- tiles ---------------------------------------------------------
+    tile_attrs = _tile_attributes(architecture)
+    tiles = list(tile_attrs)
+    tile_adjacency: Dict[str, List[Tuple[str, str]]] = {
+        name: [] for name in tiles
+    }
+    for entry in architecture.get("connections", []):
+        latency = entry.get("latency", 1)
+        tile_adjacency[entry["src"]].append((f"out:{latency}", entry["dst"]))
+        tile_adjacency[entry["dst"]].append((f"in:{latency}", entry["src"]))
+    tile_colors = {
+        name: _digest_of(attrs) for name, attrs in tile_attrs.items()
+    }
+
+    def tile_signature(order: Sequence[str]) -> str:
+        section = _architecture_section(architecture, order)
+        return json.dumps(section, sort_keys=True, separators=(",", ":"))
+
+    tile_order = _canonical_order(
+        tiles, tile_colors, tile_adjacency, tile_signature, budget
+    )
+    if tile_order is None:
+        exact_names = True
+        stable = _stable_colors(tile_colors, tile_adjacency)
+        tile_order = sorted(tiles, key=lambda name: (stable[name], name))
+
+    # -- assemble ------------------------------------------------------
+    application_section, channel_order = _application_section(
+        application, actor_order
+    )
+    payload = {
+        "format": CANONICAL_FORMAT,
+        "version": CANONICAL_VERSION,
+        "application": application_section,
+        "architecture": _architecture_section(architecture, tile_order),
+    }
+    # normalise through JSON so the payload compares equal to its own
+    # persisted form (tuples inside attribute lists become lists)
+    payload = json.loads(
+        json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    )
+    if exact_names:
+        # name-based tie-breaks leaked original names into the ordering;
+        # record them so literal re-submissions still match while merely
+        # isomorphic ones miss (deterministic, never wrong)
+        payload["names"] = {
+            "actors": list(actor_order),
+            "tiles": list(tile_order),
+        }
+    return CanonicalRequest(
+        payload=payload,
+        digest=_digest_of(payload),
+        actor_order=tuple(actor_order),
+        channel_order=tuple(channel_order),
+        tile_order=tuple(tile_order),
+        exact_names=exact_names,
+    )
+
+
+# ---------------------------------------------------------------------------
+# translating a cached answer into an isomorphic request's vocabulary
+
+
+def name_maps(
+    cached: CanonicalRequest, fresh: CanonicalRequest
+) -> Tuple[Dict[str, str], Dict[str, str], Dict[str, str]]:
+    """(actor, channel, tile) maps from ``cached`` names to ``fresh`` ones.
+
+    Valid only when both requests share the same canonical payload —
+    the cache checks that before calling.
+    """
+    return (
+        dict(zip(cached.actor_order, fresh.actor_order)),
+        dict(zip(cached.channel_order, fresh.channel_order)),
+        dict(zip(cached.tile_order, fresh.tile_order)),
+    )
+
+
+def _remap_name(
+    name: str, actor_map: Dict[str, str], channel_map: Dict[str, str]
+) -> str:
+    """Remap one (possibly synthetic) binding-aware graph name.
+
+    The binding-aware construction derives synthetic actors/channels by
+    prefixing base names (``self:a1``, ``buf:d1``, ``con0-ni:d1``,
+    ``syn:d1`` ...), so unknown names are remapped by peeling prefixes
+    until a base actor or channel name appears.
+    """
+    if name in actor_map:
+        return actor_map[name]
+    if name in channel_map:
+        return channel_map[name]
+    head, sep, rest = name.partition(":")
+    if sep:
+        return f"{head}:{_remap_name(rest, actor_map, channel_map)}"
+    return name
+
+
+def remap_certificate(
+    certificate: Optional[Dict[str, Any]],
+    actor_map: Dict[str, str],
+    channel_map: Dict[str, str],
+    tile_map: Dict[str, str],
+    graph_name: Optional[str] = None,
+) -> Optional[Dict[str, Any]]:
+    """A periodic-phase certificate renamed into the fresh vocabulary.
+
+    Index-aligned numeric vectors (execution times, tokens, active
+    firings) are positional and survive renaming untouched; only name
+    lists, firing maps and per-tile schedules change.  A field this
+    misses cannot corrupt an answer: the remapped certificate is always
+    re-verified by :mod:`repro.verify` before anything is served.
+    """
+    if not isinstance(certificate, dict):
+        return certificate
+
+    def remap(name: str) -> str:
+        return _remap_name(name, actor_map, channel_map)
+
+    remapped = dict(certificate)
+    if graph_name is not None:
+        remapped["graph"] = graph_name
+    if isinstance(certificate.get("actors"), list):
+        remapped["actors"] = [remap(a) for a in certificate["actors"]]
+    if isinstance(certificate.get("channels"), list):
+        remapped["channels"] = [remap(c) for c in certificate["channels"]]
+    if isinstance(certificate.get("firings"), dict):
+        remapped["firings"] = {
+            remap(actor): count
+            for actor, count in certificate["firings"].items()
+        }
+    if isinstance(certificate.get("tiles"), list):
+        remapped["tiles"] = [
+            {
+                **tile,
+                "name": tile_map.get(tile.get("name"), tile.get("name")),
+                "periodic": [remap(a) for a in tile.get("periodic", [])],
+                "transient": [remap(a) for a in tile.get("transient", [])],
+            }
+            for tile in certificate["tiles"]
+        ]
+    return remapped
+
+
+def remap_allocation(
+    allocation: Dict[str, Any],
+    application: Dict[str, Any],
+    actor_map: Dict[str, str],
+    channel_map: Dict[str, str],
+    tile_map: Dict[str, str],
+) -> Dict[str, Any]:
+    """A cached allocation dict translated for an isomorphic request.
+
+    ``application`` is the *fresh* request's application document — the
+    answer is about the requester's graph, so their own application
+    replaces the cached one wholesale; binding, slices, schedules,
+    reservation and certificate are renamed via the maps.
+    """
+
+    def tile(name: str) -> str:
+        return tile_map.get(name, name)
+
+    def actor(name: str) -> str:
+        return actor_map.get(name, name)
+
+    remapped = dict(allocation)
+    remapped["application"] = application
+    remapped["binding"] = {
+        actor(a): tile(t) for a, t in allocation.get("binding", {}).items()
+    }
+    remapped["slices"] = {
+        tile(t): size for t, size in allocation.get("slices", {}).items()
+    }
+    remapped["schedules"] = {
+        tile(t): {
+            "transient": [actor(a) for a in entry.get("transient", [])],
+            "periodic": [actor(a) for a in entry.get("periodic", [])],
+        }
+        for t, entry in allocation.get("schedules", {}).items()
+    }
+    remapped["reservation"] = {
+        tile(t): dict(claim)
+        for t, claim in allocation.get("reservation", {}).items()
+    }
+    remapped["certificate"] = remap_certificate(
+        allocation.get("certificate"),
+        actor_map,
+        channel_map,
+        tile_map,
+        graph_name=f"{application.get('name')}-bound",
+    )
+    return remapped

@@ -1,0 +1,145 @@
+"""Minimal stdlib HTTP front end for :class:`AllocationService`.
+
+Transport is deliberately thin — the robustness lives in the service
+object, the HTTP layer only translates:
+
+==========================  =============================================
+``GET  /health``            service stats (queue depth, job states)
+``GET  /jobs``              summary list of every known job
+``GET  /jobs/<id>``         full job record (request, state, result)
+``POST /jobs``              submit ``{"application": ..., "architecture":
+                            ..., "deadline"?, "max_states"?}`` → 202 with
+                            the job id; 429 on overload, 503 while
+                            draining, 400 on malformed input
+``POST /drain``             begin a graceful drain, then stop serving
+==========================  =============================================
+
+Status codes mirror the CLI exit codes: 429 is exit 7 (overload), 400
+is exit 2 (user error) — see ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sdf.serialization import SerializationError
+from repro.service.service import (
+    AllocationService,
+    DrainingError,
+    OverloadError,
+)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`AllocationService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, address: Tuple[str, int], service: AllocationService
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self._drain_started = threading.Event()
+
+    def request_drain(self) -> bool:
+        """Drain the service and stop serving, once; False if repeated."""
+        if self._drain_started.is_set():
+            return False
+        self._drain_started.set()
+
+        def _drain() -> None:
+            self.service.drain(cancel_running=True)
+            self.shutdown()
+
+        threading.Thread(
+            target=_drain, name="repro-service-drain", daemon=True
+        ).start()
+        return True
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceHTTPServer
+
+    # the daemon narrates through repro.obs, not through stderr spam
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    def _json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            return None
+        try:
+            data = json.loads(self.rfile.read(length) or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        service = self.server.service
+        if path == "/health":
+            self._json(200, service.stats())
+        elif path == "/jobs":
+            self._json(200, {"jobs": service.jobs()})
+        elif path.startswith("/jobs/"):
+            record = service.job(path[len("/jobs/"):])
+            if record is None:
+                self._json(404, {"error": "unknown job"})
+            else:
+                self._json(200, record)
+        else:
+            self._json(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/")
+        service = self.server.service
+        if path == "/jobs":
+            body = self._read_body()
+            if (
+                body is None
+                or "application" not in body
+                or "architecture" not in body
+            ):
+                self._json(
+                    400,
+                    {
+                        "error": "body must be a JSON object with "
+                        "'application' and 'architecture'"
+                    },
+                )
+                return
+            try:
+                job_id = service.submit(
+                    body["application"],
+                    body["architecture"],
+                    deadline=body.get("deadline"),
+                    max_states=body.get("max_states"),
+                )
+            except OverloadError as error:
+                self._json(429, {"error": str(error)})
+            except DrainingError as error:
+                self._json(503, {"error": str(error)})
+            except (SerializationError, ValueError, TypeError) as error:
+                self._json(400, {"error": str(error)})
+            else:
+                self._json(202, {"id": job_id, "state": "queued"})
+        elif path == "/drain":
+            started = self.server.request_drain()
+            self._json(202, {"draining": True, "initiated": started})
+        else:
+            self._json(404, {"error": f"unknown path {path!r}"})

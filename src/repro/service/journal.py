@@ -1,0 +1,209 @@
+"""Durable job journal for the allocation service.
+
+Every job the service accepts is persisted as one JSON file under
+``<spool>/jobs/`` before the submitter gets an id back, and re-written
+on every state transition, using the same atomic write-to-temp +
+``os.replace`` idiom as :mod:`repro.resilience.checkpoint`.  A crash at
+any instant therefore leaves each job either absent (never accepted) or
+in its last durable state — a job is never half-written and never lost.
+
+Recovery (:meth:`JobJournal.recover`) is deliberately forgiving: a
+record that fails to parse is renamed to ``<file>.corrupt`` and skipped
+rather than wedging the daemon, and a job found in state ``running``
+(the daemon died mid-attempt) is demoted back to ``queued`` so the
+worker pool re-runs it.  The engines are deterministic, so the re-run
+reproduces the interrupted answer bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import get_metrics
+from repro.resilience.faults import fault_point
+from repro.sdf.serialization import SerializationError
+
+JOB_FORMAT = "repro-service-job"
+JOB_VERSION = 1
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_CERTIFIED = "certified"
+STATE_DEGRADED = "degraded"
+STATE_FAILED = "failed"
+STATE_QUARANTINED = "quarantined"
+
+#: states a job can never leave
+TERMINAL_STATES = frozenset(
+    (STATE_CERTIFIED, STATE_DEGRADED, STATE_FAILED, STATE_QUARANTINED)
+)
+#: every state a journal record may carry
+JOB_STATES = frozenset((STATE_QUEUED, STATE_RUNNING)) | TERMINAL_STATES
+
+
+class JournalError(SerializationError):
+    """A job record is missing, malformed or of an unknown version."""
+
+
+def new_job_record(
+    job_id: str,
+    request: Dict[str, Any],
+    canonical: Dict[str, Any],
+    max_attempts: int,
+    budget: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A fresh ``queued`` job record carrying the full request."""
+    return {
+        "format": JOB_FORMAT,
+        "version": JOB_VERSION,
+        "id": job_id,
+        "state": STATE_QUEUED,
+        "attempts": 0,
+        "max_attempts": max_attempts,
+        "request": request,
+        "canonical": canonical,
+        "budget": budget or {},
+        "rung": None,
+        "verdict": None,
+        "source": None,
+        "reason": None,
+        "result": None,
+    }
+
+
+def validate_job_record(data: Any, source: str) -> Dict[str, Any]:
+    """Envelope + shape check for one journal record."""
+    if not isinstance(data, dict) or data.get("format") != JOB_FORMAT:
+        raise JournalError(
+            "not a repro service job record", source=source, field="format"
+        )
+    if data.get("version") != JOB_VERSION:
+        raise JournalError(
+            f"unsupported job record version {data.get('version')!r} "
+            f"(this build reads version {JOB_VERSION})",
+            source=source,
+            field="version",
+        )
+    for key in ("id", "state", "attempts", "max_attempts", "request"):
+        if key not in data:
+            raise JournalError(
+                f"job record is missing required field {key!r}",
+                source=source,
+                field=key,
+            )
+    if data["state"] not in JOB_STATES:
+        raise JournalError(
+            f"unknown job state {data['state']!r}",
+            source=source,
+            field="state",
+        )
+    return data
+
+
+class JobJournal:
+    """Atomic per-job persistence under ``<root>/jobs/``.
+
+    Job ids are sequential (``job-000001`` ...); the counter resumes
+    past the highest id found on disk so ids stay unique across daemon
+    restarts.  No wall-clock timestamps are recorded — the journal, like
+    every other artefact in the stack, is bit-reproducible.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.jobs_dir = os.path.join(root, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._next = 1 + max(
+            (
+                int(name[4:10])
+                for name in os.listdir(self.jobs_dir)
+                if name.startswith("job-")
+                and name.endswith(".json")
+                and name[4:10].isdigit()
+            ),
+            default=0,
+        )
+
+    def next_id(self) -> str:
+        with self._lock:
+            job_id = f"job-{self._next:06d}"
+            self._next += 1
+        return job_id
+
+    def path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def write(self, record: Dict[str, Any]) -> str:
+        """Atomically persist one record; returns its path.
+
+        ``service.journal.write`` fires after the temp file is durable
+        but before the rename — exactly like ``checkpoint.write`` — so
+        an injected fault can never leave a truncated record behind.
+        """
+        validate_job_record(record, source=self.path(record.get("id", "?")))
+        path = self.path(record["id"])
+        text = json.dumps(record, indent=2)
+        temp = path + ".tmp"
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+                fault_point(
+                    "service.journal.write",
+                    job=record["id"],
+                    state=record["state"],
+                )
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+        get_metrics().counter("service.journal.writes")
+        return path
+
+    def load(self, job_id: str) -> Dict[str, Any]:
+        path = self.path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise JournalError(
+                f"cannot read job record: {error}", source=path
+            ) from error
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise JournalError(
+                f"job record is corrupted: {error}", source=path
+            ) from error
+        return validate_job_record(data, source=path)
+
+    def recover(self) -> Tuple[List[Dict[str, Any]], List[str]]:
+        """All readable records (id order) plus quarantined file names.
+
+        Unreadable record files are renamed to ``<file>.corrupt`` so the
+        daemon keeps starting; the rename preserves the bytes for
+        post-mortem inspection.
+        """
+        records: List[Dict[str, Any]] = []
+        corrupted: List[str] = []
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not (name.startswith("job-") and name.endswith(".json")):
+                continue
+            job_id = name[: -len(".json")]
+            try:
+                records.append(self.load(job_id))
+            except JournalError:
+                path = os.path.join(self.jobs_dir, name)
+                try:
+                    os.replace(path, path + ".corrupt")
+                except OSError:
+                    pass
+                corrupted.append(name)
+                get_metrics().counter("service.journal.corrupt")
+        return records, corrupted

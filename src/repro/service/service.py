@@ -1,0 +1,742 @@
+"""Supervised allocation service: durable queue + worker pool.
+
+:class:`AllocationService` turns the paper's batch allocation flow into
+a long-running, fault-tolerant job service.  The robustness contract,
+piece by piece:
+
+* **Nothing accepted is ever lost.**  :meth:`~AllocationService.submit`
+  journals the job (atomic write) *before* returning its id; every
+  state transition re-journals.  :meth:`~AllocationService.start`
+  replays the journal, demoting ``running`` jobs (a previous daemon
+  died mid-attempt) back to ``queued``.
+* **Workers are supervised.**  Each attempt runs under a fresh per-job
+  :class:`~repro.resilience.budget.Budget`; an unexpected exception
+  (including injected ``service.worker.run`` faults) never kills the
+  worker thread — the job is retried with capped exponential backoff
+  and deterministic jitter, and quarantined once ``max_attempts`` is
+  reached (poison jobs cannot loop forever).
+* **Budget exhaustion is not a failure.**  Deadlines fall through the
+  four-rung degradation ladder (:func:`repro.resilience.policy.
+  resilient_allocate`) and surface as a *degraded* — still sound —
+  answer; only a fully exhausted ladder fails the job.
+* **Overload is rejected, not absorbed.**  A bounded queue raises
+  :class:`OverloadError` at admission (HTTP 429 / exit code 7) instead
+  of letting latency grow without bound.
+* **Drain is graceful.**  :meth:`~AllocationService.drain` stops
+  intake, cancels the running jobs' budgets cooperatively
+  (:meth:`Budget.cancel`), persists each interrupted exploration
+  frontier through the existing ``--checkpoint`` machinery and parks
+  the jobs as ``queued`` for the next daemon.
+* **Cached answers are re-proved.**  Hits from the
+  :class:`~repro.service.cache.ResultCache` are remapped into the
+  requester's vocabulary and replayed through
+  :func:`repro.verify.certify_allocation` before being served; a
+  refuted entry is evicted and the job recomputed.
+
+Terminal job states: ``certified`` (exact rung, certificate checked),
+``degraded`` (a lower rung or a sound-lower-bound verdict), ``failed``
+(genuine infeasibility or exhausted ladder) and ``quarantined``
+(poison).  Every accepted job reaches exactly one of them — the soak
+test under ``pytest -m faults`` asserts this across injected crashes,
+daemon restarts and drains.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.appmodel.serialization import (
+    BUNDLE_FORMAT,
+    BUNDLE_VERSION,
+    application_from_dict,
+    bundle_to_dict,
+)
+from repro.arch.serialization import architecture_from_dict
+from repro.core.strategy import AllocationError, ResourceAllocator
+from repro.obs import get_metrics
+from repro.obs.trace import get_trace
+from repro.resilience.budget import Budget, BudgetExceededError
+from repro.resilience.faults import InjectedFaultError, fault_point
+from repro.resilience.policy import DEFAULT_LADDER, resilient_allocate
+from repro.sdf.serialization import SerializationError
+from repro.service.cache import ResultCache
+from repro.service.canonical import (
+    CanonicalRequest,
+    canonicalise_request,
+    name_maps,
+    remap_allocation,
+)
+from repro.service.journal import (
+    STATE_CERTIFIED,
+    STATE_DEGRADED,
+    STATE_FAILED,
+    STATE_QUARANTINED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    JobJournal,
+    new_job_record,
+)
+from repro.verify.allocation import (
+    VERDICT_SOUND_LOWER_BOUND,
+    certify_allocation,
+)
+
+
+class OverloadError(RuntimeError):
+    """The bounded job queue is full; the submission was rejected."""
+
+
+class DrainingError(RuntimeError):
+    """The service is draining and no longer accepts submissions."""
+
+
+class ResultRefutedError(RuntimeError):
+    """A freshly computed result failed independent certification.
+
+    Treated as transient (the engines are deterministic, but the
+    failure may stem from an injected fault or environmental
+    corruption); retries eventually quarantine the job.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Delays: ``base_delay * factor**(attempt-1)`` capped at
+    ``max_delay``, stretched by up to ``jitter`` (relative) using a
+    PRNG seeded from the job id and attempt — reproducible across
+    runs, decorrelated across jobs.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.factor < 1:
+            raise ValueError("factor must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def delay(self, attempt: int, token: str) -> float:
+        raw = min(
+            self.max_delay,
+            self.base_delay * self.factor ** max(0, attempt - 1),
+        )
+        if not self.jitter:
+            return raw
+        stretch = random.Random(f"{token}:{attempt}").random()
+        return raw * (1.0 + self.jitter * stretch)
+
+
+class AllocationService:
+    """Durable job queue + supervised worker pool over one spool dir.
+
+    The spool directory holds everything the service needs to survive
+    a crash: ``jobs/`` (the journal), ``checkpoints/`` (interrupted
+    exploration frontiers) and ``cache/`` (the verified result cache).
+    """
+
+    def __init__(
+        self,
+        spool: str,
+        workers: int = 2,
+        max_queue_depth: int = 64,
+        retry: Optional[RetryPolicy] = None,
+        allocator: Optional[ResourceAllocator] = None,
+        ladder=DEFAULT_LADDER,
+        deadline: Optional[float] = None,
+        max_states: Optional[int] = None,
+        verify_results: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.spool = spool
+        os.makedirs(spool, exist_ok=True)
+        self.journal = JobJournal(spool)
+        self.cache = ResultCache(spool)
+        self.checkpoints_dir = os.path.join(spool, "checkpoints")
+        os.makedirs(self.checkpoints_dir, exist_ok=True)
+        self.retry = retry or RetryPolicy()
+        self.allocator = allocator or ResourceAllocator()
+        self.ladder = ladder
+        self.deadline = deadline
+        self.max_states = max_states
+        self.verify_results = verify_results
+        self.max_queue_depth = max_queue_depth
+        self.worker_count = workers
+
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+        self._queue: Deque[str] = deque()
+        self._budgets: Dict[str, Budget] = {}
+        self._timers: Dict[str, threading.Timer] = {}
+        self._workers: List[threading.Thread] = []
+        self._accepting = False
+        self._draining = False
+        self._stopped = False
+        self._active = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "AllocationService":
+        """Replay the journal and launch the worker pool."""
+        records, corrupted = self.journal.recover()
+        obs = get_metrics()
+        tr = get_trace()
+        # no worker exists yet: recovery runs lock-free, the journal
+        # writes included (taking self._lock here would deadlock)
+        for record in records:
+            if record["state"] == STATE_RUNNING:
+                # a previous daemon died mid-attempt; the attempt was
+                # charged, the work was not lost — re-queue and the
+                # deterministic engines reproduce it bit-identically
+                record["state"] = STATE_QUEUED
+                obs.counter("service.recovered")
+                if tr.enabled:
+                    tr.instant("service", "recovered", job=record["id"])
+                try:
+                    self.journal.write(record)
+                except (OSError, InjectedFaultError, SerializationError):
+                    obs.counter("service.journal.errors")
+        with self._lock:
+            for record in records:
+                self._jobs[record["id"]] = record
+                if record["state"] == STATE_QUEUED:
+                    self._queue.append(record["id"])
+            self._accepting = True
+            self._changed.notify_all()
+        if corrupted:
+            obs.counter("service.journal.corrupt_on_recover", len(corrupted))
+        for index in range(self.worker_count):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            self._workers.append(thread)
+            thread.start()
+        return self
+
+    def drain(
+        self, cancel_running: bool = True, timeout: float = 30.0
+    ) -> Dict[str, Any]:
+        """Gracefully stop: no intake, park pending, checkpoint running.
+
+        With ``cancel_running`` the active jobs' budgets are cancelled
+        cooperatively; each engine persists its exploration frontier
+        (via the rung's ``--checkpoint`` machinery) and the job is
+        parked as ``queued`` with its attempt refunded, ready for the
+        next daemon.  Pending/backing-off jobs stay ``queued`` in the
+        journal untouched.  Idempotent.
+        """
+        with self._lock:
+            self._accepting = False
+            self._draining = True
+            for timer in self._timers.values():
+                timer.cancel()
+            self._timers.clear()
+            parked = len(self._queue)
+            self._queue.clear()
+            cancelled = 0
+            if cancel_running:
+                for budget in self._budgets.values():
+                    budget.cancel()
+                    cancelled += 1
+            self._changed.notify_all()
+            deadline = timeout
+            while self._active > 0 and deadline > 0:
+                before = self._active
+                self._changed.wait(timeout=min(0.5, deadline))
+                deadline -= 0.5 if before == self._active else 0
+                if self._active < before:
+                    continue
+            self._stopped = True
+            self._changed.notify_all()
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+        self._workers = []
+        obs = get_metrics()
+        obs.counter("service.drains")
+        tr = get_trace()
+        if tr.enabled:
+            tr.instant(
+                "service", "drain", parked=parked, cancelled=cancelled
+            )
+        return {"parked": parked, "cancelled": cancelled}
+
+    def close(self) -> None:
+        self.drain(cancel_running=True)
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        application: Dict[str, Any],
+        architecture: Dict[str, Any],
+        deadline: Optional[float] = None,
+        max_states: Optional[int] = None,
+    ) -> str:
+        """Accept one job; returns its id once durably journaled.
+
+        ``application``/``architecture`` are the plain-dict request
+        forms.  Raises :class:`SerializationError` on malformed input,
+        :class:`OverloadError` when the queue is full and
+        :class:`DrainingError` after :meth:`drain` began.  The journal
+        write happens *before* the id is returned: an accepted job is
+        durable or the submitter gets an error — never a silent loss.
+        """
+        # parse eagerly: malformed requests are the submitter's fault
+        # and must be rejected at admission, not poison a worker
+        application_from_dict(application)
+        architecture_from_dict(architecture)
+        canonical = canonicalise_request(application, architecture)
+        obs = get_metrics()
+        with self._lock:
+            if not self._accepting:
+                raise DrainingError(
+                    "service is draining and not accepting jobs"
+                )
+            depth = len(self._queue) + len(self._timers) + self._active
+            if depth >= self.max_queue_depth:
+                obs.counter("service.overloaded")
+                tr = get_trace()
+                if tr.enabled:
+                    tr.instant("service", "overload", depth=depth)
+                raise OverloadError(
+                    f"job queue is full ({depth} jobs in flight, "
+                    f"max {self.max_queue_depth}); retry later"
+                )
+            job_id = self.journal.next_id()
+            budget = {}
+            if deadline is not None or self.deadline is not None:
+                budget["deadline"] = (
+                    deadline if deadline is not None else self.deadline
+                )
+            if max_states is not None or self.max_states is not None:
+                budget["max_states"] = (
+                    max_states if max_states is not None else self.max_states
+                )
+            record = new_job_record(
+                job_id,
+                request={
+                    "application": application,
+                    "architecture": architecture,
+                },
+                canonical=canonical.to_dict(),
+                max_attempts=self.retry.max_attempts,
+                budget=budget,
+            )
+            self._jobs[job_id] = record
+        # strict write outside the lock: admission requires durability
+        try:
+            self.journal.write(record)
+        except BaseException:
+            with self._lock:
+                self._jobs.pop(job_id, None)
+            raise
+        with self._lock:
+            self._queue.append(job_id)
+            self._changed.notify_all()
+        obs.counter("service.submitted")
+        return job_id
+
+    # -- introspection -------------------------------------------------
+    def job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            return dict(record) if record is not None else None
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {
+                    "id": record["id"],
+                    "state": record["state"],
+                    "attempts": record["attempts"],
+                    "rung": record.get("rung"),
+                    "verdict": record.get("verdict"),
+                    "source": record.get("source"),
+                }
+                for record in sorted(
+                    self._jobs.values(), key=lambda r: r["id"]
+                )
+            ]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for record in self._jobs.values():
+                states[record["state"]] = states.get(record["state"], 0) + 1
+            return {
+                "accepting": self._accepting,
+                "workers": self.worker_count,
+                "queue_depth": len(self._queue),
+                "backing_off": len(self._timers),
+                "active": self._active,
+                "max_queue_depth": self.max_queue_depth,
+                "jobs": states,
+            }
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
+        """Block until ``job_id`` reaches a terminal state."""
+        with self._lock:
+            remaining = timeout
+            while remaining > 0:
+                record = self._jobs.get(job_id)
+                if record is None:
+                    raise KeyError(f"unknown job {job_id!r}")
+                if record["state"] in TERMINAL_STATES:
+                    return dict(record)
+                self._changed.wait(timeout=min(0.2, remaining))
+                remaining -= 0.2
+        raise TimeoutError(
+            f"job {job_id!r} not terminal after {timeout:g}s"
+        )
+
+    def wait_idle(self, timeout: float = 60.0) -> None:
+        """Block until no job is queued, backing off or running."""
+        with self._lock:
+            remaining = timeout
+            while remaining > 0:
+                if (
+                    not self._queue
+                    and not self._timers
+                    and self._active == 0
+                ):
+                    return
+                self._changed.wait(timeout=min(0.2, remaining))
+                remaining -= 0.2
+        raise TimeoutError(f"service not idle after {timeout:g}s")
+
+    # -- worker pool ---------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while (
+                    not self._queue
+                    and not self._stopped
+                    and not self._draining
+                ):
+                    self._changed.wait(timeout=0.5)
+                if self._stopped or self._draining:
+                    return
+                job_id = self._queue.popleft()
+                record = self._jobs[job_id]
+                record["state"] = STATE_RUNNING
+                record["attempts"] += 1
+                budget = Budget(
+                    deadline=record.get("budget", {}).get("deadline"),
+                    max_states=record.get("budget", {}).get("max_states"),
+                )
+                self._budgets[job_id] = budget
+                self._active += 1
+            try:
+                self._write_forgiving(record)
+                self._run_attempt(record, budget)
+            finally:
+                with self._lock:
+                    self._budgets.pop(job_id, None)
+                    self._active -= 1
+                    self._changed.notify_all()
+
+    def _run_attempt(self, record: Dict[str, Any], budget: Budget) -> None:
+        tr = get_trace()
+        span = tr.span(
+            "service",
+            "job",
+            job=record["id"],
+            attempt=record["attempts"],
+        )
+        try:
+            with span:
+                fault_point(
+                    "service.worker.run",
+                    job=record["id"],
+                    attempt=record["attempts"],
+                )
+                canonical = CanonicalRequest.from_dict(record["canonical"])
+                if not self._serve_from_cache(record, canonical):
+                    self._compute(record, canonical, budget)
+        except BudgetExceededError as error:
+            if error.reason == "cancelled":
+                self._park_cancelled(record)
+            else:
+                self._terminal(
+                    record,
+                    STATE_FAILED,
+                    reason=f"budget exhausted: {error}",
+                )
+        except (AllocationError, SerializationError) as error:
+            # genuine negative answers: retrying cannot change them
+            self._terminal(record, STATE_FAILED, reason=str(error))
+        except Exception as error:  # supervision boundary
+            self._retry_or_quarantine(record, error)
+
+    # -- attempt phases ------------------------------------------------
+    def _serve_from_cache(
+        self, record: Dict[str, Any], canonical: CanonicalRequest
+    ) -> bool:
+        obs = get_metrics()
+        try:
+            entry = self.cache.lookup(canonical)
+        except (InjectedFaultError, OSError, SerializationError, ValueError):
+            obs.counter("service.cache.errors")
+            entry = None
+        if entry is None:
+            obs.counter("service.cache.miss")
+            return False
+        application = record["request"]["application"]
+        architecture = record["request"]["architecture"]
+        try:
+            cached = CanonicalRequest(
+                payload=entry["payload"],
+                digest=entry["digest"],
+                actor_order=tuple(entry["actor_order"]),
+                channel_order=tuple(entry["channel_order"]),
+                tile_order=tuple(entry["tile_order"]),
+            )
+            actor_map, channel_map, tile_map = name_maps(cached, canonical)
+            allocation = remap_allocation(
+                entry["allocation"],
+                application,
+                actor_map,
+                channel_map,
+                tile_map,
+            )
+            bundle = {
+                "format": BUNDLE_FORMAT,
+                "version": BUNDLE_VERSION,
+                "architecture": architecture,
+                "allocations": [allocation],
+            }
+            report = certify_allocation(bundle)
+            certified = report.certified and bool(report.verdicts)
+        except Exception:
+            # a broken entry must never break the job — recompute
+            certified = False
+            report = None
+            bundle = None
+        if not certified:
+            obs.counter("service.cache.refuted")
+            tr = get_trace()
+            if tr.enabled:
+                tr.instant(
+                    "service",
+                    "cache.refuted",
+                    job=record["id"],
+                    key=canonical.digest,
+                )
+            self.cache.evict(canonical.digest)
+            return False
+        obs.counter("service.cache.hit")
+        tr = get_trace()
+        if tr.enabled:
+            tr.instant(
+                "service",
+                "cache.hit",
+                job=record["id"],
+                key=canonical.digest,
+            )
+        self._finish(
+            record,
+            bundle=bundle,
+            rung=entry.get("rung"),
+            verdict=report.verdicts[0].verdict,
+            source="cache",
+        )
+        return True
+
+    def _compute(
+        self,
+        record: Dict[str, Any],
+        canonical: CanonicalRequest,
+        budget: Budget,
+    ) -> None:
+        application = application_from_dict(
+            record["request"]["application"]
+        )
+        architecture = architecture_from_dict(
+            record["request"]["architecture"]
+        )
+        checkpoint_path = os.path.join(
+            self.checkpoints_dir, f"{record['id']}.engine.json"
+        )
+        result = resilient_allocate(
+            application,
+            architecture,
+            allocator=self.allocator,
+            budget=budget,
+            ladder=self.ladder,
+            checkpoint_path=checkpoint_path,
+            preflight=True,
+        )
+        bundle = bundle_to_dict(
+            architecture, [result.allocation], rungs=[result.rung]
+        )
+        verdict = None
+        if self.verify_results:
+            report = certify_allocation(bundle)
+            if not report.certified:
+                get_metrics().counter("service.refuted")
+                reasons = [
+                    reason
+                    for v in report.refuted
+                    for reason in v.reasons
+                ]
+                raise ResultRefutedError(
+                    f"computed allocation for job {record['id']!r} failed "
+                    f"certification: {'; '.join(reasons) or 'unknown'}"
+                )
+            verdict = report.verdicts[0].verdict if report.verdicts else None
+        try:
+            self.cache.store(
+                canonical, bundle["allocations"][0], result.rung
+            )
+        except (OSError, InjectedFaultError):
+            get_metrics().counter("service.cache.write_errors")
+        self._finish(
+            record,
+            bundle=bundle,
+            rung=result.rung,
+            verdict=verdict,
+            source="computed",
+        )
+
+    # -- transitions ---------------------------------------------------
+    def _finish(
+        self,
+        record: Dict[str, Any],
+        bundle: Dict[str, Any],
+        rung: Optional[str],
+        verdict: Optional[str],
+        source: str,
+    ) -> None:
+        degraded = (
+            (rung is not None and rung != "exact")
+            or verdict == VERDICT_SOUND_LOWER_BOUND
+        )
+        state = STATE_DEGRADED if degraded else STATE_CERTIFIED
+        obs = get_metrics()
+        obs.counter("service.completed")
+        obs.counter(f"service.{state}")
+        self._transition(
+            record,
+            state=state,
+            rung=rung,
+            verdict=verdict,
+            source=source,
+            result=bundle,
+            reason=None,
+        )
+
+    def _terminal(
+        self, record: Dict[str, Any], state: str, reason: str
+    ) -> None:
+        get_metrics().counter(f"service.{state}")
+        self._transition(record, state=state, reason=reason)
+
+    def _park_cancelled(self, record: Dict[str, Any]) -> None:
+        """A drain interrupted this attempt; park it for the next daemon.
+
+        The attempt is refunded — cancellation is the service's doing,
+        not the job's — and the engine checkpoint (if the rung got far
+        enough to write one) already sits in ``checkpoints/``.
+        """
+        get_metrics().counter("service.parked")
+        self._transition(
+            record,
+            state=STATE_QUEUED,
+            attempts=max(0, record["attempts"] - 1),
+        )
+
+    def _retry_or_quarantine(
+        self, record: Dict[str, Any], error: Exception
+    ) -> None:
+        reason = f"{type(error).__name__}: {error}"
+        obs = get_metrics()
+        tr = get_trace()
+        if record["attempts"] >= record["max_attempts"]:
+            obs.counter("service.quarantined_total")
+            if tr.enabled:
+                tr.instant(
+                    "service",
+                    "quarantine",
+                    job=record["id"],
+                    attempts=record["attempts"],
+                    reason=reason,
+                )
+            self._terminal(record, STATE_QUARANTINED, reason=reason)
+            return
+        delay = self.retry.delay(record["attempts"], record["id"])
+        obs.counter("service.retries")
+        if tr.enabled:
+            tr.instant(
+                "service",
+                "retry",
+                job=record["id"],
+                attempt=record["attempts"],
+                delay_seconds=delay,
+                reason=reason,
+            )
+        self._transition(record, state=STATE_QUEUED, reason=reason)
+        with self._lock:
+            if self._draining or self._stopped:
+                return  # stays queued in the journal for the next daemon
+            timer = threading.Timer(
+                delay, self._requeue_after_backoff, args=(record["id"],)
+            )
+            timer.daemon = True
+            self._timers[record["id"]] = timer
+            timer.start()
+
+    def _requeue_after_backoff(self, job_id: str) -> None:
+        with self._lock:
+            self._timers.pop(job_id, None)
+            if self._draining or self._stopped:
+                return
+            self._queue.append(job_id)
+            self._changed.notify_all()
+
+    def _transition(self, record: Dict[str, Any], **updates: Any) -> None:
+        """Journal a state change *before* making it observable.
+
+        The durable write happens first, so a waiter that sees a
+        terminal state can rely on the journal already carrying it.
+        Write failures are tolerated (counter ``service.journal.
+        errors``): the in-memory record stays authoritative for this
+        daemon, and a crash merely replays the job from an older
+        journaled state — at-least-once semantics, never loss.
+        """
+        with self._lock:
+            staged = {**record, **updates}
+        try:
+            self.journal.write(staged)
+        except (OSError, InjectedFaultError, SerializationError):
+            get_metrics().counter("service.journal.errors")
+        with self._lock:
+            record.update(updates)
+            self._changed.notify_all()
+
+    def _write_forgiving(self, record: Dict[str, Any]) -> None:
+        """Journal the record as-is, tolerating write failures."""
+        with self._lock:
+            snapshot = dict(record)
+        try:
+            self.journal.write(snapshot)
+        except (OSError, InjectedFaultError, SerializationError):
+            get_metrics().counter("service.journal.errors")

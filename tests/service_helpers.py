@@ -1,0 +1,88 @@
+"""Shared fixtures for the allocation-service test files.
+
+Requests come in two sizes: the paper's running example (fast — the
+engine finishes in milliseconds) and an H.263 decoder scaled up via its
+macroblock count (slow — a second or more of real search, wide enough
+to drain or SIGKILL mid-exploration deterministically).
+"""
+
+import copy
+import random
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.appmodel.serialization import application_to_dict
+from repro.arch.architecture import ArchitectureGraph
+from repro.arch.serialization import architecture_to_dict
+from repro.arch.tile import ProcessorType, Tile
+from repro.generate.multimedia import h263_decoder
+
+
+def fast_request():
+    """(application, architecture) dicts that allocate in milliseconds."""
+    return (
+        application_to_dict(paper_example_application()),
+        architecture_to_dict(paper_example_architecture()),
+    )
+
+
+def h263_architecture(memory=800_000):
+    architecture = ArchitectureGraph("svc-arch")
+    generic = ProcessorType("generic")
+    accelerator = ProcessorType("accelerator")
+    architecture.add_tile(
+        Tile("t1", generic, 100, memory, 8, 100_000, 100_000)
+    )
+    architecture.add_tile(
+        Tile("t2", accelerator, 100, memory, 8, 100_000, 100_000)
+    )
+    architecture.add_connection("t1", "t2")
+    architecture.add_connection("t2", "t1")
+    return architecture
+
+
+def slow_request(macroblocks=320):
+    """A request whose exact-rung search takes on the order of seconds."""
+    return (
+        application_to_dict(h263_decoder(macroblocks=macroblocks)),
+        architecture_to_dict(h263_architecture()),
+    )
+
+
+def rename_isomorphic(application, seed=0, prefix="iso"):
+    """A consistently renamed application dict (same canonical form)."""
+    rng = random.Random(seed)
+    actors = [a["name"] for a in application["graph"]["actors"]]
+    channels = [c["name"] for c in application["graph"]["channels"]]
+    rng.shuffle(actors)
+    rng.shuffle(channels)
+    actor_map = {name: f"{prefix}_a{i}" for i, name in enumerate(actors)}
+    channel_map = {
+        name: f"{prefix}_c{i}" for i, name in enumerate(channels)
+    }
+    renamed = copy.deepcopy(application)
+    renamed["name"] = f"{prefix}-{application['name']}"
+    renamed["graph"]["actors"] = [
+        {**a, "name": actor_map[a["name"]]}
+        for a in application["graph"]["actors"]
+    ]
+    renamed["graph"]["channels"] = [
+        {
+            **c,
+            "name": channel_map[c["name"]],
+            "src": actor_map[c["src"]],
+            "dst": actor_map[c["dst"]],
+        }
+        for c in application["graph"]["channels"]
+    ]
+    renamed["actors"] = {
+        actor_map[k]: v for k, v in application["actors"].items()
+    }
+    renamed["channels"] = {
+        channel_map[k]: v
+        for k, v in application.get("channels", {}).items()
+    }
+    renamed["output_actor"] = actor_map[application["output_actor"]]
+    return renamed

@@ -24,6 +24,7 @@ from repro.resilience.checkpoint import (
     write_checkpoint,
 )
 from repro.sdf.graph import SDFGraph
+from repro.sdf.serialization import SerializationError
 from repro.throughput.constrained import (
     StaticOrderSchedule,
     TileConstraints,
@@ -225,3 +226,85 @@ def test_checkpoint_json_round_trip_is_lossless(seed):
     _assert_same_result(
         resume_from_checkpoint(round_tripped), throughput(graph)
     )
+
+
+# -- hardened reads: truncation, binary corruption, missing fields ---------
+
+
+def _real_checkpoint(tmp_path):
+    """A genuine engine checkpoint, interrupted and written to disk."""
+    for seed in range(1, 200):
+        payload = _interrupt(_random_graph(seed), max_states=2)
+        if payload is not None:
+            path = tmp_path / "real.json"
+            write_checkpoint(str(path), payload)
+            return path
+    raise AssertionError("random graphs stopped producing interruptions")
+
+
+def test_read_truncated_real_checkpoint_raises_typed_error(tmp_path):
+    """Truncating a real checkpoint mid-file yields CheckpointError
+    (a SerializationError) carrying the file path — never a bare
+    json.JSONDecodeError."""
+    path = _real_checkpoint(tmp_path)
+    text = path.read_text()
+    for fraction in (0.25, 0.5, 0.9):
+        path.write_text(text[: int(len(text) * fraction)])
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(str(path))
+        assert str(path) in str(excinfo.value)
+        assert isinstance(excinfo.value, SerializationError)
+
+
+def test_read_binary_corrupted_checkpoint_raises_typed_error(tmp_path):
+    """A checkpoint overwritten with non-UTF-8 bytes must surface as
+    CheckpointError, not UnicodeDecodeError."""
+    path = _real_checkpoint(tmp_path)
+    path.write_bytes(b"\x00\xff\xfe garbage \x80\x81")
+    with pytest.raises(CheckpointError) as excinfo:
+        read_checkpoint(str(path))
+    assert str(path) in str(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "missing", ["graph", "max_states", "execution_times", "auto_concurrency"]
+)
+def test_resume_missing_field_raises_typed_error(tmp_path, missing):
+    """A structurally valid checkpoint that lost a required field must
+    fail resume with a CheckpointError naming the field, not KeyError."""
+    path = _real_checkpoint(tmp_path)
+    payload = read_checkpoint(str(path))
+    del payload[missing]
+    with pytest.raises(CheckpointError) as excinfo:
+        resume_from_checkpoint(payload)
+    assert missing in str(excinfo.value)
+
+
+def test_resume_constrained_missing_tile_field_raises_typed_error():
+    graph = SDFGraph("pipe")
+    graph.add_actor("a", 2)
+    graph.add_channel("loop", "a", "a", tokens=1)
+    checkpoint = {
+        "format": CHECKPOINT_FORMAT,
+        "version": 1,
+        "kind": "constrained",
+        "graph": {
+            "name": "pipe",
+            "actors": [{"name": "a", "execution_time": 2}],
+            "channels": [
+                {
+                    "name": "loop",
+                    "src": "a",
+                    "dst": "a",
+                    "production": 1,
+                    "consumption": 1,
+                    "tokens": 1,
+                }
+            ],
+        },
+        "max_states": 100,
+        "tiles": [{"name": "t1", "wheel": 10}],  # no slice_size/periodic
+    }
+    with pytest.raises(CheckpointError) as excinfo:
+        resume_from_checkpoint(checkpoint)
+    assert "tiles[0]" in str(excinfo.value)

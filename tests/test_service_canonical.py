@@ -1,0 +1,266 @@
+"""Isomorphism-stable canonicalisation (``make test-service``).
+
+The promise under test (``docs/SERVICE.md``): consistently renaming
+every actor, channel and tile of a request yields the *same* canonical
+digest with orderings that map the two vocabularies onto each other,
+while any semantic change — a rate, an execution time, the constraint,
+platform occupancy — yields a *different* digest.
+"""
+
+import copy
+import random
+
+import pytest
+
+from repro.appmodel.example import (
+    paper_example_application,
+    paper_example_architecture,
+)
+from repro.appmodel.serialization import application_to_dict
+from repro.arch.serialization import architecture_to_dict
+from repro.service.canonical import (
+    canonicalise_request,
+    name_maps,
+    remap_certificate,
+)
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture()
+def request_dicts():
+    return (
+        application_to_dict(paper_example_application()),
+        architecture_to_dict(paper_example_architecture()),
+    )
+
+
+def _rename(application, seed=0, prefix="z"):
+    """A consistently renamed deep copy plus the rename maps used."""
+    rng = random.Random(seed)
+    actors = [a["name"] for a in application["graph"]["actors"]]
+    channels = [c["name"] for c in application["graph"]["channels"]]
+    rng.shuffle(actors)
+    rng.shuffle(channels)
+    actor_map = {name: f"{prefix}a{i}" for i, name in enumerate(actors)}
+    channel_map = {name: f"{prefix}c{i}" for i, name in enumerate(channels)}
+    renamed = copy.deepcopy(application)
+    renamed["name"] = f"{prefix}-{application['name']}"
+    renamed["graph"]["actors"] = [
+        {**a, "name": actor_map[a["name"]]}
+        for a in application["graph"]["actors"]
+    ]
+    renamed["graph"]["channels"] = [
+        {
+            **c,
+            "name": channel_map[c["name"]],
+            "src": actor_map[c["src"]],
+            "dst": actor_map[c["dst"]],
+        }
+        for c in application["graph"]["channels"]
+    ]
+    renamed["actors"] = {
+        actor_map[k]: v for k, v in application["actors"].items()
+    }
+    renamed["channels"] = {
+        channel_map[k]: v
+        for k, v in application.get("channels", {}).items()
+    }
+    renamed["output_actor"] = actor_map[application["output_actor"]]
+    return renamed, actor_map, channel_map
+
+
+def test_canonicalisation_is_deterministic(request_dicts):
+    application, architecture = request_dicts
+    first = canonicalise_request(application, architecture)
+    second = canonicalise_request(application, architecture)
+    assert first.digest == second.digest
+    assert first.payload == second.payload
+    assert first.actor_order == second.actor_order
+    assert not first.exact_names
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_consistent_rename_preserves_digest(request_dicts, seed):
+    application, architecture = request_dicts
+    renamed, actor_map, channel_map = _rename(application, seed=seed)
+    original = canonicalise_request(application, architecture)
+    fresh = canonicalise_request(renamed, architecture)
+    assert original.digest == fresh.digest
+    assert original.payload == fresh.payload
+    actors, channels, tiles = name_maps(original, fresh)
+    assert actors == actor_map
+    assert channels == channel_map
+    assert tiles == {name: name for name in original.tile_order}
+
+
+def test_tile_rename_preserves_digest(request_dicts):
+    application, architecture = request_dicts
+    renamed = copy.deepcopy(architecture)
+    tile_map = {
+        entry["name"]: f"node{i}"
+        for i, entry in enumerate(architecture["tiles"])
+    }
+    renamed["tiles"] = [
+        {**entry, "name": tile_map[entry["name"]]}
+        for entry in architecture["tiles"]
+    ]
+    renamed["connections"] = [
+        {**c, "src": tile_map[c["src"]], "dst": tile_map[c["dst"]]}
+        for c in architecture.get("connections", [])
+    ]
+    original = canonicalise_request(application, architecture)
+    fresh = canonicalise_request(application, renamed)
+    assert original.digest == fresh.digest
+    _, _, tiles = name_maps(original, fresh)
+    assert tiles == tile_map
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda app, arch: app["graph"]["actors"][0].update(
+            execution_time=app["graph"]["actors"][0]["execution_time"] + 1
+        ),
+        lambda app, arch: app["graph"]["channels"][0].update(
+            tokens=app["graph"]["channels"][0].get("tokens", 0) + 1
+        ),
+        lambda app, arch: app.update(throughput_constraint="1/9999"),
+        lambda app, arch: arch["tiles"][0].update(
+            memory_occupied=arch["tiles"][0].get("memory_occupied", 0) + 7
+        ),
+        lambda app, arch: arch["tiles"][0].update(
+            wheel=arch["tiles"][0]["wheel"] + 1
+        ),
+    ],
+    ids=[
+        "execution-time",
+        "initial-tokens",
+        "constraint",
+        "tile-occupancy",
+        "tile-wheel",
+    ],
+)
+def test_semantic_changes_change_digest(request_dicts, mutate):
+    application, architecture = request_dicts
+    baseline = canonicalise_request(application, architecture).digest
+    mutated_app = copy.deepcopy(application)
+    mutated_arch = copy.deepcopy(architecture)
+    mutate(mutated_app, mutated_arch)
+    assert (
+        canonicalise_request(mutated_app, mutated_arch).digest != baseline
+    )
+
+
+def test_symmetric_graph_rename_invariance():
+    """A graph with interchangeable actors exercises the
+    individualisation search (pure WL cannot split the tie)."""
+    application = {
+        "name": "sym",
+        "throughput_constraint": "1/100",
+        "output_actor": "sink",
+        "graph": {
+            "name": "sym",
+            "actors": [
+                {"name": "src", "execution_time": 1},
+                {"name": "mid1", "execution_time": 2},
+                {"name": "mid2", "execution_time": 2},
+                {"name": "sink", "execution_time": 1},
+            ],
+            "channels": [
+                {"name": "c1", "src": "src", "dst": "mid1",
+                 "production": 1, "consumption": 1, "tokens": 0},
+                {"name": "c2", "src": "src", "dst": "mid2",
+                 "production": 1, "consumption": 1, "tokens": 0},
+                {"name": "c3", "src": "mid1", "dst": "sink",
+                 "production": 1, "consumption": 1, "tokens": 0},
+                {"name": "c4", "src": "mid2", "dst": "sink",
+                 "production": 1, "consumption": 1, "tokens": 1},
+            ],
+        },
+        "actors": {},
+        "channels": {},
+    }
+    architecture = {"name": "p", "tiles": [
+        {"name": "t1", "processor_type": "arm", "wheel": 10},
+    ], "connections": []}
+    # swap the two symmetric-looking middle actors (they differ only
+    # through c4's initial token — refinement must see through it)
+    renamed, _, _ = _rename(application, seed=3)
+    a = canonicalise_request(application, architecture)
+    b = canonicalise_request(renamed, architecture)
+    assert a.digest == b.digest
+
+
+def test_truly_automorphic_actors_still_canonicalise():
+    """Fully interchangeable parallel branches: any tie-break is a
+    valid automorphism, and the digest must stay rename-invariant."""
+    def build(m1, m2):
+        return {
+            "name": "auto",
+            "throughput_constraint": "1/50",
+            "output_actor": "sink",
+            "graph": {
+                "name": "auto",
+                "actors": [
+                    {"name": "src", "execution_time": 1},
+                    {"name": m1, "execution_time": 2},
+                    {"name": m2, "execution_time": 2},
+                    {"name": "sink", "execution_time": 1},
+                ],
+                "channels": [
+                    {"name": "e1", "src": "src", "dst": m1,
+                     "production": 1, "consumption": 1, "tokens": 0},
+                    {"name": "e2", "src": "src", "dst": m2,
+                     "production": 1, "consumption": 1, "tokens": 0},
+                    {"name": "e3", "src": m1, "dst": "sink",
+                     "production": 1, "consumption": 1, "tokens": 0},
+                    {"name": "e4", "src": m2, "dst": "sink",
+                     "production": 1, "consumption": 1, "tokens": 0},
+                ],
+            },
+            "actors": {},
+            "channels": {},
+        }
+
+    architecture = {"name": "p", "tiles": [
+        {"name": "t1", "processor_type": "arm", "wheel": 10},
+    ], "connections": []}
+    a = canonicalise_request(build("alpha", "beta"), architecture)
+    b = canonicalise_request(build("q", "p"), architecture)
+    assert a.digest == b.digest
+
+
+def test_processor_type_is_shared_vocabulary(request_dicts):
+    """Processor-type names tie Γ options to tiles; renaming one is a
+    semantic change, never canonicalised away."""
+    application, architecture = request_dicts
+    baseline = canonicalise_request(application, architecture).digest
+    mutated = copy.deepcopy(architecture)
+    mutated["tiles"][0]["processor_type"] = "renamed-proc"
+    assert canonicalise_request(application, mutated).digest != baseline
+
+
+def test_remap_certificate_peels_synthetic_prefixes():
+    actor_map = {"a1": "x1"}
+    channel_map = {"d1": "y1"}
+    certificate = {
+        "kind": "state-space",
+        "graph": "old-bound",
+        "actors": ["a1", "self:a1", "con0-ni:d1", "hop1:d1"],
+        "channels": ["d1", "buf:d1", "syn:d1"],
+        "firings": {"a1": 3, "self:a1": 3},
+        "tiles": [
+            {"name": "t1", "periodic": ["a1"], "transient": []},
+        ],
+    }
+    remapped = remap_certificate(
+        certificate, actor_map, channel_map, {"t1": "u1"},
+        graph_name="new-bound",
+    )
+    assert remapped["graph"] == "new-bound"
+    assert remapped["actors"] == ["x1", "self:x1", "con0-ni:y1", "hop1:y1"]
+    assert remapped["channels"] == ["y1", "buf:y1", "syn:y1"]
+    assert remapped["firings"] == {"x1": 3, "self:x1": 3}
+    assert remapped["tiles"][0]["name"] == "u1"
+    assert remapped["tiles"][0]["periodic"] == ["x1"]

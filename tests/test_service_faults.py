@@ -1,0 +1,187 @@
+"""Seeded soak of the allocation service (``pytest -m faults``).
+
+One property, stated in ``docs/SERVICE.md`` and hammered here under
+probabilistic fault injection across the full service lifecycle —
+submit, crash, retry, drain, restart, drain again: **no accepted job is
+ever lost**.  Every job whose id was returned by ``submit`` ends in
+exactly one terminal state (``certified``, ``degraded``, ``failed`` or
+``quarantined``), in memory and in the durable journal alike; every
+submission the injector made fail was rejected loudly, never admitted
+and dropped.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFaultError,
+)
+from repro.service import AllocationService, JournalError, RetryPolicy
+from repro.service.journal import TERMINAL_STATES
+
+from tests.service_helpers import fast_request, rename_isomorphic
+
+pytestmark = [pytest.mark.faults, pytest.mark.service]
+
+SOAK_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.1
+)
+
+SOAK_SPECS = (
+    FaultSpec(
+        point="service.worker.run", error="runtime", probability=0.3
+    ),
+    FaultSpec(
+        point="service.journal.write", error="runtime", probability=0.15
+    ),
+    FaultSpec(
+        point="service.cache.read", error="runtime", probability=0.3
+    ),
+)
+
+
+def _submissions(count):
+    """``count`` distinct-but-isomorphic requests (cache-heavy mix)."""
+    application, architecture = fast_request()
+    yield application, architecture
+    for index in range(1, count):
+        yield rename_isomorphic(
+            application, seed=index, prefix=f"soak{index}"
+        ), architecture
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_soak_no_job_is_ever_lost(tmp_path, seed):
+    spool = str(tmp_path / "spool")
+    accepted = []
+    rejected = 0
+
+    # -- phase 1: submit and run under fire, then drain mid-flight -----
+    with FaultInjector(specs=SOAK_SPECS, seed=seed):
+        service = AllocationService(
+            spool, workers=2, retry=SOAK_RETRY
+        ).start()
+        for application, architecture in _submissions(8):
+            try:
+                accepted.append(service.submit(application, architecture))
+            except (InjectedFaultError, JournalError):
+                rejected += 1  # loud rejection, nothing half-admitted
+        try:
+            service.wait_idle(timeout=20)
+        except TimeoutError:
+            pass  # a drain mid-flight is the point of this phase
+        service.drain(cancel_running=True)
+
+        # rejected submissions must not have been admitted anywhere
+        assert sum(service.stats()["jobs"].values()) == len(accepted)
+
+        # -- phase 2: restart over the same spool, still under fire ----
+        service = AllocationService(
+            spool, workers=2, retry=SOAK_RETRY
+        ).start()
+        try:
+            service.wait_idle(timeout=20)
+        except TimeoutError:
+            pass
+        service.drain(cancel_running=True)
+
+    # -- phase 3: a calm daemon finishes whatever survived -------------
+    service = AllocationService(spool, workers=2, retry=SOAK_RETRY).start()
+    try:
+        service.wait_idle(timeout=60)
+    finally:
+        outcome = service.drain(cancel_running=True)
+    assert outcome == {"parked": 0, "cancelled": 0}
+
+    # -- the property: every accepted job is accounted for -------------
+    assert len(accepted) + rejected == 8
+    assert len(set(accepted)) == len(accepted)
+    for job_id in accepted:
+        record = service.job(job_id)
+        assert record is not None, f"{job_id} vanished from the service"
+        assert record["state"] in TERMINAL_STATES, (
+            f"{job_id} stuck in {record['state']!r}"
+        )
+        assert 1 <= record["attempts"] <= record["max_attempts"]
+        # the journal agrees, durably
+        on_disk = service.journal.load(job_id)
+        assert on_disk["state"] == record["state"]
+        if record["state"] in ("certified", "degraded"):
+            assert record["result"]["allocations"][0]["binding"]
+        else:
+            assert record["reason"]
+
+    # nothing beyond the accepted jobs ever reached the journal
+    journaled = {
+        name[: -len(".json")]
+        for name in os.listdir(os.path.join(spool, "jobs"))
+        if name.endswith(".json")
+    }
+    assert journaled == set(accepted)
+
+
+def test_journal_write_fault_at_admission_is_loud_and_clean(tmp_path):
+    """A submission whose durable write fails must raise — and leave no
+    trace: no in-memory record, no queue entry, no journal file."""
+    spool = str(tmp_path / "spool")
+    service = AllocationService(spool, workers=1, retry=SOAK_RETRY).start()
+    application, architecture = fast_request()
+    try:
+        with FaultInjector(
+            specs=(
+                FaultSpec(
+                    point="service.journal.write",
+                    error="runtime",
+                    times=1,
+                ),
+            )
+        ) as injector:
+            with pytest.raises(InjectedFaultError):
+                service.submit(application, architecture)
+        assert len(injector.injected) == 1
+        assert service.stats()["jobs"] == {}
+        assert service.stats()["queue_depth"] == 0
+        jobs_dir = os.path.join(spool, "jobs")
+        assert [
+            name
+            for name in os.listdir(jobs_dir)
+            if name.endswith(".json")
+        ] == []
+        # the service remains healthy: the next submission goes through
+        job_id = service.submit(application, architecture)
+        assert service.wait(job_id, timeout=60)["state"] == "certified"
+    finally:
+        service.drain(cancel_running=True)
+
+
+def test_cache_read_fault_degrades_to_recompute(tmp_path):
+    """An unreadable cache entry costs a recompute, never the job."""
+    spool = str(tmp_path / "spool")
+    service = AllocationService(spool, workers=1, retry=SOAK_RETRY).start()
+    application, architecture = fast_request()
+    try:
+        first = service.wait(
+            service.submit(application, architecture), 60
+        )
+        assert first["source"] == "computed"
+        with FaultInjector(
+            specs=(
+                FaultSpec(
+                    point="service.cache.read",
+                    error="runtime",
+                    times=None,
+                ),
+            )
+        ):
+            second = service.wait(
+                service.submit(application, architecture), 60
+            )
+        assert second["state"] == "certified"
+        assert second["source"] == "computed"  # the hit was unreachable
+        assert json.loads(json.dumps(second["result"])) == first["result"]
+    finally:
+        service.drain(cancel_running=True)

@@ -1,0 +1,234 @@
+"""End-to-end crash recovery of the service daemon (acceptance).
+
+The contract of ``docs/SERVICE.md``, exercised against the real
+``repro-alloc serve`` process over HTTP: SIGKILL the daemon while a
+worker is mid-search, restart it over the same spool, and the job
+completes with a result *bit-identical* to an uninterrupted in-process
+run.  A follow-up isomorphic submission is then served from the
+verified cache, and SIGTERM drains the daemon to a clean exit 0.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.appmodel.serialization import (
+    application_from_dict,
+    bundle_to_dict,
+)
+from repro.arch.serialization import architecture_from_dict
+from repro.resilience.budget import Budget
+from repro.resilience.policy import resilient_allocate
+
+from tests.service_helpers import rename_isomorphic, slow_request
+
+pytestmark = pytest.mark.service
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _daemon_env():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _start_daemon(spool, extra=()):
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--spool",
+            spool,
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            *extra,
+        ],
+        env=_daemon_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    endpoint_path = os.path.join(spool, "endpoint.json")
+    deadline = time.perf_counter() + 30
+    while True:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon died at startup (exit {process.returncode})"
+            )
+        if os.path.exists(endpoint_path):
+            try:
+                with open(endpoint_path) as handle:
+                    url = json.load(handle)["url"]
+                # the endpoint file may predate this daemon (restart on a
+                # warm spool): only trust it once /health answers
+                _get(f"{url}/health")
+                return process, url
+            except (json.JSONDecodeError, KeyError, OSError):
+                pass
+        assert time.perf_counter() < deadline, "endpoint never announced"
+        time.sleep(0.05)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _wait_terminal(url, job_id, timeout=180.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        record = _get(f"{url}/jobs/{job_id}")
+        if record["state"] in (
+            "certified",
+            "degraded",
+            "failed",
+            "quarantined",
+        ):
+            return record
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} not terminal after {timeout:g}s")
+
+
+def _wait_running(url, job_id, timeout=30.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if _get(f"{url}/jobs/{job_id}")["state"] == "running":
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never started running")
+
+
+def test_sigkill_mid_search_restart_completes_bit_identically(tmp_path):
+    application, architecture = slow_request()
+    # the uninterrupted reference, computed in-process with the same
+    # default ladder/allocator the daemon uses
+    reference = resilient_allocate(
+        application_from_dict(application),
+        architecture_from_dict(architecture),
+        budget=Budget(),
+    )
+    reference_bundle = json.loads(
+        json.dumps(
+            bundle_to_dict(
+                architecture_from_dict(architecture),
+                [reference.allocation],
+                rungs=[reference.rung],
+            )
+        )
+    )
+
+    spool = str(tmp_path / "spool")
+    process, url = _start_daemon(spool)
+    try:
+        job_id = _post(
+            f"{url}/jobs",
+            {"application": application, "architecture": architecture},
+        )["id"]
+        _wait_running(url, job_id)
+        time.sleep(0.3)  # let the engine get properly into its search
+    finally:
+        process.kill()  # SIGKILL: no drain, no checkpoint, no goodbye
+        process.wait(timeout=30)
+
+    # the journal still says "running"; the next daemon must requeue it
+    with open(os.path.join(spool, "jobs", f"{job_id}.json")) as handle:
+        assert json.load(handle)["state"] == "running"
+
+    process, url = _start_daemon(spool)
+    try:
+        record = _wait_terminal(url, job_id)
+        assert record["state"] == "certified"
+        assert record["attempts"] == 2  # the killed attempt stays charged
+        assert record["result"] == reference_bundle  # bit-identical
+
+        # an isomorphic resubmission is served from the verified cache
+        renamed = rename_isomorphic(application, seed=11)
+        second_id = _post(
+            f"{url}/jobs",
+            {"application": renamed, "architecture": architecture},
+        )["id"]
+        second = _wait_terminal(url, second_id)
+        assert second["source"] == "cache"
+        assert second["state"] == "certified"
+        assert second["verdict"] == "certified"  # re-verified before serving
+        binding = second["result"]["allocations"][0]["binding"]
+        assert set(binding) == {
+            actor["name"] for actor in renamed["graph"]["actors"]
+        }
+
+        # SIGTERM drains gracefully: exit 0, journal fully terminal
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+    with open(os.path.join(spool, "jobs", f"{job_id}.json")) as handle:
+        assert json.load(handle)["state"] == "certified"
+
+
+def test_submit_cli_round_trip_and_graceful_sigterm(tmp_path):
+    """The ``repro-alloc submit`` client against a live daemon."""
+    application, architecture = slow_request(macroblocks=4)
+    app_path = tmp_path / "app.json"
+    arch_path = tmp_path / "arch.json"
+    app_path.write_text(json.dumps(application))
+    arch_path.write_text(json.dumps(architecture))
+
+    spool = str(tmp_path / "spool")
+    process, url = _start_daemon(spool)
+    try:
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "submit",
+                str(app_path),
+                str(arch_path),
+                "--spool",
+                spool,
+                "--wait",
+                "--timeout",
+                "120",
+            ],
+            env=_daemon_env(),
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert completed.returncode == 0, completed.stderr
+        record = json.loads(completed.stdout)
+        assert record["state"] == "certified"
+        assert record["result"]["allocations"][0]["binding"]
+
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)

@@ -19,6 +19,12 @@ broken hook just silently never fires or the docs silently rot:
    through ``repro.obs``.  Both ``time.time(...)`` calls and
    ``from time import time`` imports are flagged outside
    ``src/repro/obs/``.
+4. **Registered fault points are wired.**  The reverse of check 1:
+   every point in ``KNOWN_FAULT_POINTS`` has at least one
+   ``fault_point("...")`` call site somewhere under ``src/`` (the scan
+   covers every package, including ``repro/service``).  A point whose
+   hook was deleted would otherwise stay registered forever, and soak
+   tests targeting it would silently inject nothing.
 
 Everything is read from source with :mod:`ast` — the checker never
 imports the package, so it works on a broken tree and adds no import
@@ -110,6 +116,7 @@ def check_file(
     path: Path,
     fault_points: Set[str],
     events: Set[Tuple[str, str]],
+    used_points: Set[str],
 ) -> List[str]:
     tree = ast.parse(path.read_text(), filename=str(path))
     relative = path.relative_to(REPO)
@@ -133,6 +140,8 @@ def check_file(
         function = node.func
         if isinstance(function, ast.Name) and function.id == "fault_point":
             names = _string_args(node, 1)
+            if names:
+                used_points.add(names[0])
             if names and names[0] not in fault_points:
                 problems.append(
                     f"{relative}:{node.lineno}: fault_point "
@@ -165,8 +174,15 @@ def main() -> int:
     fault_points = known_fault_points()
     events = documented_events()
     problems: List[str] = []
+    used_points: Set[str] = set()
     for path in sorted(SRC.rglob("*.py")):
-        problems.extend(check_file(path, fault_points, events))
+        problems.extend(check_file(path, fault_points, events, used_points))
+    for point in sorted(fault_points - used_points):
+        problems.append(
+            f"{FAULTS.relative_to(REPO)}: fault point {point!r} is "
+            "registered in KNOWN_FAULT_POINTS but has no "
+            "fault_point(...) call site under src/"
+        )
     for problem in problems:
         print(problem)
     if problems:
