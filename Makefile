@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-fast test-robustness test-verify test-exact test-service bench bench-tables bench-full experiments examples clean
+.PHONY: install lint test test-fast test-robustness test-verify test-exact test-service test-chaos bench bench-tables bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,13 @@ test-verify:
 # The service soak additionally rides `pytest -m faults`.
 test-service:
 	$(PYTHON) -m pytest tests/ -m service
+
+# Seeded chaos soak of the process-isolated service: children are
+# SIGKILLed/SIGSTOPped, jobs blow their memory caps, journal writes
+# drop — and no accepted job may be lost (docs/ROBUSTNESS.md).  Set
+# REPRO_CHAOS_ARTIFACTS=DIR to keep failing spools for post-mortem.
+test-chaos:
+	$(PYTHON) -m pytest tests/ -m "chaos and not slow"
 
 # The exact branch-and-bound backend and its optimality-gap
 # differential harness against the greedy flow (docs/EXACT.md).

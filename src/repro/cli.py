@@ -575,6 +575,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import AllocationService, RetryPolicy
     from repro.service.httpd import ServiceHTTPServer
 
+    # a stale endpoint.json (a previous daemon was SIGKILLed before it
+    # could clean up) must never advertise a dead address: remove it
+    # before binding, re-announce once we actually listen
+    endpoint_path = os.path.join(args.spool, "endpoint.json")
+    try:
+        os.unlink(endpoint_path)
+    except OSError:
+        pass
     service = AllocationService(
         args.spool,
         workers=args.workers,
@@ -583,13 +591,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         allocator=ResourceAllocator(backend=args.backend),
         deadline=args.deadline,
         max_states=args.max_states,
+        isolation=args.isolation,
+        memory_mb=args.memory_mb,
+        cpu_seconds=args.cpu_seconds,
+        stall_timeout=args.stall_timeout,
     ).start()
     server = ServiceHTTPServer((args.host, args.port), service)
     host, port = server.server_address[:2]
     url = f"http://{host}:{port}"
     # announce the bound endpoint (port 0 binds ephemerally) where
     # clients and tests can discover it: atomic, like everything else
-    endpoint_path = os.path.join(args.spool, "endpoint.json")
     temp = endpoint_path + ".tmp"
     with open(temp, "w", encoding="utf-8") as handle:
         json.dump({"host": host, "port": port, "url": url}, handle)
@@ -601,14 +612,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, _graceful)
     signal.signal(signal.SIGINT, _graceful)
     print(
-        f"repro-alloc: serving on {url} (spool {args.spool}); "
-        "SIGTERM drains gracefully",
+        f"repro-alloc: serving on {url} (spool {args.spool}, "
+        f"{args.isolation} isolation); SIGTERM drains gracefully",
         file=sys.stderr,
     )
     try:
         server.serve_forever()
     finally:
         server.server_close()
+        # a clean shutdown retracts the announcement, so a later
+        # `submit --spool` fails fast instead of dialling a dead port
+        try:
+            os.unlink(endpoint_path)
+        except OSError:
+            pass
     return 0
 
 
@@ -628,40 +645,77 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if not args.spool:
             raise ValueError("submit needs --server URL or --spool DIR")
         endpoint_path = os.path.join(args.spool, "endpoint.json")
-        with open(endpoint_path) as handle:
-            url = json.load(handle)["url"].rstrip("/")
+        try:
+            with open(endpoint_path) as handle:
+                url = json.load(handle)["url"].rstrip("/")
+        except FileNotFoundError:
+            print(
+                f"repro-alloc: no endpoint.json in {args.spool} — the "
+                "daemon is not running (it retracts the announcement "
+                "on shutdown); start it with `repro-alloc serve "
+                f"--spool {args.spool}`",
+                file=sys.stderr,
+            )
+            return 2
     body = {"application": application, "architecture": architecture}
     if args.deadline is not None:
         body["deadline"] = args.deadline
     if args.max_states is not None:
         body["max_states"] = args.max_states
-    request = urllib.request.Request(
-        f"{url}/jobs",
-        data=json.dumps(body).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=30) as response:
-            accepted = json.loads(response.read())
-    except urllib.error.HTTPError as error:
-        detail = ""
+    if args.memory_mb is not None:
+        body["memory_mb"] = args.memory_mb
+    if args.cpu_seconds is not None:
+        body["cpu_seconds"] = args.cpu_seconds
+    payload = json.dumps(body).encode("utf-8")
+    waited = 0.0
+    while True:
+        request = urllib.request.Request(
+            f"{url}/jobs",
+            data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
         try:
-            detail = json.loads(error.read()).get("error", "")
-        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
-            pass
-        if error.code == 429:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                accepted = json.loads(response.read())
+            break
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read()).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                pass
+            if error.code == 429:
+                # the service advertises how long to back off; with
+                # --wait we honour it (bounded by --timeout) instead
+                # of giving up on the first rejection
+                try:
+                    retry_after = float(
+                        error.headers.get("Retry-After", "1")
+                    )
+                except (TypeError, ValueError):
+                    retry_after = 1.0
+                retry_after = max(0.1, retry_after)
+                if args.wait and waited + retry_after <= args.timeout:
+                    print(
+                        "repro-alloc: service overloaded; retrying in "
+                        f"{retry_after:g}s (Retry-After)",
+                        file=sys.stderr,
+                    )
+                    time.sleep(retry_after)
+                    waited += retry_after
+                    continue
+                print(
+                    f"repro-alloc: service overloaded: {detail or error}",
+                    file=sys.stderr,
+                )
+                return 7
             print(
-                f"repro-alloc: service overloaded: {detail or error}",
+                f"repro-alloc: submission rejected ({error.code}): "
+                f"{detail or error}",
                 file=sys.stderr,
             )
-            return 7
-        print(
-            f"repro-alloc: submission rejected ({error.code}): "
-            f"{detail or error}",
-            file=sys.stderr,
-        )
-        return 2
+            return 2
     job_id = accepted["id"]
     if not args.wait:
         print(job_id)
@@ -1078,6 +1132,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="attempts before a repeatedly crashing job is quarantined",
     )
+    serve.add_argument(
+        "--isolation",
+        choices=("thread", "process"),
+        default="process",
+        help="run each allocation attempt in a worker thread or in a "
+        "dedicated sandboxed subprocess with rlimit caps and a "
+        "liveness watchdog (default: process; see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--memory-mb",
+        type=int,
+        metavar="MB",
+        help="default per-job address-space cap for sandboxed attempts "
+        "(process isolation; per-job 'memory_mb' overrides it)",
+    )
+    serve.add_argument(
+        "--cpu-seconds",
+        type=float,
+        metavar="SECONDS",
+        help="default per-job CPU-time cap for sandboxed attempts "
+        "(process isolation; per-job 'cpu_seconds' overrides it)",
+    )
+    serve.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="watchdog kills a sandboxed child whose heartbeat goes "
+        "silent for this long",
+    )
     _add_backend_flag(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -1121,6 +1205,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         metavar="SECONDS",
         help="polling period for --wait",
+    )
+    submit.add_argument(
+        "--memory-mb",
+        type=int,
+        metavar="MB",
+        help="address-space cap for this job's sandboxed attempts",
+    )
+    submit.add_argument(
+        "--cpu-seconds",
+        type=float,
+        metavar="SECONDS",
+        help="CPU-time cap for this job's sandboxed attempts",
     )
     submit.set_defaults(func=_cmd_submit)
     return parser

@@ -30,6 +30,13 @@ Fault points currently wired in:
                           ``job``, ``attempt``)
 ``service.cache.read``    before reading a result-cache entry (context:
                           ``key``)
+``service.sandbox.spawn``  before spawning one sandboxed worker child
+                          (context: ``job``, ``attempt``)
+``service.sandbox.heartbeat``  before the watchdog reads a child's
+                          heartbeat file (context: ``job``,
+                          ``attempt``) — an injected fault blinds the
+                          watchdog, indistinguishable from a child
+                          that stopped beating
 ========================  ====================================================
 
 Injection is deterministic by default (count-based: skip the first
@@ -61,6 +68,8 @@ KNOWN_FAULT_POINTS: Tuple[str, ...] = (
     "service.journal.write",
     "service.worker.run",
     "service.cache.read",
+    "service.sandbox.spawn",
+    "service.sandbox.heartbeat",
 )
 
 

@@ -28,6 +28,11 @@ from repro.service.journal import (
     JobJournal,
     JournalError,
 )
+from repro.service.sandbox import (
+    SandboxFailure,
+    SandboxVerdict,
+    VERDICT_KINDS,
+)
 from repro.service.service import (
     AllocationService,
     DrainingError,
@@ -35,6 +40,7 @@ from repro.service.service import (
     ResultRefutedError,
     RetryPolicy,
 )
+from repro.service.watchdog import CrashLoopDetector, Watchdog
 
 __all__ = [
     "AllocationService",
@@ -44,10 +50,15 @@ __all__ = [
     "JOB_STATES",
     "JobJournal",
     "JournalError",
+    "CrashLoopDetector",
     "OverloadError",
     "ResultCache",
     "ResultRefutedError",
     "RetryPolicy",
+    "SandboxFailure",
+    "SandboxVerdict",
+    "VERDICT_KINDS",
+    "Watchdog",
     "STATE_CERTIFIED",
     "STATE_DEGRADED",
     "STATE_FAILED",

@@ -8,14 +8,23 @@ object, the HTTP layer only translates:
 ``GET  /jobs``              summary list of every known job
 ``GET  /jobs/<id>``         full job record (request, state, result)
 ``POST /jobs``              submit ``{"application": ..., "architecture":
-                            ..., "deadline"?, "max_states"?}`` → 202 with
-                            the job id; 429 on overload, 503 while
-                            draining, 400 on malformed input
+                            ..., "deadline"?, "max_states"?,
+                            "memory_mb"?, "cpu_seconds"?}`` → 202 with
+                            the job id; 429 on overload (with a
+                            ``Retry-After`` hint), 503 while draining,
+                            400 on malformed input, 413 on oversized
+                            or length-less bodies
 ``POST /drain``             begin a graceful drain, then stop serving
 ==========================  =============================================
 
 Status codes mirror the CLI exit codes: 429 is exit 7 (overload), 400
 is exit 2 (user error) — see ``docs/ROBUSTNESS.md``.
+
+The transport defends itself too: request bodies are bounded
+(:data:`MAX_BODY_BYTES`; a client-supplied ``Content-Length`` is never
+trusted past it, and a missing one is rejected outright rather than
+read-until-EOF), and every connection carries a socket timeout so a
+stalled client cannot pin a handler thread forever.
 """
 
 from __future__ import annotations
@@ -31,6 +40,14 @@ from repro.service.service import (
     DrainingError,
     OverloadError,
 )
+
+#: largest accepted request body; a graph this size is ~10^5 actors,
+#: far past anything the engines could chew through anyway
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: per-connection socket timeout (seconds): a stalled or byte-dripping
+#: client loses its handler thread after this long
+SOCKET_TIMEOUT = 30.0
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -64,30 +81,100 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
+    # honoured by BaseRequestHandler.setup(): per-connection socket
+    # timeout, so one stalled client cannot pin a handler thread
+    timeout = SOCKET_TIMEOUT
     server: ServiceHTTPServer
 
     # the daemon narrates through repro.obs, not through stderr spam
     def log_message(self, format: str, *args: Any) -> None:
         pass
 
-    def _json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _read_body(self) -> Optional[Dict[str, Any]]:
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-        except ValueError:
+        """The request body as a dict; None when malformed.
+
+        Callers must have validated ``Content-Length`` against
+        :data:`MAX_BODY_BYTES` first (:meth:`_body_length`); this
+        method never reads more than the validated length.
+        """
+        length = self._body_length()
+        if length is None:
             return None
         try:
             data = json.loads(self.rfile.read(length) or b"{}")
         except (json.JSONDecodeError, UnicodeDecodeError):
             return None
         return data if isinstance(data, dict) else None
+
+    def _body_length(self) -> Optional[int]:
+        """The validated ``Content-Length``, or None when unusable."""
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return None
+        try:
+            length = int(raw)
+        except ValueError:
+            return None
+        if not 0 <= length <= MAX_BODY_BYTES:
+            return None
+        return length
+
+    def _reject_bad_body(self) -> bool:
+        """413 for absent/oversized Content-Length; True when rejected.
+
+        The offending body is never read, so the connection is closed
+        after the response — leaving it open would desync keep-alive
+        parsing on whatever bytes the client sends next.
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            self._json(
+                413,
+                {
+                    "error": "Content-Length is required (bodies are "
+                    f"bounded at {MAX_BODY_BYTES} bytes)"
+                },
+                headers={"Connection": "close"},
+            )
+            self.close_connection = True
+            return True
+        try:
+            length = int(raw)
+        except ValueError:
+            self._json(
+                400,
+                {"error": f"malformed Content-Length {raw!r}"},
+                headers={"Connection": "close"},
+            )
+            self.close_connection = True
+            return True
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._json(
+                413,
+                {
+                    "error": f"request body of {length} bytes exceeds "
+                    f"the {MAX_BODY_BYTES}-byte limit"
+                },
+                headers={"Connection": "close"},
+            )
+            self.close_connection = True
+            return True
+        return False
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
@@ -109,6 +196,8 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/")
         service = self.server.service
         if path == "/jobs":
+            if self._reject_bad_body():
+                return
             body = self._read_body()
             if (
                 body is None
@@ -129,9 +218,16 @@ class _Handler(BaseHTTPRequestHandler):
                     body["architecture"],
                     deadline=body.get("deadline"),
                     max_states=body.get("max_states"),
+                    memory_mb=body.get("memory_mb"),
+                    cpu_seconds=body.get("cpu_seconds"),
                 )
             except OverloadError as error:
-                self._json(429, {"error": str(error)})
+                retry_after = service.retry_after_hint()
+                self._json(
+                    429,
+                    {"error": str(error), "retry_after": retry_after},
+                    headers={"Retry-After": str(retry_after)},
+                )
             except DrainingError as error:
                 self._json(503, {"error": str(error)})
             except (SerializationError, ValueError, TypeError) as error:

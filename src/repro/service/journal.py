@@ -27,7 +27,13 @@ from repro.resilience.faults import fault_point
 from repro.sdf.serialization import SerializationError
 
 JOB_FORMAT = "repro-service-job"
-JOB_VERSION = 1
+#: version 2 adds per-job resource ``limits`` (``memory_mb`` /
+#: ``cpu_seconds``) and the ``sandbox_verdict`` of the last
+#: process-isolated attempt; version-1 records are still readable
+#: (the new fields default to empty) and are upgraded in place on the
+#: next write.
+JOB_VERSION = 2
+_READABLE_VERSIONS = (1, JOB_VERSION)
 
 STATE_QUEUED = "queued"
 STATE_RUNNING = "running"
@@ -54,6 +60,7 @@ def new_job_record(
     canonical: Dict[str, Any],
     max_attempts: int,
     budget: Optional[Dict[str, Any]] = None,
+    limits: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """A fresh ``queued`` job record carrying the full request."""
     return {
@@ -66,11 +73,13 @@ def new_job_record(
         "request": request,
         "canonical": canonical,
         "budget": budget or {},
+        "limits": limits or {},
         "rung": None,
         "verdict": None,
         "source": None,
         "reason": None,
         "result": None,
+        "sandbox_verdict": None,
     }
 
 
@@ -80,13 +89,19 @@ def validate_job_record(data: Any, source: str) -> Dict[str, Any]:
         raise JournalError(
             "not a repro service job record", source=source, field="format"
         )
-    if data.get("version") != JOB_VERSION:
+    if data.get("version") not in _READABLE_VERSIONS:
         raise JournalError(
             f"unsupported job record version {data.get('version')!r} "
-            f"(this build reads version {JOB_VERSION})",
+            f"(this build reads versions {_READABLE_VERSIONS})",
             source=source,
             field="version",
         )
+    if data["version"] < JOB_VERSION:
+        # forward-compatible read: older records gain the version-2
+        # fields with their defaults and are re-stamped on next write
+        data.setdefault("limits", {})
+        data.setdefault("sandbox_verdict", None)
+        data["version"] = JOB_VERSION
     for key in ("id", "state", "attempts", "max_attempts", "request"):
         if key not in data:
             raise JournalError(
@@ -193,6 +208,16 @@ class JobJournal:
         records: List[Dict[str, Any]] = []
         corrupted: List[str] = []
         for name in sorted(os.listdir(self.jobs_dir)):
+            if name.endswith(".tmp"):
+                # a crash inside the atomic-rename window leaves the
+                # temp file behind; the real record (old state) is
+                # intact, so the partial write is safe to discard
+                try:
+                    os.unlink(os.path.join(self.jobs_dir, name))
+                except OSError:
+                    pass
+                get_metrics().counter("service.journal.stale_tmp")
+                continue
             if not (name.startswith("job-") and name.endswith(".json")):
                 continue
             job_id = name[: -len(".json")]

@@ -1,0 +1,241 @@
+"""Child-side entry point of the allocation sandbox.
+
+``python -m repro.service.sandbox_child <request.json>`` runs exactly
+one allocation attempt inside OS-level containment:
+
+1. **Rlimits first.**  ``resource.setrlimit`` caps the address space
+   (``limits.memory_mb``) and CPU time (``limits.cpu_seconds``) before
+   any engine code runs.  A blown address space surfaces as
+   ``MemoryError`` and exits :data:`~repro.service.sandbox.EXIT_OOM`;
+   the CPU soft limit delivers ``SIGXCPU``, which a handler turns into
+   :data:`~repro.service.sandbox.EXIT_CPU` (the hard limit, two
+   seconds later, would SIGKILL a handler that somehow hangs).
+2. **Heartbeats.**  A daemon thread appends one JSON line per interval
+   to the beat file — beat counter, ``ru_maxrss`` and the engine's
+   ``states_charged`` — so the parent watchdog can tell a working
+   child from a stalled one and track its memory without /proc races.
+3. **The attempt.**  The same pipeline a thread-mode worker runs:
+   ``resilient_allocate`` under a cooperative budget, bundle building
+   and (optionally) independent certification.  Typed negative
+   answers (infeasibility, budget exhaustion, malformed input,
+   refuted certification) are *results*, written to the outcome file
+   with ``ok: false`` and exit status 0 — only genuine crashes and
+   limit breaches end nonzero.
+
+The outcome file is written atomically, so the parent never reads a
+torn result; everything else about the protocol is documented in
+:mod:`repro.service.sandbox`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+from typing import Any, Dict, Optional
+
+
+def _apply_rlimits(limits: Dict[str, Any]) -> None:
+    try:
+        import resource
+    except ImportError:  # non-POSIX: run uncapped rather than not at all
+        return
+    memory_mb = limits.get("memory_mb")
+    if memory_mb:
+        space = int(memory_mb) * 1024 * 1024
+        try:
+            resource.setrlimit(resource.RLIMIT_AS, (space, space))
+        except (ValueError, OSError):
+            pass
+    cpu_seconds = limits.get("cpu_seconds")
+    if cpu_seconds:
+        soft = max(1, int(cpu_seconds))
+        try:
+            resource.setrlimit(resource.RLIMIT_CPU, (soft, soft + 2))
+        except (ValueError, OSError):
+            pass
+
+        def _cpu_exceeded(signum: int, frame: object) -> None:
+            from repro.service.sandbox import EXIT_CPU
+
+            os._exit(EXIT_CPU)
+
+        signal.signal(signal.SIGXCPU, _cpu_exceeded)
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError):
+        return None
+    # ru_maxrss is KB on Linux, bytes on macOS
+    return rss // 1024 if sys.platform == "darwin" else rss
+
+
+def _heartbeat_loop(
+    path: str, interval: float, budget: Any, stop: threading.Event
+) -> None:
+    beat = 0
+    while True:
+        line = json.dumps(
+            {
+                "beat": beat,
+                "rss_kb": _peak_rss_kb(),
+                "states": getattr(budget, "states_charged", 0),
+            }
+        )
+        try:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        except OSError:
+            pass
+        beat += 1
+        if stop.wait(interval):
+            return
+
+
+def _write_outcome(path: str, payload: Dict[str, Any]) -> None:
+    temp = f"{path}.{os.getpid()}.tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def _attempt(spec: Dict[str, Any], budget: Any) -> Dict[str, Any]:
+    """The allocation pipeline; returns the outcome payload."""
+    from repro.appmodel.serialization import (
+        application_from_dict,
+        bundle_to_dict,
+    )
+    from repro.arch.serialization import architecture_from_dict
+    from repro.core.strategy import AllocationError, ResourceAllocator
+    from repro.resilience.budget import BudgetExceededError
+    from repro.resilience.policy import resilient_allocate
+    from repro.sdf.serialization import SerializationError
+    from repro.verify.allocation import certify_allocation
+
+    try:
+        application = application_from_dict(spec["request"]["application"])
+        architecture = architecture_from_dict(
+            spec["request"]["architecture"]
+        )
+        allocator = ResourceAllocator(
+            backend=spec.get("backend") or "greedy"
+        )
+        result = resilient_allocate(
+            application,
+            architecture,
+            allocator=allocator,
+            budget=budget,
+            checkpoint_path=spec.get("checkpoint_path"),
+            preflight=True,
+        )
+        bundle = bundle_to_dict(
+            architecture, [result.allocation], rungs=[result.rung]
+        )
+        verdict = None
+        if spec.get("verify_results", True):
+            report = certify_allocation(bundle)
+            if not report.certified:
+                reasons = [
+                    reason
+                    for refuted in report.refuted
+                    for reason in refuted.reasons
+                ]
+                return {
+                    "ok": False,
+                    "error": "refuted",
+                    "message": "; ".join(reasons) or "unknown refutation",
+                }
+            verdict = (
+                report.verdicts[0].verdict if report.verdicts else None
+            )
+        return {
+            "ok": True,
+            "bundle": bundle,
+            "rung": result.rung,
+            "verdict": verdict,
+        }
+    except BudgetExceededError as error:
+        return {
+            "ok": False,
+            "error": "budget",
+            "reason": error.reason,
+            "message": str(error),
+        }
+    except AllocationError as error:
+        return {"ok": False, "error": "allocation", "message": str(error)}
+    except SerializationError as error:
+        return {
+            "ok": False,
+            "error": "serialization",
+            "message": str(error),
+        }
+
+
+def main(argv: Optional[list] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    from repro.service.sandbox import EXIT_OOM, EXIT_SPEC
+
+    if len(argv) != 1:
+        return EXIT_SPEC
+    try:
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+        result_path = spec["result_path"]
+        heartbeat_path = spec["heartbeat_path"]
+    except (OSError, json.JSONDecodeError, KeyError):
+        return EXIT_SPEC
+
+    _apply_rlimits(spec.get("limits") or {})
+
+    # from here on every allocation can blow the address-space cap —
+    # even an import or a thread start — so one guard covers it all:
+    # under memory pressure the outcome write itself may fail, so exit
+    # through the dedicated code and let the parent classify it
+    try:
+        from repro.resilience.budget import Budget
+
+        budget_spec = spec.get("budget") or {}
+        budget = Budget(
+            deadline=budget_spec.get("deadline"),
+            max_states=budget_spec.get("max_states"),
+        )
+        stop = threading.Event()
+        beater = threading.Thread(
+            target=_heartbeat_loop,
+            args=(
+                heartbeat_path,
+                float(spec.get("heartbeat_interval", 0.25)),
+                budget,
+                stop,
+            ),
+            name="sandbox-heartbeat",
+            daemon=True,
+        )
+        try:
+            beater.start()
+        except RuntimeError:
+            # pthread_create mmaps an ~8 MB stack; under a tight
+            # RLIMIT_AS that fails before any engine code runs — the
+            # same containment outcome as a MemoryError
+            os._exit(EXIT_OOM)
+        try:
+            payload = _attempt(spec, budget)
+        finally:
+            stop.set()
+        _write_outcome(result_path, payload)
+    except MemoryError:
+        os._exit(EXIT_OOM)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,16 @@ piece by piece:
   (:meth:`Budget.cancel`), persists each interrupted exploration
   frontier through the existing ``--checkpoint`` machinery and parks
   the jobs as ``queued`` for the next daemon.
+* **The blast radius is a child process.**  With
+  ``isolation="process"`` every compute attempt runs in a dedicated
+  subprocess under ``resource.setrlimit`` caps
+  (:mod:`repro.service.sandbox`), heartbeat-monitored by a parent-side
+  :class:`~repro.service.watchdog.Watchdog` that SIGKILLs stalled or
+  limit-breaching children.  A dead child is a retryable attempt with
+  a typed :class:`~repro.service.sandbox.SandboxVerdict`; a
+  reproducible one quarantines with the verdict in the job record; the
+  daemon itself never dies.  A quarantine storm flips ``/health`` to
+  ``degraded`` (:class:`~repro.service.watchdog.CrashLoopDetector`).
 * **Cached answers are re-proved.**  Hits from the
   :class:`~repro.service.cache.ResultCache` are remapped into the
   requester's vocabulary and replayed through
@@ -65,6 +75,8 @@ from repro.resilience.faults import InjectedFaultError, fault_point
 from repro.resilience.policy import DEFAULT_LADDER, resilient_allocate
 from repro.sdf.serialization import SerializationError
 from repro.service.cache import ResultCache
+from repro.service.sandbox import SandboxFailure, run_sandboxed
+from repro.service.watchdog import CrashLoopDetector, Watchdog
 from repro.service.canonical import (
     CanonicalRequest,
     canonicalise_request,
@@ -161,17 +173,29 @@ class AllocationService:
         deadline: Optional[float] = None,
         max_states: Optional[int] = None,
         verify_results: bool = True,
+        isolation: str = "thread",
+        memory_mb: Optional[int] = None,
+        cpu_seconds: Optional[float] = None,
+        stall_timeout: float = 10.0,
+        heartbeat_interval: float = 0.25,
+        crash_loop_window: int = 10,
+        crash_loop_threshold: int = 3,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if isolation not in ("thread", "process"):
+            raise ValueError(
+                f"isolation must be 'thread' or 'process', got {isolation!r}"
+            )
         self.spool = spool
         os.makedirs(spool, exist_ok=True)
         self.journal = JobJournal(spool)
         self.cache = ResultCache(spool)
         self.checkpoints_dir = os.path.join(spool, "checkpoints")
         os.makedirs(self.checkpoints_dir, exist_ok=True)
+        self.sandbox_dir = os.path.join(spool, "sandbox")
         self.retry = retry or RetryPolicy()
         self.allocator = allocator or ResourceAllocator()
         self.ladder = ladder
@@ -180,6 +204,17 @@ class AllocationService:
         self.verify_results = verify_results
         self.max_queue_depth = max_queue_depth
         self.worker_count = workers
+        self.isolation = isolation
+        self.memory_mb = memory_mb
+        self.cpu_seconds = cpu_seconds
+        self.stall_timeout = stall_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.watchdog = Watchdog()
+        self.crash_loop = CrashLoopDetector(
+            window=crash_loop_window, threshold=crash_loop_threshold
+        )
+        if isolation == "process":
+            os.makedirs(self.sandbox_dir, exist_ok=True)
 
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
@@ -271,6 +306,7 @@ class AllocationService:
         for thread in self._workers:
             thread.join(timeout=timeout)
         self._workers = []
+        self.watchdog.stop()
         obs = get_metrics()
         obs.counter("service.drains")
         tr = get_trace()
@@ -290,16 +326,28 @@ class AllocationService:
         architecture: Dict[str, Any],
         deadline: Optional[float] = None,
         max_states: Optional[int] = None,
+        memory_mb: Optional[int] = None,
+        cpu_seconds: Optional[float] = None,
     ) -> str:
         """Accept one job; returns its id once durably journaled.
 
         ``application``/``architecture`` are the plain-dict request
-        forms.  Raises :class:`SerializationError` on malformed input,
-        :class:`OverloadError` when the queue is full and
+        forms; ``memory_mb``/``cpu_seconds`` cap this job's sandboxed
+        attempts (process isolation only), overriding the service-wide
+        defaults.  Raises :class:`SerializationError` on malformed
+        input, :class:`OverloadError` when the queue is full and
         :class:`DrainingError` after :meth:`drain` began.  The journal
         write happens *before* the id is returned: an accepted job is
         durable or the submitter gets an error — never a silent loss.
         """
+        if memory_mb is not None and (
+            not isinstance(memory_mb, int) or memory_mb < 1
+        ):
+            raise ValueError("memory_mb must be a positive integer")
+        if cpu_seconds is not None and (
+            not isinstance(cpu_seconds, (int, float)) or cpu_seconds <= 0
+        ):
+            raise ValueError("cpu_seconds must be a positive number")
         # parse eagerly: malformed requests are the submitter's fault
         # and must be rejected at admission, not poison a worker
         application_from_dict(application)
@@ -331,6 +379,11 @@ class AllocationService:
                 budget["max_states"] = (
                     max_states if max_states is not None else self.max_states
                 )
+            limits = {}
+            if memory_mb is not None:
+                limits["memory_mb"] = memory_mb
+            if cpu_seconds is not None:
+                limits["cpu_seconds"] = cpu_seconds
             record = new_job_record(
                 job_id,
                 request={
@@ -340,6 +393,7 @@ class AllocationService:
                 canonical=canonical.to_dict(),
                 max_attempts=self.retry.max_attempts,
                 budget=budget,
+                limits=limits,
             )
             self._jobs[job_id] = record
         # strict write outside the lock: admission requires durability
@@ -385,12 +439,26 @@ class AllocationService:
             return {
                 "accepting": self._accepting,
                 "workers": self.worker_count,
+                "isolation": self.isolation,
+                "health": self.crash_loop.health(),
+                "crash_loop": self.crash_loop.snapshot(),
                 "queue_depth": len(self._queue),
                 "backing_off": len(self._timers),
                 "active": self._active,
                 "max_queue_depth": self.max_queue_depth,
                 "jobs": states,
             }
+
+    def retry_after_hint(self) -> int:
+        """Seconds an overloaded submitter should wait before retrying.
+
+        One base backoff per job already in flight, floored at one
+        second — crude, but it scales the advertised wait with the
+        actual backlog instead of hard-coding a constant.
+        """
+        with self._lock:
+            depth = len(self._queue) + len(self._timers) + self._active
+        return max(1, int(depth * self.retry.base_delay + 0.999))
 
     def wait(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
         """Block until ``job_id`` reaches a terminal state."""
@@ -484,6 +552,13 @@ class AllocationService:
         except (AllocationError, SerializationError) as error:
             # genuine negative answers: retrying cannot change them
             self._terminal(record, STATE_FAILED, reason=str(error))
+        except SandboxFailure as error:
+            # the child died (oom / cpu / stall / crash) but the daemon
+            # did not: retry, and carry the typed verdict so a
+            # reproducible crash quarantines with its evidence attached
+            self._retry_or_quarantine(
+                record, error, sandbox_verdict=error.verdict.to_dict()
+            )
         except Exception as error:  # supervision boundary
             self._retry_or_quarantine(record, error)
 
@@ -567,6 +642,99 @@ class AllocationService:
         canonical: CanonicalRequest,
         budget: Budget,
     ) -> None:
+        if self.isolation == "process":
+            self._compute_sandboxed(record, canonical, budget)
+        else:
+            self._compute_in_thread(record, canonical, budget)
+
+    def _effective_limits(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Per-job limits over the service-wide defaults, Nones dropped."""
+        limits: Dict[str, Any] = {}
+        if self.memory_mb is not None:
+            limits["memory_mb"] = self.memory_mb
+        if self.cpu_seconds is not None:
+            limits["cpu_seconds"] = self.cpu_seconds
+        for key, value in (record.get("limits") or {}).items():
+            if value is not None:
+                limits[key] = value
+        return limits
+
+    def _compute_sandboxed(
+        self,
+        record: Dict[str, Any],
+        canonical: CanonicalRequest,
+        budget: Budget,
+    ) -> None:
+        """One attempt in a dedicated child process (see ``sandbox.py``).
+
+        The child runs the same pipeline as :meth:`_compute_in_thread`
+        — ladder, bundle, certification — under ``setrlimit`` caps and
+        watchdog supervision.  Typed negative answers come back in the
+        outcome payload and are re-raised here so the ordinary
+        supervision boundary routes them; a dead child surfaces as
+        :class:`SandboxFailure` with its verdict.
+        """
+        checkpoint_path = os.path.join(
+            self.checkpoints_dir, f"{record['id']}.engine.json"
+        )
+        payload = run_sandboxed(
+            self.sandbox_dir,
+            job=record["id"],
+            attempt=record["attempts"],
+            request=record["request"],
+            budget_spec=record.get("budget", {}),
+            limits=self._effective_limits(record),
+            verify_results=self.verify_results,
+            backend=self.allocator.backend,
+            watchdog=self.watchdog,
+            budget=budget,
+            checkpoint_path=checkpoint_path,
+            heartbeat_interval=self.heartbeat_interval,
+            stall_timeout=self.stall_timeout,
+        )
+        if not payload.get("ok"):
+            kind = payload.get("error")
+            message = payload.get("message", "sandboxed attempt failed")
+            if kind == "budget":
+                raise BudgetExceededError(
+                    message, reason=payload.get("reason") or "deadline"
+                )
+            if kind == "allocation":
+                raise AllocationError(message)
+            if kind == "serialization":
+                raise SerializationError(message)
+            if kind == "refuted":
+                get_metrics().counter("service.refuted")
+                raise ResultRefutedError(
+                    f"computed allocation for job {record['id']!r} failed "
+                    f"certification: {message}"
+                )
+            raise RuntimeError(
+                f"sandboxed attempt returned unknown error {kind!r}: "
+                f"{message}"
+            )
+        bundle = payload["bundle"]
+        try:
+            self.cache.store(
+                canonical, bundle["allocations"][0], payload["rung"]
+            )
+        except (OSError, InjectedFaultError):
+            get_metrics().counter("service.cache.write_errors")
+        self._finish(
+            record,
+            bundle=bundle,
+            rung=payload["rung"],
+            verdict=payload["verdict"],
+            source="computed",
+            sandbox_verdict=payload.get("sandbox_verdict"),
+        )
+
+    def _compute_in_thread(
+        self,
+        record: Dict[str, Any],
+        canonical: CanonicalRequest,
+        budget: Budget,
+    ) -> None:
         application = application_from_dict(
             record["request"]["application"]
         )
@@ -625,6 +793,7 @@ class AllocationService:
         rung: Optional[str],
         verdict: Optional[str],
         source: str,
+        sandbox_verdict: Optional[Dict[str, Any]] = None,
     ) -> None:
         degraded = (
             (rung is not None and rung != "exact")
@@ -634,21 +803,29 @@ class AllocationService:
         obs = get_metrics()
         obs.counter("service.completed")
         obs.counter(f"service.{state}")
-        self._transition(
-            record,
-            state=state,
-            rung=rung,
-            verdict=verdict,
-            source=source,
-            result=bundle,
-            reason=None,
-        )
+        updates: Dict[str, Any] = {
+            "state": state,
+            "rung": rung,
+            "verdict": verdict,
+            "source": source,
+            "result": bundle,
+            "reason": None,
+        }
+        if sandbox_verdict is not None:
+            updates["sandbox_verdict"] = sandbox_verdict
+        self.crash_loop.record(quarantined=False)
+        self._transition(record, **updates)
 
     def _terminal(
-        self, record: Dict[str, Any], state: str, reason: str
+        self,
+        record: Dict[str, Any],
+        state: str,
+        reason: str,
+        **extra: Any,
     ) -> None:
         get_metrics().counter(f"service.{state}")
-        self._transition(record, state=state, reason=reason)
+        self.crash_loop.record(quarantined=state == STATE_QUARANTINED)
+        self._transition(record, state=state, reason=reason, **extra)
 
     def _park_cancelled(self, record: Dict[str, Any]) -> None:
         """A drain interrupted this attempt; park it for the next daemon.
@@ -665,9 +842,15 @@ class AllocationService:
         )
 
     def _retry_or_quarantine(
-        self, record: Dict[str, Any], error: Exception
+        self,
+        record: Dict[str, Any],
+        error: Exception,
+        sandbox_verdict: Optional[Dict[str, Any]] = None,
     ) -> None:
         reason = f"{type(error).__name__}: {error}"
+        extra: Dict[str, Any] = {}
+        if sandbox_verdict is not None:
+            extra["sandbox_verdict"] = sandbox_verdict
         obs = get_metrics()
         tr = get_trace()
         if record["attempts"] >= record["max_attempts"]:
@@ -680,7 +863,7 @@ class AllocationService:
                     attempts=record["attempts"],
                     reason=reason,
                 )
-            self._terminal(record, STATE_QUARANTINED, reason=reason)
+            self._terminal(record, STATE_QUARANTINED, reason=reason, **extra)
             return
         delay = self.retry.delay(record["attempts"], record["id"])
         obs.counter("service.retries")
@@ -693,7 +876,7 @@ class AllocationService:
                 delay_seconds=delay,
                 reason=reason,
             )
-        self._transition(record, state=STATE_QUEUED, reason=reason)
+        self._transition(record, state=STATE_QUEUED, reason=reason, **extra)
         with self._lock:
             if self._draining or self._stopped:
                 return  # stays queued in the journal for the next daemon

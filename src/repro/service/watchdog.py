@@ -1,0 +1,186 @@
+"""Parent-side liveness enforcement for sandboxed workers.
+
+Two small machines keep the daemon healthy no matter what its children
+do:
+
+* :class:`Watchdog` — a single monitor thread polling every registered
+  :class:`~repro.service.sandbox.SandboxHandle`.  A child that stops
+  heartbeating (``stall_timeout``), reports a resident set above its
+  memory cap, or runs far past its cooperative deadline is SIGKILLed;
+  the kill reason feeds the attempt's
+  :class:`~repro.service.sandbox.SandboxVerdict`.  The watchdog never
+  touches job state itself — the blocked worker thread observes the
+  child's death and routes it through the normal retry/quarantine
+  policy.
+* :class:`CrashLoopDetector` — a sliding window over terminal job
+  outcomes.  When ``threshold`` of the last ``window`` terminal jobs
+  were quarantined, the service is crash-looping (poison input storm,
+  broken engine build, misconfigured limits) and ``/health`` flips to
+  ``degraded`` so load balancers and operators can react before the
+  queue fills with corpses.  The flag self-clears once healthy
+  completions push the quarantines out of the window.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Deque, List, Optional
+
+from repro.obs import get_metrics
+from repro.obs.trace import get_trace
+
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"
+
+
+class Watchdog:
+    """One monitor thread over every live sandboxed child.
+
+    The thread starts lazily at the first :meth:`register` and idles on
+    a condition variable when no child is alive, so a thread-isolation
+    service never pays for it.  ``poll_interval`` bounds detection
+    latency; enforcement itself is delegated to
+    :meth:`SandboxHandle.kill`, which records the reason for the
+    verdict.
+    """
+
+    def __init__(self, poll_interval: float = 0.1) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        self.poll_interval = poll_interval
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._handles: List[object] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+
+    def register(self, handle: object) -> None:
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("watchdog is stopped")
+            if handle not in self._handles:
+                self._handles.append(handle)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop,
+                    name="repro-service-watchdog",
+                    daemon=True,
+                )
+                self._thread.start()
+            self._wake.notify_all()
+
+    def unregister(self, handle: object) -> None:
+        with self._lock:
+            try:
+                self._handles.remove(handle)
+            except ValueError:
+                pass
+
+    def handles(self) -> List[object]:
+        """Snapshot of the currently supervised handles."""
+        with self._lock:
+            return list(self._handles)
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopped = True
+            self._wake.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(timeout=5)
+
+    # -- the monitor loop ---------------------------------------------
+    def _loop(self) -> None:
+        obs = get_metrics()
+        while True:
+            with self._lock:
+                while not self._handles and not self._stopped:
+                    self._wake.wait(timeout=1.0)
+                if self._stopped:
+                    return
+                handles = list(self._handles)
+            for handle in handles:
+                try:
+                    self._inspect(handle, obs)
+                except Exception:
+                    # a broken handle must never kill the monitor
+                    obs.counter("sandbox.watchdog.errors")
+            with self._lock:
+                if self._stopped:
+                    return
+                self._wake.wait(timeout=self.poll_interval)
+
+    def _inspect(self, handle, obs) -> None:
+        if not handle.alive():
+            return
+        handle.read_heartbeat()
+        if handle.over_memory():
+            obs.counter("sandbox.watchdog.oom_kills")
+            handle.kill("oom")
+        elif handle.stalled():
+            obs.counter("sandbox.watchdog.stall_kills")
+            handle.kill("stalled")
+        elif handle.over_deadline():
+            obs.counter("sandbox.watchdog.deadline_kills")
+            handle.kill("deadline")
+
+
+class CrashLoopDetector:
+    """Sliding-window quarantine counter behind ``/health``.
+
+    Thread-safe; fed one boolean per *terminal* job transition.  The
+    service is ``degraded`` while at least ``threshold`` of the last
+    ``window`` terminal jobs were quarantined.
+    """
+
+    def __init__(self, window: int = 10, threshold: int = 3) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 1 <= threshold <= window:
+            raise ValueError("threshold must be in [1, window]")
+        self.window = window
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self._degraded_since: Optional[float] = None
+
+    def record(self, quarantined: bool) -> None:
+        with self._lock:
+            was_degraded = self._count() >= self.threshold
+            self._outcomes.append(quarantined)
+            now_degraded = self._count() >= self.threshold
+            if now_degraded and not was_degraded:
+                self._degraded_since = perf_counter()
+                get_metrics().counter("service.crash_loop")
+                tr = get_trace()
+                if tr.enabled:
+                    tr.instant(
+                        "service",
+                        "crash_loop",
+                        quarantined=self._count(),
+                        window=self.window,
+                    )
+            elif not now_degraded:
+                self._degraded_since = None
+
+    def _count(self) -> int:
+        return sum(1 for outcome in self._outcomes if outcome)
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._count() >= self.threshold
+
+    def health(self) -> str:
+        return HEALTH_DEGRADED if self.degraded else HEALTH_OK
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "window": self.window,
+                "threshold": self.threshold,
+                "recent_quarantines": self._count(),
+            }

@@ -1,0 +1,149 @@
+"""Seeded chaos primitives for the sandbox soak tests.
+
+:class:`ChaosStorm` is the adversary: a background thread that, driven
+by one seeded PRNG, SIGKILLs live sandboxed children, SIGSTOPs them
+(silencing heartbeats so the watchdog must detect and kill the stall)
+and feeds the service jobs sized to blow their own memory cap.  It
+counts every act and keeps acting until a minimum number of chaos
+events have landed, so a passing soak really did survive a storm and
+not a drizzle.
+
+The storm only ever attacks *children* and the job stream — never the
+daemon — because that is the contract under test: whatever happens
+inside the sandbox, the service keeps its promises.
+"""
+
+import os
+import random
+import shutil
+import signal
+import threading
+import time
+
+from repro.service import DrainingError, OverloadError
+
+
+class ChaosStorm:
+    """Seeded child-killing adversary for one AllocationService.
+
+    ``events`` maps ``kill`` / ``stall`` / ``oom`` to counts;
+    ``accepted`` lists the ids of every OOM-bait job the storm itself
+    got accepted (the soak must account for them like any other job).
+    """
+
+    def __init__(
+        self,
+        service,
+        seed,
+        oom_request,
+        min_events=20,
+        oom_memory_mb=64,
+        pause=(0.02, 0.15),
+    ):
+        self.service = service
+        self.rng = random.Random(seed)
+        self.oom_request = oom_request
+        self.min_events = min_events
+        self.oom_memory_mb = oom_memory_mb
+        self.pause = pause
+        self.events = {"kill": 0, "stall": 0, "oom": 0}
+        self.accepted = []
+        self._done = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="chaos-storm", daemon=True
+        )
+
+    @property
+    def total_events(self):
+        return sum(self.events.values())
+
+    def start(self):
+        self._thread.start()
+        return self
+
+    def wait_min_events(self, timeout):
+        """True once at least ``min_events`` chaos events landed."""
+        return self._done.wait(timeout)
+
+    def stop(self):
+        self._stop.set()
+        self._thread.join(timeout=30)
+
+    # -- the adversary --------------------------------------------------
+    def _loop(self):
+        while not self._stop.is_set():
+            if self.total_events >= self.min_events:
+                self._done.set()
+                # keep a light drizzle going until told to stop, so
+                # late-finishing jobs still see an adversarial world
+                time.sleep(0.2)
+                continue
+            victims = [
+                handle
+                for handle in self.service.watchdog.handles()
+                if handle.alive()
+            ]
+            roll = self.rng.random()
+            if victims and roll < 0.4:
+                self._signal(self.rng.choice(victims), signal.SIGKILL, "kill")
+            elif victims and roll < 0.6:
+                self._signal(
+                    self.rng.choice(victims), signal.SIGSTOP, "stall"
+                )
+            else:
+                self._submit_oom()
+            time.sleep(self.rng.uniform(*self.pause))
+        self._done.set()
+
+    def _signal(self, handle, signum, event):
+        try:
+            os.kill(handle.pid, signum)
+        except (OSError, ProcessLookupError):
+            return  # the child won the race and already exited
+        self.events[event] += 1
+
+    def _submit_oom(self):
+        application, architecture = self.oom_request
+        try:
+            job_id = self.service.submit(
+                application,
+                architecture,
+                memory_mb=self.oom_memory_mb,
+            )
+        except (OverloadError, DrainingError):
+            return  # admission control did its job; try again later
+        except Exception:
+            # an injected journal fault at admission: the submitter got
+            # an error, so the job was never accepted — not an event
+            return
+        self.accepted.append(job_id)
+        self.events["oom"] += 1
+
+
+def submit_with_retry(service, application, architecture, attempts=20):
+    """Submit against a service under fault injection; id or None.
+
+    Admission-time journal faults surface to the submitter by design
+    (an accepted job is durable or the caller knows it is not); a soak
+    client simply retries a few times like a real one would.
+    """
+    for _ in range(attempts):
+        try:
+            return service.submit(application, architecture)
+        except (OverloadError, DrainingError):
+            time.sleep(0.1)
+        except Exception:
+            time.sleep(0.02)
+    return None
+
+
+def export_artifacts(spool, label):
+    """Copy the spool for post-mortem when $REPRO_CHAOS_ARTIFACTS is set."""
+    root = os.environ.get("REPRO_CHAOS_ARTIFACTS")
+    if not root:
+        return None
+    target = os.path.join(root, label)
+    shutil.rmtree(target, ignore_errors=True)
+    shutil.copytree(spool, target, dirs_exist_ok=True)
+    return target

@@ -1,0 +1,118 @@
+"""Journal recovery under torn writes and schema evolution.
+
+Two families of damage the daemon must shrug off at startup:
+
+* **Torn writes** — a crash inside the atomic-rename window leaves a
+  ``.tmp`` file next to an intact record, and a crash (or filesystem
+  fault) can leave a zero-byte ``job-*.json``.  Recovery discards the
+  former (the real record still holds the last durable state) and
+  quarantines the latter as ``.corrupt`` without losing any sibling.
+* **Old schemas** — version-1 records (no ``limits``, no
+  ``sandbox_verdict``) must stay readable forever: they gain the new
+  fields with their defaults and are re-stamped as version 2 on the
+  next write.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.service import JobJournal, JournalError
+from repro.service.journal import (
+    JOB_VERSION,
+    new_job_record,
+    validate_job_record,
+)
+
+pytestmark = pytest.mark.service
+
+
+def _record(job_id="job-000001", **overrides):
+    record = new_job_record(
+        job_id,
+        request={"application": {}, "architecture": {}},
+        canonical={},
+        max_attempts=3,
+    )
+    record.update(overrides)
+    return record
+
+
+def test_recover_discards_stale_tmp_and_keeps_the_record(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.write(_record())
+    # a crash between fsync and rename leaves the temp file behind
+    torn = os.path.join(journal.jobs_dir, "job-000001.json.tmp")
+    with open(torn, "w") as handle:
+        handle.write('{"format": "repro-service-job", "version"')
+
+    records, corrupted = JobJournal(str(tmp_path)).recover()
+
+    assert not os.path.exists(torn)
+    assert corrupted == []
+    assert [r["id"] for r in records] == ["job-000001"]
+
+
+def test_recover_quarantines_zero_byte_record(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.write(_record("job-000001"))
+    journal.write(_record("job-000002"))
+    zero = journal.path("job-000002")
+    open(zero, "w").close()
+
+    records, corrupted = JobJournal(str(tmp_path)).recover()
+
+    assert [r["id"] for r in records] == ["job-000001"]
+    assert corrupted == ["job-000002.json"]
+    assert os.path.exists(zero + ".corrupt")
+    assert not os.path.exists(zero)
+
+
+def test_recover_resumes_ids_past_corrupt_and_tmp_files(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    journal.write(_record("job-000007"))
+    open(os.path.join(journal.jobs_dir, "job-000008.json"), "w").close()
+    # id allocation must not reuse the corrupt record's id
+    assert JobJournal(str(tmp_path)).next_id() == "job-000009"
+
+
+def test_version1_record_upgrades_in_place(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    v1 = _record("job-000001")
+    del v1["limits"]
+    del v1["sandbox_verdict"]
+    v1["version"] = 1
+    with open(journal.path("job-000001"), "w") as handle:
+        json.dump(v1, handle)
+
+    loaded = journal.load("job-000001")
+    assert loaded["version"] == JOB_VERSION
+    assert loaded["limits"] == {}
+    assert loaded["sandbox_verdict"] is None
+
+    # and the upgraded record round-trips through a durable write
+    journal.write(loaded)
+    assert journal.load("job-000001")["version"] == JOB_VERSION
+
+
+def test_unknown_future_version_is_rejected():
+    futuristic = _record(version=JOB_VERSION + 1)
+    with pytest.raises(JournalError, match="unsupported job record"):
+        validate_job_record(futuristic, source="test")
+
+
+def test_recovered_v1_job_keeps_its_state(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    v1 = _record("job-000003", state="certified")
+    del v1["limits"]
+    del v1["sandbox_verdict"]
+    v1["version"] = 1
+    with open(journal.path("job-000003"), "w") as handle:
+        json.dump(v1, handle)
+
+    records, corrupted = JobJournal(str(tmp_path)).recover()
+    assert corrupted == []
+    (record,) = records
+    assert record["state"] == "certified"
+    assert record["version"] == JOB_VERSION
