@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-fast test-robustness test-verify test-exact test-service test-chaos bench bench-tables bench-full experiments examples clean
+.PHONY: install lint test test-fast test-robustness test-verify test-exact test-service test-telemetry test-chaos bench bench-tables bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,14 @@ test-verify:
 # The service soak additionally rides `pytest -m faults`.
 test-service:
 	$(PYTHON) -m pytest tests/ -m service
+
+# The telemetry plane (docs/OBSERVABILITY.md): Prometheus exposition,
+# cross-process telemetry harvest, structured logs, per-job traces —
+# unit/e2e pytest cases plus the real-daemon smoke that leaves its
+# scrape and merged trace in telemetry-artifacts/.
+test-telemetry:
+	$(PYTHON) -m pytest tests/ -m "telemetry and not slow"
+	$(PYTHON) tools/telemetry_smoke.py --out telemetry-artifacts
 
 # Seeded chaos soak of the process-isolated service: children are
 # SIGKILLed/SIGSTOPped, jobs blow their memory caps, journal writes

@@ -13,6 +13,7 @@ Sub-commands::
     repro-alloc lint MODEL.json ...           # static diagnostics (SARIF)
     repro-alloc serve --spool DIR             # allocation-as-a-service daemon
     repro-alloc submit APP.json ARCH.json     # job submission client
+    repro-alloc status --spool DIR            # live one-screen service view
 
 Every sub-command accepts ``--metrics PATH`` to dump the observability
 snapshot (see ``docs/OBSERVABILITY.md``) collected during the run,
@@ -572,8 +573,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import os
     import signal
 
+    from repro.obs.log import configure_logging
+    from repro.obs.metrics import Metrics, enable, get_metrics
+    from repro.obs.trace import TraceBuffer, enable_trace, get_trace
     from repro.service import AllocationService, RetryPolicy
     from repro.service.httpd import ServiceHTTPServer
+
+    # The daemon's telemetry plane is always on: /metrics scrapes the
+    # process-wide registry and /jobs/<id>/trace needs the trace ring.
+    # --metrics/--trace (handled in main()) may already have enabled
+    # them; don't clobber those registries.
+    if not get_metrics().enabled:
+        enable(Metrics())
+    if not get_trace().enabled:
+        enable_trace(TraceBuffer())
+    if not args.no_log:
+        configure_logging(
+            args.log if args.log else sys.stderr, level=args.log_level
+        )
 
     # a stale endpoint.json (a previous daemon was SIGKILLed before it
     # could clean up) must never advertise a dead address: remove it
@@ -743,6 +760,145 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 2
+
+
+def _service_url(args: argparse.Namespace) -> Optional[str]:
+    """Resolve the daemon's base URL from --server or --spool."""
+    import os
+
+    if args.server:
+        return args.server.rstrip("/")
+    if not args.spool:
+        raise ValueError("need --server URL or --spool DIR")
+    endpoint_path = os.path.join(args.spool, "endpoint.json")
+    try:
+        with open(endpoint_path) as handle:
+            return json.load(handle)["url"].rstrip("/")
+    except (OSError, json.JSONDecodeError, KeyError):
+        print(
+            f"repro-alloc: no endpoint.json in {args.spool} — the "
+            "daemon is not running (it retracts the announcement on "
+            "shutdown); start it with `repro-alloc serve --spool "
+            f"{args.spool}`",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _counter(samples: dict, name: str) -> int:
+    """A summed counter across the parent and harvested-child families."""
+    return int(
+        samples.get(f"repro_{name}_total", 0)
+        + samples.get(f"repro_child_{name}_total", 0)
+    )
+
+
+def _render_status(url: str, health: dict, samples: dict) -> str:
+    lines = [
+        f"repro-alloc service @ {url} — health {health.get('health', '?')}"
+        + ("" if health.get("accepting") else " (not accepting)")
+    ]
+    jobs = health.get("jobs", {})
+    lines.append(
+        f"queue: {health.get('queue_depth', 0)} queued · "
+        f"{health.get('backing_off', 0)} backing off · "
+        f"{health.get('active', 0)} running "
+        f"(max {health.get('max_queue_depth', '?')}) · "
+        f"{health.get('workers', '?')} workers, "
+        f"{health.get('isolation', '?')} isolation"
+    )
+    hits = _counter(samples, "service_cache_hit")
+    misses = _counter(samples, "service_cache_miss")
+    lookups = hits + misses
+    rate = f"{100.0 * hits / lookups:.1f}%" if lookups else "n/a"
+    lines.append(
+        f"cache: {hits} hits / {misses} misses (hit rate {rate})"
+    )
+    lines.append(
+        "verdicts: "
+        + " · ".join(
+            f"{state} {jobs.get(state, 0)}"
+            for state in (
+                "certified",
+                "degraded",
+                "failed",
+                "quarantined",
+                "queued",
+                "running",
+            )
+        )
+    )
+    spawned = _counter(samples, "sandbox_spawned")
+    if spawned:
+        lines.append(
+            f"sandbox: {spawned} spawned · "
+            f"{_counter(samples, 'sandbox_completed')} completed · "
+            f"{_counter(samples, 'sandbox_oom')} oom · "
+            f"{_counter(samples, 'sandbox_stalled')} stalled · "
+            f"{_counter(samples, 'sandbox_cpu_exceeded')} cpu · "
+            f"{_counter(samples, 'sandbox_crashed')} crashed"
+        )
+    crash_loop = health.get("crash_loop", {})
+    lines.append(
+        f"crash loop: {crash_loop.get('recent_quarantines', 0)}/"
+        f"{crash_loop.get('window', '?')} recent quarantines "
+        f"(threshold {crash_loop.get('threshold', '?')})"
+    )
+    running = health.get("running") or []
+    if running:
+        lines.append("running jobs:")
+        for child in running:
+            age = child.get("heartbeat_age_seconds")
+            states = child.get("states")
+            rss = child.get("rss_kb")
+            lines.append(
+                f"  {child.get('job')} a{child.get('attempt')} "
+                f"pid {child.get('pid')}: "
+                f"beat age {f'{age:g}s' if age is not None else 'n/a'}"
+                + (f", {states} states" if states is not None else "")
+                + (f", rss {rss} KB" if rss is not None else "")
+            )
+    return "\n".join(lines)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.prom import parse_exposition
+
+    url = _service_url(args)
+    if url is None:
+        return 2
+
+    def fetch() -> tuple:
+        with urllib.request.urlopen(f"{url}/health", timeout=10) as resp:
+            health = json.loads(resp.read())
+        with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+            samples = parse_exposition(resp.read().decode("utf-8"))
+        return health, samples
+
+    while True:
+        try:
+            health, samples = fetch()
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as err:
+            print(
+                f"repro-alloc: cannot reach service at {url}: {err}",
+                file=sys.stderr,
+            )
+            return 2
+        view = _render_status(url, health, samples)
+        if args.watch and sys.stdout.isatty():
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+        print(view)
+        if not args.watch:
+            return 0
+        sys.stdout.flush()
+        try:
+            time.sleep(max(0.1, args.watch))
+        except KeyboardInterrupt:
+            return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1162,8 +1318,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="watchdog kills a sandboxed child whose heartbeat goes "
         "silent for this long",
     )
+    serve.add_argument(
+        "--log",
+        metavar="PATH",
+        help="write structured JSON-lines logs to PATH (default: "
+        "stderr); one record per line with job/attempt correlation "
+        "fields",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum severity of emitted log records (default: info; "
+        "debug includes HTTP access lines and journal writes)",
+    )
+    serve.add_argument(
+        "--no-log",
+        action="store_true",
+        help="disable structured logging entirely",
+    )
     _add_backend_flag(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    status = sub.add_parser(
+        "status",
+        help="one-screen live view of a running allocation service",
+        description="Poll /health, /jobs and /metrics of a repro-alloc "
+        "serve daemon and render queue pressure, running jobs "
+        "(heartbeat age, states charged), cache efficacy, verdict mix "
+        "and crash-loop state on one screen.  With --watch the view "
+        "refreshes until interrupted.",
+        parents=[common],
+    )
+    status.add_argument(
+        "--server",
+        metavar="URL",
+        help="service base URL (e.g. http://127.0.0.1:8571)",
+    )
+    status.add_argument(
+        "--spool",
+        metavar="DIR",
+        help="discover the endpoint from DIR/endpoint.json instead of "
+        "--server",
+    )
+    status.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        help="refresh every SECONDS until interrupted (default: render "
+        "once and exit)",
+    )
+    status.set_defaults(func=_cmd_status)
 
     submit = sub.add_parser(
         "submit",

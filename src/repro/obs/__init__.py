@@ -22,7 +22,19 @@ See ``docs/OBSERVABILITY.md`` for the metric names, the trace-event
 catalogue and the snapshot/report schemas.
 """
 
+from repro.obs.log import (
+    JsonLogger,
+    NULL_LOGGER,
+    NullLogger,
+    configure_logging,
+    disable_logging,
+    get_logger,
+    logging_to,
+)
 from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    HistogramStat,
     Metrics,
     MetricsLike,
     NULL_METRICS,
@@ -33,6 +45,11 @@ from repro.obs.metrics import (
     disable,
     enable,
     get_metrics,
+)
+from repro.obs.prom import (
+    parse_exposition,
+    render_prometheus,
+    validate_exposition,
 )
 from repro.obs.report import (
     REPORT_FORMAT,
@@ -52,6 +69,16 @@ from repro.obs.sinks import (
     format_summary,
     to_json,
 )
+from repro.obs.telemetry import (
+    FlightRecorder,
+    JobTelemetry,
+    TelemetryError,
+    capture_clock,
+    merged_chrome_trace,
+    read_telemetry,
+    rebase_events,
+    write_telemetry,
+)
 from repro.obs.trace import (
     NULL_TRACE,
     NullTraceBuffer,
@@ -66,12 +93,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "FlightRecorder",
+    "HistogramStat",
+    "JobTelemetry",
+    "JsonLogger",
     "JsonSink",
     "Metrics",
     "MetricsLike",
+    "NULL_LOGGER",
     "NULL_METRICS",
     "NULL_SINK",
     "NULL_TRACE",
+    "NullLogger",
     "NullMetrics",
     "NullSink",
     "NullTraceBuffer",
@@ -81,23 +116,36 @@ __all__ = [
     "Sink",
     "Span",
     "SummarySink",
+    "TelemetryError",
     "TimerStat",
     "TraceBuffer",
     "TraceEvent",
     "build_report",
+    "capture_clock",
     "chrome_trace",
     "collecting",
+    "configure_logging",
     "disable",
+    "disable_logging",
     "disable_trace",
     "enable",
     "enable_trace",
     "environment_fingerprint",
     "format_summary",
+    "get_logger",
     "get_metrics",
     "get_trace",
+    "logging_to",
+    "merged_chrome_trace",
+    "parse_exposition",
     "read_report",
+    "read_telemetry",
+    "rebase_events",
+    "render_prometheus",
     "to_json",
     "tracing",
+    "validate_exposition",
     "write_chrome_trace",
     "write_report",
+    "write_telemetry",
 ]

@@ -1,0 +1,185 @@
+"""Structured JSON logging, null-by-default like the metrics registry.
+
+:func:`get_logger` returns the shared :data:`NULL_LOGGER` no-op unless
+logging has been switched on with :func:`configure_logging` (the
+``repro-alloc serve`` front end does this), so the service hot paths can
+log unconditionally at the cost of an attribute lookup and an empty
+call — the same contract the metrics/trace planes obey, and the perf
+guard in ``tests/test_performance_guards.py`` covers it.
+
+One record per line::
+
+    {"ts": 1700000000.0, "level": "info", "event": "job.submitted",
+     "job": "job-000001", "attempt": 1, ...}
+
+``bind(**fields)`` returns a child logger whose correlation fields
+(job id, attempt, component) ride along on every record, which is how
+one logger threads through service → journal → sandbox → watchdog.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, IO, Iterator, Optional, Union
+
+from contextlib import contextmanager
+
+__all__ = [
+    "JsonLogger",
+    "LoggerLike",
+    "NULL_LOGGER",
+    "NullLogger",
+    "configure_logging",
+    "disable_logging",
+    "get_logger",
+    "logging_to",
+]
+
+#: Severity order; records below the configured threshold are dropped.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class NullLogger:
+    """No-op logger — shared singleton when logging is disabled."""
+
+    enabled = False
+
+    def bind(self, **fields: Any) -> "NullLogger":
+        return self
+
+    def debug(self, event: str, **fields: Any) -> None:
+        pass
+
+    def info(self, event: str, **fields: Any) -> None:
+        pass
+
+    def warning(self, event: str, **fields: Any) -> None:
+        pass
+
+    def error(self, event: str, **fields: Any) -> None:
+        pass
+
+
+#: Shared no-op, returned by :func:`get_logger` while logging is off.
+NULL_LOGGER = NullLogger()
+
+
+class JsonLogger:
+    """Thread-safe JSON-lines logger over an open text stream.
+
+    Bound children created with :meth:`bind` share the parent's stream,
+    lock and level threshold, so records from every component of the
+    service interleave whole-line atomically.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        stream: IO[str],
+        level: str = "info",
+        fields: Optional[Dict[str, Any]] = None,
+        _lock: Optional[threading.Lock] = None,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self.stream = stream
+        self.level = level
+        self._threshold = LEVELS[level]
+        self._fields: Dict[str, Any] = dict(fields or {})
+        self._lock = _lock if _lock is not None else threading.Lock()
+
+    def bind(self, **fields: Any) -> "JsonLogger":
+        merged = dict(self._fields)
+        merged.update(fields)
+        return JsonLogger(self.stream, self.level, merged, _lock=self._lock)
+
+    def _emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        if LEVELS[level] < self._threshold:
+            return
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "level": level,
+            "event": event,
+        }
+        record.update(self._fields)
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        try:
+            with self._lock:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+        except (OSError, ValueError):
+            # A torn pipe or a closed stream must never take the
+            # service down with it; logging is best-effort.
+            pass
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit("error", event, fields)
+
+
+#: Structural alias for annotations — either implementation works.
+LoggerLike = Union[JsonLogger, NullLogger]
+
+_active: LoggerLike = NULL_LOGGER
+_owned_handle: Optional[IO[str]] = None
+
+
+def get_logger() -> LoggerLike:
+    """The process-wide logger (the shared no-op unless configured)."""
+    return _active
+
+
+def configure_logging(
+    target: Union[str, IO[str]], level: str = "info"
+) -> JsonLogger:
+    """Install a :class:`JsonLogger` writing to a path or open stream.
+
+    A path is opened in append mode and closed again by
+    :func:`disable_logging`; an open stream stays caller-owned.
+    """
+    global _active, _owned_handle
+    disable_logging()
+    if isinstance(target, str):
+        handle: IO[str] = open(target, "a")
+        _owned_handle = handle
+    else:
+        handle = target
+    logger = JsonLogger(handle, level=level)
+    _active = logger
+    return logger
+
+
+def disable_logging() -> None:
+    """Restore the no-op logger, closing any path we opened."""
+    global _active, _owned_handle
+    _active = NULL_LOGGER
+    if _owned_handle is not None:
+        try:
+            _owned_handle.close()
+        except OSError:
+            pass
+        _owned_handle = None
+
+
+@contextmanager
+def logging_to(
+    target: Union[str, IO[str]], level: str = "info"
+) -> Iterator[JsonLogger]:
+    """``with logging_to(stream) as log:`` — scoped configuration."""
+    logger = configure_logging(target, level=level)
+    try:
+        yield logger
+    finally:
+        disable_logging()

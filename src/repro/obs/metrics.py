@@ -29,16 +29,20 @@ and, on hot paths, guards non-trivial bookkeeping behind the
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.obs.sinks import NULL_SINK, Sink
 
 Number = Union[int, float]
 
 __all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "HistogramStat",
     "Metrics",
     "NullMetrics",
     "Span",
@@ -49,17 +53,42 @@ __all__ = [
     "get_metrics",
 ]
 
+#: reservoir size per timer: enough for stable p50/p95, bounded so a
+#: million observations cost the same memory as a hundred
+RESERVOIR_SIZE = 128
+
+#: histogram bucket upper bounds for latency-style observations (s)
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0,
+)
+
+#: histogram bucket upper bounds for count-style observations
+#: (states explored, queue depths, ...): decades from 10 to 10^7
+DEFAULT_SIZE_BUCKETS = (
+    10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0,
+)
+
 
 class TimerStat:
-    """Aggregated observations of one named timer."""
+    """Aggregated observations of one named timer.
 
-    __slots__ = ("count", "total", "min", "max")
+    Besides the running count/total/min/max, a bounded reservoir
+    (:data:`RESERVOIR_SIZE` samples, classic Vitter algorithm-R with a
+    fixed-seed PRNG so snapshots are deterministic for a given
+    observation sequence) supports mean and p50/p95/p99 estimates
+    without unbounded memory.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples", "_rng")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = 0.0
+        self.samples: List[float] = []
+        self._rng = random.Random(0)
 
     def add(self, seconds: float) -> None:
         self.count += 1
@@ -68,13 +97,106 @@ class TimerStat:
             self.min = seconds
         if seconds > self.max:
             self.max = seconds
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self.samples[slot] = seconds
 
-    def to_dict(self) -> Dict[str, Number]:
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile estimate from the reservoir."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(fraction * len(ordered) + 0.5) - 1))
+        return ordered[rank]
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        """Fold a serialised stat (:meth:`to_dict`) into this one."""
+        count = int(data.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(data.get("total_seconds", 0.0))
+        self.min = min(self.min, float(data.get("min_seconds", 0.0)))
+        self.max = max(self.max, float(data.get("max_seconds", 0.0)))
+        for sample in data.get("samples", ()):
+            if len(self.samples) < RESERVOIR_SIZE:
+                self.samples.append(float(sample))
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < RESERVOIR_SIZE:
+                    self.samples[slot] = float(sample)
+
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "total_seconds": self.total,
             "min_seconds": self.min if self.count else 0.0,
             "max_seconds": self.max,
+            "mean_seconds": self.mean,
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+            "p99_seconds": self.percentile(0.99),
+            "samples": list(self.samples),
+        }
+
+
+class HistogramStat:
+    """Cumulative-bucket histogram of one named observation stream.
+
+    ``buckets`` are the finite upper bounds (sorted ascending); an
+    implicit ``+Inf`` bucket catches everything else.  ``counts`` are
+    per-bucket (non-cumulative) with the overflow count last — the
+    Prometheus exporter (:mod:`repro.obs.prom`) turns them into the
+    cumulative ``le``-labelled series the text format requires.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def merge(self, data: Dict[str, Any]) -> bool:
+        """Fold a serialised histogram in; False on a bucket mismatch."""
+        if tuple(float(b) for b in data.get("buckets", ())) != self.buckets:
+            return False
+        counts = data.get("counts", ())
+        if len(counts) != len(self.counts):
+            return False
+        for index, value in enumerate(counts):
+            self.counts[index] += int(value)
+        self.count += int(data.get("count", 0))
+        self.sum += float(data.get("sum", 0.0))
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
         }
 
 
@@ -163,14 +285,33 @@ class NullMetrics:
     def observe(self, name: str, seconds: float) -> None:
         pass
 
+    def histogram(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        pass
+
     def timer(self, name: str) -> _NullSpan:
         return _NULL_SPAN
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
 
+    def merge_snapshot(
+        self, snapshot: Dict[str, Any], prefix: str = ""
+    ) -> None:
+        pass
+
     def snapshot(self) -> Dict[str, Any]:
-        return {"counters": {}, "gauges": {}, "timers": {}, "spans": []}
+        return {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+            "spans": [],
+        }
 
     def flush(self) -> None:
         pass
@@ -204,6 +345,7 @@ class Metrics:
         self._counters: Dict[str, Number] = {}
         self._gauges: Dict[str, Any] = {}
         self._timers: Dict[str, TimerStat] = {}
+        self._histograms: Dict[str, HistogramStat] = {}
         self._roots: List[Span] = []
         self._stack: List[Span] = []
 
@@ -226,9 +368,65 @@ class Metrics:
                 stat = self._timers[name] = TimerStat()
             stat.add(seconds)
 
+    def histogram(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Feed one value into the named histogram.
+
+        The bucket bounds are fixed by the first call for a name
+        (``buckets`` defaults to :data:`DEFAULT_LATENCY_BUCKETS`);
+        later calls ignore the argument.
+        """
+        with self._lock:
+            stat = self._histograms.get(name)
+            if stat is None:
+                stat = self._histograms[name] = HistogramStat(
+                    buckets if buckets is not None
+                    else DEFAULT_LATENCY_BUCKETS
+                )
+            stat.add(value)
+
     def timer(self, name: str) -> _Timer:
         """Context manager timing its body into :meth:`observe`."""
         return _Timer(self, name)
+
+    def merge_snapshot(
+        self, snapshot: Dict[str, Any], prefix: str = ""
+    ) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters are summed, timers merged (counts, totals, bounds and
+        reservoirs), histograms added bucket-wise (mismatched bucket
+        layouts are skipped), gauges last-write-wins.  ``prefix`` is
+        prepended to every merged name — the sandbox harvest uses
+        ``"child."`` so a child's ``state_space.states`` lands as
+        ``child.state_space.states`` without colliding with the
+        daemon's own series.  Spans are not merged (they are trees tied
+        to the originating registry's stack); use the trace events for
+        cross-process timelines.
+        """
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                key = prefix + name
+                self._counters[key] = self._counters.get(key, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges[prefix + name] = value
+            for name, data in snapshot.get("timers", {}).items():
+                key = prefix + name
+                stat = self._timers.get(key)
+                if stat is None:
+                    stat = self._timers[key] = TimerStat()
+                stat.merge(data)
+            for name, data in snapshot.get("histograms", {}).items():
+                key = prefix + name
+                hist = self._histograms.get(key)
+                if hist is None:
+                    bounds = data.get("buckets") or DEFAULT_LATENCY_BUCKETS
+                    hist = self._histograms[key] = HistogramStat(bounds)
+                hist.merge(data)
 
     def span(self, name: str, **attributes: Any) -> Span:
         """Context manager opening a nested, attributed span."""
@@ -264,6 +462,10 @@ class Metrics:
                 "timers": {
                     name: stat.to_dict() for name, stat in self._timers.items()
                 },
+                "histograms": {
+                    name: stat.to_dict()
+                    for name, stat in self._histograms.items()
+                },
                 "spans": [span.to_dict() for span in self._roots],
             }
 
@@ -277,6 +479,7 @@ class Metrics:
             self._counters.clear()
             self._gauges.clear()
             self._timers.clear()
+            self._histograms.clear()
             self._roots.clear()
             self._stack.clear()
 

@@ -110,6 +110,15 @@ def format_summary(snapshot: Dict[str, Any]) -> str:
                 f"(min {stat['min_seconds'] * 1e3:.3f}, "
                 f"max {stat['max_seconds'] * 1e3:.3f})"
             )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            stat = histograms[name]
+            count = stat.get("count", 0)
+            total = stat.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(f"  {name}: {count}x mean {mean:.4g} sum {total:.4g}")
     spans = snapshot.get("spans", [])
     if spans:
         lines.append("spans:")

@@ -32,6 +32,7 @@ from repro.service.sandbox import (
     SandboxFailure,
     SandboxVerdict,
     VERDICT_KINDS,
+    harvest_telemetry,
 )
 from repro.service.service import (
     AllocationService,
@@ -67,6 +68,7 @@ __all__ = [
     "STATE_RUNNING",
     "TERMINAL_STATES",
     "canonicalise_request",
+    "harvest_telemetry",
     "name_maps",
     "remap_allocation",
     "remap_certificate",

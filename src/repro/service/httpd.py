@@ -3,19 +3,27 @@
 Transport is deliberately thin — the robustness lives in the service
 object, the HTTP layer only translates:
 
-==========================  =============================================
-``GET  /health``            service stats (queue depth, job states)
-``GET  /jobs``              summary list of every known job
-``GET  /jobs/<id>``         full job record (request, state, result)
-``POST /jobs``              submit ``{"application": ..., "architecture":
-                            ..., "deadline"?, "max_states"?,
-                            "memory_mb"?, "cpu_seconds"?}`` → 202 with
-                            the job id; 429 on overload (with a
-                            ``Retry-After`` hint), 503 while draining,
-                            400 on malformed input, 413 on oversized
-                            or length-less bodies
-``POST /drain``             begin a graceful drain, then stop serving
-==========================  =============================================
+==============================  =========================================
+``GET  /health``                service stats (queue depth, job states)
+``GET  /metrics``               Prometheus text exposition of the active
+                                metrics registry (queue-depth gauges set
+                                at scrape time); text/plain, not JSON
+``GET  /jobs``                  summary list of every known job
+``GET  /jobs/<id>``             full job record (request, state, result)
+``GET  /jobs/<id>/timeline``    merged event timeline (service + child)
+``GET  /jobs/<id>/trace``       one Chrome/Perfetto trace for the job,
+                                parent and sandbox children on distinct
+                                pid lanes
+``POST /jobs``                  submit ``{"application": ...,
+                                "architecture": ..., "deadline"?,
+                                "max_states"?, "memory_mb"?,
+                                "cpu_seconds"?}`` → 202 with the job id;
+                                429 on overload (with a ``Retry-After``
+                                hint), 503 while draining, 400 on
+                                malformed input, 413 on oversized or
+                                length-less bodies
+``POST /drain``                 begin a graceful drain, then stop serving
+==============================  =========================================
 
 Status codes mirror the CLI exit codes: 429 is exit 7 (overload), 400
 is exit 2 (user error) — see ``docs/ROBUSTNESS.md``.
@@ -34,6 +42,10 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs import get_metrics
+from repro.obs.log import get_logger
+from repro.obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from repro.obs.prom import render_prometheus
 from repro.sdf.serialization import SerializationError
 from repro.service.service import (
     AllocationService,
@@ -86,9 +98,15 @@ class _Handler(BaseHTTPRequestHandler):
     timeout = SOCKET_TIMEOUT
     server: ServiceHTTPServer
 
-    # the daemon narrates through repro.obs, not through stderr spam
+    # the daemon narrates through repro.obs, not through stderr spam:
+    # access lines go to the structured logger at debug level (a no-op
+    # until `repro-alloc serve` configures logging)
     def log_message(self, format: str, *args: Any) -> None:
-        pass
+        get_logger().debug(
+            "http.access",
+            client=self.client_address[0] if self.client_address else None,
+            line=format % args,
+        )
 
     def _json(
         self,
@@ -96,7 +114,7 @@ class _Handler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload, indent=2).encode("utf-8")
+        body = json.dumps(payload, indent=2, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -176,13 +194,56 @@ class _Handler(BaseHTTPRequestHandler):
             return True
         return False
 
+    def _text(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _metrics(self) -> None:
+        """Prometheus scrape: point-in-time gauges, then the registry.
+
+        Queue depth & co. live in ``stats()`` rather than the metrics
+        registry; folding them into gauges at scrape time keeps one
+        source of truth while still exposing them to Prometheus.
+        """
+        service = self.server.service
+        obs = get_metrics()
+        if obs.enabled:
+            stats = service.stats()
+            obs.gauge("service.queue_depth", stats["queue_depth"])
+            obs.gauge("service.active", stats["active"])
+            obs.gauge("service.backing_off", stats["backing_off"])
+            obs.gauge(
+                "service.healthy", 1 if stats["health"] == "ok" else 0
+            )
+            obs.gauge("service.accepting", 1 if stats["accepting"] else 0)
+        self._text(200, render_prometheus(obs.snapshot()), PROM_CONTENT_TYPE)
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         service = self.server.service
         if path == "/health":
             self._json(200, service.stats())
+        elif path == "/metrics":
+            self._metrics()
         elif path == "/jobs":
             self._json(200, {"jobs": service.jobs()})
+        elif path.startswith("/jobs/") and path.endswith("/timeline"):
+            job_id = path[len("/jobs/"):-len("/timeline")]
+            if service.job(job_id) is None:
+                self._json(404, {"error": "unknown job"})
+            else:
+                self._json(200, {"job": job_id,
+                                 "timeline": service.timeline(job_id)})
+        elif path.startswith("/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/jobs/"):-len("/trace")]
+            if service.job(job_id) is None:
+                self._json(404, {"error": "unknown job"})
+            else:
+                self._json(200, service.job_chrome_trace(job_id))
         elif path.startswith("/jobs/"):
             record = service.job(path[len("/jobs/"):])
             if record is None:

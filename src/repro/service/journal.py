@@ -23,6 +23,7 @@ import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import get_metrics
+from repro.obs.log import get_logger
 from repro.resilience.faults import fault_point
 from repro.sdf.serialization import SerializationError
 
@@ -174,13 +175,22 @@ class JobJournal:
                     state=record["state"],
                 )
             os.replace(temp, path)
-        except BaseException:
+        except BaseException as error:
             try:
                 os.unlink(temp)
             except OSError:
                 pass
+            get_logger().error(
+                "journal.write_failed",
+                job=record.get("id"),
+                state=record.get("state"),
+                detail=str(error),
+            )
             raise
         get_metrics().counter("service.journal.writes")
+        get_logger().debug(
+            "journal.written", job=record["id"], state=record["state"]
+        )
         return path
 
     def load(self, job_id: str) -> Dict[str, Any]:
@@ -223,7 +233,7 @@ class JobJournal:
             job_id = name[: -len(".json")]
             try:
                 records.append(self.load(job_id))
-            except JournalError:
+            except JournalError as error:
                 path = os.path.join(self.jobs_dir, name)
                 try:
                     os.replace(path, path + ".corrupt")
@@ -231,4 +241,9 @@ class JobJournal:
                     pass
                 corrupted.append(name)
                 get_metrics().counter("service.journal.corrupt")
+                get_logger().warning(
+                    "journal.corrupt_record",
+                    file=name,
+                    detail=str(error),
+                )
         return records, corrupted

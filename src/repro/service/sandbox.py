@@ -49,6 +49,16 @@ from time import perf_counter, sleep
 from typing import Any, Dict, Optional
 
 from repro.obs import get_metrics
+from repro.obs.log import get_logger
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+from repro.obs.telemetry import (
+    JobTelemetry,
+    TelemetryError,
+    capture_clock,
+    events_from_dicts,
+    read_telemetry,
+    rebase_events,
+)
 from repro.obs.trace import get_trace
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.resilience.faults import fault_point
@@ -148,6 +158,7 @@ def write_request_spec(
     result_path: str,
     checkpoint_path: Optional[str],
     heartbeat_interval: float,
+    telemetry_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Atomically persist the child's request spec; returns the dict."""
     spec = {
@@ -164,6 +175,7 @@ def write_request_spec(
         "result_path": result_path,
         "checkpoint_path": checkpoint_path,
         "heartbeat_interval": heartbeat_interval,
+        "telemetry_path": telemetry_path,
     }
     temp = path + ".tmp"
     with open(temp, "w", encoding="utf-8") as handle:
@@ -392,6 +404,66 @@ def classify_exit(handle: SandboxHandle) -> SandboxVerdict:
     )
 
 
+def harvest_telemetry(
+    telemetry_path: str,
+    job: str,
+    attempt: int,
+    telemetry: Optional[JobTelemetry] = None,
+) -> bool:
+    """Fold a child's telemetry sidecar into the parent's registries.
+
+    Counters/timers/histograms merge into the active metrics registry
+    under the ``child.`` namespace; trace events are rebased into this
+    process's clock domain and recorded against the job in
+    ``telemetry`` (when given).  Best-effort: a child that crashed
+    before its first spool leaves no sidecar
+    (``service.telemetry.missing``), a torn or alien file counts as
+    ``service.telemetry.errors`` — neither fails the attempt.  Returns
+    ``True`` when a sidecar was harvested.
+    """
+    obs = get_metrics()
+    log = get_logger()
+    try:
+        payload = read_telemetry(telemetry_path)
+    except TelemetryError as error:
+        if os.path.exists(telemetry_path):
+            obs.counter("service.telemetry.errors")
+            log.warning(
+                "telemetry.harvest_failed",
+                job=job,
+                attempt=attempt,
+                detail=str(error),
+            )
+        else:
+            obs.counter("service.telemetry.missing")
+            log.debug("telemetry.missing", job=job, attempt=attempt)
+        return False
+    child_clock = payload["clock"]
+    obs.merge_snapshot(payload["metrics"], prefix="child.")
+    events = rebase_events(
+        events_from_dicts(payload["trace"].get("events", [])),
+        child_clock,
+        capture_clock(),
+    )
+    if telemetry is not None:
+        telemetry.record(
+            job,
+            attempt,
+            pid=int(child_clock.get("pid", 0)),
+            events=events,
+            metrics=payload["metrics"],
+        )
+    obs.counter("service.telemetry.harvested")
+    log.debug(
+        "telemetry.harvested",
+        job=job,
+        attempt=attempt,
+        events=len(events),
+        dropped=payload["trace"].get("dropped", 0),
+    )
+    return True
+
+
 def run_sandboxed(
     sandbox_dir: str,
     job: str,
@@ -407,6 +479,7 @@ def run_sandboxed(
     heartbeat_interval: float = 0.25,
     stall_timeout: float = 10.0,
     poll_interval: float = 0.05,
+    telemetry: Optional[JobTelemetry] = None,
 ) -> Dict[str, Any]:
     """Run one attempt in a sandboxed child; return its outcome payload.
 
@@ -423,7 +496,8 @@ def run_sandboxed(
     request_path = stem + ".request.json"
     heartbeat_path = stem + ".beat"
     result_path = stem + ".result.json"
-    for stale in (heartbeat_path, result_path):
+    telemetry_path = stem + ".telemetry.json"
+    for stale in (heartbeat_path, result_path, telemetry_path):
         try:
             os.unlink(stale)
         except OSError:
@@ -441,6 +515,7 @@ def run_sandboxed(
         result_path=result_path,
         checkpoint_path=checkpoint_path,
         heartbeat_interval=heartbeat_interval,
+        telemetry_path=telemetry_path,
     )
     fault_point("service.sandbox.spawn", job=job, attempt=attempt)
     obs = get_metrics()
@@ -480,6 +555,24 @@ def run_sandboxed(
         # best-effort bookkeeping: an injected heartbeat fault (or a
         # vanished beat file) must not fail an attempt that completed
         pass
+    # Harvest whatever telemetry the child managed to spool — failed
+    # and killed attempts especially, since their sidecar is the only
+    # surviving record of where the engine's time and states went.
+    try:
+        harvest_telemetry(telemetry_path, job, attempt, telemetry)
+    except Exception:
+        get_metrics().counter("service.telemetry.errors")
+    if obs.enabled:
+        # the parent budget is never charged in process isolation, so
+        # the states-explored histogram feeds from the child's last
+        # self-reported figure instead
+        states = handle.last_beat.get("states")
+        if states:
+            obs.histogram(
+                "service.states_explored",
+                float(states),
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
     if handle.kill_reason == "cancelled":
         raise BudgetExceededError(
             f"sandboxed attempt for {job!r} cancelled by the service",

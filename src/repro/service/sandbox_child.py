@@ -76,8 +76,23 @@ def _peak_rss_kb() -> Optional[int]:
     return rss // 1024 if sys.platform == "darwin" else rss
 
 
+#: telemetry sidecar refresh period, in heartbeats — serialising the
+#: metrics snapshot + trace ring is heavier than one beat line, so the
+#: spool updates every Nth beat (the parent also gets a final spool
+#: after the attempt, whatever the phase)
+TELEMETRY_EVERY_BEATS = 4
+
+#: child-side trace ring size: bounded well below the parent's default
+#: so the periodic sidecar serialisation stays cheap under rlimits
+CHILD_TRACE_CAPACITY = 4096
+
+
 def _heartbeat_loop(
-    path: str, interval: float, budget: Any, stop: threading.Event
+    path: str,
+    interval: float,
+    budget: Any,
+    stop: threading.Event,
+    spool_telemetry: Optional[Any] = None,
 ) -> None:
     beat = 0
     while True:
@@ -94,6 +109,13 @@ def _heartbeat_loop(
                 handle.flush()
         except OSError:
             pass
+        if spool_telemetry is not None and beat % TELEMETRY_EVERY_BEATS == 0:
+            try:
+                spool_telemetry()
+            except Exception:
+                # telemetry is best-effort; the beat line above is the
+                # liveness signal and must keep flowing regardless
+                pass
         beat += 1
         if stop.wait(interval):
             return
@@ -208,6 +230,31 @@ def main(argv: Optional[list] = None) -> int:
             deadline=budget_spec.get("deadline"),
             max_states=budget_spec.get("max_states"),
         )
+
+        # Child-local observability: the engines are permanently
+        # instrumented against the process-global registries, so
+        # enabling fresh ones here captures the attempt's counters,
+        # timers and trace events — which would otherwise die with
+        # this process.  The heartbeat thread spools them to the
+        # telemetry sidecar for the parent to harvest.
+        spool_telemetry = None
+        telemetry_path = spec.get("telemetry_path")
+        if telemetry_path:
+            from repro.obs.metrics import Metrics, enable
+            from repro.obs.telemetry import capture_clock, write_telemetry
+            from repro.obs.trace import TraceBuffer, enable_trace
+
+            child_metrics = enable(Metrics())
+            child_trace = enable_trace(
+                TraceBuffer(capacity=CHILD_TRACE_CAPACITY)
+            )
+            clock = capture_clock()
+
+            def spool_telemetry() -> None:
+                write_telemetry(
+                    telemetry_path, child_metrics, child_trace, clock=clock
+                )
+
         stop = threading.Event()
         beater = threading.Thread(
             target=_heartbeat_loop,
@@ -216,6 +263,7 @@ def main(argv: Optional[list] = None) -> int:
                 float(spec.get("heartbeat_interval", 0.25)),
                 budget,
                 stop,
+                spool_telemetry,
             ),
             name="sandbox-heartbeat",
             daemon=True,
@@ -231,6 +279,11 @@ def main(argv: Optional[list] = None) -> int:
             payload = _attempt(spec, budget)
         finally:
             stop.set()
+        if spool_telemetry is not None:
+            try:
+                spool_telemetry()  # final snapshot: the complete attempt
+            except Exception:
+                pass
         _write_outcome(result_path, payload)
     except MemoryError:
         os._exit(EXIT_OOM)

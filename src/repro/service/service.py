@@ -58,6 +58,7 @@ import random
 import threading
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.appmodel.serialization import (
@@ -69,6 +70,9 @@ from repro.appmodel.serialization import (
 from repro.arch.serialization import architecture_from_dict
 from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.obs import get_metrics
+from repro.obs.log import get_logger
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+from repro.obs.telemetry import FlightRecorder, JobTelemetry
 from repro.obs.trace import get_trace
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.resilience.faults import InjectedFaultError, fault_point
@@ -210,8 +214,16 @@ class AllocationService:
         self.stall_timeout = stall_timeout
         self.heartbeat_interval = heartbeat_interval
         self.watchdog = Watchdog()
+        #: harvested child telemetry segments, per job (timeline/trace)
+        self.telemetry = JobTelemetry()
+        #: post-mortem dumps on quarantine / crash-loop trip
+        self.flight_recorder = FlightRecorder(
+            os.path.join(spool, "flightrec")
+        )
         self.crash_loop = CrashLoopDetector(
-            window=crash_loop_window, threshold=crash_loop_threshold
+            window=crash_loop_window,
+            threshold=crash_loop_threshold,
+            on_trip=self._flight_dump_crash_loop,
         )
         if isolation == "process":
             os.makedirs(self.sandbox_dir, exist_ok=True)
@@ -220,6 +232,8 @@ class AllocationService:
         self._changed = threading.Condition(self._lock)
         self._jobs: Dict[str, Dict[str, Any]] = {}
         self._queue: Deque[str] = deque()
+        #: perf-clock enqueue instants behind the queue-wait histogram
+        self._enqueued: Dict[str, float] = {}
         self._budgets: Dict[str, Budget] = {}
         self._timers: Dict[str, threading.Timer] = {}
         self._workers: List[threading.Thread] = []
@@ -254,8 +268,16 @@ class AllocationService:
                 self._jobs[record["id"]] = record
                 if record["state"] == STATE_QUEUED:
                     self._queue.append(record["id"])
+                    self._enqueued[record["id"]] = perf_counter()
             self._accepting = True
             self._changed.notify_all()
+        get_logger().info(
+            "service.started",
+            workers=self.worker_count,
+            isolation=self.isolation,
+            recovered=len(records),
+            corrupt=len(corrupted),
+        )
         if corrupted:
             obs.counter("service.journal.corrupt_on_recover", len(corrupted))
         for index in range(self.worker_count):
@@ -288,6 +310,7 @@ class AllocationService:
             self._timers.clear()
             parked = len(self._queue)
             self._queue.clear()
+            self._enqueued.clear()
             cancelled = 0
             if cancel_running:
                 for budget in self._budgets.values():
@@ -314,6 +337,9 @@ class AllocationService:
             tr.instant(
                 "service", "drain", parked=parked, cancelled=cancelled
             )
+        get_logger().info(
+            "service.drained", parked=parked, cancelled=cancelled
+        )
         return {"parked": parked, "cancelled": cancelled}
 
     def close(self) -> None:
@@ -405,8 +431,13 @@ class AllocationService:
             raise
         with self._lock:
             self._queue.append(job_id)
+            self._enqueued[job_id] = perf_counter()
             self._changed.notify_all()
         obs.counter("service.submitted")
+        tr = get_trace()
+        if tr.enabled:
+            tr.instant("service", "submit", job=job_id)
+        get_logger().info("job.submitted", job=job_id)
         return job_id
 
     # -- introspection -------------------------------------------------
@@ -432,6 +463,9 @@ class AllocationService:
             ]
 
     def stats(self) -> Dict[str, Any]:
+        # watchdog snapshot first: it takes only the watchdog's own
+        # lock, so ordering keeps the lock graph acyclic
+        running = self.watchdog.snapshot()
         with self._lock:
             states: Dict[str, int] = {}
             for record in self._jobs.values():
@@ -447,6 +481,7 @@ class AllocationService:
                 "active": self._active,
                 "max_queue_depth": self.max_queue_depth,
                 "jobs": states,
+                "running": running,
             }
 
     def retry_after_hint(self) -> int:
@@ -504,6 +539,7 @@ class AllocationService:
                 if self._stopped or self._draining:
                     return
                 job_id = self._queue.popleft()
+                enqueued_at = self._enqueued.pop(job_id, None)
                 record = self._jobs[job_id]
                 record["state"] = STATE_RUNNING
                 record["attempts"] += 1
@@ -513,6 +549,22 @@ class AllocationService:
                 )
                 self._budgets[job_id] = budget
                 self._active += 1
+            if enqueued_at is not None:
+                popped_at = perf_counter()
+                obs = get_metrics()
+                if obs.enabled:
+                    obs.histogram(
+                        "service.queue_wait_seconds", popped_at - enqueued_at
+                    )
+                tr = get_trace()
+                if tr.enabled:
+                    tr.complete(
+                        "service",
+                        "queue.wait",
+                        enqueued_at,
+                        popped_at,
+                        job=job_id,
+                    )
             try:
                 self._write_forgiving(record)
                 self._run_attempt(record, budget)
@@ -524,12 +576,18 @@ class AllocationService:
 
     def _run_attempt(self, record: Dict[str, Any], budget: Budget) -> None:
         tr = get_trace()
+        obs = get_metrics()
+        log = get_logger()
+        if log.enabled:
+            log = log.bind(job=record["id"], attempt=record["attempts"])
+        log.info("attempt.start")
         span = tr.span(
             "service",
             "job",
             job=record["id"],
             attempt=record["attempts"],
         )
+        started = perf_counter()
         try:
             with span:
                 fault_point(
@@ -561,6 +619,23 @@ class AllocationService:
             )
         except Exception as error:  # supervision boundary
             self._retry_or_quarantine(record, error)
+        finally:
+            if obs.enabled:
+                obs.histogram(
+                    "service.attempt_seconds", perf_counter() - started
+                )
+                charged = getattr(budget, "states_charged", 0)
+                if charged:
+                    obs.histogram(
+                        "service.states_explored",
+                        float(charged),
+                        buckets=DEFAULT_SIZE_BUCKETS,
+                    )
+            log.info(
+                "attempt.end",
+                state=record["state"],
+                states=getattr(budget, "states_charged", 0),
+            )
 
     # -- attempt phases ------------------------------------------------
     def _serve_from_cache(
@@ -691,6 +766,7 @@ class AllocationService:
             checkpoint_path=checkpoint_path,
             heartbeat_interval=self.heartbeat_interval,
             stall_timeout=self.stall_timeout,
+            telemetry=self.telemetry,
         )
         if not payload.get("ok"):
             kind = payload.get("error")
@@ -813,6 +889,14 @@ class AllocationService:
         }
         if sandbox_verdict is not None:
             updates["sandbox_verdict"] = sandbox_verdict
+        get_logger().info(
+            "job.finished",
+            job=record["id"],
+            state=state,
+            rung=rung,
+            verdict=verdict,
+            source=source,
+        )
         self.crash_loop.record(quarantined=False)
         self._transition(record, **updates)
 
@@ -824,6 +908,9 @@ class AllocationService:
         **extra: Any,
     ) -> None:
         get_metrics().counter(f"service.{state}")
+        get_logger().warning(
+            "job.terminal", job=record["id"], state=state, reason=reason
+        )
         self.crash_loop.record(quarantined=state == STATE_QUARANTINED)
         self._transition(record, state=state, reason=reason, **extra)
 
@@ -863,10 +950,18 @@ class AllocationService:
                     attempts=record["attempts"],
                     reason=reason,
                 )
+            self._flight_dump(record["id"], "quarantine", reason=reason)
             self._terminal(record, STATE_QUARANTINED, reason=reason, **extra)
             return
         delay = self.retry.delay(record["attempts"], record["id"])
         obs.counter("service.retries")
+        get_logger().warning(
+            "job.retry",
+            job=record["id"],
+            attempt=record["attempts"],
+            delay_seconds=round(delay, 4),
+            reason=reason,
+        )
         if tr.enabled:
             tr.instant(
                 "service",
@@ -893,6 +988,7 @@ class AllocationService:
             if self._draining or self._stopped:
                 return
             self._queue.append(job_id)
+            self._enqueued[job_id] = perf_counter()
             self._changed.notify_all()
 
     def _transition(self, record: Dict[str, Any], **updates: Any) -> None:
@@ -923,3 +1019,46 @@ class AllocationService:
             self.journal.write(snapshot)
         except (OSError, InjectedFaultError, SerializationError):
             get_metrics().counter("service.journal.errors")
+
+    # -- telemetry -----------------------------------------------------
+    def timeline(self, job_id: str) -> List[Dict[str, Any]]:
+        """The job's merged event timeline (parent + harvested children).
+
+        Empty when tracing is disabled and no child telemetry was
+        harvested; the HTTP front end serves this on
+        ``/jobs/<id>/timeline``.
+        """
+        return self.telemetry.timeline(job_id, get_trace().events())
+
+    def job_chrome_trace(self, job_id: str) -> Dict[str, Any]:
+        """One Chrome trace for the job: service + child pid lanes."""
+        return self.telemetry.chrome_trace(job_id, get_trace().events())
+
+    def _flight_dump(self, job_id: str, tag: str, **extra: Any) -> None:
+        """Best-effort post-mortem bundle for a quarantine/crash-loop."""
+        segments = self.telemetry.segments(job_id)
+        path = self.flight_recorder.dump(
+            job_id,
+            tag,
+            metrics=get_metrics().snapshot(),
+            events=get_trace().events(),
+            extra={
+                "segments": [
+                    {
+                        "attempt": segment["attempt"],
+                        "pid": segment["pid"],
+                        "events": [
+                            event.to_dict() for event in segment["events"]
+                        ],
+                        "metrics": segment["metrics"],
+                    }
+                    for segment in segments
+                ],
+                **extra,
+            },
+        )
+        if path is not None:
+            get_logger().info("flightrec.dumped", job=job_id, path=path)
+
+    def _flight_dump_crash_loop(self) -> None:
+        self._flight_dump("service", "crash-loop")

@@ -26,9 +26,10 @@ from __future__ import annotations
 import threading
 from collections import deque
 from time import perf_counter
-from typing import Deque, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.obs import get_metrics
+from repro.obs.log import get_logger
 from repro.obs.trace import get_trace
 
 HEALTH_OK = "ok"
@@ -83,6 +84,39 @@ class Watchdog:
         with self._lock:
             return list(self._handles)
 
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-ready digest of every supervised child, for ``stats()``.
+
+        ``heartbeat_age_seconds`` is the time since the beat file last
+        grew (``None`` before the first beat); ``states`` is the
+        engine's last self-reported states-charged figure.
+        """
+        now = perf_counter()
+        digest: List[Dict[str, Any]] = []
+        for handle in self.handles():
+            try:
+                beat = dict(getattr(handle, "last_beat", {}) or {})
+                beats = int(getattr(handle, "beats", 0))
+                digest.append(
+                    {
+                        "job": getattr(handle, "job", None),
+                        "attempt": getattr(handle, "attempt", None),
+                        "pid": getattr(handle, "pid", None),
+                        "beats": beats,
+                        "states": beat.get("states"),
+                        "rss_kb": beat.get("rss_kb"),
+                        "heartbeat_age_seconds": (
+                            round(now - handle._last_progress, 3)
+                            if beats
+                            else None
+                        ),
+                    }
+                )
+            except Exception:
+                # a racing or torn-down handle must not break stats()
+                continue
+        return digest
+
     def stop(self) -> None:
         with self._lock:
             self._stopped = True
@@ -119,13 +153,26 @@ class Watchdog:
         handle.read_heartbeat()
         if handle.over_memory():
             obs.counter("sandbox.watchdog.oom_kills")
+            self._log_kill(handle, "oom")
             handle.kill("oom")
         elif handle.stalled():
             obs.counter("sandbox.watchdog.stall_kills")
+            self._log_kill(handle, "stalled")
             handle.kill("stalled")
         elif handle.over_deadline():
             obs.counter("sandbox.watchdog.deadline_kills")
+            self._log_kill(handle, "deadline")
             handle.kill("deadline")
+
+    @staticmethod
+    def _log_kill(handle, reason: str) -> None:
+        get_logger().warning(
+            "watchdog.kill",
+            job=getattr(handle, "job", None),
+            attempt=getattr(handle, "attempt", None),
+            pid=getattr(handle, "pid", None),
+            reason=reason,
+        )
 
 
 class CrashLoopDetector:
@@ -136,23 +183,34 @@ class CrashLoopDetector:
     ``window`` terminal jobs were quarantined.
     """
 
-    def __init__(self, window: int = 10, threshold: int = 3) -> None:
+    def __init__(
+        self,
+        window: int = 10,
+        threshold: int = 3,
+        on_trip: Optional[Callable[[], None]] = None,
+    ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         if not 1 <= threshold <= window:
             raise ValueError("threshold must be in [1, window]")
         self.window = window
         self.threshold = threshold
+        #: invoked (outside the lock) each time the detector newly
+        #: flips to degraded — the service hangs its flight-recorder
+        #: dump here; exceptions are swallowed
+        self.on_trip = on_trip
         self._lock = threading.Lock()
         self._outcomes: Deque[bool] = deque(maxlen=window)
         self._degraded_since: Optional[float] = None
 
     def record(self, quarantined: bool) -> None:
+        tripped = False
         with self._lock:
             was_degraded = self._count() >= self.threshold
             self._outcomes.append(quarantined)
             now_degraded = self._count() >= self.threshold
             if now_degraded and not was_degraded:
+                tripped = True
                 self._degraded_since = perf_counter()
                 get_metrics().counter("service.crash_loop")
                 tr = get_trace()
@@ -165,6 +223,18 @@ class CrashLoopDetector:
                     )
             elif not now_degraded:
                 self._degraded_since = None
+        if tripped:
+            get_logger().error(
+                "service.crash_loop",
+                window=self.window,
+                threshold=self.threshold,
+            )
+            if self.on_trip is not None:
+                try:
+                    self.on_trip()
+                except Exception:
+                    # post-mortem capture must never worsen the storm
+                    pass
 
     def _count(self) -> int:
         return sum(1 for outcome in self._outcomes if outcome)

@@ -193,6 +193,7 @@ class TestSnapshotExport:
             "counters": {},
             "gauges": {},
             "timers": {},
+            "histograms": {},
             "spans": [],
         }
 
@@ -216,6 +217,7 @@ class TestNullRegistry:
             "counters": {},
             "gauges": {},
             "timers": {},
+            "histograms": {},
             "spans": [],
         }
 

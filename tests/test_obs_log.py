@@ -1,0 +1,128 @@
+"""Structured JSON logging: null-by-default, bound fields, resilience.
+
+Same contract as the metrics/trace planes: a no-op singleton until the
+daemon configures it, one JSON object per line once it is on, and a
+logging failure must never propagate into the service.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import (
+    LEVELS,
+    NULL_LOGGER,
+    JsonLogger,
+    NullLogger,
+    configure_logging,
+    disable_logging,
+    get_logger,
+    logging_to,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+def _records(stream):
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line.strip()
+    ]
+
+
+def test_null_by_default():
+    assert get_logger() is NULL_LOGGER
+    assert NULL_LOGGER.enabled is False
+    assert NULL_LOGGER.bind(job="x") is NULL_LOGGER
+    NULL_LOGGER.info("nothing.happens", job="x")  # must not raise
+
+
+def test_records_are_json_lines_with_envelope():
+    stream = io.StringIO()
+    with logging_to(stream) as log:
+        assert get_logger() is log
+        log.info("job.submitted", job="job-000001")
+    assert get_logger() is NULL_LOGGER  # restored on exit
+    (record,) = _records(stream)
+    assert record["level"] == "info"
+    assert record["event"] == "job.submitted"
+    assert record["job"] == "job-000001"
+    assert isinstance(record["ts"], float)
+
+
+def test_level_threshold_drops_quieter_records():
+    stream = io.StringIO()
+    with logging_to(stream, level="warning") as log:
+        log.debug("dropped")
+        log.info("dropped.too")
+        log.warning("kept")
+        log.error("kept.too")
+    events = [record["event"] for record in _records(stream)]
+    assert events == ["kept", "kept.too"]
+
+
+def test_levels_are_ordered():
+    assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"]
+    assert LEVELS["warning"] < LEVELS["error"]
+
+
+def test_unknown_level_is_rejected():
+    with pytest.raises(ValueError, match="unknown log level"):
+        JsonLogger(io.StringIO(), level="loud")
+
+
+def test_bind_merges_and_overrides_fields():
+    stream = io.StringIO()
+    root = JsonLogger(stream)
+    child = root.bind(job="job-000001", attempt=1)
+    grandchild = child.bind(attempt=2)
+    grandchild.info("attempt.start")
+    # per-call fields win over bound fields
+    grandchild.info("attempt.end", attempt=3)
+    first, second = _records(stream)
+    assert (first["job"], first["attempt"]) == ("job-000001", 2)
+    assert second["attempt"] == 3
+
+
+def test_bind_does_not_mutate_the_parent():
+    stream = io.StringIO()
+    root = JsonLogger(stream)
+    root.bind(job="job-000001")
+    root.info("bare")
+    (record,) = _records(stream)
+    assert "job" not in record
+
+
+def test_configure_logging_to_path_appends(tmp_path):
+    path = str(tmp_path / "daemon.log.jsonl")
+    try:
+        configure_logging(path).info("first")
+        # reconfiguring reopens in append mode — no truncation
+        configure_logging(path).info("second")
+    finally:
+        disable_logging()
+    with open(path) as handle:
+        events = [json.loads(line)["event"] for line in handle]
+    assert events == ["first", "second"]
+
+
+def test_non_serialisable_fields_are_stringified():
+    stream = io.StringIO()
+    JsonLogger(stream).info("odd.payload", value={1, 2})
+    (record,) = _records(stream)
+    assert isinstance(record["value"], str)
+
+
+def test_emit_failure_is_swallowed():
+    stream = io.StringIO()
+    log = JsonLogger(stream)
+    stream.close()
+    log.info("into.the.void")  # must not raise
+
+
+def test_null_and_json_logger_share_an_interface():
+    for method in ("bind", "debug", "info", "warning", "error"):
+        assert hasattr(NullLogger(), method)
+        assert hasattr(JsonLogger(io.StringIO()), method)

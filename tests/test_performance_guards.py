@@ -95,6 +95,9 @@ class _CountingMetrics:
     def observe(self, name, seconds):
         self.calls += 1
 
+    def histogram(self, name, value, buckets=None):
+        self.calls += 1
+
     def timer(self, name):
         self.calls += 1
         return self._noop()
@@ -238,6 +241,106 @@ def test_disabled_trace_overhead_under_five_percent():
         f"{trace_calls} null trace calls at {per_call * 1e9:.0f} ns "
         f"each = {overhead * 1e3:.3f} ms, over 5% of the "
         f"{baseline * 1e3:.1f} ms baseline"
+    )
+
+
+class _CountingLogger:
+    """Counts every structured-log call a workload makes.
+
+    ``enabled = True`` so even the guarded (enabled-only) call sites
+    and the ``bind()`` fan-out are exercised — an upper bound on the
+    calls the disabled null logger would receive.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.calls = 0
+
+    def bind(self, **fields):
+        self.calls += 1
+        return self
+
+    def debug(self, event, **fields):
+        self.calls += 1
+
+    info = warning = error = debug
+
+
+@pytest.mark.service
+@pytest.mark.telemetry
+def test_disabled_telemetry_overhead_under_five_percent(tmp_path):
+    """The service's telemetry plane must cost <5% when switched off.
+
+    The daemon's permanently-wired call sites — structured logging
+    through the service/journal/watchdog paths plus the queue-wait and
+    attempt-latency histograms — follow the same null-by-default
+    contract as the engine instrumentation.  Strategy as above: time a
+    full submit-to-certified service round trip with everything off,
+    count the logging + metrics calls that round trip makes when the
+    registries claim to be enabled, measure the null unit cost, and
+    bound the product.
+    """
+    import itertools
+
+    import repro.obs.log as obs_log
+    import repro.obs.metrics as obs_metrics
+    from repro.obs import NULL_METRICS
+    from repro.obs.log import NULL_LOGGER, get_logger
+    from repro.service import AllocationService
+
+    from tests.service_helpers import fast_request
+
+    assert get_logger() is NULL_LOGGER  # logging must be off
+
+    application, architecture = fast_request()
+    spools = itertools.count()
+
+    def workload():
+        spool = str(tmp_path / f"spool-{next(spools)}")
+        service = AllocationService(
+            spool, workers=1, isolation="thread"
+        ).start()
+        try:
+            record = service.wait(
+                service.submit(application, architecture), timeout=60
+            )
+            assert record["state"] == "certified"
+        finally:
+            service.drain(cancel_running=True)
+
+    workload()  # warm imports and caches
+    baseline = min(_timed(workload) for _ in range(3))
+
+    counting_log = _CountingLogger()
+    counting_metrics = _CountingMetrics()
+    previous_log = obs_log._active
+    previous_metrics = obs_metrics._active
+    obs_log._active = counting_log
+    obs_metrics._active = counting_metrics
+    try:
+        workload()
+    finally:
+        obs_log._active = previous_log
+        obs_metrics._active = previous_metrics
+    telemetry_calls = counting_log.calls + counting_metrics.calls
+    assert counting_log.calls > 0  # the service narrates its lifecycle
+    assert counting_metrics.calls > 0
+
+    rounds = 50_000
+    started = time.perf_counter()
+    for _ in range(rounds):
+        NULL_LOGGER.debug("guard.event", job="job", attempt=1)
+        NULL_LOGGER.bind(job="job")
+        NULL_METRICS.counter("guard.counter")
+        NULL_METRICS.histogram("guard.histogram", 0.1)
+    per_call = (time.perf_counter() - started) / (4 * rounds)
+
+    overhead = telemetry_calls * per_call
+    assert overhead < 0.05 * baseline, (
+        f"{telemetry_calls} null telemetry calls at "
+        f"{per_call * 1e9:.0f} ns each = {overhead * 1e3:.3f} ms, over "
+        f"5% of the {baseline * 1e3:.1f} ms baseline"
     )
 
 

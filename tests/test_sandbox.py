@@ -138,6 +138,51 @@ def test_handle_stall_detection_uses_spawn_grace():
     assert handle.stalled()
 
 
+def test_watchdog_kill_reason_precedence():
+    """A child both over-memory and past-deadline dies exactly once.
+
+    ``Watchdog._inspect`` checks memory before deadline, and
+    ``SandboxHandle.kill`` records only the first reason — so the
+    eventual verdict must name the OOM, however many enforcement
+    conditions were true at the same poll.
+    """
+    from repro.obs import Metrics
+
+    handle = _handle(None, memory_mb=64, deadline=0.001)
+    # over-memory: last beat reports an RSS far above the 64 MB cap
+    handle.last_beat = {"rss_kb": 999_999}
+    handle.beats = 1
+    # past-deadline: pretend the child was spawned long ago, while the
+    # recent heartbeat keeps it out of the stall window
+    handle.spawned_at = time.perf_counter() - 1000.0
+    handle._last_progress = time.perf_counter()
+    assert handle.over_memory() and handle.over_deadline()
+    assert not handle.stalled()
+
+    kills = []
+    handle.process.kill = lambda: kills.append(1)
+
+    watchdog = Watchdog(poll_interval=0.01)
+    obs = Metrics()
+    watchdog._inspect(handle, obs)
+
+    # one SIGKILL, one verdict source: the memory check fired first
+    assert kills == [1]
+    assert handle.kill_reason == "oom"
+    counters = obs.snapshot()["counters"]
+    assert counters.get("sandbox.watchdog.oom_kills") == 1
+    assert "sandbox.watchdog.deadline_kills" not in counters
+
+    # a later kill for any other reason must not rewrite history
+    handle.kill("deadline")
+    assert handle.kill_reason == "oom"
+
+    handle.process.returncode = -int(signal.SIGKILL)
+    verdict = classify_exit(handle)
+    assert verdict.kind == "oom"
+    assert "64" in verdict.reason
+
+
 # -- crash-loop detector --------------------------------------------------
 
 

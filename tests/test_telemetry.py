@@ -1,0 +1,281 @@
+"""Cross-process telemetry: sidecars, clock rebasing, merge, post-mortem.
+
+Pure unit coverage of :mod:`repro.obs.telemetry` — the e2e path (a real
+sandbox child spooling a sidecar that a real daemon harvests) lives in
+``tests/test_telemetry_e2e.py`` and ``tools/telemetry_smoke.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import Metrics
+from repro.obs.telemetry import (
+    MAX_FLIGHT_DUMPS,
+    PARENT_PID,
+    TELEMETRY_FORMAT,
+    TELEMETRY_VERSION,
+    FlightRecorder,
+    JobTelemetry,
+    TelemetryError,
+    capture_clock,
+    events_from_dicts,
+    merged_chrome_trace,
+    read_telemetry,
+    rebase_events,
+    write_telemetry,
+)
+from repro.obs.trace import TraceBuffer, TraceEvent
+
+pytestmark = pytest.mark.telemetry
+
+
+def _buffer_with_events():
+    trace = TraceBuffer(capacity=16)
+    trace.instant("engine", "state_space.execute", detail="x")
+    started = trace.now()
+    trace.complete("engine", "state_space.throughput", started, started + 0.5)
+    return trace
+
+
+# -- sidecar round trip ---------------------------------------------------
+
+
+def test_write_read_round_trip(tmp_path):
+    metrics = Metrics()
+    metrics.counter("state_space.states", 7)
+    path = str(tmp_path / "job.a1.telemetry.json")
+    assert write_telemetry(path, metrics, _buffer_with_events()) == path
+    payload = read_telemetry(path)
+    assert payload["format"] == TELEMETRY_FORMAT
+    assert payload["version"] == TELEMETRY_VERSION
+    assert payload["metrics"]["counters"]["state_space.states"] == 7
+    assert len(payload["trace"]["events"]) == 2
+    assert {"pid", "wall", "perf"} <= set(payload["clock"])
+
+
+def test_rewrite_replaces_wholesale(tmp_path):
+    path = str(tmp_path / "sidecar.json")
+    first = Metrics()
+    first.counter("a", 1)
+    write_telemetry(path, first, TraceBuffer(capacity=4))
+    second = Metrics()
+    second.counter("b", 2)
+    write_telemetry(path, second, TraceBuffer(capacity=4))
+    counters = read_telemetry(path)["metrics"]["counters"]
+    assert counters == {"b": 2}
+    # the atomic-write temp never lingers
+    assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+
+def test_read_rejects_missing_and_torn_files(tmp_path):
+    with pytest.raises(TelemetryError, match="no telemetry sidecar"):
+        read_telemetry(str(tmp_path / "absent.json"))
+    torn = tmp_path / "torn.json"
+    torn.write_text('{"format": "repro-telem')
+    with pytest.raises(TelemetryError, match="unreadable"):
+        read_telemetry(str(torn))
+
+
+def test_read_rejects_wrong_envelope(tmp_path):
+    path = tmp_path / "sidecar.json"
+    path.write_text(json.dumps({"format": "something-else", "version": 1}))
+    with pytest.raises(TelemetryError, match="format"):
+        read_telemetry(str(path))
+    path.write_text(
+        json.dumps({"format": TELEMETRY_FORMAT, "version": 999})
+    )
+    with pytest.raises(TelemetryError, match="version"):
+        read_telemetry(str(path))
+    path.write_text(
+        json.dumps({"format": TELEMETRY_FORMAT, "version": TELEMETRY_VERSION})
+    )
+    with pytest.raises(TelemetryError, match="missing"):
+        read_telemetry(str(path))
+
+
+def test_events_from_dicts_skips_malformed_records():
+    good = TraceEvent("engine", "execute", 1.0, 0.5, {"states": 3})
+    events = events_from_dicts(
+        [good.to_dict(), {"category": "x"}, "junk", 42]
+    )
+    assert len(events) == 1
+    assert events[0].category == "engine"
+    assert events[0].duration == 0.5
+    assert events[0].args == {"states": 3}
+
+
+# -- clock rebasing -------------------------------------------------------
+
+
+def test_rebase_maps_child_perf_domain_onto_parent():
+    # the child booted when the parent's perf clock read 100.0 and both
+    # agree on the wall clock; a child event at child-perf 5.0 must land
+    # at parent-perf 105.0
+    child = {"pid": 123.0, "wall": 1000.0, "perf": 0.0}
+    parent = {"pid": 1.0, "wall": 900.0, "perf": 0.0}
+    event = TraceEvent("engine", "execute", 5.0, 0.25, {})
+    (rebased,) = rebase_events([event], child, parent)
+    assert rebased.timestamp == pytest.approx(105.0)
+    assert rebased.duration == 0.25  # durations are clock-free
+
+
+def test_rebase_preserves_relative_spacing():
+    child = capture_clock()
+    events = [
+        TraceEvent("engine", "a", child["perf"] + 0.1, None, {}),
+        TraceEvent("engine", "b", child["perf"] + 0.4, None, {}),
+    ]
+    first, second = rebase_events(events, child)
+    assert second.timestamp - first.timestamp == pytest.approx(0.3)
+
+
+# -- merged Chrome traces -------------------------------------------------
+
+
+def test_merged_trace_rebases_to_zero_and_labels_lanes():
+    parent_events = [TraceEvent("service", "job", 10.0, 1.0, {})]
+    child_events = [TraceEvent("engine", "execute", 10.5, 0.2, {})]
+    document = merged_chrome_trace(
+        [
+            {"name": "service", "pid": PARENT_PID, "events": parent_events},
+            {"name": "child", "pid": 4242, "events": child_events},
+        ]
+    )
+    events = document["traceEvents"]
+    names = {
+        record["args"]["name"]
+        for record in events
+        if record["ph"] == "M" and record["name"] == "process_name"
+    }
+    assert names == {"service", "child"}
+    timestamps = [r["ts"] for r in events if r["ph"] != "M"]
+    assert min(timestamps) == 0.0  # earliest event sits at t=0
+    child_record = next(r for r in events if r["pid"] == 4242 and r["ph"] == "X")
+    assert child_record["ts"] == pytest.approx(500_000.0)  # 0.5s in µs
+    assert child_record["dur"] == pytest.approx(200_000.0)
+
+
+def test_merged_trace_distinguishes_instants_from_slices():
+    document = merged_chrome_trace(
+        [
+            {
+                "name": "lane",
+                "pid": 7,
+                "events": [
+                    TraceEvent("c", "mark", 1.0, None, {}),
+                    TraceEvent("c", "slice", 1.0, 0.1, {"k": "v"}),
+                ],
+            }
+        ]
+    )
+    instant = next(r for r in document["traceEvents"] if r["name"] == "mark")
+    assert instant["ph"] == "i"
+    sliced = next(r for r in document["traceEvents"] if r["name"] == "slice")
+    assert sliced["ph"] == "X"
+    assert sliced["args"] == {"k": "v"}
+
+
+# -- JobTelemetry ---------------------------------------------------------
+
+
+def _segment_events(ts):
+    return [TraceEvent("engine", "execute", ts, 0.1, {})]
+
+
+def test_job_telemetry_records_and_evicts_oldest():
+    telemetry = JobTelemetry(max_jobs=2)
+    for index in range(3):
+        telemetry.record(
+            f"job-{index}", 1, 100 + index, _segment_events(1.0), {}
+        )
+    assert telemetry.jobs() == ["job-1", "job-2"]
+    assert telemetry.segments("job-0") == []
+    # re-recording an already-tracked job never evicts
+    telemetry.record("job-2", 2, 200, _segment_events(2.0), {})
+    assert len(telemetry.segments("job-2")) == 2
+
+
+def test_timeline_merges_and_sorts_by_timestamp():
+    telemetry = JobTelemetry()
+    telemetry.record("job-1", 1, 555, _segment_events(2.0), {})
+    parent_events = [
+        TraceEvent("service", "submit", 1.0, None, {"job": "job-1"}),
+        TraceEvent("service", "job", 3.0, 1.0, {"job": "job-1"}),
+        TraceEvent("service", "submit", 1.5, None, {"job": "other"}),
+    ]
+    timeline = telemetry.timeline("job-1", parent_events)
+    assert [entry["source"] for entry in timeline] == [
+        "service",
+        "sandbox-a1",
+        "service",
+    ]
+    assert [entry["timestamp"] for entry in timeline] == [1.0, 2.0, 3.0]
+
+
+def test_chrome_trace_puts_child_on_its_own_pid_lane():
+    telemetry = JobTelemetry()
+    telemetry.record("job-1", 1, 4242, _segment_events(2.0), {})
+    parent_events = [TraceEvent("service", "job", 1.0, 2.0, {"job": "job-1"})]
+    document = telemetry.chrome_trace("job-1", parent_events)
+    pids = {
+        record["pid"]
+        for record in document["traceEvents"]
+        if record["ph"] != "M"
+    }
+    assert pids == {PARENT_PID, 4242}
+
+
+def test_chrome_trace_remaps_degenerate_child_pids():
+    telemetry = JobTelemetry()
+    telemetry.record("job-1", 3, 0, _segment_events(1.0), {})
+    document = telemetry.chrome_trace("job-1", [])
+    pids = {
+        record["pid"]
+        for record in document["traceEvents"]
+        if record["ph"] != "M"
+    }
+    # pid 0 would collide with nothing but carries no information; the
+    # lane moves past the parent's, keyed by the attempt number
+    assert pids == {PARENT_PID + 1 + 3}
+
+
+# -- flight recorder ------------------------------------------------------
+
+
+def test_flight_recorder_dumps_a_readable_bundle(tmp_path):
+    recorder = FlightRecorder(str(tmp_path / "flightrec"))
+    path = recorder.dump(
+        "job-000001",
+        "quarantine",
+        metrics={"counters": {"service.quarantined_total": 1}},
+        events=[TraceEvent("service", "quarantine", 1.0, None, {})],
+        extra={"reason": "boom"},
+    )
+    assert path is not None and os.path.exists(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    assert payload["format"] == "repro-flightrec"
+    assert payload["job"] == "job-000001"
+    assert payload["tag"] == "quarantine"
+    assert payload["extra"]["reason"] == "boom"
+    assert len(payload["trace"]) == 1
+
+
+def test_flight_recorder_sanitises_names_and_caps_dumps(tmp_path):
+    recorder = FlightRecorder(str(tmp_path / "fr"), max_dumps=2)
+    first = recorder.dump("job/../../evil", "tag with spaces", {}, [])
+    assert first is not None
+    assert os.path.dirname(first) == str(tmp_path / "fr")
+    assert "/.." not in os.path.basename(first)
+    assert recorder.dump("job", "tag", {}, []) is not None
+    assert recorder.dump("job", "tag", {}, []) is None  # capped
+    assert MAX_FLIGHT_DUMPS >= 2
+
+
+def test_flight_recorder_never_raises_on_bad_root(tmp_path):
+    blocked = tmp_path / "file-not-a-dir"
+    blocked.write_text("occupied")
+    recorder = FlightRecorder(str(blocked))
+    assert recorder.dump("job", "tag", {}, []) is None

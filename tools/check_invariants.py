@@ -25,6 +25,12 @@ broken hook just silently never fires or the docs silently rot:
    covers every package, including ``repro/service``).  A point whose
    hook was deleted would otherwise stay registered forever, and soak
    tests targeting it would silently inject nothing.
+5. **Counters are documented.**  Every literal counter name passed to
+   a ``.counter("...")`` call under ``src/`` appears in the counter
+   catalogue table of ``docs/OBSERVABILITY.md`` (family prefix in the
+   first cell joined with each backticked suffix in the second).
+   Dynamically composed names (f-strings) are skipped here and listed
+   in the catalogue with their expanded values by hand.
 
 Everything is read from source with :mod:`ast` — the checker never
 imports the package, so it works on a broken tree and adds no import
@@ -76,27 +82,44 @@ def known_fault_points() -> Set[str]:
     raise SystemExit(f"KNOWN_FAULT_POINTS not found in {FAULTS}")
 
 
-def documented_events() -> Set[Tuple[str, str]]:
-    """(category, event) pairs from the OBSERVABILITY event catalogue.
+def _catalogue_pairs(marker: str) -> Set[Tuple[str, str]]:
+    """(first-cell, name) pairs from one OBSERVABILITY catalogue table.
 
-    The catalogue is the markdown table under "### Event catalogue":
-    the first cell is the backtick-quoted category, the second cell
-    lists the backtick-quoted event names.
+    A catalogue is the markdown table directly under the ``marker``
+    heading (parsing stops at the next ``###`` heading): the first
+    cell is the backtick-quoted category/family, the second cell lists
+    the backtick-quoted names.
     """
     text = OBSERVABILITY.read_text()
-    marker = "### Event catalogue"
     start = text.index(marker)
-    events: Set[Tuple[str, str]] = set()
-    for line in text[start:].splitlines():
+    end = text.find("\n### ", start + len(marker))
+    section = text[start : end if end != -1 else len(text)]
+    pairs: Set[Tuple[str, str]] = set()
+    for line in section.splitlines():
         cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
         if len(cells) < 2 or not cells[0].startswith("`"):
             continue
         category = cells[0].strip("`")
         for name in re.findall(r"`([^`]+)`", cells[1]):
-            events.add((category, name))
-    if not events:
-        raise SystemExit(f"no event catalogue table found in {OBSERVABILITY}")
-    return events
+            pairs.add((category, name))
+    if not pairs:
+        raise SystemExit(
+            f"no catalogue table under {marker!r} in {OBSERVABILITY}"
+        )
+    return pairs
+
+
+def documented_events() -> Set[Tuple[str, str]]:
+    """(category, event) pairs from the OBSERVABILITY event catalogue."""
+    return _catalogue_pairs("### Event catalogue")
+
+
+def documented_counters() -> Set[str]:
+    """Full dotted counter names from the OBSERVABILITY counter catalogue."""
+    return {
+        f"{family}.{name}"
+        for family, name in _catalogue_pairs("### Counter catalogue")
+    }
 
 
 def _string_args(call: ast.Call, count: int) -> List[str]:
@@ -116,6 +139,7 @@ def check_file(
     path: Path,
     fault_points: Set[str],
     events: Set[Tuple[str, str]],
+    counters: Set[str],
     used_points: Set[str],
 ) -> List[str]:
     tree = ast.parse(path.read_text(), filename=str(path))
@@ -167,16 +191,27 @@ def check_file(
                         f"({pair[0]!r}, {pair[1]!r}) is not in the "
                         "docs/OBSERVABILITY.md event catalogue"
                     )
+            elif function.attr == "counter":
+                names = _string_args(node, 1)
+                if names and names[0] not in counters:
+                    problems.append(
+                        f"{relative}:{node.lineno}: counter "
+                        f"{names[0]!r} is not in the "
+                        "docs/OBSERVABILITY.md counter catalogue"
+                    )
     return problems
 
 
 def main() -> int:
     fault_points = known_fault_points()
     events = documented_events()
+    counters = documented_counters()
     problems: List[str] = []
     used_points: Set[str] = set()
     for path in sorted(SRC.rglob("*.py")):
-        problems.extend(check_file(path, fault_points, events, used_points))
+        problems.extend(
+            check_file(path, fault_points, events, counters, used_points)
+        )
     for point in sorted(fault_points - used_points):
         problems.append(
             f"{FAULTS.relative_to(REPO)}: fault point {point!r} is "
