@@ -2,21 +2,27 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-fast test-robustness test-verify test-exact test-service test-telemetry test-chaos bench bench-tables bench-full experiments examples clean
+.PHONY: install lint lint-source test test-fast test-robustness test-verify test-exact test-service test-telemetry test-chaos test-sanitizer bench bench-tables bench-full experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-# Repository invariants (fault points, trace catalogue, wall-clock use)
+# Repository invariants (fault points, trace catalogue, wall-clock
+# use, lock registry, exit-code registry), the concurrency rules over
+# the package's own source (docs/ANALYSIS.md, "Concurrency rules"),
 # plus mypy when it is available (CI installs it; see pyproject.toml
 # for the configuration).
-lint:
+lint: lint-source
 	$(PYTHON) tools/check_invariants.py
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy; \
 	else \
 		echo "mypy not installed; skipping type check"; \
 	fi
+
+# The CON001-CON004 static race/deadlock pass alone.
+lint-source:
+	$(PYTHON) -m repro.cli lint --source
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -54,6 +60,14 @@ test-telemetry:
 # REPRO_CHAOS_ARTIFACTS=DIR to keep failing spools for post-mortem.
 test-chaos:
 	$(PYTHON) -m pytest tests/ -m "chaos and not slow"
+
+# Runtime lock sanitizer: the dedicated cross-check cases, then the
+# whole service + chaos suites replayed under instrumented locks —
+# every observed acquisition order is checked against the static
+# lock-order graph at each test's teardown (docs/ANALYSIS.md).
+test-sanitizer:
+	$(PYTHON) -m pytest tests/ -m sanitizer
+	REPRO_LOCKCHECK=1 $(PYTHON) -m pytest tests/ -m "(service or chaos) and not slow"
 
 # The exact branch-and-bound backend and its optimality-gap
 # differential harness against the greedy flow (docs/EXACT.md).

@@ -38,6 +38,12 @@ from repro.analysis.engine import (
 )
 from repro.analysis.rules import RULES, Rule, rules_for
 from repro.analysis.sarif import SARIF_VERSION, to_sarif
+from repro.analysis.source import (
+    analyse_source,
+    default_source_paths,
+    lock_order_graph,
+    lock_registry,
+)
 
 __all__ = [
     "ERROR",
@@ -55,6 +61,10 @@ __all__ = [
     "analyse_bundle",
     "analyse_csdf",
     "analyse_graph",
+    "analyse_source",
+    "default_source_paths",
+    "lock_order_graph",
+    "lock_registry",
     "minimal_execution_times",
     "preflight_check",
     "rules_for",

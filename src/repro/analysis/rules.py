@@ -915,6 +915,39 @@ RULES: Tuple[Rule, ...] = (
         "unknown tile referenced",
         alloc003_unknown_tile,
     ),
+    # Concurrency rules over the repository's own source.  ``kind``
+    # "source" is not dispatched by the model engine — the checks live
+    # in :mod:`repro.analysis.source`, which looks its severities up
+    # here so the catalogue (and the SARIF rule metadata) stays the
+    # single source of truth.
+    Rule(
+        "CON001",
+        ERROR,
+        "source",
+        "guarded attribute accessed without its lock",
+        None,
+    ),
+    Rule(
+        "CON002",
+        WARNING,
+        "source",
+        "guarded mutable state escapes by reference",
+        None,
+    ),
+    Rule(
+        "CON003",
+        WARNING,
+        "source",
+        "blocking call while holding a lock",
+        None,
+    ),
+    Rule(
+        "CON004",
+        ERROR,
+        "source",
+        "lock-order cycle (potential deadlock)",
+        None,
+    ),
 )
 
 

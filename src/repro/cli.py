@@ -53,6 +53,7 @@ from repro.arch.presets import benchmark_architectures
 from repro.core.flow import allocate_until_failure
 from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.core.tile_cost import CostWeights
+from repro.exitcodes import HTTP_EXIT_MAP
 from repro.generate.benchmark import generate_benchmark_set
 from repro.obs import (
     JsonSink,
@@ -505,7 +506,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             architecture = architecture_from_json(
                 handle.read(), source=args.architecture
             )
+    if not args.inputs and not args.source:
+        raise ValueError(
+            "nothing to lint: pass model files and/or --source"
+        )
     report = AnalysisReport()
+    source_files = 0
+    if args.source:
+        from repro.analysis.source import analyse_source, default_source_paths
+
+        source_paths = default_source_paths()
+        source_files = len(source_paths)
+        report.extend(analyse_source(source_paths))
     if architecture is not None:
         report.extend(analyse_architecture(architecture))
     for path in args.inputs:
@@ -548,6 +560,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if obs.enabled:
         obs.counter("lint.files", len(args.inputs))
         obs.counter("lint.findings", len(report))
+        if args.source:
+            obs.counter("lint.source.files", source_files)
+            obs.counter(
+                "lint.source.findings",
+                sum(1 for d in report if d.rule_id.startswith("CON")),
+            )
     if args.format == "sarif":
         rendered = json.dumps(to_sarif(report), indent=2)
     elif args.format == "json":
@@ -726,13 +744,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     f"repro-alloc: service overloaded: {detail or error}",
                     file=sys.stderr,
                 )
-                return 7
+                return HTTP_EXIT_MAP[429]
             print(
                 f"repro-alloc: submission rejected ({error.code}): "
                 f"{detail or error}",
                 file=sys.stderr,
             )
-            return 2
+            return HTTP_EXIT_MAP.get(error.code, HTTP_EXIT_MAP[400])
     job_id = accepted["id"]
     if not args.wait:
         print(job_id)
@@ -1146,10 +1164,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "inputs",
-        nargs="+",
+        nargs="*",
         metavar="MODEL",
         help="model JSON files (graph, application, architecture, bundle, "
         "or a list of graphs)",
+    )
+    lint.add_argument(
+        "--source",
+        action="store_true",
+        help="also run the concurrency rules (CON001-CON004, see "
+        "docs/ANALYSIS.md) over the repro package's own source",
     )
     lint.add_argument(
         "--architecture",

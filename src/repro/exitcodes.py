@@ -1,0 +1,78 @@
+"""The single machine-readable registry of process exit codes.
+
+Every exit status the toolchain can produce is declared here, once:
+
+* :data:`EXIT_CODES` — the ``repro-alloc`` CLI's exit statuses.  Every
+  ``return <literal>`` in :mod:`repro.cli` must be a key of this table
+  (``tools/check_invariants.py`` enforces it), and the "Exit codes"
+  table in ``docs/ROBUSTNESS.md`` is checked cell-for-cell against it.
+* :data:`SANDBOX_EXIT_CODES` — the dedicated statuses a sandboxed
+  child process exits with (chosen clear of shell/python conventions);
+  :mod:`repro.service.sandbox` and ``sandbox_child`` import them from
+  here.
+* :data:`HTTP_EXIT_MAP` — how the service's HTTP rejections map onto
+  client exit codes (``repro-alloc submit`` turns a 429 into exit 7
+  and a 400 into exit 2).
+
+Keeping the numbers in one importable module means the CLI, the HTTP
+front end, the sandbox and the documentation can never silently
+disagree about what an exit status means.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "EXIT_BENCH_REGRESSION",
+    "EXIT_BUDGET",
+    "EXIT_CODES",
+    "EXIT_CPU",
+    "EXIT_LINT",
+    "EXIT_OK",
+    "EXIT_OOM",
+    "EXIT_OVERLOAD",
+    "EXIT_REFUTED",
+    "EXIT_SPEC",
+    "EXIT_USER_ERROR",
+    "HTTP_EXIT_MAP",
+    "SANDBOX_EXIT_CODES",
+]
+
+EXIT_OK = 0
+EXIT_USER_ERROR = 2
+EXIT_BUDGET = 3
+EXIT_REFUTED = 4
+EXIT_BENCH_REGRESSION = 5
+EXIT_LINT = 6
+EXIT_OVERLOAD = 7
+
+#: ``repro-alloc`` exit statuses.  ``docs/ROBUSTNESS.md`` renders this
+#: table verbatim; the invariant checker diffs the two.
+EXIT_CODES: Dict[int, str] = {
+    EXIT_OK: "success",
+    EXIT_USER_ERROR: "user error: missing file, malformed input or request",
+    EXIT_BUDGET: "budget exhausted or state-space explosion",
+    EXIT_REFUTED: "`verify` refuted an allocation",
+    EXIT_BENCH_REGRESSION: "`bench --compare` detected a regression",
+    EXIT_LINT: "`lint` found error-severity findings",
+    EXIT_OVERLOAD: "`submit` rejected: the service queue is full (HTTP 429)",
+}
+
+#: child exit codes of :mod:`repro.service.sandbox_child`
+EXIT_OOM = 40
+EXIT_CPU = 41
+EXIT_SPEC = 42
+
+#: sandbox child exit statuses, same contract as :data:`EXIT_CODES`
+SANDBOX_EXIT_CODES: Dict[int, str] = {
+    EXIT_OOM: "sandbox child hit its address-space limit (MemoryError)",
+    EXIT_CPU: "sandbox child exhausted its CPU-seconds limit (SIGXCPU)",
+    EXIT_SPEC: "sandbox child was given an unreadable request spec",
+}
+
+#: HTTP rejection status -> the exit code ``repro-alloc submit`` uses
+HTTP_EXIT_MAP: Dict[int, int] = {
+    400: EXIT_USER_ERROR,
+    429: EXIT_OVERLOAD,
+}

@@ -1,0 +1,287 @@
+"""Runtime lock sanitizer — the dynamic half of the CON0xx analysis.
+
+Every threaded module in the repository allocates its locks through
+:func:`make_lock` instead of calling :class:`threading.Lock` directly.
+While the sanitizer is **off** (the default, and the only mode ordinary
+runs ever see) ``make_lock`` returns a plain :class:`threading.Lock`,
+so the hot paths pay nothing — the same null-by-default contract the
+metrics/trace/log planes obey.
+
+Under ``pytest -m sanitizer`` (``make test-sanitizer``) the suites wrap
+service construction in :func:`lockchecking`, and ``make_lock`` hands
+out :class:`CheckedLock` wrappers instead.  Each wrapper records, into
+the installed :class:`LockMonitor`:
+
+* **acquisition-order edges** — for every acquire, one ``held -> this``
+  edge per lock the acquiring thread already holds.  The observed edge
+  set is cross-checked against the *static* lock-order graph built by
+  :func:`repro.analysis.source.lock_order_graph`, so the static
+  deadlock pass (``CON004``) and dynamic reality validate each other:
+  an observed edge whose reverse is statically reachable is a
+  **lock-order inversion** (:meth:`LockMonitor.inversions`).
+* **hold times** — wall-in-critical-section seconds per lock, flagging
+  locks held across blocking work (the dynamic shadow of ``CON003``);
+  :meth:`LockMonitor.long_holds` lists locks held beyond a threshold.
+
+Lock *names* are the static analysis' node names
+(``repro.service.service.AllocationService._lock``), so the two graphs
+join on equal strings; ``tools/check_invariants.py`` pins every
+``make_lock`` call site's name literal to its allocation site.
+
+Counters (emitted by :meth:`LockMonitor.report` when metrics are
+collecting): ``lockcheck.acquisitions``, ``lockcheck.edges``,
+``lockcheck.inversions``.  See docs/ANALYSIS.md ("Concurrency rules")
+for the full tool chain.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "CheckedLock",
+    "LockMonitor",
+    "disable_lockcheck",
+    "enable_lockcheck",
+    "get_monitor",
+    "lockcheck_enabled",
+    "lockchecking",
+    "make_lock",
+]
+
+
+class LockMonitor:
+    """Collects acquisition facts from every :class:`CheckedLock`.
+
+    Thread-safe through one internal (plain, never instrumented) lock;
+    per-thread held-lock stacks are keyed by thread id.
+    """
+
+    def __init__(self, hold_threshold: float = 0.1) -> None:
+        #: seconds a lock may be held before :meth:`long_holds` lists it
+        self.hold_threshold = hold_threshold
+        self._lock = threading.Lock()  # guards: _held, _edges, _acquisitions, _hold_max
+        self._held: Dict[int, List[str]] = {}
+        self._edges: Set[Tuple[str, str]] = set()
+        self._acquisitions = 0
+        self._hold_max: Dict[str, float] = {}
+
+    # -- hooks called by CheckedLock -----------------------------------
+    def acquired(self, name: str) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            self._acquisitions += 1
+            stack = self._held.setdefault(ident, [])
+            for held in stack:
+                if held != name:
+                    self._edges.add((held, name))
+            stack.append(name)
+
+    def released(self, name: str, held_seconds: float) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            stack = self._held.get(ident, [])
+            # out-of-order releases are legal for plain locks: remove
+            # the most recent matching acquisition, not the stack top
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] == name:
+                    del stack[index]
+                    break
+            previous = self._hold_max.get(name, 0.0)
+            if held_seconds > previous:
+                self._hold_max[name] = held_seconds
+
+    # -- queries -------------------------------------------------------
+    def edges(self) -> Set[Tuple[str, str]]:
+        """The observed acquisition-order edges (copies)."""
+        with self._lock:
+            return set(self._edges)
+
+    @property
+    def acquisitions(self) -> int:
+        with self._lock:
+            return self._acquisitions
+
+    def hold_max(self) -> Dict[str, float]:
+        """Worst observed hold time per lock, in seconds."""
+        with self._lock:
+            return dict(self._hold_max)
+
+    def long_holds(self) -> Dict[str, float]:
+        """Locks whose worst hold time exceeded ``hold_threshold``."""
+        return {
+            name: seconds
+            for name, seconds in self.hold_max().items()
+            if seconds > self.hold_threshold
+        }
+
+    def inversions(
+        self, static_graph: Dict[str, Set[str]]
+    ) -> List[Tuple[str, str]]:
+        """Observed edges contradicting the static lock-order graph.
+
+        An observed edge ``(a, b)`` is an inversion when ``a`` is
+        statically reachable from ``b`` — some other code path orders
+        the same two locks the opposite way, which is the two-thread
+        deadlock recipe ``CON004`` exists to prevent.  Edges between
+        locks the static graph has never ordered are fine (they merely
+        extend the graph).
+        """
+        found: List[Tuple[str, str]] = []
+        for a, b in sorted(self.edges()):
+            if _reachable(static_graph, b, a):
+                found.append((a, b))
+        return found
+
+    def report(self) -> Dict[str, object]:
+        """JSON-ready digest; also feeds the ``lockcheck.*`` counters."""
+        from repro.obs.metrics import get_metrics
+
+        edges = sorted(self.edges())
+        digest = {
+            "acquisitions": self.acquisitions,
+            "edges": [list(edge) for edge in edges],
+            "hold_max_seconds": self.hold_max(),
+            "long_holds": self.long_holds(),
+        }
+        obs = get_metrics()
+        if obs.enabled:
+            obs.counter("lockcheck.acquisitions", self.acquisitions)
+            obs.counter("lockcheck.edges", len(edges))
+        return digest
+
+
+def _reachable(
+    graph: Dict[str, Set[str]], start: str, target: str
+) -> bool:
+    """Directed reachability ``start -> ... -> target`` (inclusive)."""
+    if start == target:
+        return True
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for successor in graph.get(node, ()):
+            if successor == target:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return False
+
+
+class CheckedLock:
+    """A :class:`threading.Lock` wrapper feeding a :class:`LockMonitor`.
+
+    Implements the full lock protocol (``acquire``/``release``/context
+    manager/``locked``) plus the private ``_is_owned`` hook
+    :class:`threading.Condition` probes, so ``Condition(CheckedLock())``
+    behaves exactly like ``Condition(Lock())`` — a condition ``wait``
+    releases and re-acquires through the wrapper and is therefore
+    visible to the monitor too.
+    """
+
+    def __init__(self, name: str, monitor: LockMonitor) -> None:
+        self.name = name
+        self._monitor = monitor
+        self._inner = threading.Lock()  # guards: the wrapped critical section itself
+        self._owner: Optional[int] = None
+        self._acquired_at = 0.0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._owner = threading.get_ident()
+            self._acquired_at = time.perf_counter()
+            self._monitor.acquired(self.name)
+        return got
+
+    def release(self) -> None:
+        held = time.perf_counter() - self._acquired_at
+        self._owner = None
+        self._inner.release()
+        self._monitor.released(self.name, held)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _is_owned(self) -> bool:
+        # threading.Condition uses this to assert wait()/notify() are
+        # called with the lock held
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<CheckedLock {self.name!r} {state}>"
+
+
+#: the installed monitor; ``None`` keeps :func:`make_lock` on the
+#: zero-overhead plain-Lock path
+_monitor: Optional[LockMonitor] = None
+
+
+def make_lock(name: str) -> Any:
+    """A lock named for the sanitizer; a plain Lock while it is off.
+
+    ``name`` must be the allocation site's static node name
+    (``<module>.<Class>.<attr>`` — checked by
+    ``tools/check_invariants.py``) so dynamic acquisition orders join
+    the static lock-order graph on equal strings.
+    """
+    monitor = _monitor
+    if monitor is None:
+        return threading.Lock()
+    return CheckedLock(name, monitor)
+
+
+def lockcheck_enabled() -> bool:
+    return _monitor is not None
+
+
+def get_monitor() -> Optional[LockMonitor]:
+    """The installed monitor, ``None`` while the sanitizer is off."""
+    return _monitor
+
+
+def enable_lockcheck(
+    monitor: Optional[LockMonitor] = None,
+) -> LockMonitor:
+    """Install ``monitor`` (or a fresh one); affects *future* locks.
+
+    Only locks allocated while enabled are instrumented — enable the
+    sanitizer before constructing the service under test.
+    """
+    global _monitor
+    active = monitor if monitor is not None else LockMonitor()
+    _monitor = active
+    return active
+
+
+def disable_lockcheck() -> Optional[LockMonitor]:
+    """Uninstall the sanitizer; returns the monitor that was active."""
+    global _monitor
+    previous = _monitor
+    _monitor = None
+    return previous
+
+
+@contextmanager
+def lockchecking(
+    monitor: Optional[LockMonitor] = None,
+) -> Iterator[LockMonitor]:
+    """``with lockchecking() as mon:`` — scoped sanitizer installation."""
+    active = enable_lockcheck(monitor)
+    try:
+        yield active
+    finally:
+        if _monitor is active:
+            disable_lockcheck()

@@ -26,6 +26,8 @@ from typing import Any, Dict, IO, Iterator, Optional, Union
 
 from contextlib import contextmanager
 
+from repro.obs.lockcheck import make_lock
+
 __all__ = [
     "JsonLogger",
     "LoggerLike",
@@ -89,7 +91,12 @@ class JsonLogger:
         self.level = level
         self._threshold = LEVELS[level]
         self._fields: Dict[str, Any] = dict(fields or {})
-        self._lock = _lock if _lock is not None else threading.Lock()
+        if _lock is not None:  # bound children share the parent's lock
+            self._lock = _lock
+        else:
+            self._lock = make_lock(
+                "repro.obs.log.JsonLogger._lock"
+            )  # guards: stream writes (whole-line atomicity)
 
     def bind(self, **fields: Any) -> "JsonLogger":
         merged = dict(self._fields)
@@ -109,8 +116,10 @@ class JsonLogger:
         line = json.dumps(record, default=str, separators=(",", ":"))
         try:
             with self._lock:
-                self.stream.write(line + "\n")
-                self.stream.flush()
+                # the serialised write is the whole point of this lock:
+                # records from every component interleave whole-line
+                self.stream.write(line + "\n")  # con-ok: CON003 the write is the critical section
+                self.stream.flush()  # con-ok: CON003 flush pairs with the guarded write
         except (OSError, ValueError):
             # A torn pipe or a closed stream must never take the
             # service down with it; logging is best-effort.

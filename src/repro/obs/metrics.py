@@ -35,6 +35,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.obs.lockcheck import make_lock
 from repro.obs.sinks import NULL_SINK, Sink
 
 Number = Union[int, float]
@@ -341,13 +342,13 @@ class Metrics:
     ) -> None:
         self.sink: Sink = sink if sink is not None else NULL_SINK
         self._clock = clock
-        self._lock = threading.Lock()
-        self._counters: Dict[str, Number] = {}
-        self._gauges: Dict[str, Any] = {}
-        self._timers: Dict[str, TimerStat] = {}
-        self._histograms: Dict[str, HistogramStat] = {}
-        self._roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._lock = make_lock("repro.obs.metrics.Metrics._lock")
+        self._counters: Dict[str, Number] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, Any] = {}  # guarded-by: _lock
+        self._timers: Dict[str, TimerStat] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, HistogramStat] = {}  # guarded-by: _lock
+        self._roots: List[Span] = []  # guarded-by: _lock
+        self._stack: List[Span] = []  # guarded-by: _lock
 
     # -- recording -----------------------------------------------------
     def counter(self, name: str, value: Number = 1) -> None:

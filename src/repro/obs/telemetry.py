@@ -39,6 +39,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.obs.lockcheck import make_lock
 from repro.obs.metrics import MetricsLike
 from repro.obs.trace import TraceBuffer, TraceEvent, NullTraceBuffer
 
@@ -267,10 +268,10 @@ class JobTelemetry:
     """
 
     def __init__(self, max_jobs: int = MAX_TRACKED_JOBS) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("repro.obs.telemetry.JobTelemetry._lock")
         self._max_jobs = max(1, max_jobs)
         # insertion-ordered: job id -> list of segment dicts
-        self._jobs: Dict[str, List[Dict[str, Any]]] = {}
+        self._jobs: Dict[str, List[Dict[str, Any]]] = {}  # guarded-by: _lock
 
     def record(
         self,
@@ -370,9 +371,9 @@ class FlightRecorder:
 
     def __init__(self, root: str, max_dumps: int = MAX_FLIGHT_DUMPS) -> None:
         self.root = root
-        self._lock = threading.Lock()
+        self._lock = make_lock("repro.obs.telemetry.FlightRecorder._lock")
         self._max_dumps = max(1, max_dumps)
-        self._dumps = 0
+        self._dumps = 0  # guarded-by: _lock
 
     def dump(
         self,

@@ -37,6 +37,8 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro.obs.lockcheck import make_lock
+
 __all__ = [
     "DEFAULT_CAPACITY",
     "NULL_TRACE",
@@ -202,9 +204,9 @@ class TraceBuffer:
             raise ValueError("trace buffer capacity must be >= 1")
         self.capacity = capacity
         self._clock = clock
-        self._events: deque = deque(maxlen=capacity)
-        self._dropped = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("repro.obs.trace.TraceBuffer._lock")
+        self._events: deque = deque(maxlen=capacity)  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
 
     # -- recording -----------------------------------------------------
     def now(self) -> float:
@@ -238,7 +240,8 @@ class TraceBuffer:
     @property
     def dropped(self) -> int:
         """Events evicted because the ring was full."""
-        return self._dropped
+        with self._lock:
+            return self._dropped
 
     def events(self) -> List[TraceEvent]:
         """Snapshot of the retained events, oldest first."""

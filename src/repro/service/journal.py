@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import get_metrics
+from repro.obs.lockcheck import make_lock
 from repro.obs.log import get_logger
 from repro.resilience.faults import fault_point
 from repro.sdf.serialization import SerializationError
@@ -132,8 +132,9 @@ class JobJournal:
         self.root = root
         self.jobs_dir = os.path.join(root, "jobs")
         os.makedirs(self.jobs_dir, exist_ok=True)
-        self._lock = threading.Lock()
-        self._next = 1 + max(
+        self._lock = make_lock("repro.service.journal.JobJournal._lock")
+        # the id counter is the journal's only cross-thread state
+        self._next = 1 + max(  # guarded-by: _lock
             (
                 int(name[4:10])
                 for name in os.listdir(self.jobs_dir)

@@ -48,7 +48,9 @@ from dataclasses import dataclass, field
 from time import perf_counter, sleep
 from typing import Any, Dict, Optional
 
+from repro.exitcodes import EXIT_CPU, EXIT_OOM, EXIT_SPEC
 from repro.obs import get_metrics
+from repro.obs.lockcheck import make_lock
 from repro.obs.log import get_logger
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 from repro.obs.telemetry import (
@@ -66,10 +68,21 @@ from repro.resilience.faults import fault_point
 SANDBOX_FORMAT = "repro-sandbox-request"
 SANDBOX_VERSION = 1
 
-#: child exit codes (chosen clear of shell/python conventions)
-EXIT_OOM = 40
-EXIT_CPU = 41
-EXIT_SPEC = 42
+# EXIT_OOM / EXIT_CPU / EXIT_SPEC are defined in repro.exitcodes (the
+# single exit-code registry) and re-exported here for the child and the
+# existing importers.
+__all__ = [
+    "EXIT_CPU",
+    "EXIT_OOM",
+    "EXIT_SPEC",
+    "SandboxFailure",
+    "SandboxHandle",
+    "SandboxVerdict",
+    "classify_exit",
+    "harvest_telemetry",
+    "run_sandboxed",
+    "write_request_spec",
+]
 
 VERDICT_COMPLETED = "completed"
 VERDICT_OOM = "oom"
@@ -219,12 +232,16 @@ class SandboxHandle:
     stall_timeout: float = 10.0
     spawn_grace: float = 15.0
     spawned_at: float = field(default_factory=perf_counter)
-    last_beat: Dict[str, Any] = field(default_factory=dict)
-    beats: int = 0
-    _beat_size: int = 0
-    _last_progress: float = field(default_factory=perf_counter)
-    _kill_reason: Optional[str] = None
-    _lock: threading.Lock = field(default_factory=threading.Lock)
+    last_beat: Dict[str, Any] = field(default_factory=dict)  # guarded-by: _lock
+    beats: int = 0  # guarded-by: _lock
+    _beat_size: int = 0  # guarded-by: _lock
+    _last_progress: float = field(default_factory=perf_counter)  # guarded-by: _lock
+    _kill_reason: Optional[str] = None  # guarded-by: _lock
+    _lock: threading.Lock = field(
+        default_factory=lambda: make_lock(
+            "repro.service.sandbox.SandboxHandle._lock"
+        )
+    )
 
     @property
     def pid(self) -> int:
@@ -241,32 +258,53 @@ class SandboxHandle:
     def read_heartbeat(self) -> None:
         """Poll the beat file; update progress/rss bookkeeping.
 
-        ``service.sandbox.heartbeat`` fires before the read so tests
-        can deterministically blind the watchdog (an injected fault is
-        indistinguishable from a child that stopped beating).
+        Called from both the watchdog thread and the worker thread (the
+        final post-exit snapshot), so every bookkeeping update happens
+        in one locked step — the file I/O itself stays outside the
+        lock.  ``service.sandbox.heartbeat`` fires before the read so
+        tests can deterministically blind the watchdog (an injected
+        fault is indistinguishable from a child that stopped beating).
         """
         fault_point(
             "service.sandbox.heartbeat", job=self.job, attempt=self.attempt
         )
+        with self._lock:
+            known_size = self._beat_size
         try:
             size = os.path.getsize(self.heartbeat_path)
-            if size == self._beat_size:
+            if size == known_size:
                 return
             with open(self.heartbeat_path, "r", encoding="utf-8") as fh:
                 lines = fh.read().splitlines()
         except OSError:
             return
-        self._beat_size = size
-        self._last_progress = perf_counter()
+        beat: Optional[Dict[str, Any]] = None
         for line in reversed(lines):
             try:
                 beat = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn tail write; use the previous full line
-            with self._lock:
+            break
+        with self._lock:
+            self._beat_size = size
+            self._last_progress = perf_counter()
+            if beat is not None:
                 self.last_beat = beat
                 self.beats = max(self.beats, int(beat.get("beat", 0)) + 1)
-            break
+
+    def watch_stats(self) -> Dict[str, Any]:
+        """Locked snapshot of the heartbeat bookkeeping.
+
+        The watchdog's status digest and the post-exit classification
+        read through this instead of peeking at attributes the polling
+        thread may be mid-update on.
+        """
+        with self._lock:
+            return {
+                "last_beat": dict(self.last_beat),
+                "beats": self.beats,
+                "last_progress": self._last_progress,
+            }
 
     def stalled(self) -> bool:
         """No fresh heartbeat within the stall window.
@@ -276,11 +314,14 @@ class SandboxHandle:
         seconds counts as a stall.
         """
         now = perf_counter()
-        if self.beats == 0:
+        with self._lock:
+            beats = self.beats
+            last_progress = self._last_progress
+        if beats == 0:
             return now - self.spawned_at > max(
                 self.spawn_grace, self.stall_timeout
             )
-        return now - self._last_progress > self.stall_timeout
+        return now - last_progress > self.stall_timeout
 
     def over_memory(self) -> bool:
         if self.memory_mb is None:
@@ -325,8 +366,10 @@ class SandboxHandle:
 def classify_exit(handle: SandboxHandle) -> SandboxVerdict:
     """Turn an exited child's status + kill bookkeeping into a verdict."""
     status = handle.process.returncode
-    peak = handle.peak_rss_kb()
-    beats = handle.beats
+    stats = handle.watch_stats()
+    peak_rss = stats["last_beat"].get("rss_kb")
+    peak = int(peak_rss) if peak_rss is not None else None
+    beats = int(stats["beats"])
     reason = handle.kill_reason
     if reason == "stalled":
         return SandboxVerdict(
@@ -566,7 +609,7 @@ def run_sandboxed(
         # the parent budget is never charged in process isolation, so
         # the states-explored histogram feeds from the child's last
         # self-reported figure instead
-        states = handle.last_beat.get("states")
+        states = handle.watch_stats()["last_beat"].get("states")
         if states:
             obs.histogram(
                 "service.states_explored",

@@ -70,6 +70,7 @@ from repro.appmodel.serialization import (
 from repro.arch.serialization import architecture_from_dict
 from repro.core.strategy import AllocationError, ResourceAllocator
 from repro.obs import get_metrics
+from repro.obs.lockcheck import make_lock
 from repro.obs.log import get_logger
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 from repro.obs.telemetry import FlightRecorder, JobTelemetry
@@ -228,19 +229,21 @@ class AllocationService:
         if isolation == "process":
             os.makedirs(self.sandbox_dir, exist_ok=True)
 
-        self._lock = threading.Lock()
+        self._lock = make_lock(
+            "repro.service.service.AllocationService._lock"
+        )
         self._changed = threading.Condition(self._lock)
-        self._jobs: Dict[str, Dict[str, Any]] = {}
-        self._queue: Deque[str] = deque()
+        self._jobs: Dict[str, Dict[str, Any]] = {}  # guarded-by: _lock
+        self._queue: Deque[str] = deque()  # guarded-by: _lock
         #: perf-clock enqueue instants behind the queue-wait histogram
-        self._enqueued: Dict[str, float] = {}
-        self._budgets: Dict[str, Budget] = {}
-        self._timers: Dict[str, threading.Timer] = {}
-        self._workers: List[threading.Thread] = []
-        self._accepting = False
-        self._draining = False
-        self._stopped = False
-        self._active = 0
+        self._enqueued: Dict[str, float] = {}  # guarded-by: _lock
+        self._budgets: Dict[str, Budget] = {}  # guarded-by: _lock
+        self._timers: Dict[str, threading.Timer] = {}  # guarded-by: _lock
+        self._workers: List[threading.Thread] = []  # guarded-by: _lock
+        self._accepting = False  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
+        self._stopped = False  # guarded-by: _lock
+        self._active = 0  # guarded-by: _lock
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "AllocationService":
@@ -280,13 +283,19 @@ class AllocationService:
         )
         if corrupted:
             obs.counter("service.journal.corrupt_on_recover", len(corrupted))
-        for index in range(self.worker_count):
-            thread = threading.Thread(
+        threads = [
+            threading.Thread(
                 target=self._worker_loop,
                 name=f"repro-service-worker-{index}",
                 daemon=True,
             )
-            self._workers.append(thread)
+            for index in range(self.worker_count)
+        ]
+        # registered under the lock: a concurrent drain() must see the
+        # full pool before it starts joining
+        with self._lock:
+            self._workers.extend(threads)
+        for thread in threads:
             thread.start()
         return self
 
@@ -326,9 +335,12 @@ class AllocationService:
                     continue
             self._stopped = True
             self._changed.notify_all()
-        for thread in self._workers:
+            # claim the pool under the lock so two concurrent drains
+            # never join (or double-clear) the same threads
+            workers = self._workers
+            self._workers = []
+        for thread in workers:
             thread.join(timeout=timeout)
-        self._workers = []
         self.watchdog.stop()
         obs = get_metrics()
         obs.counter("service.drains")

@@ -29,6 +29,7 @@ from time import perf_counter
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.obs import get_metrics
+from repro.obs.lockcheck import make_lock
 from repro.obs.log import get_logger
 from repro.obs.trace import get_trace
 
@@ -51,11 +52,11 @@ class Watchdog:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be > 0")
         self.poll_interval = poll_interval
-        self._lock = threading.Lock()
+        self._lock = make_lock("repro.service.watchdog.Watchdog._lock")
         self._wake = threading.Condition(self._lock)
-        self._handles: List[object] = []
-        self._thread: Optional[threading.Thread] = None
-        self._stopped = False
+        self._handles: List[object] = []  # guarded-by: _lock
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _lock
+        self._stopped = False  # guarded-by: _lock
 
     def register(self, handle: object) -> None:
         with self._lock:
@@ -89,14 +90,19 @@ class Watchdog:
 
         ``heartbeat_age_seconds`` is the time since the beat file last
         grew (``None`` before the first beat); ``states`` is the
-        engine's last self-reported states-charged figure.
+        engine's last self-reported states-charged figure.  Heartbeat
+        bookkeeping is read through the handle's locked
+        ``watch_stats()`` accessor — the worker thread updates those
+        fields concurrently, so raw attribute peeks would hand the
+        status view torn values.
         """
         now = perf_counter()
         digest: List[Dict[str, Any]] = []
         for handle in self.handles():
             try:
-                beat = dict(getattr(handle, "last_beat", {}) or {})
-                beats = int(getattr(handle, "beats", 0))
+                stats = handle.watch_stats()  # type: ignore[attr-defined]
+                beat = stats["last_beat"]
+                beats = int(stats["beats"])
                 digest.append(
                     {
                         "job": getattr(handle, "job", None),
@@ -106,7 +112,7 @@ class Watchdog:
                         "states": beat.get("states"),
                         "rss_kb": beat.get("rss_kb"),
                         "heartbeat_age_seconds": (
-                            round(now - handle._last_progress, 3)
+                            round(now - stats["last_progress"], 3)
                             if beats
                             else None
                         ),
@@ -199,9 +205,11 @@ class CrashLoopDetector:
         #: flips to degraded — the service hangs its flight-recorder
         #: dump here; exceptions are swallowed
         self.on_trip = on_trip
-        self._lock = threading.Lock()
-        self._outcomes: Deque[bool] = deque(maxlen=window)
-        self._degraded_since: Optional[float] = None
+        self._lock = make_lock(
+            "repro.service.watchdog.CrashLoopDetector._lock"
+        )
+        self._outcomes: Deque[bool] = deque(maxlen=window)  # guarded-by: _lock
+        self._degraded_since: Optional[float] = None  # guarded-by: _lock
 
     def record(self, quarantined: bool) -> None:
         tripped = False
@@ -236,7 +244,7 @@ class CrashLoopDetector:
                     # post-mortem capture must never worsen the storm
                     pass
 
-    def _count(self) -> int:
+    def _count(self) -> int:  # requires-lock: _lock
         return sum(1 for outcome in self._outcomes if outcome)
 
     @property

@@ -53,3 +53,45 @@ def multirate_graph():
 def chain_graph():
     """Homogeneous 3-chain closed by a 2-token back edge."""
     return chain(["x", "y", "z"], [1, 2, 3], tokens_on_back_edge=2)
+
+
+# -- runtime lock sanitizer (REPRO_LOCKCHECK=1, `make test-sanitizer`) -----
+#
+# With REPRO_LOCKCHECK=1 every test runs with instrumented locks: all
+# locks allocated during the test go through a CheckedLock feeding a
+# LockMonitor, and at teardown the observed acquisition orders are
+# cross-checked against the static lock-order graph of
+# repro.analysis.source (docs/ANALYSIS.md, "Concurrency rules").  Tests
+# that drive the sanitizer explicitly (pytest -m sanitizer) manage
+# their own monitor and are left alone.
+
+_static_lock_graph = None
+
+
+def _static_graph():
+    global _static_lock_graph
+    if _static_lock_graph is None:
+        from repro.analysis.source import lock_order_graph
+
+        _static_lock_graph = lock_order_graph()
+    return _static_lock_graph
+
+
+@pytest.fixture(autouse=True)
+def _lockcheck_everywhere(request):
+    import os
+
+    if not os.environ.get("REPRO_LOCKCHECK") or request.node.get_closest_marker(
+        "sanitizer"
+    ):
+        yield
+        return
+    from repro.obs.lockcheck import lockchecking
+
+    static = _static_graph()
+    with lockchecking() as monitor:
+        yield
+    inversions = monitor.inversions(static)
+    assert not inversions, (
+        f"lock-order inversions against the static graph: {inversions}"
+    )

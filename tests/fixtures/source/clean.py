@@ -1,0 +1,26 @@
+"""A module obeying every concurrency rule — must lint clean."""
+
+import threading
+
+
+class Gauge:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # guards: _value, _samples
+        self._value = 0.0  # guarded-by: _lock
+        self._samples = []  # guarded-by: _lock
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            self._samples.append(value)
+
+    def snapshot(self) -> list:
+        with self._lock:
+            return list(self._samples)  # a copy, taken under the lock
+
+    def _trim(self) -> None:  # requires-lock: _lock
+        del self._samples[:-10]
+
+    def trim(self) -> None:
+        with self._lock:
+            self._trim()

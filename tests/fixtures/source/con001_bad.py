@@ -1,0 +1,16 @@
+"""Seeded CON001 violation: guarded attribute touched without its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # guards: _value
+        self._value = 0  # guarded-by: _lock
+
+    def bump(self) -> None:
+        self._value += 1  # racy read-modify-write, no lock held
+
+    def read(self) -> int:
+        with self._lock:
+            return self._value

@@ -1,0 +1,17 @@
+"""Seeded CON002 violation: guarded mutable state escapes by reference."""
+
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # guards: _items
+        self._items = {}  # guarded-by: _lock
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._items[key] = value
+
+    def items(self):
+        with self._lock:
+            return self._items  # the caller iterates it unsynchronised

@@ -1,0 +1,14 @@
+"""Seeded CON003 violation: blocking call while holding a lock."""
+
+import threading
+import time
+
+
+class Throttle:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # guards: pacing of emit()
+        self.interval = 0.01
+
+    def emit(self) -> None:
+        with self._lock:
+            time.sleep(self.interval)  # every other thread now waits too

@@ -1,0 +1,31 @@
+"""Seeded CON004 violation: two locks taken in opposite orders."""
+
+import threading
+
+
+class Left:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # guards: hand-off to Right
+        self.right = Right()
+
+    def poke(self) -> None:
+        with self._lock:  # Left._lock -> Right._lock
+            self.right.touch()
+
+    def grab(self) -> None:
+        with self._lock:
+            pass
+
+
+class Right:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # guards: hand-off to Left
+        self.left = Left()
+
+    def touch(self) -> None:
+        with self._lock:
+            pass
+
+    def poke_back(self) -> None:
+        with self._lock:  # Right._lock -> Left._lock: the cycle
+            self.left.grab()

@@ -1,0 +1,64 @@
+"""The exit-code registry (``src/repro/exitcodes.py``).
+
+One machine-readable table feeds the CLI, the HTTP front end and the
+sandbox; ``tools/check_invariants.py`` diffs it against the
+docs/ROBUSTNESS.md table and every integer return in ``cli.py``.  These
+cases pin the registry's internal consistency and keep the invariant
+checker itself green in CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro import exitcodes
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_registry_constants_appear_in_the_tables():
+    assert exitcodes.EXIT_CODES[exitcodes.EXIT_OK] == "success"
+    for constant in (
+        exitcodes.EXIT_USER_ERROR,
+        exitcodes.EXIT_BUDGET,
+        exitcodes.EXIT_REFUTED,
+        exitcodes.EXIT_BENCH_REGRESSION,
+        exitcodes.EXIT_LINT,
+        exitcodes.EXIT_OVERLOAD,
+    ):
+        assert constant in exitcodes.EXIT_CODES
+    for constant in (
+        exitcodes.EXIT_OOM,
+        exitcodes.EXIT_CPU,
+        exitcodes.EXIT_SPEC,
+    ):
+        assert constant in exitcodes.SANDBOX_EXIT_CODES
+
+
+def test_cli_and_sandbox_exit_codes_do_not_collide():
+    assert not set(exitcodes.EXIT_CODES) & set(exitcodes.SANDBOX_EXIT_CODES)
+    assert 1 not in exitcodes.EXIT_CODES  # reserved for uncaught crashes
+
+
+def test_http_exit_map_targets_registered_codes():
+    assert exitcodes.HTTP_EXIT_MAP[429] == exitcodes.EXIT_OVERLOAD
+    assert exitcodes.HTTP_EXIT_MAP[400] == exitcodes.EXIT_USER_ERROR
+    assert set(exitcodes.HTTP_EXIT_MAP.values()) <= set(exitcodes.EXIT_CODES)
+
+
+def test_sandbox_reexports_the_registry():
+    from repro.service import sandbox
+
+    assert sandbox.EXIT_OOM == exitcodes.EXIT_OOM
+    assert sandbox.EXIT_CPU == exitcodes.EXIT_CPU
+    assert sandbox.EXIT_SPEC == exitcodes.EXIT_SPEC
+
+
+def test_invariant_checker_passes():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_invariants.py")],
+        cwd=str(REPO),
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

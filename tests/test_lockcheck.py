@@ -1,0 +1,301 @@
+"""The runtime lock sanitizer and the races the CON rules caught.
+
+Unit coverage for :mod:`repro.obs.lockcheck` (null-by-default
+``make_lock``, the monitor's edge/hold bookkeeping, inversion detection
+against a static graph, ``Condition`` compatibility) plus one
+regression test per concurrency fix the static analysis forced:
+``SandboxHandle`` heartbeat bookkeeping, ``Watchdog.snapshot`` torn
+reads, and ``AllocationService`` worker-pool handoff.
+
+The ``sanitizer``-marked cases (``make test-sanitizer``) run a real
+service workload under :func:`lockchecking` and cross-check every
+observed acquisition order against the static lock-order graph of
+:func:`repro.analysis.source.lock_order_graph` — no inversion may be
+observed.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.lockcheck import (
+    CheckedLock,
+    LockMonitor,
+    get_monitor,
+    lockcheck_enabled,
+    lockchecking,
+    make_lock,
+)
+
+from tests.service_helpers import fast_request
+
+
+# -- make_lock: null by default --------------------------------------------
+
+
+def test_make_lock_is_a_plain_lock_while_disabled():
+    assert not lockcheck_enabled()
+    assert get_monitor() is None
+    lock = make_lock("repro.test.Thing._lock")
+    assert isinstance(lock, type(threading.Lock()))
+
+
+def test_make_lock_is_checked_inside_lockchecking():
+    with lockchecking() as monitor:
+        lock = make_lock("repro.test.Thing._lock")
+        assert isinstance(lock, CheckedLock)
+        with lock:
+            pass
+        assert monitor.acquisitions == 1
+    assert not lockcheck_enabled()
+
+
+def test_nested_acquisitions_record_order_edges():
+    monitor = LockMonitor()
+    outer = CheckedLock("a", monitor)
+    inner = CheckedLock("b", monitor)
+    with outer:
+        with inner:
+            pass
+    assert monitor.edges() == {("a", "b")}
+    assert monitor.acquisitions == 2
+
+
+def test_out_of_order_release_keeps_the_held_stack_sane():
+    monitor = LockMonitor()
+    first = CheckedLock("a", monitor)
+    second = CheckedLock("b", monitor)
+    first.acquire()
+    second.acquire()
+    first.release()  # legal for plain locks
+    third = CheckedLock("c", monitor)
+    with third:
+        pass
+    second.release()
+    # after releasing "a", only "b" was held when "c" was acquired
+    assert ("b", "c") in monitor.edges()
+    assert ("a", "c") not in monitor.edges()
+
+
+def test_inversions_flag_reversed_static_edges_only():
+    monitor = LockMonitor()
+    b = CheckedLock("b", monitor)
+    a = CheckedLock("a", monitor)
+    c = CheckedLock("c", monitor)
+    with b:
+        with a:  # observed b -> a
+            pass
+    with b:
+        with c:  # observed b -> c: statically unordered, fine
+            pass
+    static = {"a": {"b"}}  # the code base orders a before b
+    assert monitor.inversions(static) == [("b", "a")]
+
+
+def test_inversions_follow_transitive_static_reachability():
+    monitor = LockMonitor()
+    c = CheckedLock("c", monitor)
+    a = CheckedLock("a", monitor)
+    with c:
+        with a:  # observed c -> a, but statically a -> b -> c
+            pass
+    static = {"a": {"b"}, "b": {"c"}}
+    assert monitor.inversions(static) == [("c", "a")]
+
+
+def test_hold_times_and_long_holds():
+    monitor = LockMonitor(hold_threshold=0.01)
+    lock = CheckedLock("slow", monitor)
+    with lock:
+        time.sleep(0.03)
+    assert monitor.hold_max()["slow"] >= 0.01
+    assert "slow" in monitor.long_holds()
+
+
+def test_condition_wait_notify_through_a_checked_lock():
+    monitor = LockMonitor()
+    lock = CheckedLock("cv", monitor)
+    condition = threading.Condition(lock)
+    fired = []
+
+    def waiter():
+        with condition:
+            condition.wait_for(lambda: fired, timeout=5)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.05)
+    with condition:
+        fired.append(True)
+        condition.notify_all()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    # waiter acquire + wait re-acquire + notifier acquire all observed
+    assert monitor.acquisitions >= 3
+
+
+def test_report_digest_is_json_ready():
+    monitor = LockMonitor()
+    with CheckedLock("a", monitor):
+        pass
+    digest = monitor.report()
+    assert digest["acquisitions"] == 1
+    json.dumps(digest)  # must serialise as-is
+
+
+# -- regression: the races CON001 caught -----------------------------------
+
+
+class _FakeProcess:
+    pid = 4242
+
+    def poll(self):
+        return None
+
+
+def _handle(tmp_path):
+    from repro.service.sandbox import SandboxHandle
+
+    return SandboxHandle(
+        job="job-1",
+        attempt=1,
+        process=_FakeProcess(),
+        heartbeat_path=str(tmp_path / "beat.jsonl"),
+        stall_timeout=0.5,
+        spawn_grace=0.5,
+    )
+
+
+def test_sandbox_heartbeat_bookkeeping_is_consistent_under_races(tmp_path):
+    """read_heartbeat mutated _beat_size/_last_progress without the lock."""
+    handle = _handle(tmp_path)
+    path = tmp_path / "beat.jsonl"
+    stop = threading.Event()
+    errors = []
+
+    def reader():
+        while not stop.is_set():
+            try:
+                handle.read_heartbeat()
+                stats = handle.watch_stats()
+                # a torn snapshot would pair a beat count with a stale
+                # last_beat dict; every observed pair must be coherent
+                if stats["beats"] and not stats["last_beat"]:
+                    errors.append(stats)
+            except Exception as error:  # pragma: no cover - the failure
+                errors.append(error)
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    with open(path, "a", encoding="utf-8") as fh:
+        for index in range(50):
+            fh.write(json.dumps({"seq": index, "rss_mb": index}) + "\n")
+            fh.flush()
+            time.sleep(0.001)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert not errors
+    stats = handle.watch_stats()
+    assert stats["beats"] >= 1
+    assert stats["last_beat"]["seq"] == 49
+
+
+def test_watchdog_snapshot_reads_through_watch_stats(tmp_path):
+    """snapshot() peeked at handle attributes mid-update before."""
+    from repro.service.watchdog import Watchdog
+
+    handle = _handle(tmp_path)
+    with open(tmp_path / "beat.jsonl", "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"seq": 0, "rss_mb": 5}) + "\n")
+    handle.read_heartbeat()
+    watchdog = Watchdog(poll_interval=0.05)
+    watchdog.register(handle)
+    try:
+        rows = watchdog.snapshot()
+    finally:
+        watchdog.stop()
+    assert len(rows) == 1
+    assert rows[0]["job"] == "job-1"
+    assert rows[0]["beats"] == 1
+
+
+@pytest.mark.service
+def test_concurrent_drain_is_safe(tmp_path):
+    """start()/drain() handed the worker list around outside the lock."""
+    from repro.service import AllocationService
+
+    service = AllocationService(str(tmp_path / "spool"), workers=2).start()
+    application, architecture = fast_request()
+    service.wait(service.submit(application, architecture), timeout=60)
+    errors = []
+
+    def drain():
+        try:
+            service.drain(cancel_running=True)
+        except Exception as error:  # pragma: no cover - the failure
+            errors.append(error)
+
+    threads = [threading.Thread(target=drain) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    assert not any(thread.is_alive() for thread in threads)
+
+
+# -- the sanitizer cross-check (make test-sanitizer) -----------------------
+
+
+@pytest.mark.sanitizer
+def test_service_workload_observes_no_lock_order_inversion(tmp_path):
+    """Dynamic acquisition orders must agree with the static graph."""
+    from repro.analysis.source import lock_order_graph
+    from repro.service import AllocationService
+
+    static = lock_order_graph()
+    with lockchecking() as monitor:
+        service = AllocationService(
+            str(tmp_path / "spool"), workers=2
+        ).start()
+        application, architecture = fast_request()
+        first = service.submit(application, architecture)
+        service.wait(first, timeout=120)
+        # a resubmission rides the verified result cache — more lock
+        # traffic on the journal/cache paths
+        second = service.submit(application, architecture)
+        service.wait(second, timeout=120)
+        service.stats()
+        service.jobs()
+        service.drain()
+    assert monitor.acquisitions > 0
+    # every observed edge joins the static graph on equal node names
+    static_nodes = set(static)
+    for successors in static.values():
+        static_nodes |= set(successors)
+    observed_nodes = {node for edge in monitor.edges() for node in edge}
+    assert observed_nodes <= static_nodes or not static_nodes
+    assert monitor.inversions(static) == []
+
+
+@pytest.mark.sanitizer
+def test_watchdog_under_sanitizer_observes_no_inversion(tmp_path):
+    from repro.analysis.source import lock_order_graph
+    from repro.service.watchdog import Watchdog
+
+    static = lock_order_graph()
+    with lockchecking() as monitor:
+        handle = _handle(tmp_path)
+        with open(tmp_path / "beat.jsonl", "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"seq": 0}) + "\n")
+        watchdog = Watchdog(poll_interval=0.02)
+        watchdog.register(handle)
+        time.sleep(0.1)
+        watchdog.snapshot()
+        watchdog.unregister(handle)
+        watchdog.stop()
+    assert monitor.inversions(static) == []

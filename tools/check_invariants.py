@@ -31,10 +31,29 @@ broken hook just silently never fires or the docs silently rot:
    first cell joined with each backticked suffix in the second).
    Dynamically composed names (f-strings) are skipped here and listed
    in the catalogue with their expanded values by hand.
+6. **Locks are registered.**  No bare ``threading.Lock()`` /
+   ``threading.RLock()`` allocation exists under ``src/`` outside
+   ``repro/obs/lockcheck.py`` (every lock must flow through
+   ``make_lock`` so the runtime sanitizer can wrap it), every
+   ``make_lock("<name>")`` literal equals the allocation site's
+   derived node name ``<module>.<Class>.<attr>`` (the join key between
+   the static lock-order graph and the sanitizer's observed edges),
+   and every lock site documents its discipline — at least one
+   ``# guarded-by:`` annotation naming it, or a ``# guards:`` comment
+   on the allocation.  Uses :mod:`repro.analysis.source`.
+7. **Exit codes are single-sourced.**  The ``EXIT_CODES`` /
+   ``SANDBOX_EXIT_CODES`` registry in ``src/repro/exitcodes.py``
+   matches the "Exit codes" table of ``docs/ROBUSTNESS.md``
+   cell-for-cell, every integer ``return`` literal in
+   ``src/repro/cli.py`` is a registered code, the sandbox modules
+   define no exit-code literals of their own, and every
+   ``HTTP_EXIT_MAP`` value is a registered code.
 
-Everything is read from source with :mod:`ast` — the checker never
-imports the package, so it works on a broken tree and adds no import
-side effects.  Exit status: 0 when clean, 1 with one ``file:line:``
+Checks 1-5 and 7 are read from source with :mod:`ast` — they never
+import the package, so they work on a broken tree and add no import
+side effects.  Check 6 reuses the concurrency analyser
+(``repro.analysis.source``), which is itself pure AST over the same
+files.  Exit status: 0 when clean, 1 with one ``file:line:``
 diagnostic per violation otherwise.
 """
 
@@ -50,6 +69,14 @@ REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 FAULTS = SRC / "resilience" / "faults.py"
 OBSERVABILITY = REPO / "docs" / "OBSERVABILITY.md"
+ROBUSTNESS = REPO / "docs" / "ROBUSTNESS.md"
+EXITCODES = SRC / "exitcodes.py"
+CLI = SRC / "cli.py"
+LOCKCHECK = SRC / "obs" / "lockcheck.py"
+SANDBOX_MODULES = (
+    SRC / "service" / "sandbox.py",
+    SRC / "service" / "sandbox_child.py",
+)
 
 #: methods whose leading (str, str) arguments form a trace event
 _TRACE_METHODS = ("instant", "complete", "span")
@@ -202,6 +229,182 @@ def check_file(
     return problems
 
 
+def check_lock_registry() -> List[str]:
+    """Check 6: every lock allocation obeys the guarded-by discipline."""
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.analysis.source import lock_registry
+    finally:
+        sys.path.pop(0)
+    problems: List[str] = []
+    paths = sorted(str(p) for p in SRC.rglob("*.py"))
+    for site in lock_registry(paths):
+        where = f"{Path(site.path).resolve().relative_to(REPO)}:{site.line}"
+        if site.declared is None:
+            if Path(site.path).resolve() != LOCKCHECK:
+                problems.append(
+                    f"{where}: bare lock allocation for "
+                    f"{site.cls}.{site.attr}; allocate it with "
+                    "make_lock(...) so the lock sanitizer can wrap it"
+                )
+        elif site.declared != site.node:
+            problems.append(
+                f"{where}: make_lock name {site.declared!r} does not "
+                f"match the site's derived node name {site.node!r}"
+            )
+        if not site.documented:
+            problems.append(
+                f"{where}: lock {site.cls}.{site.attr} documents no "
+                "discipline: add `# guarded-by: "
+                f"{site.attr}` annotations on the state it protects "
+                "or a `# guards: ...` comment on the allocation"
+            )
+    # belt and braces: a lock allocated outside a class attribute would
+    # be invisible to lock_registry, so flag every bare constructor call
+    for path in SRC.rglob("*.py"):
+        if path.resolve() == LOCKCHECK:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("Lock", "RLock")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "threading"
+            ):
+                problems.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: "
+                    "threading.Lock() outside repro.obs.lockcheck — "
+                    "allocate locks with make_lock(...)"
+                )
+    return problems
+
+
+def _exitcode_tables() -> Tuple[dict, dict, dict]:
+    """``EXIT_CODES`` / ``SANDBOX_EXIT_CODES`` / ``HTTP_EXIT_MAP``,
+    parsed from the registry module source."""
+    tree = ast.parse(EXITCODES.read_text(), filename=str(EXITCODES))
+    constants: dict = {}
+    tables: dict = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target = node.target
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, int):
+            constants[target.id] = value.value
+        elif isinstance(value, ast.Dict):
+            table: dict = {}
+            for key, val in zip(value.keys, value.values):
+                if isinstance(key, ast.Constant):
+                    resolved_key = key.value
+                elif isinstance(key, ast.Name) and key.id in constants:
+                    resolved_key = constants[key.id]
+                else:
+                    continue
+                if isinstance(val, ast.Constant):
+                    table[resolved_key] = val.value
+                elif isinstance(val, ast.Name) and val.id in constants:
+                    table[resolved_key] = constants[val.id]
+            tables[target.id] = table
+    for name in ("EXIT_CODES", "SANDBOX_EXIT_CODES", "HTTP_EXIT_MAP"):
+        if name not in tables:
+            raise SystemExit(f"{name} not found in {EXITCODES}")
+    return (
+        tables["EXIT_CODES"],
+        tables["SANDBOX_EXIT_CODES"],
+        tables["HTTP_EXIT_MAP"],
+    )
+
+
+def _documented_exit_codes() -> dict:
+    """The ROBUSTNESS.md "### Exit codes" table as ``{code: meaning}``."""
+    text = ROBUSTNESS.read_text()
+    marker = "### Exit codes"
+    start = text.index(marker)
+    end = text.find("\n### ", start + len(marker))
+    section = text[start : end if end != -1 else len(text)]
+    table: dict = {}
+    for line in section.splitlines():
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        if len(cells) < 2 or not cells[0].startswith("`"):
+            continue
+        code = cells[0].strip("`")
+        if code.isdigit():
+            table[int(code)] = cells[1]
+    if not table:
+        raise SystemExit(
+            f"no exit-code table under {marker!r} in {ROBUSTNESS}"
+        )
+    return table
+
+
+def check_exit_codes() -> List[str]:
+    """Check 7: the exit-code registry, docs and call sites agree."""
+    problems: List[str] = []
+    exit_codes, sandbox_codes, http_map = _exitcode_tables()
+    documented = _documented_exit_codes()
+    registry = {**exit_codes, **sandbox_codes}
+    for code in sorted(set(registry) | set(documented)):
+        if code not in documented:
+            problems.append(
+                f"{ROBUSTNESS.relative_to(REPO)}: exit code {code} "
+                "is registered in repro/exitcodes.py but missing from "
+                "the '### Exit codes' table"
+            )
+        elif code not in registry:
+            problems.append(
+                f"{ROBUSTNESS.relative_to(REPO)}: exit code {code} "
+                "is documented but not registered in repro/exitcodes.py"
+            )
+        elif registry[code] != documented[code]:
+            problems.append(
+                f"{ROBUSTNESS.relative_to(REPO)}: exit code {code} "
+                f"meaning {documented[code]!r} differs from the "
+                f"registry's {registry[code]!r}"
+            )
+    tree = ast.parse(CLI.read_text(), filename=str(CLI))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Return)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, int)
+            and node.value.value not in exit_codes
+        ):
+            problems.append(
+                f"{CLI.relative_to(REPO)}:{node.lineno}: return "
+                f"{node.value.value} is not a registered CLI exit code "
+                "(repro/exitcodes.py EXIT_CODES)"
+            )
+    for module in SANDBOX_MODULES:
+        tree = ast.parse(module.read_text(), filename=str(module))
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id.startswith("EXIT_")
+                for t in node.targets
+            ):
+                problems.append(
+                    f"{module.relative_to(REPO)}:{node.lineno}: "
+                    "EXIT_* defined locally; import it from "
+                    "repro.exitcodes instead"
+                )
+    for status, code in sorted(http_map.items()):
+        if code not in exit_codes:
+            problems.append(
+                f"{EXITCODES.relative_to(REPO)}: HTTP_EXIT_MAP[{status}] "
+                f"= {code} is not a registered CLI exit code"
+            )
+    return problems
+
+
 def main() -> int:
     fault_points = known_fault_points()
     events = documented_events()
@@ -218,6 +421,8 @@ def main() -> int:
             "registered in KNOWN_FAULT_POINTS but has no "
             "fault_point(...) call site under src/"
         )
+    problems.extend(check_lock_registry())
+    problems.extend(check_exit_codes())
     for problem in problems:
         print(problem)
     if problems:
